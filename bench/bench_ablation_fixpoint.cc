@@ -1,0 +1,54 @@
+// Ablation: the two implementations of Rule (ii) inside program P --
+//  (a) support scan over the materialized U(D) (default: exact on every
+//      schema, O(|U| * k) per application), vs
+//  (b) pairwise semijoin passes over the FK edges (classic full reducer,
+//      exact on acyclic FK graphs, O(sum |R_i|) hash passes per edge).
+// Both must produce identical fixpoints on the DBLP schema (a tree).
+
+#include "bench/bench_util.h"
+#include "core/intervention.h"
+#include "datagen/dblp.h"
+#include "relational/parser.h"
+#include "relational/universal.h"
+
+int main() {
+  using namespace xplain;         // NOLINT
+  using namespace xplain::bench;  // NOLINT
+
+  PrintHeader("Ablation: Rule (ii) support scan vs pairwise semijoins");
+  PrintRow({"scale", "|U|", "scan_ms", "pairwise_ms", "iters"});
+  for (double scale : {0.25, 0.5, 1.0, 2.0}) {
+    datagen::DblpOptions options;
+    options.scale = scale;
+    Database db = Unwrap(datagen::GenerateDblp(options));
+    UniversalRelation u = Unwrap(UniversalRelation::Build(db));
+    InterventionEngine engine(&u);
+    DnfPredicate phi = Unwrap(ParseDnfPredicate(
+        db, "Author.inst = 'ibm.com' OR Author.inst = 'bell-labs.com'"));
+
+    InterventionOptions scan;
+    Stopwatch scan_watch;
+    InterventionResult scan_result = Unwrap(engine.Compute(phi, scan));
+    double scan_ms = scan_watch.ElapsedMillis();
+
+    InterventionOptions pairwise;
+    pairwise.pairwise_reduction = true;
+    Stopwatch pair_watch;
+    InterventionResult pair_result = Unwrap(engine.Compute(phi, pairwise));
+    double pair_ms = pair_watch.ElapsedMillis();
+
+    // The fixpoints must agree (DBLP's FK graph is a tree).
+    for (size_t r = 0; r < scan_result.delta.size(); ++r) {
+      if (!(scan_result.delta[r] == pair_result.delta[r])) {
+        std::cerr << "FIXPOINT MISMATCH in relation " << r << "\n";
+        return 1;
+      }
+    }
+    PrintRow({Fmt(scale, 2), std::to_string(u.NumRows()), Fmt(scan_ms, 2),
+              Fmt(pair_ms, 2), std::to_string(scan_result.iterations)});
+  }
+  std::cout << "claim: the support scan amortizes better once U(D) is "
+               "materialized anyway (Rule (i) needs it); pairwise passes "
+               "rebuild hash tables per edge per iteration.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 7 (tables) and Figures 8/9 (plots): the contingency tables of
+// APGAR outcome vs race and vs marital status, plus the good/poor ratios
+// the user questions are built from. The shapes to reproduce: the
+// good-to-poor ratio is notably higher for Asian than for Black mothers
+// (Fig. 8) and higher for married than unmarried mothers (Fig. 9).
+
+#include "bench/bench_util.h"
+#include "datagen/natality.h"
+#include "relational/parser.h"
+#include "relational/universal.h"
+
+namespace xplain {
+namespace {
+
+using bench::Unwrap;
+
+double Count(const Database& db, const UniversalRelation& u,
+             const std::string& where) {
+  DnfPredicate phi = Unwrap(ParsePredicate(db, where));
+  return EvaluateAggregate(u, AggregateSpec::CountStar(), &phi).AsNumeric();
+}
+
+}  // namespace
+}  // namespace xplain
+
+int main() {
+  using namespace xplain;         // NOLINT
+  using namespace xplain::bench;  // NOLINT
+
+  datagen::NatalityOptions options;
+  options.num_rows = 400000;
+  Stopwatch watch;
+  Database db = Unwrap(datagen::GenerateNatality(options));
+  UniversalRelation u = Unwrap(UniversalRelation::Build(db));
+  std::cout << "synthetic natality: " << db.TotalRows() << " rows ("
+            << Fmt(watch.ElapsedSeconds()) << " s to generate)\n";
+
+  PrintHeader("Figure 7a: counts by APGAR group and race");
+  PrintRow({"AP", "White", "Black", "AmInd", "Asian"});
+  for (const char* ap : {"poor", "good"}) {
+    std::vector<std::string> row{ap};
+    for (const char* race : {"White", "Black", "AmInd", "Asian"}) {
+      row.push_back(Fmt(Count(db, u,
+                              std::string("Birth.ap = '") + ap +
+                                  "' AND Birth.race = '" + race + "'"),
+                        0));
+    }
+    PrintRow(row);
+  }
+
+  PrintHeader("Figure 8: good/poor ratio by race");
+  PrintRow({"race", "ratio"});
+  double asian_ratio = 0, black_ratio = 0;
+  for (const char* race : {"White", "Black", "AmInd", "Asian"}) {
+    double good = Count(db, u, std::string("Birth.ap = 'good' AND "
+                                           "Birth.race = '") + race + "'");
+    double poor = Count(db, u, std::string("Birth.ap = 'poor' AND "
+                                           "Birth.race = '") + race + "'");
+    double ratio = good / std::max(poor, 1.0);
+    if (std::string(race) == "Asian") asian_ratio = ratio;
+    if (std::string(race) == "Black") black_ratio = ratio;
+    PrintRow({race, Fmt(ratio, 1)});
+  }
+  std::cout << "shape check (paper Q_Race = 79.3, Q'_Race > 1): Asian/Black "
+            << "ratio-of-ratios = " << Fmt(asian_ratio / black_ratio, 2)
+            << "\n";
+
+  PrintHeader("Figure 7b: counts by APGAR group and marital status");
+  PrintRow({"AP", "married", "unmarried"});
+  for (const char* ap : {"poor", "good"}) {
+    std::vector<std::string> row{ap};
+    for (const char* m : {"married", "unmarried"}) {
+      row.push_back(Fmt(Count(db, u,
+                              std::string("Birth.ap = '") + ap +
+                                  "' AND Birth.marital = '" + m + "'"),
+                        0));
+    }
+    PrintRow(row);
+  }
+
+  PrintHeader("Figure 9: good/poor ratio by marital status");
+  double married =
+      Count(db, u, "Birth.ap = 'good' AND Birth.marital = 'married'") /
+      Count(db, u, "Birth.ap = 'poor' AND Birth.marital = 'married'");
+  double unmarried =
+      Count(db, u, "Birth.ap = 'good' AND Birth.marital = 'unmarried'") /
+      Count(db, u, "Birth.ap = 'poor' AND Birth.marital = 'unmarried'");
+  PrintRow({"married", Fmt(married, 1)});
+  PrintRow({"unmarried", Fmt(unmarried, 1)});
+  std::cout << "shape check (paper Q_Marital = 1.46): ratio-of-ratios = "
+            << Fmt(married / unmarried, 2) << "\n";
+  return 0;
+}

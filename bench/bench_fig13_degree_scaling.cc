@@ -1,0 +1,91 @@
+// Figure 13: time to compute the degrees of ALL candidate explanations
+// (table M) with the cube algorithm:
+//  (a) input size vs time for Q_Race (2 subqueries) and Q_Marital (4);
+//  (b) number of candidate attributes (4..8) vs time on the full dataset.
+// Shapes to reproduce: time grows linearly with data size, Q_Marital costs
+// about 2x Q_Race (4 cubes vs 2), and time grows sharply with the number
+// of attributes (the 2^d lattice).
+
+#include "bench/bench_util.h"
+#include "core/cube_algorithm.h"
+#include "datagen/natality.h"
+#include "relational/universal.h"
+
+namespace xplain {
+namespace {
+
+using bench::Fmt;
+using bench::PrintHeader;
+using bench::PrintRow;
+using bench::Unwrap;
+
+std::vector<ColumnRef> Attrs(const Database& db,
+                             const std::vector<std::string>& names) {
+  std::vector<ColumnRef> attrs;
+  for (const std::string& name : names) {
+    attrs.push_back(Unwrap(db.ResolveColumn(name)));
+  }
+  return attrs;
+}
+
+double TimeTableM(const UniversalRelation& u, const UserQuestion& question,
+                  const std::vector<ColumnRef>& attrs, size_t* cells_out) {
+  Stopwatch watch;
+  TableM table = Unwrap(ComputeTableM(u, question, attrs));
+  if (cells_out != nullptr) *cells_out = table.NumRows();
+  return watch.ElapsedSeconds();
+}
+
+}  // namespace
+}  // namespace xplain
+
+int main() {
+  using namespace xplain;         // NOLINT
+  using namespace xplain::bench;  // NOLINT
+
+  const std::vector<std::string> kFourAttrs = {
+      "Birth.age", "Birth.tobacco", "Birth.prenatal", "Birth.education"};
+  const std::vector<std::string> kEightAttrs = {
+      "Birth.age",       "Birth.tobacco",  "Birth.prenatal",
+      "Birth.education", "Birth.marital",  "Birth.sex",
+      "Birth.hypertension", "Birth.diabetes"};
+
+  PrintHeader("Figure 13a: data size vs time to compute all degrees");
+  // The paper sweeps 0.01%..100% of the 4M-row natality file; we sweep the
+  // same absolute sizes up to the full 4M.
+  PrintRow({"rows", "QRace_s", "QMarital_s"});
+  for (size_t rows : {4000, 40000, 400000, 2000000, 4000000}) {
+    datagen::NatalityOptions options;
+    options.num_rows = rows;
+    Database db = Unwrap(datagen::GenerateNatality(options));
+    UniversalRelation u = Unwrap(UniversalRelation::Build(db));
+    UserQuestion q_race = Unwrap(datagen::MakeNatalityQRace(db));
+    UserQuestion q_marital = Unwrap(datagen::MakeNatalityQMarital(db));
+    std::vector<ColumnRef> attrs = Attrs(db, kFourAttrs);
+    double race_s = TimeTableM(u, q_race, attrs, nullptr);
+    double marital_s = TimeTableM(u, q_marital, attrs, nullptr);
+    PrintRow({std::to_string(rows), Fmt(race_s), Fmt(marital_s)});
+  }
+
+  PrintHeader("Figure 13b: #attributes vs time (full dataset, log growth)");
+  PrintRow({"attrs", "QRace_s", "QMarital_s", "cells"});
+  datagen::NatalityOptions options;
+  options.num_rows = 400000;
+  Database db = Unwrap(datagen::GenerateNatality(options));
+  UniversalRelation u = Unwrap(UniversalRelation::Build(db));
+  UserQuestion q_race = Unwrap(datagen::MakeNatalityQRace(db));
+  UserQuestion q_marital = Unwrap(datagen::MakeNatalityQMarital(db));
+  for (size_t num_attrs = 4; num_attrs <= kEightAttrs.size(); ++num_attrs) {
+    std::vector<std::string> names(kEightAttrs.begin(),
+                                   kEightAttrs.begin() + num_attrs);
+    std::vector<ColumnRef> attrs = Attrs(db, names);
+    size_t cells = 0;
+    double race_s = TimeTableM(u, q_race, attrs, &cells);
+    double marital_s = TimeTableM(u, q_marital, attrs, nullptr);
+    PrintRow({std::to_string(num_attrs), Fmt(race_s), Fmt(marital_s),
+              std::to_string(cells)});
+  }
+  std::cout << "shape check: Q_Marital ~ 2x Q_Race (4 cubes vs 2); time "
+               "rises steeply with #attributes (paper Figure 13).\n";
+  return 0;
+}

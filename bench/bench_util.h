@@ -1,0 +1,48 @@
+#ifndef XPLAIN_BENCH_BENCH_UTIL_H_
+#define XPLAIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/stopwatch.h"
+
+namespace xplain {
+namespace bench {
+
+template <typename T>
+T Unwrap(Result<T> result, const char* what = "") {
+  if (!result.ok()) {
+    std::cerr << "bench error " << what << ": " << result.status().ToString()
+              << std::endl;
+    std::exit(1);
+  }
+  return std::move(result).ValueOrDie();
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Prints one row of a fixed-width table.
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& cell : cells) {
+    std::cout << std::left << std::setw(width) << cell;
+  }
+  std::cout << "\n";
+}
+
+inline std::string Fmt(double v, int precision = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace bench
+}  // namespace xplain
+
+#endif  // XPLAIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,112 @@
+// Demonstrates the paper's Section 6 extensions implemented in xplain:
+//  (ii)  explanations with inequalities (ranges) and disjunctions,
+//  (iii) the hybrid cube-evaluable degree,
+//  (iv)  trend questions ("why is this series decreasing?") via the
+//        regression-slope numerical query.
+// All on the synthetic DBLP workload.
+
+#include <iostream>
+
+#include "core/candidates.h"
+#include "core/engine.h"
+#include "core/trends.h"
+#include "datagen/dblp.h"
+#include "relational/parser.h"
+
+using namespace xplain;  // NOLINT: example brevity
+
+namespace {
+
+template <typename T>
+T Unwrap(Result<T> result) {
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace
+
+int main() {
+  datagen::DblpOptions gen;
+  gen.scale = 0.6;
+  Database db = Unwrap(datagen::GenerateDblp(gen));
+  ExplainEngine engine = Unwrap(ExplainEngine::Create(&db));
+  UserQuestion bump = Unwrap(datagen::MakeDblpBumpQuestion(db));
+
+  // --- (ii) range explanations over Publication.year. ---
+  std::cout << "== Range explanations (Section 6(ii)) ==\n";
+  ColumnRef year = Unwrap(db.ResolveColumn("Publication.year"));
+  RangeCandidateOptions range_options;
+  range_options.num_buckets = 5;
+  std::vector<ConjunctivePredicate> ranges =
+      Unwrap(GenerateRangeCandidates(engine.universal(), year,
+                                     range_options));
+  std::vector<DnfPredicate> range_candidates(ranges.begin(), ranges.end());
+  std::vector<ScoredCandidate> scored_ranges = Unwrap(
+      ScoreCandidatesExact(engine.intervention(), bump, range_candidates));
+  for (size_t i = 0; i < scored_ranges.size() && i < 4; ++i) {
+    std::cout << "  " << (i + 1) << ". "
+              << scored_ranges[i].predicate.ToString(db)
+              << "  mu_interv=" << scored_ranges[i].degree << "\n";
+  }
+
+  // --- (ii) disjunction explanations from the top equality cells. ---
+  std::cout << "\n== Disjunction explanations (Section 6(ii)) ==\n";
+  ExplainOptions explain;
+  explain.top_k = 4;
+  ExplainReport report = Unwrap(
+      engine.Explain(bump, {"Author.name", "Author.inst"}, explain));
+  std::vector<DnfPredicate> pairs = GenerateDisjunctionCandidates(
+      report.table, DegreeKind::kIntervention, 4);
+  std::vector<ScoredCandidate> scored_pairs =
+      Unwrap(ScoreCandidatesExact(engine.intervention(), bump, pairs));
+  for (size_t i = 0; i < scored_pairs.size() && i < 3; ++i) {
+    std::cout << "  " << (i + 1) << ". "
+              << scored_pairs[i].predicate.ToString(db)
+              << "  mu_interv=" << scored_pairs[i].degree << "\n";
+  }
+
+  // --- (iii) the hybrid degree: cube-evaluable even when not additive. ---
+  std::cout << "\n== Hybrid degree (Section 6(iii)) ==\n";
+  ExplainOptions hybrid;
+  hybrid.top_k = 4;
+  hybrid.degree = DegreeKind::kHybrid;
+  ExplainReport hybrid_report = Unwrap(
+      engine.Explain(bump, {"Author.name", "Author.inst"}, hybrid));
+  int rank = 1;
+  for (const RankedExplanation& e : hybrid_report.explanations) {
+    std::cout << "  " << rank++ << ". " << e.explanation.ToString(db)
+              << "  mu_hybrid=" << e.degree << "\n";
+  }
+
+  // --- (iv) a trend question: why does the industrial series decline? ---
+  std::cout << "\n== Trend question (Section 6(iv)) ==\n";
+  SlopeQuestionSpec spec;
+  spec.agg =
+      AggregateSpec::CountDistinct(Unwrap(db.ResolveColumn(
+          "Publication.pubid")));
+  spec.time_column = year;
+  spec.time_begin = 2004;
+  spec.time_end = 2011;
+  spec.window = 2;
+  spec.base_where = Unwrap(ParseDnfPredicate(
+      db, "Publication.venue = 'SIGMOD' AND Author.dom = 'com'"));
+  spec.direction = Direction::kLow;
+  UserQuestion slope_question = Unwrap(MakeSlopeQuestion(db, spec));
+  double slope = Unwrap(slope_question.query.Evaluate(db));
+  std::cout << "  slope of industrial SIGMOD counts 2004-2011: " << slope
+            << " papers/year (declining)\n";
+  ExplainOptions slope_explain;
+  slope_explain.top_k = 3;
+  ExplainReport slope_report = Unwrap(
+      engine.Explain(slope_question, {"Author.inst"}, slope_explain));
+  rank = 1;
+  for (const RankedExplanation& e : slope_report.explanations) {
+    std::cout << "  " << rank++ << ". " << e.explanation.ToString(db)
+              << "  degree=" << e.degree << "\n";
+  }
+  std::cout << "  (removing the classic labs flattens the decline)\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+#ifndef XPLAIN_CLI_CLI_H_
+#define XPLAIN_CLI_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xplain {
+namespace cli {
+
+/// Entry point of the xplain command-line tool, factored out of main() so
+/// tests can drive it. `args` excludes the program name. Returns the
+/// process exit code (0 on success).
+///
+/// Commands:
+///   gen <natality|dblp|running-example> <dir> [--rows N] [--scale S]
+///       [--seed S]                      generate a synthetic dataset
+///   schema <dir>                        print schema + causal-graph facts
+///   query <dir> --agg A [--where W]     evaluate one aggregate over U(D)
+///   intervene <dir> --phi P [--repair]  run program P for an explanation
+///   ask <dir> --subquery "name|agg|where" ... --expr E
+///       [--direction high|low] --attrs a,b,c [--topk K]
+///       [--degree interv|aggr] [--minimality none|selfjoin|append]
+///       [--min-support X] [--naive]     rank candidate explanations
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace cli
+}  // namespace xplain
+
+#endif  // XPLAIN_CLI_CLI_H_

@@ -1,0 +1,125 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+
+namespace xplain {
+
+Result<std::vector<ConjunctivePredicate>> GenerateRangeCandidates(
+    const UniversalRelation& universal, ColumnRef column,
+    const RangeCandidateOptions& options) {
+  const Database& db = universal.db();
+  if (!IsNumeric(db.ColumnType(column))) {
+    return Status::InvalidArgument("range candidates need a numeric column; " +
+                                   db.ColumnName(column) + " is " +
+                                   DataTypeToString(db.ColumnType(column)));
+  }
+  if (options.num_buckets < 1) {
+    return Status::InvalidArgument("num_buckets must be >= 1");
+  }
+
+  // Collect and sort the column over U (weighting by row multiplicity, so
+  // buckets are equi-depth in universal rows).
+  std::vector<Value> values;
+  values.reserve(universal.NumRows());
+  for (size_t u = 0; u < universal.NumRows(); ++u) {
+    const Value& v = universal.ValueAt(u, column);
+    if (!v.is_null()) values.push_back(v);
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("column " + db.ColumnName(column) +
+                                   " has no non-NULL values");
+  }
+  std::sort(values.begin(), values.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+
+  // Equi-depth bucket boundaries: buckets[i] = [lo_i, hi_i] inclusive.
+  const int buckets = options.num_buckets;
+  std::vector<std::pair<Value, Value>> bucket_bounds;
+  for (int b = 0; b < buckets; ++b) {
+    size_t lo_idx = values.size() * b / buckets;
+    size_t hi_idx = values.size() * (b + 1) / buckets;
+    if (hi_idx == lo_idx) continue;  // empty bucket (tiny inputs)
+    const Value& lo = values[lo_idx];
+    const Value& hi = values[hi_idx - 1];
+    if (!bucket_bounds.empty() &&
+        bucket_bounds.back().second.Compare(lo) >= 0 &&
+        bucket_bounds.back().second.Compare(hi) >= 0) {
+      continue;  // fully covered by the previous bucket (heavy duplicates)
+    }
+    bucket_bounds.emplace_back(lo, hi);
+  }
+
+  std::vector<ConjunctivePredicate> out;
+  auto emit = [&](const Value& lo, const Value& hi) {
+    std::vector<AtomicPredicate> atoms;
+    atoms.push_back(AtomicPredicate{column, CompareOp::kGe, lo});
+    atoms.push_back(AtomicPredicate{column, CompareOp::kLe, hi});
+    out.push_back(ConjunctivePredicate(std::move(atoms)));
+  };
+  for (const auto& [lo, hi] : bucket_bounds) emit(lo, hi);
+  if (options.multiscale) {
+    for (size_t i = 0; i < bucket_bounds.size(); ++i) {
+      for (size_t j = i + 1; j < bucket_bounds.size(); ++j) {
+        // Merged run i..j; skip the full-domain run (trivial explanation).
+        if (i == 0 && j + 1 == bucket_bounds.size()) continue;
+        emit(bucket_bounds[i].first, bucket_bounds[j].second);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<DnfPredicate> GenerateDisjunctionCandidates(const TableM& table,
+                                                        DegreeKind kind,
+                                                        size_t top_n) {
+  std::vector<RankedExplanation> top =
+      TopKExplanations(table, kind, top_n, MinimalityStrategy::kNone);
+  std::vector<DnfPredicate> out;
+  for (size_t i = 0; i < top.size(); ++i) {
+    for (size_t j = i + 1; j < top.size(); ++j) {
+      const Explanation& a = top[i].explanation;
+      const Explanation& b = top[j].explanation;
+      // Only disjoin cells binding the same attributes (e.g. two author
+      // names), mirroring the paper's [Levy OR Halevy] example.
+      bool same_shape = a.coords().size() == b.coords().size();
+      if (same_shape) {
+        for (size_t c = 0; c < a.coords().size(); ++c) {
+          if (a.coords()[c].is_null() != b.coords()[c].is_null()) {
+            same_shape = false;
+            break;
+          }
+        }
+      }
+      if (!same_shape) continue;
+      // Identical cells never pair (they differ somewhere by TopK
+      // construction).
+      out.push_back(
+          DnfPredicate({a.predicate(), b.predicate()}));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<ScoredCandidate>> ScoreCandidatesExact(
+    const InterventionEngine& engine, const UserQuestion& question,
+    const std::vector<DnfPredicate>& candidates, DegreeKind kind) {
+  std::vector<ScoredCandidate> out;
+  out.reserve(candidates.size());
+  for (const DnfPredicate& phi : candidates) {
+    double degree = 0.0;
+    if (kind == DegreeKind::kIntervention) {
+      XPLAIN_ASSIGN_OR_RETURN(degree,
+                              InterventionDegreeExact(engine, question, phi));
+    } else {
+      degree = AggravationDegree(engine.universal(), question, phi);
+    }
+    out.push_back(ScoredCandidate{phi, degree});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ScoredCandidate& a, const ScoredCandidate& b) {
+                     return a.degree > b.degree;
+                   });
+  return out;
+}
+
+}  // namespace xplain

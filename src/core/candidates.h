@@ -1,0 +1,61 @@
+#ifndef XPLAIN_CORE_CANDIDATES_H_
+#define XPLAIN_CORE_CANDIDATES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cube_algorithm.h"
+#include "core/degree.h"
+#include "core/intervention.h"
+#include "core/topk.h"
+#include "relational/predicate.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// Extensions of the candidate-explanation space beyond equality cube
+/// cells (paper Section 6(ii): "Explanations with inequalities, and
+/// disjunctions"). The paper notes its framework conceptually supports
+/// both but that they enlarge the search space; here ranges come from
+/// equi-depth histograms and disjunctions from pairing the strongest
+/// equality cells, and both are scored exactly with program P.
+
+struct RangeCandidateOptions {
+  /// Number of base (equi-depth) buckets per attribute.
+  int num_buckets = 4;
+  /// Also emit merged runs of adjacent buckets (multi-scale ranges like the
+  /// paper's [year > 1977 AND year < 1982]).
+  bool multiscale = true;
+};
+
+/// Candidate range explanations [A >= lo AND A <= hi] over a numeric
+/// column, with boundaries at equi-depth quantiles of the values observed
+/// in the universal relation. Fails on non-numeric columns.
+Result<std::vector<ConjunctivePredicate>> GenerateRangeCandidates(
+    const UniversalRelation& universal, ColumnRef column,
+    const RangeCandidateOptions& options = RangeCandidateOptions());
+
+/// Candidate pairwise disjunctions of the `top_n` strongest equality cells
+/// of table M under `kind` (e.g. [author = 'Levy' OR author = 'Halevy']).
+/// Only same-attribute-set pairs are combined.
+std::vector<DnfPredicate> GenerateDisjunctionCandidates(const TableM& table,
+                                                        DegreeKind kind,
+                                                        size_t top_n);
+
+/// One scored extended candidate.
+struct ScoredCandidate {
+  DnfPredicate predicate;
+  double degree = 0.0;
+};
+
+/// Scores every candidate exactly (program P fixpoint + Q on the residual
+/// for intervention; sigma_phi restriction for aggravation) and returns
+/// them ranked by decreasing degree.
+Result<std::vector<ScoredCandidate>> ScoreCandidatesExact(
+    const InterventionEngine& engine, const UserQuestion& question,
+    const std::vector<DnfPredicate>& candidates,
+    DegreeKind kind = DegreeKind::kIntervention);
+
+}  // namespace xplain
+
+#endif  // XPLAIN_CORE_CANDIDATES_H_

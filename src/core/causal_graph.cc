@@ -1,0 +1,260 @@
+#include "core/causal_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace xplain {
+
+SchemaCausalGraph::SchemaCausalGraph(const Database* db) : db_(db) {
+  for (const ResolvedForeignKey& fk : db->resolved_foreign_keys()) {
+    edges_.push_back(Edge{fk.parent_relation, fk.child_relation, false});
+    if (fk.kind == ForeignKeyKind::kBackAndForth) {
+      edges_.push_back(Edge{fk.child_relation, fk.parent_relation, true});
+    }
+  }
+}
+
+bool SchemaCausalGraph::IsSimple() const {
+  std::set<std::pair<int, int>> seen;
+  for (const ResolvedForeignKey& fk : db_->resolved_foreign_keys()) {
+    std::pair<int, int> key{std::min(fk.child_relation, fk.parent_relation),
+                            std::max(fk.child_relation, fk.parent_relation)};
+    if (!seen.insert(key).second) return false;
+  }
+  return true;
+}
+
+bool SchemaCausalGraph::IsAcyclicSchema() const {
+  // Union-find over the undirected FK graph.
+  std::vector<int> parent(db_->num_relations());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+  auto find = [&parent](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const ResolvedForeignKey& fk : db_->resolved_foreign_keys()) {
+    int a = find(fk.child_relation);
+    int b = find(fk.parent_relation);
+    if (a == b) return false;  // edge closes a cycle (or parallel edge)
+    parent[a] = b;
+  }
+  return true;
+}
+
+int SchemaCausalGraph::NumBackAndForth() const {
+  int count = 0;
+  for (const ResolvedForeignKey& fk : db_->resolved_foreign_keys()) {
+    if (fk.kind == ForeignKeyKind::kBackAndForth) ++count;
+  }
+  return count;
+}
+
+bool SchemaCausalGraph::AtMostOneBackAndForthPerChild() const {
+  std::vector<int> count(db_->num_relations(), 0);
+  for (const ResolvedForeignKey& fk : db_->resolved_foreign_keys()) {
+    if (fk.kind == ForeignKeyKind::kBackAndForth) {
+      if (++count[fk.child_relation] > 1) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<size_t> SchemaCausalGraph::StaticConvergenceBound() const {
+  int s = NumBackAndForth();
+  if (s == 0) return 2;  // Prop. 3.5
+  if (IsSimple() && IsAcyclicSchema() && AtMostOneBackAndForthPerChild()) {
+    return 2 * static_cast<size_t>(s) + 2;  // Prop. 3.11
+  }
+  return std::nullopt;  // recursion required in general (Example 3.7)
+}
+
+std::string SchemaCausalGraph::ToDot() const {
+  std::string out = "digraph schema_causal {\n";
+  for (int r = 0; r < db_->num_relations(); ++r) {
+    out += "  n" + std::to_string(r) + " [label=\"" +
+           db_->relation(r).name() + "\"];\n";
+  }
+  for (const Edge& e : edges_) {
+    out += "  n" + std::to_string(e.from) + " -> n" + std::to_string(e.to);
+    if (e.dotted) out += " [style=dashed]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+Result<DataCausalGraph> DataCausalGraph::Build(
+    const UniversalRelation& universal) {
+  const Database& db = universal.db();
+  const int k = db.num_relations();
+
+  DataCausalGraph graph;
+  graph.db_ = &db;
+  graph.offsets_.assign(k + 1, 0);
+  for (int r = 0; r < k; ++r) {
+    graph.offsets_[r + 1] = graph.offsets_[r] + db.relation(r).NumRows();
+  }
+  graph.adjacency_.assign(graph.offsets_[k], {});
+
+  // Solid edges, Def. 3.8 item 1: for each ordered pair (i, j), t_i -> t_j
+  // iff every universal row containing t_j projects to t_i on relation i.
+  // Track, per t_j, the unique i-partner seen so far (kConflict once two
+  // differ, kUnseen before any row).
+  constexpr uint32_t kUnseen = 0xffffffffu;
+  constexpr uint32_t kConflict = 0xfffffffeu;
+  const size_t n = universal.NumRows();
+  for (int j = 0; j < k; ++j) {
+    const size_t rows_j = db.relation(j).NumRows();
+    for (int i = 0; i < k; ++i) {
+      if (i == j) continue;
+      std::vector<uint32_t> partner(rows_j, kUnseen);
+      for (size_t u = 0; u < n; ++u) {
+        size_t tj = universal.BaseRow(u, j);
+        uint32_t ti = static_cast<uint32_t>(universal.BaseRow(u, i));
+        if (partner[tj] == kUnseen) {
+          partner[tj] = ti;
+        } else if (partner[tj] != ti) {
+          partner[tj] = kConflict;
+        }
+      }
+      for (size_t tj = 0; tj < rows_j; ++tj) {
+        if (partner[tj] != kUnseen && partner[tj] != kConflict) {
+          size_t from = graph.offsets_[i] + partner[tj];
+          size_t to = graph.offsets_[j] + tj;
+          graph.adjacency_[from].push_back(
+              AdjEdge{static_cast<uint32_t>(to), false});
+        }
+      }
+    }
+  }
+
+  // Dotted edges, Def. 3.8 item 2: child row -> referenced parent row for
+  // every back-and-forth FK.
+  for (const ResolvedForeignKey& fk : db.resolved_foreign_keys()) {
+    if (fk.kind != ForeignKeyKind::kBackAndForth) continue;
+    const Relation& child = db.relation(fk.child_relation);
+    const Relation& parent = db.relation(fk.parent_relation);
+    HashIndex parent_index = HashIndex::Build(parent, fk.parent_attrs);
+    for (size_t i = 0; i < child.NumRows(); ++i) {
+      const std::vector<size_t>& matches =
+          parent_index.Lookup(ProjectTuple(child.row(i), fk.child_attrs));
+      if (matches.empty()) continue;
+      size_t from = graph.offsets_[fk.child_relation] + i;
+      size_t to = graph.offsets_[fk.parent_relation] + matches.front();
+      graph.adjacency_[from].push_back(
+          AdjEdge{static_cast<uint32_t>(to), true});
+    }
+  }
+  return graph;
+}
+
+DataCausalGraph::Node DataCausalGraph::NodeOf(size_t id) const {
+  int rel = 0;
+  while (offsets_[rel + 1] <= id) ++rel;
+  return Node{rel, id - offsets_[rel]};
+}
+
+bool DataCausalGraph::HasSolidEdge(Node from, Node to) const {
+  for (const AdjEdge& e : adjacency_[NodeId(from)]) {
+    if (e.target == NodeId(to) && !e.dotted) return true;
+  }
+  return false;
+}
+
+bool DataCausalGraph::HasDottedEdge(Node from, Node to) const {
+  for (const AdjEdge& e : adjacency_[NodeId(from)]) {
+    if (e.target == NodeId(to) && e.dotted) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<DataCausalGraph::Node, bool>>
+DataCausalGraph::Successors(Node from) const {
+  std::vector<std::pair<Node, bool>> out;
+  for (const AdjEdge& e : adjacency_[NodeId(from)]) {
+    out.emplace_back(NodeOf(e.target), e.dotted);
+  }
+  return out;
+}
+
+Result<size_t> DataCausalGraph::MaxCausalLengthFromSeeds(
+    const DeltaSet& seeds, size_t work_budget) const {
+  size_t best = 0;
+  size_t work = 0;
+  std::vector<uint8_t> on_path(num_nodes(), 0);
+
+  // Iterative DFS over simple paths, maximizing dotted-edge count.
+  struct Frame {
+    size_t node;
+    size_t edge_pos;
+    size_t dotted_count;
+  };
+  std::vector<Frame> stack;
+
+  for (int r = 0; r < static_cast<int>(seeds.size()); ++r) {
+    for (size_t row : seeds[r].ToRows()) {
+      size_t start = offsets_[r] + row;
+      stack.clear();
+      std::fill(on_path.begin(), on_path.end(), 0);
+      stack.push_back(Frame{start, 0, 0});
+      on_path[start] = 1;
+      while (!stack.empty()) {
+        Frame& frame = stack.back();
+        const std::vector<AdjEdge>& edges = adjacency_[frame.node];
+        if (frame.edge_pos >= edges.size()) {
+          on_path[frame.node] = 0;
+          stack.pop_back();
+          continue;
+        }
+        const AdjEdge& edge = edges[frame.edge_pos++];
+        if (++work > work_budget) {
+          return Status::OutOfRange(
+              "causal-path enumeration exceeded the work budget");
+        }
+        if (on_path[edge.target]) continue;
+        size_t dotted = frame.dotted_count + (edge.dotted ? 1 : 0);
+        best = std::max(best, dotted);
+        on_path[edge.target] = 1;
+        stack.push_back(Frame{edge.target, 0, dotted});
+      }
+    }
+  }
+  return best;
+}
+
+std::string DataCausalGraph::ToDot(const Database& db) const {
+  std::string out = "digraph data_causal {\n";
+  for (size_t id = 0; id < num_nodes(); ++id) {
+    Node n = NodeOf(id);
+    out += "  n" + std::to_string(id) + " [label=\"" +
+           db.relation(n.relation).name() + "#" + std::to_string(n.row) +
+           "\"];\n";
+  }
+  for (size_t id = 0; id < num_nodes(); ++id) {
+    for (const AdjEdge& e : adjacency_[id]) {
+      // Figure-6 convention: when both a solid and a dotted edge exist
+      // between two nodes we only draw the dotted one.
+      if (!e.dotted) {
+        bool shadowed = false;
+        for (const AdjEdge& e2 : adjacency_[id]) {
+          if (e2.target == e.target && e2.dotted) {
+            shadowed = true;
+            break;
+          }
+        }
+        if (shadowed) continue;
+      }
+      out += "  n" + std::to_string(id) + " -> n" + std::to_string(e.target);
+      if (e.dotted) out += " [style=dashed]";
+      out += ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace xplain

@@ -1,0 +1,107 @@
+#ifndef XPLAIN_CORE_CAUSAL_GRAPH_H_
+#define XPLAIN_CORE_CAUSAL_GRAPH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/rowset.h"
+#include "relational/universal.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// The schema causal graph G (paper Def. 3.8): one node per relation, a
+/// solid edge parent -> child for every foreign key, and a dotted edge
+/// child -> parent for every back-and-forth foreign key.
+class SchemaCausalGraph {
+ public:
+  struct Edge {
+    int from = -1;
+    int to = -1;
+    bool dotted = false;
+  };
+
+  explicit SchemaCausalGraph(const Database* db);
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  int num_nodes() const { return db_->num_relations(); }
+
+  /// At most one foreign key between any pair of relations (the paper's
+  /// "simple" condition in Prop. 3.11).
+  bool IsSimple() const;
+
+  /// The undirected FK graph is a forest (acyclic schema).
+  bool IsAcyclicSchema() const;
+
+  int NumBackAndForth() const;
+
+  /// Every relation is the child of at most one back-and-forth FK.
+  bool AtMostOneBackAndForthPerChild() const;
+
+  /// Static bound on program P's iterations:
+  ///  - no back-and-forth FKs: 2 (Prop. 3.5);
+  ///  - simple + acyclic + <=1 back-and-forth per child: 2s+2 (Prop. 3.11);
+  ///  - otherwise: nullopt (only the data-dependent bounds of Props. 3.4 /
+  ///    3.10 apply, i.e. recursion is required in general).
+  std::optional<size_t> StaticConvergenceBound() const;
+
+  /// Graphviz rendering (dotted edges use style=dashed).
+  std::string ToDot() const;
+
+ private:
+  const Database* db_;
+  std::vector<Edge> edges_;
+};
+
+/// The data causal graph G_D (paper Def. 3.8): one node per base tuple.
+/// There is a solid edge t_i -> t_j iff every universal row containing t_j
+/// also contains t_i; a dotted edge t_j -> t_i for every back-and-forth FK
+/// edge with t_j.fk = t_i.pk. Intended as an analysis tool on small-to-
+/// medium instances (O(|U| * k^2) construction).
+class DataCausalGraph {
+ public:
+  struct Node {
+    int relation = -1;
+    size_t row = 0;
+    bool operator==(const Node& other) const {
+      return relation == other.relation && row == other.row;
+    }
+  };
+
+  static Result<DataCausalGraph> Build(const UniversalRelation& universal);
+
+  size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.back(); }
+
+  bool HasSolidEdge(Node from, Node to) const;
+  bool HasDottedEdge(Node from, Node to) const;
+
+  /// All (target, dotted) successors of `from`.
+  std::vector<std::pair<Node, bool>> Successors(Node from) const;
+
+  /// The maximum causal length (number of dotted edges; paper Def. 3.9)
+  /// over all simple directed paths starting at any seed tuple. Exhaustive
+  /// DFS; returns OutOfRange once `work_budget` edge expansions are
+  /// exceeded.
+  Result<size_t> MaxCausalLengthFromSeeds(const DeltaSet& seeds,
+                                          size_t work_budget = 1000000) const;
+
+  std::string ToDot(const Database& db) const;
+
+ private:
+  size_t NodeId(Node n) const { return offsets_[n.relation] + n.row; }
+  Node NodeOf(size_t id) const;
+
+  const Database* db_ = nullptr;
+  std::vector<size_t> offsets_;  // prefix sums of relation sizes; size k+1
+  struct AdjEdge {
+    uint32_t target;
+    bool dotted;
+  };
+  std::vector<std::vector<AdjEdge>> adjacency_;
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_CORE_CAUSAL_GRAPH_H_

@@ -1,0 +1,148 @@
+#include "core/cube_algorithm.h"
+
+#include "core/degree.h"
+
+namespace xplain {
+
+int64_t TableM::FindRow(const Tuple& cell) const {
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (TupleEq{}(coords[i], cell)) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+Result<TableM> ComputeTableM(const UniversalRelation& universal,
+                             const UserQuestion& question,
+                             const std::vector<ColumnRef>& attributes,
+                             const TableMOptions& options) {
+  const NumericalQuery& query = question.query;
+  const int m = query.num_subqueries();
+  if (m == 0) {
+    return Status::InvalidArgument("question has no subqueries");
+  }
+
+  TableM table;
+  table.attributes = attributes;
+
+  // Step 1: u_j = q_j(D).
+  table.original_values.reserve(m);
+  for (const AggregateQuery& q : query.subqueries()) {
+    Value v = EvaluateAggregate(universal, q.agg, &q.where);
+    table.original_values.push_back(v.is_null() ? 0.0 : v.AsNumeric());
+  }
+
+  // Step 2: the m cubes. Counting subqueries take the columnar fast path:
+  // one dictionary-encoding pass shared by all m cubes, then code-vector
+  // group-bys.
+  bool all_counting = options.use_column_cache;
+  for (const AggregateQuery& q : query.subqueries()) {
+    if (q.agg.kind != AggregateKind::kCountStar &&
+        q.agg.kind != AggregateKind::kCountDistinct) {
+      all_counting = false;
+    }
+  }
+  std::vector<DataCube> cubes;
+  cubes.reserve(m);
+  if (all_counting) {
+    // Cache the grouping attributes, every distinct-counted column, and
+    // every filter column, so both the group-by and the WHERE clauses run
+    // on dictionary codes.
+    std::vector<ColumnRef> cached_columns = attributes;
+    auto add_column = [&cached_columns](const ColumnRef& column) {
+      for (const ColumnRef& col : cached_columns) {
+        if (col == column) return;
+      }
+      cached_columns.push_back(column);
+    };
+    for (const AggregateQuery& q : query.subqueries()) {
+      if (q.agg.kind == AggregateKind::kCountDistinct) {
+        add_column(q.agg.column);
+      }
+      for (const ConjunctivePredicate& disjunct : q.where.disjuncts()) {
+        for (const AtomicPredicate& atom : disjunct.atoms()) {
+          add_column(atom.column);
+        }
+      }
+    }
+    ColumnCache cache = ColumnCache::Build(universal, cached_columns);
+    std::vector<int> attr_indices;
+    for (size_t i = 0; i < attributes.size(); ++i) {
+      attr_indices.push_back(static_cast<int>(i));
+    }
+    for (const AggregateQuery& q : query.subqueries()) {
+      XPLAIN_ASSIGN_OR_RETURN(CodedFilter filter,
+                              CodedFilter::Compile(cache, q.where));
+      RowSet filter_rows = filter.EvalAllRows(cache);
+      int distinct_index = q.agg.kind == AggregateKind::kCountDistinct
+                               ? cache.FindColumn(q.agg.column)
+                               : -1;
+      XPLAIN_ASSIGN_OR_RETURN(
+          DataCube cube,
+          DataCube::ComputeCached(cache, attr_indices, q.agg.kind,
+                                  distinct_index, &filter_rows,
+                                  options.cube));
+      cubes.push_back(std::move(cube));
+    }
+  } else {
+    for (const AggregateQuery& q : query.subqueries()) {
+      XPLAIN_ASSIGN_OR_RETURN(
+          DataCube cube, DataCube::Compute(universal, attributes, q.agg,
+                                           &q.where, options.cube));
+      cubes.push_back(std::move(cube));
+    }
+  }
+
+  // Step 3: full outer join.
+  std::vector<const DataCube*> cube_ptrs;
+  for (const DataCube& c : cubes) cube_ptrs.push_back(&c);
+  XPLAIN_ASSIGN_OR_RETURN(CubeJoinResult joined,
+                          FullOuterJoinCubes(cube_ptrs));
+
+  // Optional support pruning.
+  std::vector<size_t> kept;
+  kept.reserve(joined.NumRows());
+  for (size_t row = 0; row < joined.NumRows(); ++row) {
+    if (options.min_support > 0.0) {
+      bool supported = false;
+      for (int j = 0; j < m; ++j) {
+        if (joined.values[j][row] >= options.min_support) {
+          supported = true;
+          break;
+        }
+      }
+      if (!supported) continue;
+    }
+    kept.push_back(row);
+  }
+
+  table.coords.reserve(kept.size());
+  table.subquery_values.assign(m, {});
+  for (int j = 0; j < m; ++j) table.subquery_values[j].reserve(kept.size());
+  for (size_t row : kept) {
+    table.coords.push_back(std::move(joined.coords[row]));
+    for (int j = 0; j < m; ++j) {
+      table.subquery_values[j].push_back(joined.values[j][row]);
+    }
+  }
+
+  // Steps 4-5: degree columns.
+  const double interv_sign = InterventionSign(question.direction);
+  const double aggr_sign = AggravationSign(question.direction);
+  const size_t rows = table.coords.size();
+  table.mu_interv.reserve(rows);
+  table.mu_aggr.reserve(rows);
+  std::vector<double> vars(m);
+  for (size_t row = 0; row < rows; ++row) {
+    for (int j = 0; j < m; ++j) {
+      vars[j] = table.original_values[j] - table.subquery_values[j][row];
+    }
+    table.mu_interv.push_back(interv_sign * query.Combine(vars));
+    for (int j = 0; j < m; ++j) {
+      vars[j] = table.subquery_values[j][row];
+    }
+    table.mu_aggr.push_back(aggr_sign * query.Combine(vars));
+  }
+  return table;
+}
+
+}  // namespace xplain

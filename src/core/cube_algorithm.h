@@ -1,0 +1,63 @@
+#ifndef XPLAIN_CORE_CUBE_ALGORITHM_H_
+#define XPLAIN_CORE_CUBE_ALGORITHM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/explanation.h"
+#include "relational/cube.h"
+#include "relational/query.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// The materialized table M of Algorithm 1: one row per candidate
+/// explanation (cube cell over the candidate attributes A'), carrying the
+/// per-subquery cube values v_j(phi) = q_j(D_phi) and the two degree
+/// columns.
+struct TableM {
+  std::vector<ColumnRef> attributes;
+  /// Cell coordinates; NULL = don't care. Includes the trivial all-NULL row.
+  std::vector<Tuple> coords;
+  /// subquery_values[j][row] = v_j = q_j(D_phi).
+  std::vector<std::vector<double>> subquery_values;
+  /// u_j = q_j(D) on the full database.
+  std::vector<double> original_values;
+  /// mu_interv(phi) = interv_sign * E(u_1 - v_1, ..., u_m - v_m)
+  /// (valid when Q is intervention-additive).
+  std::vector<double> mu_interv;
+  /// mu_aggr(phi) = aggr_sign * E(v_1, ..., v_m).
+  std::vector<double> mu_aggr;
+
+  size_t NumRows() const { return coords.size(); }
+  Explanation ExplanationAt(size_t row) const {
+    return Explanation::FromCell(attributes, coords[row]);
+  }
+  /// Index of the cell with coordinates `cell`, or -1.
+  int64_t FindRow(const Tuple& cell) const;
+};
+
+struct TableMOptions {
+  CubeOptions cube;
+  /// Keep only rows where at least one v_j reaches this support (the paper
+  /// used 1000 on natality). 0 keeps everything.
+  double min_support = 0.0;
+  /// Use the dictionary-encoded columnar fast path when every subquery is
+  /// COUNT(*) or COUNT(DISTINCT) (bit-identical results; see
+  /// bench_ablation_cube for the speedup).
+  bool use_column_cache = true;
+};
+
+/// Algorithm 1 (paper Section 4.2): computes the cubes C_1..C_m for the
+/// question's subqueries, full-outer-joins them, and adds the mu_interv and
+/// mu_aggr columns. The mu_interv column is the *cube-based* degree, which
+/// equals the exact degree exactly when Q is intervention-additive
+/// (Definition 4.2) -- callers should gate on CheckQueryAdditivity.
+Result<TableM> ComputeTableM(const UniversalRelation& universal,
+                             const UserQuestion& question,
+                             const std::vector<ColumnRef>& attributes,
+                             const TableMOptions& options = TableMOptions());
+
+}  // namespace xplain
+
+#endif  // XPLAIN_CORE_CUBE_ALGORITHM_H_

@@ -1,0 +1,124 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace xplain {
+
+std::string ExplainReport::ToString(const Database& db) const {
+  std::ostringstream os;
+  os << "Q(D) = " << original_value << "  [" << (used_cube ? "cube" : "naive")
+     << (exact_rescored ? ", exact-rescored" : "") << "; "
+     << (cell_additivity.additive ? "cell-additive" : "not cell-additive")
+     << ": " << cell_additivity.reason << "]\n";
+  int rank = 1;
+  for (const RankedExplanation& e : explanations) {
+    os << "  " << rank++ << ". " << e.explanation.ToString(db)
+       << "  degree=" << e.degree << "\n";
+  }
+  return os.str();
+}
+
+Result<ExplainEngine> ExplainEngine::Create(const Database* db) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("null database");
+  }
+  XPLAIN_RETURN_NOT_OK(db->CheckReferentialIntegrity());
+  ExplainEngine engine;
+  engine.db_ = db;
+  XPLAIN_ASSIGN_OR_RETURN(UniversalRelation universal,
+                          UniversalRelation::Build(*db));
+  engine.universal_ =
+      std::make_unique<UniversalRelation>(std::move(universal));
+  engine.intervention_ =
+      std::make_unique<InterventionEngine>(engine.universal_.get());
+  return engine;
+}
+
+Result<std::vector<ColumnRef>> ExplainEngine::ResolveAttributes(
+    const std::vector<std::string>& names) const {
+  std::vector<ColumnRef> attrs;
+  attrs.reserve(names.size());
+  for (const std::string& name : names) {
+    XPLAIN_ASSIGN_OR_RETURN(ColumnRef ref, db_->ResolveColumn(name));
+    attrs.push_back(ref);
+  }
+  return attrs;
+}
+
+Result<ExplainReport> ExplainEngine::Explain(
+    const UserQuestion& question, const std::vector<std::string>& attributes,
+    const ExplainOptions& options) const {
+  XPLAIN_ASSIGN_OR_RETURN(std::vector<ColumnRef> attrs,
+                          ResolveAttributes(attributes));
+  return ExplainResolved(question, attrs, options);
+}
+
+Result<ExplainReport> ExplainEngine::ExplainResolved(
+    const UserQuestion& question, const std::vector<ColumnRef>& attributes,
+    const ExplainOptions& options) const {
+  ExplainReport report;
+  report.original_value = question.query.EvaluateOnUniversal(*universal_);
+  report.additivity = CheckQueryAdditivity(*universal_, question.query);
+  report.cell_additivity = CheckCellAdditivity(*universal_, question.query);
+  report.used_cube = options.use_cube;
+
+  if (options.use_cube) {
+    TableMOptions table_options;
+    table_options.cube = options.cube;
+    table_options.min_support = options.min_support;
+    XPLAIN_ASSIGN_OR_RETURN(
+        report.table,
+        ComputeTableM(*universal_, question, attributes, table_options));
+  } else {
+    NaiveOptions naive_options;
+    naive_options.min_support = options.min_support;
+    XPLAIN_ASSIGN_OR_RETURN(
+        report.table,
+        ComputeTableMNaive(*universal_, question, attributes, naive_options));
+  }
+
+  const bool need_exact = options.degree == DegreeKind::kIntervention &&
+                          !report.cell_additivity.additive;
+  if (!need_exact) {
+    report.explanations = TopKExplanations(report.table, options.degree,
+                                           options.top_k, options.minimality);
+    return report;
+  }
+
+  if (!options.exact_rescore_when_not_additive) {
+    return Status::InvalidArgument(
+        "question is not cell-exact intervention-additive (" +
+        report.cell_additivity.reason +
+        "); enable exact_rescore_when_not_additive or rank by aggravation");
+  }
+
+  // Hybrid path: use the cube's mu_interv column as a proxy to select a
+  // candidate pool, rescore each candidate exactly with program P, then
+  // rank (and apply minimality) on the exact degrees.
+  report.exact_rescored = true;
+  size_t pool_size = std::max(options.exact_rescore_pool, options.top_k);
+  std::vector<RankedExplanation> pool = TopKExplanations(
+      report.table, DegreeKind::kIntervention, pool_size,
+      options.minimality == MinimalityStrategy::kNone
+          ? MinimalityStrategy::kNone
+          : MinimalityStrategy::kSelfJoin);
+  for (RankedExplanation& candidate : pool) {
+    XPLAIN_ASSIGN_OR_RETURN(
+        double exact,
+        InterventionDegreeExact(*intervention_, question,
+                                candidate.explanation.predicate()));
+    candidate.degree = exact;
+    // Keep table M in sync so follow-up minimality sees exact values.
+    report.table.mu_interv[candidate.m_row] = exact;
+  }
+  std::stable_sort(pool.begin(), pool.end(),
+                   [](const RankedExplanation& a, const RankedExplanation& b) {
+                     return a.degree > b.degree;
+                   });
+  if (pool.size() > options.top_k) pool.resize(options.top_k);
+  report.explanations = std::move(pool);
+  return report;
+}
+
+}  // namespace xplain

@@ -1,0 +1,97 @@
+#ifndef XPLAIN_CORE_ENGINE_H_
+#define XPLAIN_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/additivity.h"
+#include "core/cube_algorithm.h"
+#include "core/degree.h"
+#include "core/intervention.h"
+#include "core/naive.h"
+#include "core/topk.h"
+#include "relational/database.h"
+#include "relational/query.h"
+#include "util/result.h"
+
+namespace xplain {
+
+struct ExplainOptions {
+  size_t top_k = 5;
+  DegreeKind degree = DegreeKind::kIntervention;
+  MinimalityStrategy minimality = MinimalityStrategy::kAppend;
+  /// Support threshold on the cube cells (paper Section 5.1.1 used 1000).
+  double min_support = 0.0;
+  /// false selects the naive (No Cube) evaluation -- exponential; only for
+  /// small candidate spaces and the Figure 12 baseline.
+  bool use_cube = true;
+  /// When ranking by intervention and Q is *not* intervention-additive, the
+  /// cube's mu_interv column is only a proxy. If true, the engine rescores
+  /// the best `exact_rescore_pool` candidate cells exactly with program P
+  /// and ranks on the exact degrees; if false, Explain returns
+  /// InvalidArgument in that situation.
+  bool exact_rescore_when_not_additive = true;
+  size_t exact_rescore_pool = 50;
+  CubeOptions cube;
+};
+
+/// The outcome of one Explain call.
+struct ExplainReport {
+  std::vector<RankedExplanation> explanations;
+  /// Q(D), for reference (e.g. the paper reports Q_Race(D) = 79.3).
+  double original_value = 0.0;
+  bool used_cube = true;
+  /// The paper's Def. 4.2 sufficient-condition check.
+  AdditivityReport additivity;
+  /// The refined per-cell exactness check actually gating the cube path
+  /// (see CheckCellAdditivity).
+  AdditivityReport cell_additivity;
+  bool exact_rescored = false;
+  /// The materialized table M (kept for inspection / follow-up top-K runs).
+  TableM table;
+
+  /// Pretty-prints the ranked explanations.
+  std::string ToString(const Database& db) const;
+};
+
+/// Facade tying the pieces together: builds U(D) once, checks
+/// intervention-additivity, runs Algorithm 1 (or the naive baseline), and
+/// ranks candidate explanations with the requested minimality strategy.
+class ExplainEngine {
+ public:
+  /// `db` must outlive the engine. Fails if referential integrity does not
+  /// hold or U(D) cannot be built (disconnected FK graph).
+  static Result<ExplainEngine> Create(const Database* db);
+
+  const Database& db() const { return *db_; }
+  const UniversalRelation& universal() const { return *universal_; }
+  const InterventionEngine& intervention() const { return *intervention_; }
+
+  /// Resolves candidate attribute names ("Rel.attr" or unambiguous bare
+  /// names) to positional references.
+  Result<std::vector<ColumnRef>> ResolveAttributes(
+      const std::vector<std::string>& names) const;
+
+  /// Answers a user question: returns the top-K candidate explanations over
+  /// the candidate attributes A'.
+  Result<ExplainReport> Explain(
+      const UserQuestion& question, const std::vector<std::string>& attributes,
+      const ExplainOptions& options = ExplainOptions()) const;
+
+  /// As above with pre-resolved attributes.
+  Result<ExplainReport> ExplainResolved(
+      const UserQuestion& question, const std::vector<ColumnRef>& attributes,
+      const ExplainOptions& options = ExplainOptions()) const;
+
+ private:
+  ExplainEngine() = default;
+
+  const Database* db_ = nullptr;
+  std::unique_ptr<UniversalRelation> universal_;
+  std::unique_ptr<InterventionEngine> intervention_;
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_CORE_ENGINE_H_

@@ -1,0 +1,55 @@
+#include "core/explanation.h"
+
+namespace xplain {
+
+Explanation Explanation::FromPredicate(ConjunctivePredicate predicate) {
+  Explanation e;
+  e.predicate_ = std::move(predicate);
+  return e;
+}
+
+Explanation Explanation::FromCell(std::vector<ColumnRef> attributes,
+                                  Tuple coords) {
+  XPLAIN_CHECK(attributes.size() == coords.size());
+  Explanation e;
+  std::vector<AtomicPredicate> atoms;
+  for (size_t i = 0; i < coords.size(); ++i) {
+    if (!coords[i].is_null()) {
+      atoms.push_back(
+          AtomicPredicate{attributes[i], CompareOp::kEq, coords[i]});
+    }
+  }
+  e.predicate_ = ConjunctivePredicate(std::move(atoms));
+  e.attributes_ = std::move(attributes);
+  e.coords_ = std::move(coords);
+  return e;
+}
+
+int Explanation::NumBound() const {
+  if (!has_cell()) {
+    return static_cast<int>(predicate_.atoms().size());
+  }
+  int bound = 0;
+  for (const Value& v : coords_) {
+    if (!v.is_null()) ++bound;
+  }
+  return bound;
+}
+
+bool Explanation::IsSpecializationOf(const Explanation& other) const {
+  XPLAIN_CHECK(has_cell() && other.has_cell());
+  XPLAIN_CHECK(attributes_.size() == other.attributes_.size());
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    if (other.coords_[i].is_null()) continue;
+    if (coords_[i].is_null() || !coords_[i].Equals(other.coords_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Explanation::ToString(const Database& db) const {
+  return predicate_.ToString(db);
+}
+
+}  // namespace xplain

@@ -1,0 +1,60 @@
+#ifndef XPLAIN_CORE_EXPLANATION_H_
+#define XPLAIN_CORE_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "relational/tuple.h"
+
+namespace xplain {
+
+/// A candidate explanation (paper Def. 2.3): a conjunction of atomic
+/// predicates over database attributes.
+///
+/// Cube-derived explanations additionally carry their cell form — the
+/// candidate attribute list A' and a coordinate tuple where NULL means
+/// "don't care" — which the minimality machinery (paper Section 4.3) uses
+/// for subset/domination tests.
+class Explanation {
+ public:
+  Explanation() = default;
+
+  /// An explanation from an arbitrary predicate (no cell form).
+  static Explanation FromPredicate(ConjunctivePredicate predicate);
+
+  /// An explanation from a cube cell: equality atoms for every non-NULL
+  /// coordinate.
+  static Explanation FromCell(std::vector<ColumnRef> attributes, Tuple coords);
+
+  const ConjunctivePredicate& predicate() const { return predicate_; }
+  bool has_cell() const { return !attributes_.empty(); }
+  const std::vector<ColumnRef>& attributes() const { return attributes_; }
+  const Tuple& coords() const { return coords_; }
+
+  /// Number of bound (non-NULL) coordinates; for predicate-form
+  /// explanations, the number of atoms.
+  int NumBound() const;
+
+  /// True if no attribute is bound (the all-NULL cell; paper Section 4.3
+  /// ignores it).
+  bool IsTrivial() const { return NumBound() == 0; }
+
+  /// True if `other`'s bound (attribute, value) pairs are a subset of this
+  /// explanation's bound pairs. Both must be cell-form over the same
+  /// attribute list. Subset here is non-strict; combine with NumBound for
+  /// strictness.
+  bool IsSpecializationOf(const Explanation& other) const;
+
+  /// "[inst = 'ibm.com' AND year = 2001]".
+  std::string ToString(const Database& db) const;
+
+ private:
+  ConjunctivePredicate predicate_;
+  std::vector<ColumnRef> attributes_;
+  Tuple coords_;
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_CORE_EXPLANATION_H_

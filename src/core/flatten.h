@@ -1,0 +1,44 @@
+#ifndef XPLAIN_CORE_FLATTEN_H_
+#define XPLAIN_CORE_FLATTEN_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// Result of the Section 4.1 schema transformation that replaces a
+/// back-and-forth foreign key with standard foreign keys by replicating the
+/// member-side tables into `fanout` copies and widening the collection
+/// relation into a fact table.
+struct FlattenResult {
+  Database db;
+  int fanout = 0;
+  /// Names of the generated relations: dimension copies A_1..A_f, member
+  /// copies C_1..C_f, and the widened parent P'.
+  std::vector<std::string> dimension_copies;
+  std::vector<std::string> member_copies;
+  std::string fact_relation;
+};
+
+/// Applies the paper's illustration transform to a database shaped like the
+/// running DBLP example: exactly three relations
+///   A  (dimension, e.g. Author),
+///   C  (member/link, e.g. Authored) with a standard FK C -> A and a
+///      back-and-forth FK C <-> P,
+///   P  (collection, e.g. Publication).
+/// Requires every P row to have at most `fanout` C-members. The output
+/// schema is
+///   A_i(<A attrs>_i), C_i(kad_i, <C attrs>_i), P'(kad_1..kad_f, <P attrs>)
+/// with standard FKs C_i -> A_i and P'.kad_i -> C_i.kad_i; members are
+/// assigned to slots in input order and missing slots take a dummy row.
+/// After the transform every universal row contains exactly one P' tuple,
+/// so COUNT(*) over U becomes intervention-additive (Corollary 3.6 applies:
+/// no back-and-forth keys remain).
+Result<FlattenResult> FlattenBackAndForth(const Database& db, int fanout);
+
+}  // namespace xplain
+
+#endif  // XPLAIN_CORE_FLATTEN_H_

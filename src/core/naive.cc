@@ -1,0 +1,106 @@
+#include "core/naive.h"
+
+#include "core/degree.h"
+
+namespace xplain {
+
+Result<TableM> ComputeTableMNaive(const UniversalRelation& universal,
+                                  const UserQuestion& question,
+                                  const std::vector<ColumnRef>& attributes,
+                                  const NaiveOptions& options) {
+  const NumericalQuery& query = question.query;
+  const int m = query.num_subqueries();
+  const int d = static_cast<int>(attributes.size());
+  if (m == 0 || d == 0) {
+    return Status::InvalidArgument("need at least one subquery and attribute");
+  }
+  const Database& db = universal.db();
+
+  // Candidate domain per attribute: distinct values plus the don't-care.
+  std::vector<std::vector<Value>> domains(d);
+  size_t num_candidates = 1;
+  for (int i = 0; i < d; ++i) {
+    domains[i] = db.relation(attributes[i].relation)
+                     .DistinctValues(attributes[i].attribute);
+    // NULL is never a candidate value (it cannot satisfy an equality atom
+    // and would collide with the don't-care marker).
+    std::erase_if(domains[i], [](const Value& v) { return v.is_null(); });
+    domains[i].push_back(Value::Null());  // don't care, enumerated last
+    num_candidates *= domains[i].size();
+    if (num_candidates > options.max_candidates) {
+      return Status::OutOfRange(
+          "naive enumeration would produce more than " +
+          std::to_string(options.max_candidates) + " candidates");
+    }
+  }
+
+  TableM table;
+  table.attributes = attributes;
+  table.original_values.reserve(m);
+  for (const AggregateQuery& q : query.subqueries()) {
+    Value v = EvaluateAggregate(universal, q.agg, &q.where);
+    table.original_values.push_back(v.is_null() ? 0.0 : v.AsNumeric());
+  }
+  table.subquery_values.assign(m, {});
+
+  // Odometer over the candidate cells.
+  std::vector<size_t> pos(d, 0);
+  Tuple cell(d);
+  std::vector<double> values(m);
+  while (true) {
+    for (int i = 0; i < d; ++i) cell[i] = domains[i][pos[i]];
+
+    // Evaluate every q_j(D_phi) by scanning U.
+    Explanation phi = Explanation::FromCell(attributes, cell);
+    bool any_nonzero = false;
+    for (int j = 0; j < m; ++j) {
+      DnfPredicate combined =
+          query.subquery(j).where.And(phi.predicate());
+      Value v = EvaluateAggregate(universal, query.subquery(j).agg, &combined);
+      values[j] = v.is_null() ? 0.0 : v.AsNumeric();
+      if (values[j] != 0.0) any_nonzero = true;
+    }
+    bool keep = any_nonzero;
+    if (keep && options.min_support > 0.0) {
+      keep = false;
+      for (int j = 0; j < m; ++j) {
+        if (values[j] >= options.min_support) {
+          keep = true;
+          break;
+        }
+      }
+    }
+    if (keep) {
+      table.coords.push_back(cell);
+      for (int j = 0; j < m; ++j) {
+        table.subquery_values[j].push_back(values[j]);
+      }
+    }
+
+    // Advance the odometer.
+    int i = 0;
+    while (i < d && ++pos[i] == domains[i].size()) {
+      pos[i] = 0;
+      ++i;
+    }
+    if (i == d) break;
+  }
+
+  const double interv_sign = InterventionSign(question.direction);
+  const double aggr_sign = AggravationSign(question.direction);
+  std::vector<double> vars(m);
+  const size_t rows = table.coords.size();
+  table.mu_interv.reserve(rows);
+  table.mu_aggr.reserve(rows);
+  for (size_t row = 0; row < rows; ++row) {
+    for (int j = 0; j < m; ++j) {
+      vars[j] = table.original_values[j] - table.subquery_values[j][row];
+    }
+    table.mu_interv.push_back(interv_sign * query.Combine(vars));
+    for (int j = 0; j < m; ++j) vars[j] = table.subquery_values[j][row];
+    table.mu_aggr.push_back(aggr_sign * query.Combine(vars));
+  }
+  return table;
+}
+
+}  // namespace xplain

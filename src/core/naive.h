@@ -1,0 +1,30 @@
+#ifndef XPLAIN_CORE_NAIVE_H_
+#define XPLAIN_CORE_NAIVE_H_
+
+#include "core/cube_algorithm.h"
+
+namespace xplain {
+
+struct NaiveOptions {
+  /// Abort when the candidate-cell product exceeds this cap (the naive
+  /// algorithm is exponential in the number of attributes; this guards the
+  /// benchmarks).
+  size_t max_candidates = 2000000;
+  /// Keep only rows where at least one v_j reaches this support.
+  double min_support = 0.0;
+};
+
+/// The paper's "No Cube" baseline (Figure 12): enumerate every candidate
+/// explanation -- every combination of per-attribute distinct values with
+/// don't-cares -- and evaluate all subqueries for each candidate with a
+/// full scan of the universal relation. Produces the same TableM schema as
+/// ComputeTableM so results can be cross-checked; rows whose subquery
+/// values are all zero are omitted (the cube produces no cell for them).
+Result<TableM> ComputeTableMNaive(const UniversalRelation& universal,
+                                  const UserQuestion& question,
+                                  const std::vector<ColumnRef>& attributes,
+                                  const NaiveOptions& options = NaiveOptions());
+
+}  // namespace xplain
+
+#endif  // XPLAIN_CORE_NAIVE_H_

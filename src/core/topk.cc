@@ -1,0 +1,149 @@
+#include "core/topk.h"
+
+#include <algorithm>
+
+namespace xplain {
+
+namespace {
+
+int NumBound(const Tuple& coords) {
+  int bound = 0;
+  for (const Value& v : coords) {
+    if (!v.is_null()) ++bound;
+  }
+  return bound;
+}
+
+/// True if `special` binds every pair that `general` binds, with equal
+/// values (i.e. special is a specialization of general; non-strict).
+bool Specializes(const Tuple& special, const Tuple& general) {
+  for (size_t i = 0; i < general.size(); ++i) {
+    if (general[i].is_null()) continue;
+    if (special[i].is_null() || !special[i].Equals(general[i])) return false;
+  }
+  return true;
+}
+
+double DegreeOf(const TableM& table, DegreeKind kind, size_t row) {
+  // kHybrid reads the same cube-based column as kIntervention; the two
+  // kinds differ only in how the engine treats non-additive questions.
+  return kind == DegreeKind::kAggravation ? table.mu_aggr[row]
+                                          : table.mu_interv[row];
+}
+
+/// Ranking comparator: higher degree first; ties prefer more general
+/// explanations (fewer bound attributes -- the paper's dummy-value trick),
+/// then lexicographic coordinates for determinism.
+bool RankBefore(const TableM& table, DegreeKind kind, size_t a, size_t b) {
+  double da = DegreeOf(table, kind, a);
+  double db = DegreeOf(table, kind, b);
+  if (da != db) return da > db;
+  int ba = NumBound(table.coords[a]);
+  int bb = NumBound(table.coords[b]);
+  if (ba != bb) return ba < bb;
+  return CompareTuples(table.coords[a], table.coords[b]) < 0;
+}
+
+}  // namespace
+
+const char* MinimalityStrategyToString(MinimalityStrategy strategy) {
+  switch (strategy) {
+    case MinimalityStrategy::kNone:
+      return "no-minimal";
+    case MinimalityStrategy::kSelfJoin:
+      return "minimal-self-join";
+    case MinimalityStrategy::kAppend:
+      return "minimal-append";
+  }
+  return "?";
+}
+
+const char* DegreeKindToString(DegreeKind kind) {
+  switch (kind) {
+    case DegreeKind::kIntervention:
+      return "intervention";
+    case DegreeKind::kAggravation:
+      return "aggravation";
+    case DegreeKind::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+bool IsDominated(const TableM& table, DegreeKind kind, size_t phi_row) {
+  const Tuple& phi = table.coords[phi_row];
+  const int phi_bound = NumBound(phi);
+  const double phi_degree = DegreeOf(table, kind, phi_row);
+  for (size_t other = 0; other < table.NumRows(); ++other) {
+    if (other == phi_row) continue;
+    if (NumBound(table.coords[other]) >= phi_bound) continue;
+    if (NumBound(table.coords[other]) == 0) continue;  // trivial row
+    if (!Specializes(phi, table.coords[other])) continue;
+    if (DegreeOf(table, kind, other) >= phi_degree) return true;
+  }
+  return false;
+}
+
+std::vector<RankedExplanation> TopKExplanations(const TableM& table,
+                                                DegreeKind kind, size_t k,
+                                                MinimalityStrategy strategy) {
+  std::vector<RankedExplanation> out;
+  const size_t n = table.NumRows();
+
+  auto emit = [&](size_t row) {
+    out.push_back(RankedExplanation{table.ExplanationAt(row),
+                                    DegreeOf(table, kind, row), row});
+  };
+
+  switch (strategy) {
+    case MinimalityStrategy::kNone:
+    case MinimalityStrategy::kSelfJoin: {
+      std::vector<size_t> rows;
+      rows.reserve(n);
+      for (size_t row = 0; row < n; ++row) {
+        if (NumBound(table.coords[row]) == 0) continue;  // trivial
+        if (strategy == MinimalityStrategy::kSelfJoin &&
+            IsDominated(table, kind, row)) {
+          continue;
+        }
+        rows.push_back(row);
+      }
+      std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+        return RankBefore(table, kind, a, b);
+      });
+      for (size_t i = 0; i < rows.size() && i < k; ++i) emit(rows[i]);
+      return out;
+    }
+    case MinimalityStrategy::kAppend: {
+      std::vector<size_t> winners;
+      for (size_t round = 0; round < k; ++round) {
+        bool found = false;
+        size_t best = 0;
+        for (size_t row = 0; row < n; ++row) {
+          if (NumBound(table.coords[row]) == 0) continue;
+          // Accumulated NOT(phi_i) clauses: skip any specialization of a
+          // previous winner (a row equal to a winner is also skipped).
+          bool excluded = false;
+          for (size_t w : winners) {
+            if (Specializes(table.coords[row], table.coords[w])) {
+              excluded = true;
+              break;
+            }
+          }
+          if (excluded) continue;
+          if (!found || RankBefore(table, kind, row, best)) {
+            best = row;
+            found = true;
+          }
+        }
+        if (!found) break;
+        winners.push_back(best);
+        emit(best);
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace xplain

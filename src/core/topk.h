@@ -1,0 +1,58 @@
+#ifndef XPLAIN_CORE_TOPK_H_
+#define XPLAIN_CORE_TOPK_H_
+
+#include <vector>
+
+#include "core/cube_algorithm.h"
+#include "core/explanation.h"
+
+namespace xplain {
+
+/// Which degree column of table M ranks the explanations.
+/// kHybrid is the paper's Section 6(iii) future-work degree: the cube-
+/// evaluable intervention proxy sign * E(u_1 - v_1, ..., u_m - v_m), used
+/// as a ranking even when the question is not intervention-additive. It
+/// respects the causal mass subtracted by the cube cell but ignores the
+/// cascades the full program P would add -- "some, but not all causal
+/// paths", always computable from the data cube.
+enum class DegreeKind { kIntervention, kAggravation, kHybrid };
+
+/// Strategy for producing minimal top-K explanations (paper Section 4.3).
+enum class MinimalityStrategy {
+  /// Plain top-K by degree; may contain redundant (dominated) explanations.
+  kNone,
+  /// Minimal-self-join: pairwise domination test over M (mirrors the SQL
+  /// self-join plan; O(n^2) worst case).
+  kSelfJoin,
+  /// Minimal-append: K iterations of a top-1 scan, excluding
+  /// specializations of previously output explanations (mirrors the
+  /// accumulated NOT(phi_i) WHERE clauses).
+  kAppend,
+};
+
+const char* MinimalityStrategyToString(MinimalityStrategy strategy);
+const char* DegreeKindToString(DegreeKind kind);
+
+/// One ranked answer.
+struct RankedExplanation {
+  Explanation explanation;
+  double degree = 0.0;
+  size_t m_row = 0;  // row in table M
+};
+
+/// Returns the top `k` explanations of `table` ranked by `kind` under the
+/// chosen minimality strategy. The trivial all-NULL explanation is always
+/// excluded. An explanation phi is *dominated* when some phi' binds a
+/// strict subset of phi's (attribute, value) pairs with degree(phi') >=
+/// degree(phi); minimal strategies drop dominated rows.
+std::vector<RankedExplanation> TopKExplanations(const TableM& table,
+                                                DegreeKind kind, size_t k,
+                                                MinimalityStrategy strategy);
+
+/// True if row `phi_row` of `table` is dominated under `kind` (exposed for
+/// tests).
+bool IsDominated(const TableM& table, DegreeKind kind, size_t phi_row);
+
+}  // namespace xplain
+
+#endif  // XPLAIN_CORE_TOPK_H_

@@ -1,0 +1,44 @@
+#ifndef XPLAIN_CORE_TRENDS_H_
+#define XPLAIN_CORE_TRENDS_H_
+
+#include <string>
+
+#include "relational/query.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// Paper Section 6(iv): "why is this sequence of bars increasing
+/// (decreasing)?" translates into "why is the slope of the linear
+/// regression of these data points positive (negative)?", which is a
+/// numerical query Q = E(q_1, ..., q_m).
+///
+/// With x_i the window midpoints and q_i the per-window aggregates, the
+/// least-squares slope is
+///   slope = sum_i w_i * q_i,   w_i = (x_i - xbar) / sum_j (x_j - xbar)^2
+/// -- linear in the q_i, so it fits Eq. (1) directly and inherits the
+/// cube/additivity machinery.
+struct SlopeQuestionSpec {
+  /// The per-window aggregate (e.g. count(distinct Publication.pubid)).
+  AggregateSpec agg;
+  /// Integer-valued time column (e.g. Publication.year).
+  ColumnRef time_column;
+  /// Inclusive time range; one subquery per step of `window` values.
+  int64_t time_begin = 0;
+  int64_t time_end = 0;
+  int window = 1;
+  /// Extra filter applied to every window (e.g. venue = 'SIGMOD').
+  DnfPredicate base_where = DnfPredicate::True();
+  /// kHigh asks why the series rises; kLow why it falls.
+  Direction direction = Direction::kHigh;
+};
+
+/// Builds the slope question: one subquery per window, combined by the
+/// regression-slope expression. Fails if the spec yields fewer than two
+/// windows or more than 64.
+Result<UserQuestion> MakeSlopeQuestion(const Database& db,
+                                       const SlopeQuestionSpec& spec);
+
+}  // namespace xplain
+
+#endif  // XPLAIN_CORE_TRENDS_H_

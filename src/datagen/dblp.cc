@@ -1,0 +1,374 @@
+#include "datagen/dblp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "datagen/rng.h"
+#include "relational/parser.h"
+
+namespace xplain {
+namespace datagen {
+
+namespace {
+
+enum class InstKind {
+  kIndustrialClassic,  // strong late 80s-2003, declines afterwards
+  kIndustrialRising,   // grows through the 2000s (keeps 'com' alive)
+  kAcademicSteady,     // grows slowly the whole period
+  kAcademicRising,     // ramps after 2002
+  kUkPods,             // publishes mostly in PODS, 2001-2011
+  kUkPodsOnly,         // PODS-only (Semmle Ltd.; the Figure 15 detail that
+                       // ranks [city=Oxford] above [inst=Oxford Univ.])
+};
+
+struct InstSpec {
+  const char* inst;
+  const char* dom;
+  const char* city;
+  const char* country;
+  InstKind kind;
+  double size;  // relative size of the group
+  int num_authors;
+};
+
+const InstSpec kInstitutions[] = {
+    {"ibm.com", "com", "San Jose", "USA", InstKind::kIndustrialClassic, 3.0,
+     26},
+    {"bell-labs.com", "com", "Murray Hill", "USA",
+     InstKind::kIndustrialClassic, 2.2, 14},
+    {"att.com", "com", "Florham Park", "USA", InstKind::kIndustrialClassic,
+     1.2, 10},
+    {"hp.com", "com", "Palo Alto", "USA", InstKind::kIndustrialClassic, 0.7,
+     8},
+    {"microsoft.com", "com", "Redmond", "USA", InstKind::kIndustrialRising,
+     1.5, 18},
+    {"oracle.com", "com", "Redwood City", "USA", InstKind::kIndustrialRising,
+     0.5, 8},
+    {"mit.edu", "edu", "Cambridge", "USA", InstKind::kAcademicSteady, 1.6,
+     16},
+    {"stanford.edu", "edu", "Stanford", "USA", InstKind::kAcademicSteady, 1.8,
+     18},
+    {"berkeley.edu", "edu", "Berkeley", "USA", InstKind::kAcademicSteady, 1.7,
+     16},
+    {"wisc.edu", "edu", "Madison", "USA", InstKind::kAcademicSteady, 1.5, 14},
+    {"cmu.edu", "edu", "Pittsburgh", "USA", InstKind::kAcademicSteady, 1.3,
+     14},
+    {"washington.edu", "edu", "Seattle", "USA", InstKind::kAcademicSteady,
+     1.2, 12},
+    {"umich.edu", "edu", "Ann Arbor", "USA", InstKind::kAcademicSteady, 1.0,
+     12},
+    {"cornell.edu", "edu", "Ithaca", "USA", InstKind::kAcademicSteady, 1.0,
+     10},
+    {"ucla.edu", "edu", "Los Angeles", "USA", InstKind::kAcademicSteady, 1.1,
+     12},
+    {"asu.edu", "edu", "Tempe", "USA", InstKind::kAcademicRising, 1.4, 10},
+    {"utah.edu", "edu", "Salt Lake City", "USA", InstKind::kAcademicRising,
+     1.2, 10},
+    {"gwu.edu", "edu", "Washington DC", "USA", InstKind::kAcademicRising, 1.0,
+     8},
+    {"Oxford Univ.", "uk", "Oxford", "UK", InstKind::kUkPods, 1.0, 8},
+    {"Univ. of Edinburgh", "uk", "Edinburgh", "UK", InstKind::kUkPods, 0.8,
+     7},
+    {"Semmle Ltd.", "com", "Oxford", "UK", InstKind::kUkPodsOnly, 0.45, 4},
+};
+
+/// Relative publication intensity of an institution in `year`.
+double ActivityWeight(InstKind kind, double size, int year) {
+  switch (kind) {
+    case InstKind::kIndustrialClassic: {
+      // Ramp 1985-1992, plateau 1992-2003, steep decline afterwards.
+      double w;
+      if (year < 1992) {
+        w = 0.35 + 0.65 * (year - 1985) / 7.0;
+      } else if (year <= 2003) {
+        w = 1.0;
+      } else {
+        w = std::max(0.08, 1.0 - 0.16 * (year - 2003));
+      }
+      return size * w;
+    }
+    case InstKind::kIndustrialRising:
+      return size * std::min(1.0, std::max(0.05, 0.05 + 0.07 * (year - 1995)));
+    case InstKind::kAcademicSteady:
+      return size * (0.45 + 0.028 * (year - 1985));
+    case InstKind::kAcademicRising:
+      return size * (year < 2002
+                         ? 0.10
+                         : std::min(1.6, 0.10 + 0.25 * (year - 2002)));
+    case InstKind::kUkPods:
+    case InstKind::kUkPodsOnly:
+      return size * (year < 1995 ? 0.15 : 0.55);
+  }
+  return size;
+}
+
+/// Venue affinity multiplier.
+double VenueAffinity(InstKind kind, const std::string& venue) {
+  if (kind == InstKind::kUkPodsOnly) {
+    if (venue == "PODS") return 6.0;
+    return 0.0001;  // essentially never SIGMOD/VLDB
+  }
+  if (kind == InstKind::kUkPods) {
+    if (venue == "PODS") return 6.0;
+    return 0.22;  // rarely SIGMOD/VLDB: the Figure 15 anomaly
+  }
+  if (venue == "PODS") return 0.35;  // theory venue is smaller for everyone
+  return 1.0;
+}
+
+/// A few real prolific names on the classic labs (Figure 2's top
+/// explanations); everyone else gets a synthetic name.
+std::string AuthorName(const InstSpec& inst, int index) {
+  if (std::string(inst.inst) == "ibm.com") {
+    if (index == 0) return "Hamid Pirahesh";
+    if (index == 1) return "Rakesh Agrawal";
+  }
+  if (std::string(inst.inst) == "bell-labs.com" && index == 0) {
+    return "Rajeev Rastogi";
+  }
+  std::string base(inst.inst);
+  for (char& c : base) {
+    if (c == '.' || c == ' ') c = '_';
+  }
+  return base + "_author_" + std::to_string(index);
+}
+
+}  // namespace
+
+Result<Database> GenerateDblp(const DblpOptions& options) {
+  Rng rng(options.seed);
+
+  // --- Author pool. ---
+  XPLAIN_ASSIGN_OR_RETURN(
+      RelationSchema author_schema,
+      RelationSchema::Create("Author",
+                             {{"id", DataType::kInt64},
+                              {"name", DataType::kString},
+                              {"inst", DataType::kString},
+                              {"dom", DataType::kString},
+                              {"city", DataType::kString},
+                              {"country", DataType::kString}},
+                             {"id"}));
+  Relation author(author_schema);
+  struct AuthorInfo {
+    int inst_index;
+    double productivity;
+  };
+  std::vector<AuthorInfo> authors;
+  std::vector<std::vector<int>> authors_of_inst;
+
+  int64_t next_author_id = 0;
+  const int num_insts = static_cast<int>(std::size(kInstitutions));
+  for (int i = 0; i < num_insts; ++i) {
+    const InstSpec& inst = kInstitutions[i];
+    if (!options.include_uk && (inst.kind == InstKind::kUkPods ||
+                                inst.kind == InstKind::kUkPodsOnly)) {
+      authors_of_inst.emplace_back();
+      continue;
+    }
+    std::vector<int> ids;
+    for (int a = 0; a < inst.num_authors; ++a) {
+      author.AppendUnchecked(Tuple{
+          Value::Int(next_author_id),
+          Value::Str(AuthorName(inst, a)),
+          Value::Str(inst.inst),
+          Value::Str(inst.dom),
+          Value::Str(inst.city),
+          Value::Str(inst.country),
+      });
+      // Zipf-ish productivity; slot 0 of the classic labs is a heavy
+      // hitter.
+      double productivity = 1.0 / (1.0 + a);
+      if (a == 0 && inst.kind == InstKind::kIndustrialClassic) {
+        productivity = 3.0;
+      }
+      authors.push_back(AuthorInfo{i, productivity});
+      ids.push_back(static_cast<int>(next_author_id));
+      ++next_author_id;
+    }
+    authors_of_inst.push_back(std::move(ids));
+  }
+
+  // --- Publications and authorship. ---
+  XPLAIN_ASSIGN_OR_RETURN(
+      RelationSchema pub_schema,
+      RelationSchema::Create("Publication",
+                             {{"pubid", DataType::kInt64},
+                              {"year", DataType::kInt64},
+                              {"venue", DataType::kString}},
+                             {"pubid"}));
+  XPLAIN_ASSIGN_OR_RETURN(
+      RelationSchema authored_schema,
+      RelationSchema::Create("Authored",
+                             {{"id", DataType::kInt64},
+                              {"pubid", DataType::kInt64}},
+                             {"id", "pubid"}));
+  Relation publication(pub_schema);
+  Relation authored(authored_schema);
+
+  const char* venues[] = {"SIGMOD", "VLDB", "PODS"};
+  int64_t next_pubid = 0;
+  for (int year = options.year_begin; year <= options.year_end; ++year) {
+    for (const char* venue : venues) {
+      double base;
+      if (std::string(venue) == "PODS") {
+        base = 16.0 + 0.5 * (year - options.year_begin);
+      } else {
+        base = 34.0 + 2.4 * (year - options.year_begin);
+      }
+      const int num_papers =
+          std::max(1, static_cast<int>(std::lround(base * options.scale)));
+
+      // Institution weights for this (venue, year).
+      std::vector<double> weights(num_insts, 0.0);
+      for (int i = 0; i < num_insts; ++i) {
+        if (authors_of_inst[i].empty()) continue;
+        weights[i] = ActivityWeight(kInstitutions[i].kind,
+                                    kInstitutions[i].size, year) *
+                     VenueAffinity(kInstitutions[i].kind, venue);
+      }
+
+      for (int p = 0; p < num_papers; ++p) {
+        const int inst = static_cast<int>(rng.Categorical(weights));
+        const std::vector<int>& pool = authors_of_inst[inst];
+        // 1-3 authors, mostly 2.
+        int num_authors = 1 + static_cast<int>(rng.Categorical({0.3, 0.5,
+                                                                0.2}));
+        num_authors = std::min<int>(num_authors, static_cast<int>(pool.size()));
+        std::unordered_set<int> chosen;
+        std::vector<double> author_weights;
+        author_weights.reserve(pool.size());
+        for (int id : pool) {
+          author_weights.push_back(authors[id].productivity);
+        }
+        while (static_cast<int>(chosen.size()) < num_authors) {
+          chosen.insert(pool[rng.Categorical(author_weights)]);
+        }
+        // Occasional cross-institution coauthor.
+        if (rng.Bernoulli(0.18)) {
+          const int other = static_cast<int>(rng.Categorical(weights));
+          if (!authors_of_inst[other].empty()) {
+            const std::vector<int>& other_pool = authors_of_inst[other];
+            chosen.insert(
+                other_pool[rng.UniformInt(0, other_pool.size() - 1)]);
+          }
+        }
+
+        publication.AppendUnchecked(Tuple{Value::Int(next_pubid),
+                                          Value::Int(year),
+                                          Value::Str(venue)});
+        for (int id : chosen) {
+          authored.AppendUnchecked(
+              Tuple{Value::Int(id), Value::Int(next_pubid)});
+        }
+        ++next_pubid;
+      }
+    }
+  }
+
+  Database db;
+  XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(author)));
+  XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(authored)));
+  XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(publication)));
+  ForeignKey authored_to_author;
+  authored_to_author.child_relation = "Authored";
+  authored_to_author.child_attrs = {"id"};
+  authored_to_author.parent_relation = "Author";
+  authored_to_author.parent_attrs = {"id"};
+  authored_to_author.kind = ForeignKeyKind::kStandard;
+  XPLAIN_RETURN_NOT_OK(db.AddForeignKey(authored_to_author));
+  ForeignKey authored_to_pub;
+  authored_to_pub.child_relation = "Authored";
+  authored_to_pub.child_attrs = {"pubid"};
+  authored_to_pub.parent_relation = "Publication";
+  authored_to_pub.parent_attrs = {"pubid"};
+  authored_to_pub.kind = ForeignKeyKind::kBackAndForth;
+  XPLAIN_RETURN_NOT_OK(db.AddForeignKey(authored_to_pub));
+
+  // Authors who never published would leave the instance non-semijoin-
+  // reduced (paper Section 2 requires global consistency); drop them.
+  db.SemijoinReduce();
+  return db;
+}
+
+namespace {
+
+Result<AggregateQuery> CountDistinctPubs(const Database& db, std::string name,
+                                         const std::string& where) {
+  AggregateQuery q;
+  q.name = std::move(name);
+  XPLAIN_ASSIGN_OR_RETURN(ColumnRef pubid,
+                          db.ResolveColumn("Publication.pubid"));
+  q.agg = AggregateSpec::CountDistinct(pubid);
+  XPLAIN_ASSIGN_OR_RETURN(q.where, ParseDnfPredicate(db, where));
+  return q;
+}
+
+}  // namespace
+
+Result<UserQuestion> MakeDblpBumpQuestion(const Database& db) {
+  const char* specs[][2] = {
+      {"q1",
+       "Publication.venue = 'SIGMOD' AND Author.dom = 'com' AND "
+       "Publication.year >= 2000 AND Publication.year <= 2004"},
+      {"q2",
+       "Publication.venue = 'SIGMOD' AND Author.dom = 'com' AND "
+       "Publication.year >= 2007 AND Publication.year <= 2011"},
+      {"q3",
+       "Publication.venue = 'SIGMOD' AND Author.dom = 'edu' AND "
+       "Publication.year >= 2000 AND Publication.year <= 2004"},
+      {"q4",
+       "Publication.venue = 'SIGMOD' AND Author.dom = 'edu' AND "
+       "Publication.year >= 2007 AND Publication.year <= 2011"},
+  };
+  std::vector<AggregateQuery> subqueries;
+  for (const auto& spec : specs) {
+    XPLAIN_ASSIGN_OR_RETURN(AggregateQuery q,
+                            CountDistinctPubs(db, spec[0], spec[1]));
+    subqueries.push_back(std::move(q));
+  }
+  XPLAIN_ASSIGN_OR_RETURN(
+      ExprPtr expr,
+      ParseExpression("(q1 / q2) / (q3 / q4)", {"q1", "q2", "q3", "q4"}));
+  XPLAIN_ASSIGN_OR_RETURN(
+      NumericalQuery query,
+      NumericalQuery::Create(std::move(subqueries), std::move(expr)));
+  return UserQuestion{std::move(query), Direction::kHigh};
+}
+
+Result<UserQuestion> MakeUkPodsQuestion(const Database& db) {
+  // The paper expresses "from the UK" as the disjunction
+  // [domain = 'uk' OR country = 'United Kingdom'] because neither source
+  // covers every author; we mirror it (dom = 'uk' misses Semmle Ltd.,
+  // country = 'UK' catches it).
+  const char* specs[][2] = {
+      {"q1",
+       "Publication.venue = 'SIGMOD' AND Author.dom = 'uk' AND "
+       "Publication.year >= 2001 AND Publication.year <= 2011 OR "
+       "Publication.venue = 'SIGMOD' AND Author.country = 'UK' AND "
+       "Publication.year >= 2001 AND Publication.year <= 2011"},
+      {"q2",
+       "Publication.venue = 'PODS' AND Author.dom = 'uk' AND "
+       "Publication.year >= 2001 AND Publication.year <= 2011 OR "
+       "Publication.venue = 'PODS' AND Author.country = 'UK' AND "
+       "Publication.year >= 2001 AND Publication.year <= 2011"},
+  };
+  std::vector<AggregateQuery> subqueries;
+  for (const auto& spec : specs) {
+    XPLAIN_ASSIGN_OR_RETURN(AggregateQuery q,
+                            CountDistinctPubs(db, spec[0], spec[1]));
+    subqueries.push_back(std::move(q));
+  }
+  XPLAIN_ASSIGN_OR_RETURN(ExprPtr expr,
+                          ParseExpression("q1 / q2", {"q1", "q2"}));
+  XPLAIN_ASSIGN_OR_RETURN(
+      NumericalQuery query,
+      NumericalQuery::Create(std::move(subqueries), std::move(expr)));
+  return UserQuestion{std::move(query), Direction::kLow};
+}
+
+}  // namespace datagen
+}  // namespace xplain

@@ -1,0 +1,60 @@
+#ifndef XPLAIN_DATAGEN_DBLP_H_
+#define XPLAIN_DATAGEN_DBLP_H_
+
+#include <cstdint>
+
+#include "relational/database.h"
+#include "relational/query.h"
+#include "util/result.h"
+
+namespace xplain {
+namespace datagen {
+
+/// Synthetic stand-in for the integrated DBLP + Geo-DBLP dataset (paper
+/// Sections 1 and 5.2). Schema (paper Example 2.2, geo columns folded into
+/// Author in place of the Geo-DBLP join):
+///
+///   Author(id, name, inst, dom, city, country)
+///   Authored(id, pubid)
+///   Publication(pubid, year, venue)
+///
+/// with the paper's Eq. (2) foreign keys:
+///   Authored.id  ->  Author.id          (standard: author causes paper)
+///   Authored.pubid <-> Publication.pubid (back-and-forth: every author is
+///                                         necessary for the paper)
+///
+/// Planted patterns:
+///  * industrial publications (dom='com') ramp up until ~2000-2004 and then
+///    decline, driven by classic labs (ibm.com, bell-labs.com, att.com)
+///    with a few very prolific authors (Rajeev Rastogi, Hamid Pirahesh,
+///    Rakesh Agrawal);
+///  * academic output keeps growing, with new groups (asu.edu, utah.edu,
+///    gwu.edu) ramping after 2002 -- together producing the Figure 1 bump;
+///  * UK institutions (Oxford Univ., Univ. of Edinburgh, Semmle Ltd.)
+///    publish mostly in PODS between 2001 and 2011 (the Figure 15 anomaly).
+struct DblpOptions {
+  uint64_t seed = 14;
+  /// Linear multiplier on per-year paper counts (1.0 -> about 4-5k papers,
+  /// 10k authored rows).
+  double scale = 1.0;
+  int year_begin = 1985;
+  int year_end = 2011;
+  bool include_uk = true;
+};
+
+Result<Database> GenerateDblp(const DblpOptions& options);
+
+/// The Figure 1/2 "bump" question: Q = (q1/q2)/(q3/q4), dir = high, where
+/// q1..q4 = count(distinct Publication.pubid) of SIGMOD papers for
+/// (com, 2000-2004), (com, 2007-2011), (edu, 2000-2004), (edu, 2007-2011).
+Result<UserQuestion> MakeDblpBumpQuestion(const Database& db);
+
+/// The Figure 15 question: Q = q1/q2, dir = low, where q1/q2 =
+/// count(distinct Publication.pubid) of SIGMOD/PODS papers with an author
+/// from the UK, 2001-2011.
+Result<UserQuestion> MakeUkPodsQuestion(const Database& db);
+
+}  // namespace datagen
+}  // namespace xplain
+
+#endif  // XPLAIN_DATAGEN_DBLP_H_

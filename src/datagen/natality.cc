@@ -1,0 +1,221 @@
+#include "datagen/natality.h"
+
+#include <cmath>
+
+#include "datagen/rng.h"
+#include "relational/parser.h"
+
+namespace xplain {
+namespace datagen {
+
+namespace {
+
+const char* kRaces[] = {"White", "Black", "AmInd", "Asian"};
+const char* kAges[] = {"<15",   "15-19", "20-24", "25-29",
+                       "30-34", "35-39", "40-44", "45+"};
+const char* kEdu[] = {"<9yrs", "9-11yrs", "12yrs", "13-15yrs", ">=16yrs"};
+const char* kPrenatal[] = {"1st trim", "2nd trim", "3rd trim", "none"};
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+Result<Database> GenerateNatality(const NatalityOptions& options) {
+  XPLAIN_ASSIGN_OR_RETURN(
+      RelationSchema schema,
+      RelationSchema::Create(
+          "Birth",
+          {{"id", DataType::kInt64},
+           {"ap", DataType::kString},
+           {"race", DataType::kString},
+           {"marital", DataType::kString},
+           {"age", DataType::kString},
+           {"tobacco", DataType::kString},
+           {"prenatal", DataType::kString},
+           {"education", DataType::kString},
+           {"sex", DataType::kString},
+           {"hypertension", DataType::kString},
+           {"diabetes", DataType::kString}},
+          {"id"}));
+  Relation birth(schema);
+  birth.Reserve(options.num_rows);
+  Rng rng(options.seed);
+
+  // Race shares from the real 2010 file (Figure 7 totals).
+  const std::vector<double> race_weights = {0.765, 0.158, 0.012, 0.062};
+
+  for (size_t i = 0; i < options.num_rows; ++i) {
+    const size_t race = rng.Categorical(race_weights);
+
+    // Marital status conditioned on race (plants the Asian-married
+    // confounder).
+    const double p_married[] = {0.62, 0.29, 0.40, 0.85};
+    const bool married = rng.Bernoulli(p_married[race]);
+
+    // Age group conditioned on race: Asians skew 25-39.
+    std::vector<double> age_w;
+    switch (race) {
+      case 3:  // Asian
+        age_w = {0.001, 0.02, 0.10, 0.24, 0.34, 0.22, 0.07, 0.009};
+        break;
+      case 1:  // Black
+        age_w = {0.004, 0.13, 0.28, 0.26, 0.18, 0.10, 0.042, 0.004};
+        break;
+      default:
+        age_w = {0.002, 0.08, 0.23, 0.28, 0.24, 0.13, 0.036, 0.002};
+        break;
+    }
+    const size_t age = rng.Categorical(age_w);
+
+    // Education conditioned on race and age (young mothers have less).
+    std::vector<double> edu_w;
+    if (race == 3) {
+      edu_w = {0.03, 0.05, 0.14, 0.21, 0.57};
+    } else if (race == 1) {
+      edu_w = {0.05, 0.17, 0.34, 0.29, 0.15};
+    } else {
+      edu_w = {0.05, 0.12, 0.26, 0.29, 0.28};
+    }
+    if (age <= 1) edu_w = {0.25, 0.45, 0.25, 0.05, 0.0001};
+    const size_t edu = rng.Categorical(edu_w);
+
+    // Tobacco: less smoking among Asian / educated mothers.
+    double p_smoke = 0.11;
+    if (race == 3) p_smoke = 0.02;
+    if (edu >= 4) p_smoke *= 0.35;
+    if (!married) p_smoke *= 1.7;
+    const bool smoking = rng.Bernoulli(std::min(p_smoke, 0.95));
+
+    // Prenatal care start: earlier for married / educated mothers.
+    std::vector<double> pn_w = {0.62, 0.24, 0.09, 0.05};
+    if (married) {
+      pn_w = {0.76, 0.17, 0.05, 0.02};
+    }
+    if (edu >= 4) {
+      pn_w[0] += 0.10;
+      pn_w[3] = std::max(0.005, pn_w[3] - 0.02);
+    }
+    if (age <= 1) pn_w = {0.38, 0.33, 0.19, 0.10};
+    const size_t prenatal = rng.Categorical(pn_w);
+
+    const bool hypertension = rng.Bernoulli(race == 1 ? 0.075 : 0.05);
+    const bool diabetes = rng.Bernoulli(age >= 5 ? 0.08 : 0.04);
+    const bool male = rng.Bernoulli(0.512);
+
+    // APGAR outcome: logistic model over the planted factors.
+    double logit = 4.15;
+    if (smoking) logit -= 0.50;
+    if (prenatal == 1) logit -= 0.10;
+    if (prenatal == 2) logit -= 0.40;
+    if (prenatal == 3) logit -= 0.90;
+    if (age == 0) logit -= 0.60;
+    if (age == 1) logit -= 0.30;
+    if (age == 6) logit -= 0.30;
+    if (age == 7) logit -= 0.50;
+    if (edu == 0) logit -= 0.30;
+    if (edu == 1) logit -= 0.20;
+    if (edu == 4) logit += 0.25;
+    if (married) logit += 0.20;
+    if (hypertension) logit -= 0.40;
+    if (diabetes) logit -= 0.20;
+    if (race == 1) logit -= 0.45;
+    if (race == 3) logit += 0.05;
+    const bool good = rng.Bernoulli(Sigmoid(logit));
+
+    birth.AppendUnchecked(Tuple{
+        Value::Int(static_cast<int64_t>(i)),
+        Value::Str(good ? "good" : "poor"),
+        Value::Str(kRaces[race]),
+        Value::Str(married ? "married" : "unmarried"),
+        Value::Str(kAges[age]),
+        Value::Str(smoking ? "smoking" : "non smoking"),
+        Value::Str(kPrenatal[prenatal]),
+        Value::Str(kEdu[edu]),
+        Value::Str(male ? "M" : "F"),
+        Value::Str(hypertension ? "yes" : "no"),
+        Value::Str(diabetes ? "yes" : "no"),
+    });
+  }
+
+  Database db;
+  XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(birth)));
+  return db;
+}
+
+namespace {
+
+Result<AggregateQuery> CountWhere(const Database& db, std::string name,
+                                  const std::string& where) {
+  AggregateQuery q;
+  q.name = std::move(name);
+  q.agg = AggregateSpec::CountStar();
+  XPLAIN_ASSIGN_OR_RETURN(q.where, ParsePredicate(db, where));
+  return q;
+}
+
+}  // namespace
+
+Result<UserQuestion> MakeNatalityQRace(const Database& db) {
+  std::vector<AggregateQuery> subqueries;
+  XPLAIN_ASSIGN_OR_RETURN(
+      AggregateQuery q1,
+      CountWhere(db, "q1", "Birth.ap = 'good' AND Birth.race = 'Asian'"));
+  XPLAIN_ASSIGN_OR_RETURN(
+      AggregateQuery q2,
+      CountWhere(db, "q2", "Birth.ap = 'poor' AND Birth.race = 'Asian'"));
+  subqueries.push_back(std::move(q1));
+  subqueries.push_back(std::move(q2));
+  XPLAIN_ASSIGN_OR_RETURN(ExprPtr expr,
+                          ParseExpression("q1 / q2", {"q1", "q2"}));
+  XPLAIN_ASSIGN_OR_RETURN(
+      NumericalQuery query,
+      NumericalQuery::Create(std::move(subqueries), std::move(expr)));
+  return UserQuestion{std::move(query), Direction::kHigh};
+}
+
+Result<UserQuestion> MakeNatalityQRacePrime(const Database& db) {
+  std::vector<AggregateQuery> subqueries;
+  const char* specs[][2] = {
+      {"q1", "Birth.ap = 'good' AND Birth.race = 'Asian'"},
+      {"q2", "Birth.ap = 'poor' AND Birth.race = 'Asian'"},
+      {"q3", "Birth.ap = 'good' AND Birth.race = 'Black'"},
+      {"q4", "Birth.ap = 'poor' AND Birth.race = 'Black'"},
+  };
+  for (const auto& spec : specs) {
+    XPLAIN_ASSIGN_OR_RETURN(AggregateQuery q,
+                            CountWhere(db, spec[0], spec[1]));
+    subqueries.push_back(std::move(q));
+  }
+  XPLAIN_ASSIGN_OR_RETURN(
+      ExprPtr expr,
+      ParseExpression("(q1 / q2) / (q3 / q4)", {"q1", "q2", "q3", "q4"}));
+  XPLAIN_ASSIGN_OR_RETURN(
+      NumericalQuery query,
+      NumericalQuery::Create(std::move(subqueries), std::move(expr)));
+  return UserQuestion{std::move(query), Direction::kHigh};
+}
+
+Result<UserQuestion> MakeNatalityQMarital(const Database& db) {
+  std::vector<AggregateQuery> subqueries;
+  const char* specs[][2] = {
+      {"q1", "Birth.ap = 'good' AND Birth.marital = 'married'"},
+      {"q2", "Birth.ap = 'poor' AND Birth.marital = 'married'"},
+      {"q3", "Birth.ap = 'good' AND Birth.marital = 'unmarried'"},
+      {"q4", "Birth.ap = 'poor' AND Birth.marital = 'unmarried'"},
+  };
+  for (const auto& spec : specs) {
+    XPLAIN_ASSIGN_OR_RETURN(AggregateQuery q,
+                            CountWhere(db, spec[0], spec[1]));
+    subqueries.push_back(std::move(q));
+  }
+  XPLAIN_ASSIGN_OR_RETURN(
+      ExprPtr expr,
+      ParseExpression("(q1 / q2) / (q3 / q4)", {"q1", "q2", "q3", "q4"}));
+  XPLAIN_ASSIGN_OR_RETURN(
+      NumericalQuery query,
+      NumericalQuery::Create(std::move(subqueries), std::move(expr)));
+  return UserQuestion{std::move(query), Direction::kHigh};
+}
+
+}  // namespace datagen
+}  // namespace xplain

@@ -1,0 +1,55 @@
+#ifndef XPLAIN_DATAGEN_NATALITY_H_
+#define XPLAIN_DATAGEN_NATALITY_H_
+
+#include <cstdint>
+
+#include "relational/database.h"
+#include "relational/query.h"
+#include "util/result.h"
+
+namespace xplain {
+namespace datagen {
+
+/// Synthetic stand-in for the CDC 2010 natality file (paper Section 5.1).
+///
+/// One relation `Birth` over the recoded attributes the paper's experiments
+/// use: APGAR group (ap), race, marital status, mother's age group, tobacco
+/// use, month prenatal care began, education, infant sex, hypertension and
+/// diabetes. A generative model plants the correlations the paper observes:
+/// married / educated / non-smoking / early-prenatal-care mothers skew both
+/// toward ap=good and toward race=Asian, so the same confounded
+/// subpopulations the paper reports surface as top explanations.
+struct NatalityOptions {
+  size_t num_rows = 100000;
+  uint64_t seed = 2010;
+};
+
+/// Generates the Birth table. Attribute values (all strings except the
+/// int64 key `id`):
+///   ap:        good | poor
+///   race:      White | Black | AmInd | Asian
+///   marital:   married | unmarried
+///   age:       <15 | 15-19 | 20-24 | 25-29 | 30-34 | 35-39 | 40-44 | 45+
+///   tobacco:   smoking | non smoking
+///   prenatal:  1st trim | 2nd trim | 3rd trim | none
+///   education: <9yrs | 9-11yrs | 12yrs | 13-15yrs | >=16yrs
+///   sex:       M | F
+///   hypertension, diabetes: yes | no
+Result<Database> GenerateNatality(const NatalityOptions& options);
+
+/// The paper's Q_Race question (Section 5.1, Figure 8):
+///   Q = q1/q2, dir = high, with q1/q2 = count(*) of
+///   [ap=good/poor, race=Asian].
+Result<UserQuestion> MakeNatalityQRace(const Database& db);
+
+/// The paper's Q'_Race question: (q1/q2)/(q3/q4) comparing Asian vs Black.
+Result<UserQuestion> MakeNatalityQRacePrime(const Database& db);
+
+/// The paper's Q_Marital question (Figure 9): Q = (q1/q2)/(q3/q4),
+/// dir = high, comparing good/poor ratios for married vs unmarried.
+Result<UserQuestion> MakeNatalityQMarital(const Database& db);
+
+}  // namespace datagen
+}  // namespace xplain
+
+#endif  // XPLAIN_DATAGEN_NATALITY_H_

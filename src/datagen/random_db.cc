@@ -1,0 +1,194 @@
+#include "datagen/random_db.h"
+
+#include <set>
+#include <utility>
+
+#include "datagen/rng.h"
+
+namespace xplain {
+namespace datagen {
+
+namespace {
+
+Status AddFk(Database* db, const std::string& child, const std::string& c_attr,
+             const std::string& parent, const std::string& p_attr,
+             ForeignKeyKind kind) {
+  ForeignKey fk;
+  fk.child_relation = child;
+  fk.child_attrs = {c_attr};
+  fk.parent_relation = parent;
+  fk.parent_attrs = {p_attr};
+  fk.kind = kind;
+  return db->AddForeignKey(fk);
+}
+
+Result<Relation> MakeKeyedRelation(const std::string& name,
+                                   const std::string& key,
+                                   const std::string& value_attr, int num_rows,
+                                   int domain, Rng* rng) {
+  XPLAIN_ASSIGN_OR_RETURN(
+      RelationSchema schema,
+      RelationSchema::Create(name,
+                             {{key, DataType::kInt64},
+                              {value_attr, DataType::kInt64}},
+                             {key}));
+  Relation rel(schema);
+  for (int i = 0; i < num_rows; ++i) {
+    rel.AppendUnchecked(
+        Tuple{Value::Int(i), Value::Int(rng->UniformInt(0, domain - 1))});
+  }
+  return rel;
+}
+
+Result<Relation> MakeLinkRelation(const std::string& name,
+                                  const std::string& left,
+                                  const std::string& right, int left_rows,
+                                  int right_rows, int num_rows, Rng* rng) {
+  XPLAIN_ASSIGN_OR_RETURN(
+      RelationSchema schema,
+      RelationSchema::Create(
+          name, {{left, DataType::kInt64}, {right, DataType::kInt64}},
+          {left, right}));
+  Relation rel(schema);
+  std::set<std::pair<int64_t, int64_t>> seen;
+  int attempts = 0;
+  while (static_cast<int>(seen.size()) < num_rows &&
+         attempts < num_rows * 20) {
+    ++attempts;
+    int64_t l = rng->UniformInt(0, left_rows - 1);
+    int64_t r = rng->UniformInt(0, right_rows - 1);
+    if (seen.emplace(l, r).second) {
+      rel.AppendUnchecked(Tuple{Value::Int(l), Value::Int(r)});
+    }
+  }
+  return rel;
+}
+
+}  // namespace
+
+Result<Database> GenerateRandomDb(const RandomDbOptions& options) {
+  Rng rng(options.seed);
+  const int size = std::max(2, options.size);
+  const int keys = size / 2 + 1;
+  Database db;
+
+  switch (options.schema) {
+    case DbTemplate::kChain: {
+      XPLAIN_ASSIGN_OR_RETURN(
+          Relation r1, MakeKeyedRelation("R1", "x", "v1", keys,
+                                         options.domain, &rng));
+      XPLAIN_ASSIGN_OR_RETURN(
+          Relation r2, MakeKeyedRelation("R2", "y", "v2", keys,
+                                         options.domain, &rng));
+      XPLAIN_ASSIGN_OR_RETURN(
+          Relation r3, MakeKeyedRelation("R3", "z", "v3", keys,
+                                         options.domain, &rng));
+      XPLAIN_ASSIGN_OR_RETURN(
+          Relation s1, MakeLinkRelation("S1", "x", "y", keys, keys, size,
+                                        &rng));
+      XPLAIN_ASSIGN_OR_RETURN(
+          Relation s2, MakeLinkRelation("S2", "y", "z", keys, keys, size,
+                                        &rng));
+      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(r1)));
+      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(s1)));
+      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(r2)));
+      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(s2)));
+      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(r3)));
+      XPLAIN_RETURN_NOT_OK(
+          AddFk(&db, "S1", "x", "R1", "x", ForeignKeyKind::kStandard));
+      XPLAIN_RETURN_NOT_OK(
+          AddFk(&db, "S1", "y", "R2", "y", ForeignKeyKind::kStandard));
+      XPLAIN_RETURN_NOT_OK(
+          AddFk(&db, "S2", "y", "R2", "y", ForeignKeyKind::kStandard));
+      XPLAIN_RETURN_NOT_OK(
+          AddFk(&db, "S2", "z", "R3", "z", ForeignKeyKind::kStandard));
+      break;
+    }
+    case DbTemplate::kStarFact: {
+      XPLAIN_ASSIGN_OR_RETURN(
+          Relation dim_a, MakeKeyedRelation("DimA", "a", "va", keys,
+                                            options.domain, &rng));
+      XPLAIN_ASSIGN_OR_RETURN(
+          Relation dim_b, MakeKeyedRelation("DimB", "b", "vb", keys,
+                                            options.domain, &rng));
+      XPLAIN_ASSIGN_OR_RETURN(
+          RelationSchema f_schema,
+          RelationSchema::Create("F",
+                                 {{"fid", DataType::kInt64},
+                                  {"a", DataType::kInt64},
+                                  {"b", DataType::kInt64},
+                                  {"vf", DataType::kInt64}},
+                                 {"fid"}));
+      Relation fact(f_schema);
+      for (int i = 0; i < size; ++i) {
+        fact.AppendUnchecked(Tuple{
+            Value::Int(i), Value::Int(rng.UniformInt(0, keys - 1)),
+            Value::Int(rng.UniformInt(0, keys - 1)),
+            Value::Int(rng.UniformInt(0, options.domain - 1))});
+      }
+      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(fact)));
+      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(dim_a)));
+      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(dim_b)));
+      XPLAIN_RETURN_NOT_OK(
+          AddFk(&db, "F", "a", "DimA", "a", ForeignKeyKind::kStandard));
+      XPLAIN_RETURN_NOT_OK(
+          AddFk(&db, "F", "b", "DimB", "b", ForeignKeyKind::kStandard));
+      break;
+    }
+    case DbTemplate::kDblpLike: {
+      XPLAIN_ASSIGN_OR_RETURN(
+          Relation a, MakeKeyedRelation("A", "id", "va", keys,
+                                        options.domain, &rng));
+      XPLAIN_ASSIGN_OR_RETURN(
+          Relation p, MakeKeyedRelation("P", "pid", "vp", keys,
+                                        options.domain, &rng));
+      XPLAIN_ASSIGN_OR_RETURN(
+          Relation c, MakeLinkRelation("C", "aid", "pid", keys, keys, size,
+                                       &rng));
+      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(a)));
+      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(c)));
+      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(p)));
+      XPLAIN_RETURN_NOT_OK(
+          AddFk(&db, "C", "aid", "A", "id", ForeignKeyKind::kStandard));
+      XPLAIN_RETURN_NOT_OK(
+          AddFk(&db, "C", "pid", "P", "pid", ForeignKeyKind::kBackAndForth));
+      break;
+    }
+  }
+
+  db.SemijoinReduce();
+  // An empty instance is useless for testing; nudge the seed until we get a
+  // non-trivial one.
+  if (db.TotalRows() == 0) {
+    RandomDbOptions retry = options;
+    retry.seed = options.seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    return GenerateRandomDb(retry);
+  }
+  return db;
+}
+
+Result<ConjunctivePredicate> RandomExplanation(const Database& db,
+                                               uint64_t seed) {
+  Rng rng(seed);
+  const int num_atoms = static_cast<int>(rng.UniformInt(1, 3));
+  std::vector<AtomicPredicate> atoms;
+  for (int i = 0; i < num_atoms; ++i) {
+    const int rel = static_cast<int>(rng.UniformInt(0, db.num_relations() - 1));
+    const Relation& relation = db.relation(rel);
+    if (relation.NumRows() == 0) continue;
+    const int attr = static_cast<int>(
+        rng.UniformInt(0, relation.schema().num_attributes() - 1));
+    std::vector<Value> domain = relation.DistinctValues(attr);
+    if (domain.empty()) continue;
+    const Value& constant = domain[rng.UniformInt(0, domain.size() - 1)];
+    atoms.push_back(
+        AtomicPredicate{ColumnRef{rel, attr}, CompareOp::kEq, constant});
+  }
+  if (atoms.empty()) {
+    return Status::InvalidArgument("could not build a random explanation");
+  }
+  return ConjunctivePredicate(std::move(atoms));
+}
+
+}  // namespace datagen
+}  // namespace xplain

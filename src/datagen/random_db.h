@@ -1,0 +1,48 @@
+#ifndef XPLAIN_DATAGEN_RANDOM_DB_H_
+#define XPLAIN_DATAGEN_RANDOM_DB_H_
+
+#include <cstdint>
+
+#include "relational/database.h"
+#include "relational/predicate.h"
+#include "util/result.h"
+
+namespace xplain {
+namespace datagen {
+
+/// Schema templates for property-based testing.
+enum class DbTemplate {
+  /// Example 2.9's chain: R1(x), S1(x,y), R2(y), S2(y,z), R3(z), four
+  /// standard FKs. No fact core; exercises semijoin-reduction effects.
+  kChain,
+  /// Star with a fact core: F(fid, a, b, v) with standard FKs to DimA(a,va)
+  /// and DimB(b,vb). F pins each universal row (Theorem 3.3's precondition
+  /// holds).
+  kStarFact,
+  /// DBLP-shaped: A(id,va), C(aid,pid) with standard FK to A and
+  /// back-and-forth FK to P(pid,vp). C is the fact core.
+  kDblpLike,
+};
+
+struct RandomDbOptions {
+  uint64_t seed = 1;
+  DbTemplate schema = DbTemplate::kDblpLike;
+  /// Rough number of rows in the core/link relations.
+  int size = 8;
+  /// Domain size of the categorical value attributes.
+  int domain = 3;
+};
+
+/// Generates a small random, referentially-intact, semijoin-reduced
+/// instance of the chosen template.
+Result<Database> GenerateRandomDb(const RandomDbOptions& options);
+
+/// A random candidate explanation over the instance: 1-3 equality atoms on
+/// non-key attributes, constants drawn from the live domains.
+Result<ConjunctivePredicate> RandomExplanation(const Database& db,
+                                               uint64_t seed);
+
+}  // namespace datagen
+}  // namespace xplain
+
+#endif  // XPLAIN_DATAGEN_RANDOM_DB_H_

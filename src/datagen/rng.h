@@ -1,0 +1,60 @@
+#ifndef XPLAIN_DATAGEN_RNG_H_
+#define XPLAIN_DATAGEN_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace xplain {
+
+/// Deterministic, seedable RNG (splitmix64) for the synthetic workload
+/// generators. Not cryptographic; stable across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return Mix64(state_);
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    XPLAIN_DCHECK(lo <= hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextU64() % range);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Index sampled proportionally to `weights` (non-negative, not all 0).
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    XPLAIN_DCHECK(total > 0.0);
+    double target = NextDouble() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (target < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// An independent child generator (stable fan-out).
+  Rng Split() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_DATAGEN_RNG_H_

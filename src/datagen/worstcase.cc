@@ -1,0 +1,64 @@
+#include "datagen/worstcase.h"
+
+namespace xplain {
+namespace datagen {
+
+Result<WorstCaseInstance> GenerateWorstCaseChain(int p) {
+  if (p < 1) {
+    return Status::InvalidArgument("chain parameter p must be >= 1");
+  }
+  XPLAIN_ASSIGN_OR_RETURN(
+      RelationSchema r1_schema,
+      RelationSchema::Create("R1", {{"a", DataType::kInt64}}, {"a"}));
+  XPLAIN_ASSIGN_OR_RETURN(
+      RelationSchema r2_schema,
+      RelationSchema::Create("R2", {{"b", DataType::kInt64}}, {"b"}));
+  XPLAIN_ASSIGN_OR_RETURN(
+      RelationSchema r3_schema,
+      RelationSchema::Create("R3",
+                             {{"c", DataType::kInt64},
+                              {"a", DataType::kInt64},
+                              {"b", DataType::kInt64}},
+                             {"c"}));
+  Relation r1(r1_schema), r2(r2_schema), r3(r3_schema);
+  for (int i = 1; i <= p; ++i) r1.AppendUnchecked(Tuple{Value::Int(i)});
+  for (int i = 0; i <= p; ++i) r2.AppendUnchecked(Tuple{Value::Int(i)});
+  // s_ia = (c_{2i-1}, a_i, b_{i-1}); s_ib = (c_{2i}, a_i, b_i).
+  for (int i = 1; i <= p; ++i) {
+    r3.AppendUnchecked(
+        Tuple{Value::Int(2 * i - 1), Value::Int(i), Value::Int(i - 1)});
+    r3.AppendUnchecked(
+        Tuple{Value::Int(2 * i), Value::Int(i), Value::Int(i)});
+  }
+
+  WorstCaseInstance out;
+  XPLAIN_RETURN_NOT_OK(out.db.AddRelation(std::move(r1)));
+  XPLAIN_RETURN_NOT_OK(out.db.AddRelation(std::move(r2)));
+  XPLAIN_RETURN_NOT_OK(out.db.AddRelation(std::move(r3)));
+  ForeignKey to_r1;
+  to_r1.child_relation = "R3";
+  to_r1.child_attrs = {"a"};
+  to_r1.parent_relation = "R1";
+  to_r1.parent_attrs = {"a"};
+  to_r1.kind = ForeignKeyKind::kBackAndForth;
+  XPLAIN_RETURN_NOT_OK(out.db.AddForeignKey(to_r1));
+  ForeignKey to_r2;
+  to_r2.child_relation = "R3";
+  to_r2.child_attrs = {"b"};
+  to_r2.parent_relation = "R2";
+  to_r2.parent_attrs = {"b"};
+  to_r2.kind = ForeignKeyKind::kBackAndForth;
+  XPLAIN_RETURN_NOT_OK(out.db.AddForeignKey(to_r2));
+
+  XPLAIN_ASSIGN_OR_RETURN(
+      AtomicPredicate atom,
+      AtomicPredicate::Create(out.db, "R3.c", CompareOp::kEq, Value::Int(1)));
+  out.phi = ConjunctivePredicate({atom});
+  out.p = p;
+  out.total_rows = out.db.TotalRows();
+  out.expected_iterations = static_cast<size_t>(4 * p - 1);
+  return out;
+}
+
+}  // namespace datagen
+}  // namespace xplain

@@ -1,0 +1,40 @@
+#ifndef XPLAIN_DATAGEN_WORSTCASE_H_
+#define XPLAIN_DATAGEN_WORSTCASE_H_
+
+#include "relational/database.h"
+#include "relational/predicate.h"
+#include "util/result.h"
+
+namespace xplain {
+namespace datagen {
+
+/// The Example 3.7 / Figure 5 construction on which program P needs a
+/// linear number of iterations: R1(a), R2(b), R3(c, a, b) with two
+/// back-and-forth foreign keys R3.a <-> R1.a and R3.b <-> R2.b.
+///
+/// For a chain parameter p >= 1 the instance has
+///   R1 = {a_1..a_p},  R2 = {b_0..b_p},
+///   R3 = {s_ia = (c_{2i-1}, a_i, b_{i-1}), s_ib = (c_{2i}, a_i, b_i)},
+/// 4p+1 tuples total, and the explanation phi: [R3.c = c_1] drags the whole
+/// chain into the intervention one link per iteration: program P needs a
+/// number of iterations linear in the instance size (Example 3.7's
+/// "n-1 iterations"). Precisely, with the formal Rule (i) -- which also
+/// seeds the dangling b_0, a tuple the paper's informal iteration-by-
+/// iteration narration leaves to Rule (iii) -- the fixpoint takes 4p-1
+/// productive iterations (n-2), one fewer than narrated.
+struct WorstCaseInstance {
+  Database db;
+  ConjunctivePredicate phi;
+  int p = 0;
+  /// Total tuples, 4p+1.
+  size_t total_rows = 0;
+  /// Expected productive iterations of program P: 4p-1.
+  size_t expected_iterations = 0;
+};
+
+Result<WorstCaseInstance> GenerateWorstCaseChain(int p);
+
+}  // namespace datagen
+}  // namespace xplain
+
+#endif  // XPLAIN_DATAGEN_WORSTCASE_H_

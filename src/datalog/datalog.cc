@@ -1,0 +1,207 @@
+#include "datalog/datalog.h"
+
+#include <algorithm>
+
+namespace xplain {
+namespace datalog {
+
+namespace {
+const std::unordered_set<Tuple, TupleHash, TupleEq> kNoFacts;
+}  // namespace
+
+Status Program::DeclareRelation(const std::string& name, int arity,
+                                bool transient) {
+  if (name.empty() || arity <= 0) {
+    return Status::InvalidArgument("relation needs a name and arity >= 1");
+  }
+  auto [it, inserted] = arity_.emplace(name, arity);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("relation " + name + " already declared");
+  }
+  facts_[name];
+  if (transient) transient_.insert(name);
+  return Status::OK();
+}
+
+Status Program::AddFact(const std::string& relation, Tuple fact) {
+  auto it = arity_.find(relation);
+  if (it == arity_.end()) {
+    return Status::NotFound("undeclared relation " + relation);
+  }
+  if (static_cast<int>(fact.size()) != it->second) {
+    return Status::InvalidArgument("arity mismatch for fact in " + relation);
+  }
+  facts_[relation].insert(std::move(fact));
+  return Status::OK();
+}
+
+Status Program::CheckAtom(const Atom& atom) const {
+  auto it = arity_.find(atom.relation);
+  if (it == arity_.end()) {
+    return Status::NotFound("undeclared relation " + atom.relation);
+  }
+  if (static_cast<int>(atom.terms.size()) != it->second) {
+    return Status::InvalidArgument("arity mismatch in atom over " +
+                                   atom.relation);
+  }
+  return Status::OK();
+}
+
+Status Program::AddRule(Rule rule) {
+  XPLAIN_RETURN_NOT_OK(CheckAtom(rule.head));
+  if (rule.head.negated) {
+    return Status::InvalidArgument("rule heads cannot be negated");
+  }
+  std::unordered_set<std::string> positive_vars;
+  for (const Atom& atom : rule.body) {
+    XPLAIN_RETURN_NOT_OK(CheckAtom(atom));
+    if (!atom.negated) {
+      for (const Term& term : atom.terms) {
+        if (term.is_variable) positive_vars.insert(term.variable);
+      }
+    }
+  }
+  // Safety: every variable in the head, in negated atoms, and in builtins
+  // must be bound by some positive atom.
+  auto check_bound = [&positive_vars](const std::string& var,
+                                      const char* where) -> Status {
+    if (positive_vars.count(var) == 0) {
+      return Status::InvalidArgument(std::string("unsafe variable ") + var +
+                                     " in " + where);
+    }
+    return Status::OK();
+  };
+  for (const Term& term : rule.head.terms) {
+    if (term.is_variable) {
+      XPLAIN_RETURN_NOT_OK(check_bound(term.variable, "rule head"));
+    }
+  }
+  for (const Atom& atom : rule.body) {
+    if (!atom.negated) continue;
+    for (const Term& term : atom.terms) {
+      if (term.is_variable) {
+        XPLAIN_RETURN_NOT_OK(check_bound(term.variable, "negated atom"));
+      }
+    }
+  }
+  for (const Builtin& builtin : rule.builtins) {
+    for (const std::string& var : builtin.variables) {
+      XPLAIN_RETURN_NOT_OK(check_bound(var, "builtin"));
+    }
+  }
+  // Evaluate positives before negatives: stable-partition the body.
+  std::stable_partition(rule.body.begin(), rule.body.end(),
+                        [](const Atom& a) { return !a.negated; });
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+const std::unordered_set<Tuple, TupleHash, TupleEq>& Program::Facts(
+    const std::string& name) const {
+  auto it = facts_.find(name);
+  return it == facts_.end() ? kNoFacts : it->second;
+}
+
+void Program::MatchFrom(
+    const Rule& rule, size_t body_index, Bindings* bindings,
+    std::vector<std::pair<std::string, Tuple>>* derived) const {
+  if (body_index == rule.body.size()) {
+    // Builtins, then emit the head.
+    for (const Builtin& builtin : rule.builtins) {
+      std::vector<Value> args;
+      args.reserve(builtin.variables.size());
+      for (const std::string& var : builtin.variables) {
+        args.push_back(bindings->at(var));
+      }
+      if (!builtin.predicate(args)) return;
+    }
+    Tuple head;
+    head.reserve(rule.head.terms.size());
+    for (const Term& term : rule.head.terms) {
+      head.push_back(term.is_variable ? bindings->at(term.variable)
+                                      : term.constant);
+    }
+    derived->emplace_back(rule.head.relation, std::move(head));
+    return;
+  }
+
+  const Atom& atom = rule.body[body_index];
+  if (atom.negated) {
+    // All variables are bound (safety check in AddRule): absence test.
+    Tuple probe;
+    probe.reserve(atom.terms.size());
+    for (const Term& term : atom.terms) {
+      probe.push_back(term.is_variable ? bindings->at(term.variable)
+                                       : term.constant);
+    }
+    if (Facts(atom.relation).count(probe) == 0) {
+      MatchFrom(rule, body_index + 1, bindings, derived);
+    }
+    return;
+  }
+
+  for (const Tuple& fact : Facts(atom.relation)) {
+    // Unify.
+    std::vector<std::string> newly_bound;
+    bool ok = true;
+    for (size_t i = 0; i < atom.terms.size() && ok; ++i) {
+      const Term& term = atom.terms[i];
+      if (!term.is_variable) {
+        ok = term.constant.Equals(fact[i]);
+        continue;
+      }
+      auto it = bindings->find(term.variable);
+      if (it == bindings->end()) {
+        bindings->emplace(term.variable, fact[i]);
+        newly_bound.push_back(term.variable);
+      } else {
+        ok = it->second.Equals(fact[i]);
+      }
+    }
+    if (ok) MatchFrom(rule, body_index + 1, bindings, derived);
+    for (const std::string& var : newly_bound) bindings->erase(var);
+  }
+}
+
+void Program::MatchRule(
+    const Rule& rule,
+    std::vector<std::pair<std::string, Tuple>>* derived) const {
+  Bindings bindings;
+  MatchFrom(rule, 0, &bindings, derived);
+}
+
+Result<size_t> Program::Evaluate(size_t max_rounds) {
+  for (size_t round = 1; round <= max_rounds; ++round) {
+    // Phase 1: clear and recompute the transient relations from the
+    // current persistent facts. Transient rules may not depend on other
+    // transients' fresh values beyond a single pass (true for the
+    // Prop. 3.2 program: S and T depend only on EDBs and Delta).
+    for (const std::string& name : transient_) facts_[name].clear();
+    std::vector<std::pair<std::string, Tuple>> transient_derived;
+    for (const Rule& rule : rules_) {
+      if (transient_.count(rule.head.relation) == 0) continue;
+      MatchRule(rule, &transient_derived);
+    }
+    for (auto& [relation, fact] : transient_derived) {
+      facts_[relation].insert(std::move(fact));
+    }
+
+    // Phase 2: persistent heads accumulate.
+    std::vector<std::pair<std::string, Tuple>> derived;
+    for (const Rule& rule : rules_) {
+      if (transient_.count(rule.head.relation) != 0) continue;
+      MatchRule(rule, &derived);
+    }
+    size_t added = 0;
+    for (auto& [relation, fact] : derived) {
+      if (facts_[relation].insert(std::move(fact)).second) ++added;
+    }
+    if (added == 0) return round;
+  }
+  return Status::OutOfRange("datalog evaluation did not converge within " +
+                            std::to_string(max_rounds) + " rounds");
+}
+
+}  // namespace datalog
+}  // namespace xplain

@@ -1,0 +1,136 @@
+#ifndef XPLAIN_DATALOG_DATALOG_H_
+#define XPLAIN_DATALOG_DATALOG_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "util/result.h"
+
+namespace xplain {
+namespace datalog {
+
+/// A minimal datalog-with-negation engine, sufficient to execute the
+/// paper's Proposition 3.2 rewriting of program P.
+///
+/// Terms are variables ("x", "y", ...) or constants. Rule bodies contain
+/// positive atoms, negated atoms, and built-in filters (arbitrary callbacks
+/// over the bound variables -- used for the paper's phi predicate).
+///
+/// Relations are either *persistent* (facts accumulate across rounds: the
+/// EDBs and the paper's Delta_i) or *transient* (cleared and recomputed at
+/// the start of every round: the paper's S_i and T_i, which appear negated
+/// and must reflect the current Delta, not an accumulated history).
+/// Each evaluation round (1) clears and recomputes the transient heads,
+/// then (2) applies the persistent-head rules and adds the derived facts;
+/// iteration stops when a round adds nothing. For programs monotone in
+/// their persistent IDBs -- program P is, by Prop. 3.1 -- this reaches the
+/// least fixpoint.
+
+/// A term: variable or constant.
+struct Term {
+  static Term Var(std::string name) {
+    Term t;
+    t.is_variable = true;
+    t.variable = std::move(name);
+    return t;
+  }
+  static Term Const(Value value) {
+    Term t;
+    t.is_variable = false;
+    t.constant = std::move(value);
+    return t;
+  }
+
+  bool is_variable = false;
+  std::string variable;
+  Value constant;
+};
+
+/// An atom R(t1, ..., tn), possibly negated.
+struct Atom {
+  std::string relation;
+  std::vector<Term> terms;
+  bool negated = false;
+
+  static Atom Positive(std::string relation, std::vector<Term> terms) {
+    return Atom{std::move(relation), std::move(terms), false};
+  }
+  static Atom Negative(std::string relation, std::vector<Term> terms) {
+    return Atom{std::move(relation), std::move(terms), true};
+  }
+};
+
+/// Variable bindings accumulated while matching a rule body.
+using Bindings = std::unordered_map<std::string, Value>;
+
+/// A built-in filter evaluated once all its variables are bound.
+struct Builtin {
+  /// Variables the callback needs (must be bound by earlier atoms).
+  std::vector<std::string> variables;
+  /// Returns true if the (ordered) values satisfy the predicate.
+  std::function<bool(const std::vector<Value>&)> predicate;
+};
+
+/// head :- body, builtins.
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+  std::vector<Builtin> builtins;
+};
+
+/// A fact store plus rules; Evaluate() runs to the inflationary fixpoint.
+class Program {
+ public:
+  /// Declares a relation with the given arity. EDB and IDB relations are
+  /// declared the same way; EDBs simply receive initial facts. Transient
+  /// relations are cleared and recomputed each round (see class comment).
+  Status DeclareRelation(const std::string& name, int arity,
+                         bool transient = false);
+
+  /// Adds an initial fact.
+  Status AddFact(const std::string& relation, Tuple fact);
+
+  /// Adds a rule; all referenced relations must be declared, arities must
+  /// match, and negated/builtin variables must be bound by positive atoms.
+  Status AddRule(Rule rule);
+
+  /// Runs naive inflationary evaluation. Returns the number of rounds
+  /// (applications of the full rule set) until the fixpoint, capped by
+  /// `max_rounds` (error if exceeded).
+  Result<size_t> Evaluate(size_t max_rounds = 100000);
+
+  /// Facts currently in `relation` (initial + derived).
+  const std::unordered_set<Tuple, TupleHash, TupleEq>& Facts(
+      const std::string& name) const;
+
+  size_t NumFacts(const std::string& name) const {
+    return Facts(name).size();
+  }
+
+ private:
+  Status CheckAtom(const Atom& atom) const;
+
+  /// Matches `rule` against current facts, collecting newly derived head
+  /// facts into `derived`.
+  void MatchRule(const Rule& rule,
+                 std::vector<std::pair<std::string, Tuple>>* derived) const;
+
+  void MatchFrom(const Rule& rule, size_t body_index, Bindings* bindings,
+                 std::vector<std::pair<std::string, Tuple>>* derived) const;
+
+  std::unordered_map<std::string, int> arity_;
+  std::unordered_set<std::string> transient_;
+  std::unordered_map<std::string,
+                     std::unordered_set<Tuple, TupleHash, TupleEq>>
+      facts_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace datalog
+}  // namespace xplain
+
+#endif  // XPLAIN_DATALOG_DATALOG_H_

@@ -1,0 +1,38 @@
+#ifndef XPLAIN_DATALOG_PROGRAM_P_H_
+#define XPLAIN_DATALOG_PROGRAM_P_H_
+
+#include "datalog/datalog.h"
+#include "relational/database.h"
+#include "relational/predicate.h"
+#include "relational/rowset.h"
+#include "util/result.h"
+
+namespace xplain {
+namespace datalog {
+
+/// Executes program P through its Proposition 3.2 datalog rewriting:
+///
+///   S_i(x_i)     :- R_1(x_1), ..., R_k(x_k), !phi(x)      (per i)
+///   Delta_i(x_i) :- R_i(x_i), !S_i(x_i)                   (Rule (i))
+///   T_i(x_i)     :- R_1(x_1), !Delta_1(x_1), ...,
+///                   R_k(x_k), !Delta_k(x_k)               (per i)
+///   Delta_i(x_i) :- R_i(x_i), !T_i(x_i)                   (Rule (ii))
+///   Delta_i(x_i) :- R_i(x_i), Delta_j(x_j)                (Rule (iii),
+///                   per back-and-forth FK R_j.fk <-> R_i.pk)
+///
+/// Join variables follow the paper's convention: attributes linked by a
+/// foreign key share one variable. S_i and T_i are transient (recomputed
+/// per round); Delta accumulates. The result is translated back to row
+/// indices. This is a reference implementation used to cross-check the
+/// optimized InterventionEngine -- O(|U| * k) nested-loop matching per
+/// round, so use it on small instances.
+///
+/// `rounds_out`, if non-null, receives the number of evaluation rounds.
+Result<DeltaSet> RunProgramPDatalog(const Database& db,
+                                    const ConjunctivePredicate& phi,
+                                    size_t* rounds_out = nullptr);
+
+}  // namespace datalog
+}  // namespace xplain
+
+#endif  // XPLAIN_DATALOG_PROGRAM_P_H_

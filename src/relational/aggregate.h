@@ -1,0 +1,84 @@
+#ifndef XPLAIN_RELATIONAL_AGGREGATE_H_
+#define XPLAIN_RELATIONAL_AGGREGATE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "relational/universal.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// Aggregate functions supported in the select clause of the q_j queries
+/// (paper Eq. 1).
+enum class AggregateKind {
+  kCountStar,
+  kCountDistinct,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+const char* AggregateKindToString(AggregateKind kind);
+
+/// An aggregate over the universal relation, e.g. COUNT(DISTINCT
+/// Publication.pubid) or SUM(Order.amount). `column` is unused for
+/// COUNT(*).
+struct AggregateSpec {
+  AggregateKind kind = AggregateKind::kCountStar;
+  ColumnRef column;
+
+  static AggregateSpec CountStar() { return AggregateSpec{}; }
+  static AggregateSpec CountDistinct(ColumnRef column) {
+    return AggregateSpec{AggregateKind::kCountDistinct, column};
+  }
+  static AggregateSpec Sum(ColumnRef column) {
+    return AggregateSpec{AggregateKind::kSum, column};
+  }
+
+  /// "count(*)", "count(distinct Rel.attr)", "sum(Rel.attr)" ...
+  std::string ToString(const Database& db) const;
+};
+
+/// Mergeable running state of one aggregate. Supports the cube's two-phase
+/// (base cells, then lattice rollup) evaluation.
+class AggregateAccumulator {
+ public:
+  explicit AggregateAccumulator(AggregateKind kind) : kind_(kind) {}
+
+  /// Folds in one input row's column value (ignored for COUNT(*)).
+  void Add(const Value& value);
+  /// Folds in another accumulator of the same kind.
+  void Merge(const AggregateAccumulator& other);
+
+  AggregateKind kind() const { return kind_; }
+
+  /// Final aggregate value; NULL for empty MIN/MAX/AVG/SUM groups,
+  /// 0 for empty counts.
+  Value Finish() const;
+
+  /// Finish() widened to double; empty groups yield 0.0.
+  double FinishNumeric() const;
+
+ private:
+  AggregateKind kind_;
+  int64_t count_ = 0;         // rows seen (kCountStar / kAvg divisor)
+  double sum_ = 0.0;          // kSum / kAvg
+  Value min_, max_;           // kMin / kMax
+  std::unordered_set<Value> distinct_;  // kCountDistinct
+};
+
+/// Evaluates `spec` over the universal rows satisfying `filter` (nullptr =
+/// all rows). If `live` is non-null, only rows with live->Test(u) true
+/// participate.
+Value EvaluateAggregate(const UniversalRelation& universal,
+                        const AggregateSpec& spec,
+                        const DnfPredicate* filter,
+                        const RowSet* live = nullptr);
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_AGGREGATE_H_

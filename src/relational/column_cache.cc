@@ -1,0 +1,93 @@
+#include "relational/column_cache.h"
+
+namespace xplain {
+
+ColumnCache ColumnCache::Build(const UniversalRelation& universal,
+                               const std::vector<ColumnRef>& columns) {
+  ColumnCache cache;
+  cache.universal_ = &universal;
+  cache.columns_ = columns;
+  cache.num_rows_ = universal.NumRows();
+  cache.codes_.resize(columns.size());
+  cache.dictionaries_.resize(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    std::vector<uint32_t>& codes = cache.codes_[c];
+    std::vector<Value>& dictionary = cache.dictionaries_[c];
+    codes.resize(cache.num_rows_);
+    // Encode at the base-relation level first -- in join workloads the base
+    // table is much smaller than U(D), so the Value hashing happens once
+    // per base row and the per-universal-row work is an integer gather.
+    const Relation& base_rel = universal.db().relation(columns[c].relation);
+    std::vector<uint32_t> base_codes(base_rel.NumRows());
+    std::unordered_map<Value, uint32_t> code_of;
+    for (size_t row = 0; row < base_rel.NumRows(); ++row) {
+      const Value& v = base_rel.at(row, columns[c].attribute);
+      auto [it, inserted] =
+          code_of.emplace(v, static_cast<uint32_t>(dictionary.size()));
+      if (inserted) dictionary.push_back(v);
+      base_codes[row] = it->second;
+    }
+    for (size_t u = 0; u < cache.num_rows_; ++u) {
+      codes[u] = base_codes[universal.BaseRow(u, columns[c].relation)];
+    }
+  }
+  return cache;
+}
+
+int ColumnCache::FindColumn(const ColumnRef& column) const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c] == column) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+Result<CodedFilter> CodedFilter::Compile(const ColumnCache& cache,
+                                         const DnfPredicate& filter) {
+  CodedFilter out;
+  out.disjuncts_.reserve(filter.disjuncts().size());
+  for (const ConjunctivePredicate& conjunct : filter.disjuncts()) {
+    std::vector<CodedAtom> coded;
+    coded.reserve(conjunct.atoms().size());
+    for (const AtomicPredicate& atom : conjunct.atoms()) {
+      int column_index = cache.FindColumn(atom.column);
+      if (column_index < 0) {
+        return Status::InvalidArgument(
+            "filter atom references a column outside the cache");
+      }
+      CodedAtom coded_atom;
+      coded_atom.column_index = column_index;
+      size_t dict = cache.DictionarySize(column_index);
+      coded_atom.match.resize(dict);
+      for (size_t code = 0; code < dict; ++code) {
+        coded_atom.match[code] =
+            atom.Eval(cache.Decode(column_index, static_cast<uint32_t>(code)))
+                ? 1
+                : 0;
+      }
+      coded.push_back(std::move(coded_atom));
+    }
+    out.disjuncts_.push_back(std::move(coded));
+  }
+  return out;
+}
+
+RowSet CodedFilter::EvalAllRows(const ColumnCache& cache) const {
+  RowSet rows(cache.NumRows());
+  for (size_t u = 0; u < cache.NumRows(); ++u) {
+    if (Eval(cache, u)) rows.Set(u);
+  }
+  return rows;
+}
+
+RowSet EvaluateFilterBitmap(const UniversalRelation& universal,
+                            const DnfPredicate* filter) {
+  RowSet pass(universal.NumRows());
+  for (size_t u = 0; u < universal.NumRows(); ++u) {
+    if (filter == nullptr || filter->EvalUniversal(universal, u)) {
+      pass.Set(u);
+    }
+  }
+  return pass;
+}
+
+}  // namespace xplain

@@ -1,0 +1,97 @@
+#ifndef XPLAIN_RELATIONAL_COLUMN_CACHE_H_
+#define XPLAIN_RELATIONAL_COLUMN_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "relational/universal.h"
+
+namespace xplain {
+
+/// A columnar, dictionary-encoded materialization of selected universal-
+/// relation columns.
+///
+/// The row-at-a-time cube evaluation hashes Tuples of Values per input row;
+/// for the multi-cube Algorithm 1 this dominates the runtime. The cache
+/// extracts each needed column once into a dense uint32 code array plus a
+/// per-column dictionary, after which group-by keys are cheap integer
+/// vectors. (The same columnar trick backs the ablation benchmark
+/// bench_ablation_cube.)
+class ColumnCache {
+ public:
+  /// Materializes `columns` of `universal`.
+  static ColumnCache Build(const UniversalRelation& universal,
+                           const std::vector<ColumnRef>& columns);
+
+  const UniversalRelation& universal() const { return *universal_; }
+  const std::vector<ColumnRef>& columns() const { return columns_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  size_t NumRows() const { return num_rows_; }
+
+  /// Dictionary code of column `col` in universal row `row`.
+  uint32_t Code(size_t row, int col) const {
+    return codes_[col][row];
+  }
+
+  /// Decoded value for a column code.
+  const Value& Decode(int col, uint32_t code) const {
+    return dictionaries_[col][code];
+  }
+
+  size_t DictionarySize(int col) const { return dictionaries_[col].size(); }
+
+  /// Index of `column` within the cache, or -1.
+  int FindColumn(const ColumnRef& column) const;
+
+ private:
+  const UniversalRelation* universal_ = nullptr;
+  std::vector<ColumnRef> columns_;
+  size_t num_rows_ = 0;
+  std::vector<std::vector<uint32_t>> codes_;        // [col][row]
+  std::vector<std::vector<Value>> dictionaries_;    // [col][code]
+};
+
+/// Pre-evaluates a filter over all universal rows into a bitmap (rows
+/// passing the predicate). nullptr filter means all rows pass.
+RowSet EvaluateFilterBitmap(const UniversalRelation& universal,
+                            const DnfPredicate* filter);
+
+/// A DNF predicate compiled against a ColumnCache: every atom becomes a
+/// per-dictionary-code match table, so row evaluation is a handful of
+/// array lookups instead of Value comparisons. Requires every atom's
+/// column to be cached.
+class CodedFilter {
+ public:
+  static Result<CodedFilter> Compile(const ColumnCache& cache,
+                                     const DnfPredicate& filter);
+
+  bool Eval(const ColumnCache& cache, size_t row) const {
+    for (const auto& conjunct : disjuncts_) {
+      bool pass = true;
+      for (const auto& atom : conjunct) {
+        if (!atom.match[cache.Code(row, atom.column_index)]) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) return true;
+    }
+    return false;
+  }
+
+  /// Evaluates over all cached rows into a bitmap.
+  RowSet EvalAllRows(const ColumnCache& cache) const;
+
+ private:
+  struct CodedAtom {
+    int column_index = -1;
+    std::vector<uint8_t> match;  // indexed by dictionary code
+  };
+  std::vector<std::vector<CodedAtom>> disjuncts_;
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_COLUMN_CACHE_H_

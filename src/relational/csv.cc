@@ -1,0 +1,137 @@
+#include "relational/csv.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace xplain {
+
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      if (!cell.empty()) {
+        return Status::ParseError("unexpected quote mid-cell in: " + line);
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+    } else {
+      cell += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted cell in: " + line);
+  }
+  cells.push_back(std::move(cell));
+  return cells;
+}
+
+namespace {
+
+std::string EscapeCsvCell(const std::string& cell) {
+  bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> ReadRelationCsv(const std::string& path,
+                                 const RelationSchema& schema) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("empty CSV file: " + path);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  XPLAIN_ASSIGN_OR_RETURN(std::vector<std::string> header, SplitCsvLine(line));
+  if (static_cast<int>(header.size()) != schema.num_attributes()) {
+    return Status::ParseError(
+        path + ": header has " + std::to_string(header.size()) +
+        " columns, schema expects " + std::to_string(schema.num_attributes()));
+  }
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    if (std::string(Trim(header[i])) != schema.attribute(i).name) {
+      return Status::ParseError(path + ": header column " + header[i] +
+                                " does not match schema attribute " +
+                                schema.attribute(i).name);
+    }
+  }
+  Relation relation(schema);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    XPLAIN_ASSIGN_OR_RETURN(std::vector<std::string> cells,
+                            SplitCsvLine(line));
+    if (static_cast<int>(cells.size()) != schema.num_attributes()) {
+      return Status::ParseError(path + " line " + std::to_string(line_no) +
+                                ": wrong number of cells");
+    }
+    Tuple row;
+    row.reserve(cells.size());
+    for (int i = 0; i < schema.num_attributes(); ++i) {
+      auto value = Value::Parse(cells[i], schema.attribute(i).type);
+      if (!value.ok()) {
+        return Status::ParseError(path + " line " + std::to_string(line_no) +
+                                  ": " + value.status().message());
+      }
+      row.push_back(std::move(value).ValueOrDie());
+    }
+    XPLAIN_RETURN_NOT_OK(relation.Append(std::move(row)));
+  }
+  return relation;
+}
+
+Status WriteRelationCsv(const Relation& relation, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const RelationSchema& schema = relation.schema();
+  for (int i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out << ',';
+    out << EscapeCsvCell(schema.attribute(i).name);
+  }
+  out << '\n';
+  for (size_t r = 0; r < relation.NumRows(); ++r) {
+    const Tuple& row = relation.row(r);
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      if (!row[i].is_null()) out << EscapeCsvCell(row[i].ToUnquotedString());
+    }
+    out << '\n';
+  }
+  if (!out.good()) {
+    return Status::IoError("write failure on " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace xplain

@@ -1,0 +1,26 @@
+#ifndef XPLAIN_RELATIONAL_CSV_H_
+#define XPLAIN_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// Loads a relation from a headered CSV file. The header must list exactly
+/// the schema's attribute names in order; cells parse per the declared
+/// column types; empty cells become NULL. Quoting: RFC-4180 style double
+/// quotes with "" escapes.
+Result<Relation> ReadRelationCsv(const std::string& path,
+                                 const RelationSchema& schema);
+
+/// Writes `relation` as a headered CSV file.
+Status WriteRelationCsv(const Relation& relation, const std::string& path);
+
+/// Parses one CSV line into cells (exposed for testing).
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line);
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_CSV_H_

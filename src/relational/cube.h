@@ -1,0 +1,87 @@
+#ifndef XPLAIN_RELATIONAL_CUBE_H_
+#define XPLAIN_RELATIONAL_CUBE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "relational/aggregate.h"
+#include "relational/column_cache.h"
+#include "relational/universal.h"
+#include "util/result.h"
+
+namespace xplain {
+
+struct CubeOptions {
+  /// Hard cap on the number of cube attributes (2^d lattice).
+  int max_attributes = 16;
+};
+
+/// The result of `GROUP BY ... WITH CUBE` over the universal relation for a
+/// single aggregate (paper Example 4.1).
+///
+/// A cell coordinate assigns each cube attribute either a concrete value or
+/// NULL meaning ALL ("don't care"). The all-NULL cell holds the grand total.
+/// Computation is two-phase: (1) group input rows into base cells keyed by
+/// the full attribute tuple; (2) roll every base cell up into all 2^d
+/// ancestor cells of the lattice. COUNT(DISTINCT) rolls up its value sets,
+/// so it is exact (not sum-based).
+class DataCube {
+ public:
+  /// Computes the cube of `agg` over the rows of `universal` satisfying
+  /// `filter` (nullptr = all rows), grouped by `attributes`.
+  static Result<DataCube> Compute(const UniversalRelation& universal,
+                                  const std::vector<ColumnRef>& attributes,
+                                  const AggregateSpec& agg,
+                                  const DnfPredicate* filter,
+                                  const CubeOptions& options = CubeOptions());
+
+  /// Columnar fast path over a ColumnCache: group-by keys are dictionary
+  /// codes instead of Value tuples and the filter is a precomputed bitmap.
+  /// Supports COUNT(*) and COUNT(DISTINCT col) where both the grouping
+  /// attributes and the counted column are cached; produces bit-identical
+  /// cells to Compute(). `attr_indices` are cache column positions;
+  /// `distinct_index` is the cached counted column (-1 for COUNT(*)).
+  static Result<DataCube> ComputeCached(
+      const ColumnCache& cache, const std::vector<int>& attr_indices,
+      AggregateKind kind, int distinct_index, const RowSet* filter_rows,
+      const CubeOptions& options = CubeOptions());
+
+  const std::vector<ColumnRef>& attributes() const { return attributes_; }
+  size_t NumCells() const { return cells_.size(); }
+
+  using CellMap = std::unordered_map<Tuple, double, TupleHash, TupleEq>;
+  const CellMap& cells() const { return cells_; }
+
+  /// Aggregate value of the cell at `coords`; 0 when the cell is absent
+  /// (no input row matched).
+  double CellValue(const Tuple& coords) const;
+
+  /// The grand-total (all-NULL) cell value.
+  double GrandTotal() const;
+
+  std::string ToString(const Database& db, size_t max_cells = 20) const;
+
+ private:
+  std::vector<ColumnRef> attributes_;
+  CellMap cells_;
+};
+
+/// The full outer join of m cubes over identical attribute lists: one row
+/// per coordinate appearing in any cube, with that cube's value or 0
+/// (paper Section 4.1: explanations missing from a cube count as zero).
+struct CubeJoinResult {
+  std::vector<ColumnRef> attributes;
+  std::vector<Tuple> coords;
+  /// values[j][row] = value of cube j at coords[row].
+  std::vector<std::vector<double>> values;
+
+  size_t NumRows() const { return coords.size(); }
+};
+
+/// Joins `cubes` (all non-null, same attribute list) into one table.
+Result<CubeJoinResult> FullOuterJoinCubes(
+    const std::vector<const DataCube*>& cubes);
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_CUBE_H_

@@ -1,0 +1,99 @@
+#ifndef XPLAIN_RELATIONAL_DATABASE_H_
+#define XPLAIN_RELATIONAL_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/rowset.h"
+#include "relational/schema.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// A resolved foreign key: relation indices and attribute positions.
+struct ResolvedForeignKey {
+  int child_relation = -1;
+  std::vector<int> child_attrs;
+  int parent_relation = -1;
+  std::vector<int> parent_attrs;
+  ForeignKeyKind kind = ForeignKeyKind::kStandard;
+};
+
+/// A database instance: relations R_1..R_k plus foreign key constraints
+/// (standard and back-and-forth, paper Section 2.2).
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds a relation; names must be unique.
+  Status AddRelation(Relation relation);
+
+  /// Adds and validates a foreign key: both relations exist, attribute lists
+  /// exist with matching types, and the parent attributes are exactly the
+  /// parent's primary key.
+  Status AddForeignKey(const ForeignKey& fk);
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  const Relation& relation(int i) const { return relations_[i]; }
+  Relation* mutable_relation(int i) { return &relations_[i]; }
+  /// Index of the named relation, or NotFound.
+  Result<int> RelationIndex(const std::string& name) const;
+  /// Convenience: relation by name; CHECK-fails when absent.
+  const Relation& RelationByName(const std::string& name) const;
+
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+  const std::vector<ResolvedForeignKey>& resolved_foreign_keys() const {
+    return resolved_fks_;
+  }
+
+  /// True if any foreign key is back-and-forth.
+  bool HasBackAndForthKeys() const;
+
+  /// Resolves "Relation.attribute" to positional form.
+  Result<ColumnRef> ResolveColumn(const std::string& qualified) const;
+  /// "Relation.attribute" for a positional reference.
+  std::string ColumnName(const ColumnRef& ref) const;
+  DataType ColumnType(const ColumnRef& ref) const;
+
+  /// Total number of rows across relations (the paper's n).
+  size_t TotalRows() const;
+
+  /// Verifies every foreign key: each child key value appears as a parent
+  /// primary key (child key values must be non-NULL).
+  Status CheckReferentialIntegrity() const;
+
+  /// Removes dangling tuples in place so that each R_i equals the projection
+  /// of the universal relation (pairwise-consistency fixpoint over all FK
+  /// edges; exact for acyclic schemas). Returns the number of removed rows.
+  size_t SemijoinReduce();
+
+  /// Materializes D - delta: same schemas and foreign keys, rows compacted.
+  Database ApplyDelta(const DeltaSet& delta) const;
+
+  /// A DeltaSet shaped for this database with all components empty.
+  DeltaSet EmptyDelta() const;
+
+  /// Deep copy (relations are value types already; provided for symmetry).
+  Database Clone() const { return *this; }
+
+  std::string ToString(size_t max_rows_per_relation = 10) const;
+
+ private:
+  std::vector<Relation> relations_;
+  std::unordered_map<std::string, int> relation_index_;
+  std::vector<ForeignKey> foreign_keys_;
+  std::vector<ResolvedForeignKey> resolved_fks_;
+};
+
+/// Extends `dangling` (aligned with db relations) with every row that cannot
+/// participate in the universal relation of the database restricted to rows
+/// outside `dangling`. This is the bitmap form of semijoin reduction used by
+/// both Database::SemijoinReduce and the intervention engine's Rule (ii).
+/// Returns the number of rows newly marked.
+size_t MarkDanglingRows(const Database& db, DeltaSet* dangling);
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_DATABASE_H_

@@ -1,0 +1,238 @@
+#include "relational/ddl.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace xplain {
+
+namespace {
+
+/// Minimal statement-oriented tokenizer: identifiers, punctuation
+/// ( ) , ; and the arrows -> / <->. '#' comments run to end of line.
+class DdlTokenizer {
+ public:
+  explicit DdlTokenizer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<std::string>> Tokenize() {
+    std::vector<std::string> out;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == '#') {
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_' || input_[pos_] == '.')) {
+          ++pos_;
+        }
+        out.push_back(input_.substr(start, pos_ - start));
+        continue;
+      }
+      if (input_.compare(pos_, 3, "<->") == 0) {
+        out.push_back("<->");
+        pos_ += 3;
+        continue;
+      }
+      if (input_.compare(pos_, 2, "->") == 0) {
+        out.push_back("->");
+        pos_ += 2;
+        continue;
+      }
+      if (c == '(' || c == ')' || c == ',' || c == ';') {
+        out.push_back(std::string(1, c));
+        ++pos_;
+        continue;
+      }
+      return Status::ParseError(std::string("unexpected character '") + c +
+                                "' in DDL");
+    }
+    return out;
+  }
+
+ private:
+  const std::string& input_;
+  size_t pos_ = 0;
+};
+
+class DdlParser {
+ public:
+  explicit DdlParser(std::vector<std::string> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<SchemaSpec> Parse() {
+    SchemaSpec spec;
+    while (!AtEnd()) {
+      if (ConsumeKeyword("table")) {
+        XPLAIN_RETURN_NOT_OK(ParseTable(&spec));
+      } else if (ConsumeKeyword("foreign")) {
+        if (!ConsumeKeyword("key")) {
+          return Status::ParseError("expected KEY after FOREIGN");
+        }
+        XPLAIN_RETURN_NOT_OK(ParseForeignKey(&spec));
+      } else {
+        return Status::ParseError("expected TABLE or FOREIGN KEY, found '" +
+                                  Peek() + "'");
+      }
+    }
+    if (spec.relations.empty()) {
+      return Status::ParseError("DDL declares no tables");
+    }
+    return spec;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= tokens_.size(); }
+  const std::string& Peek() const {
+    static const std::string kEnd = "<end>";
+    return AtEnd() ? kEnd : tokens_[pos_];
+  }
+  std::string Next() { return tokens_[pos_++]; }
+  bool Consume(const std::string& token) {
+    if (!AtEnd() && tokens_[pos_] == token) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeKeyword(const std::string& word) {
+    if (!AtEnd() && EqualsIgnoreCase(tokens_[pos_], word)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const std::string& token) {
+    if (!Consume(token)) {
+      return Status::ParseError("expected '" + token + "' but found '" +
+                                Peek() + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (AtEnd() || !std::isalpha(static_cast<unsigned char>(Peek()[0]))) {
+      return Status::ParseError("expected an identifier, found '" + Peek() +
+                                "'");
+    }
+    return Next();
+  }
+
+  Status ParseTable(SchemaSpec* spec) {
+    XPLAIN_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+    XPLAIN_RETURN_NOT_OK(Expect("("));
+    std::vector<AttributeDef> attrs;
+    std::vector<std::string> keys;
+    while (true) {
+      XPLAIN_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      XPLAIN_ASSIGN_OR_RETURN(std::string type_name, ExpectIdent());
+      XPLAIN_ASSIGN_OR_RETURN(DataType type, DataTypeFromString(type_name));
+      attrs.push_back(AttributeDef{attr, type});
+      if (ConsumeKeyword("key")) keys.push_back(attr);
+      if (Consume(",")) continue;
+      break;
+    }
+    XPLAIN_RETURN_NOT_OK(Expect(")"));
+    XPLAIN_RETURN_NOT_OK(Expect(";"));
+    XPLAIN_ASSIGN_OR_RETURN(
+        RelationSchema schema,
+        RelationSchema::Create(name, std::move(attrs), std::move(keys)));
+    spec->relations.push_back(std::move(schema));
+    return Status::OK();
+  }
+
+  Result<std::pair<std::string, std::vector<std::string>>> ParseRelAttrs() {
+    XPLAIN_ASSIGN_OR_RETURN(std::string rel, ExpectIdent());
+    XPLAIN_RETURN_NOT_OK(Expect("("));
+    std::vector<std::string> attrs;
+    while (true) {
+      XPLAIN_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
+      attrs.push_back(std::move(attr));
+      if (Consume(",")) continue;
+      break;
+    }
+    XPLAIN_RETURN_NOT_OK(Expect(")"));
+    return std::make_pair(std::move(rel), std::move(attrs));
+  }
+
+  Status ParseForeignKey(SchemaSpec* spec) {
+    ForeignKey fk;
+    XPLAIN_ASSIGN_OR_RETURN(auto child, ParseRelAttrs());
+    if (Consume("<->")) {
+      fk.kind = ForeignKeyKind::kBackAndForth;
+    } else if (Consume("->")) {
+      fk.kind = ForeignKeyKind::kStandard;
+    } else {
+      return Status::ParseError("expected -> or <-> in FOREIGN KEY");
+    }
+    XPLAIN_ASSIGN_OR_RETURN(auto parent, ParseRelAttrs());
+    XPLAIN_RETURN_NOT_OK(Expect(";"));
+    fk.child_relation = std::move(child.first);
+    fk.child_attrs = std::move(child.second);
+    fk.parent_relation = std::move(parent.first);
+    fk.parent_attrs = std::move(parent.second);
+    spec->foreign_keys.push_back(std::move(fk));
+    return Status::OK();
+  }
+
+  std::vector<std::string> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SchemaSpec> ParseSchema(const std::string& ddl_text) {
+  DdlTokenizer tokenizer(ddl_text);
+  XPLAIN_ASSIGN_OR_RETURN(std::vector<std::string> tokens,
+                          tokenizer.Tokenize());
+  DdlParser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+Result<Database> CreateDatabase(const SchemaSpec& spec) {
+  Database db;
+  for (const RelationSchema& schema : spec.relations) {
+    XPLAIN_RETURN_NOT_OK(db.AddRelation(Relation(schema)));
+  }
+  for (const ForeignKey& fk : spec.foreign_keys) {
+    XPLAIN_RETURN_NOT_OK(db.AddForeignKey(fk));
+  }
+  return db;
+}
+
+std::string SchemaToDdl(const Database& db) {
+  std::string out;
+  for (int r = 0; r < db.num_relations(); ++r) {
+    const RelationSchema& schema = db.relation(r).schema();
+    out += "TABLE " + schema.name() + " (";
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (a > 0) out += ", ";
+      out += schema.attribute(a).name;
+      out += " ";
+      out += DataTypeToString(schema.attribute(a).type);
+      for (int key : schema.primary_key()) {
+        if (key == a) {
+          out += " KEY";
+          break;
+        }
+      }
+    }
+    out += ");\n";
+  }
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    out += "FOREIGN KEY " + fk.child_relation + "(" +
+           Join(fk.child_attrs, ", ") + ") ";
+    out += (fk.kind == ForeignKeyKind::kBackAndForth) ? "<->" : "->";
+    out += " " + fk.parent_relation + "(" + Join(fk.parent_attrs, ", ") +
+           ");\n";
+  }
+  return out;
+}
+
+}  // namespace xplain

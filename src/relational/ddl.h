@@ -1,0 +1,41 @@
+#ifndef XPLAIN_RELATIONAL_DDL_H_
+#define XPLAIN_RELATIONAL_DDL_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// A parsed schema description: relation schemas plus foreign keys.
+struct SchemaSpec {
+  std::vector<RelationSchema> relations;
+  std::vector<ForeignKey> foreign_keys;
+};
+
+/// Parses xplain's small DDL dialect. Statements end with ';', '#' starts a
+/// line comment. Example:
+///
+///   TABLE Author (id string KEY, name string, inst string, dom string);
+///   TABLE Authored (id string KEY, pubid string KEY);
+///   TABLE Publication (pubid string KEY, year int64, venue string);
+///   FOREIGN KEY Authored(id) -> Author(id);
+///   FOREIGN KEY Authored(pubid) <-> Publication(pubid);
+///
+/// Types: bool, int64 (int/bigint), double (float/real), string
+/// (text/varchar). `KEY` marks primary-key attributes; `<->` declares the
+/// paper's back-and-forth causal foreign key.
+Result<SchemaSpec> ParseSchema(const std::string& ddl_text);
+
+/// Builds an empty database with the spec's relations and foreign keys.
+Result<Database> CreateDatabase(const SchemaSpec& spec);
+
+/// Renders a database's schema back to DDL text (round-trips through
+/// ParseSchema).
+std::string SchemaToDdl(const Database& db);
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_DDL_H_

@@ -1,0 +1,61 @@
+#ifndef XPLAIN_RELATIONAL_EXPRESSION_H_
+#define XPLAIN_RELATIONAL_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xplain {
+
+class Expression;
+using ExprPtr = std::shared_ptr<const Expression>;
+
+/// Evaluation knobs for numerical expressions.
+struct EvalOptions {
+  /// Guard against division by (near-)zero: denominators with magnitude
+  /// below epsilon are clamped to +-epsilon. The paper (Section 5.1.1) adds
+  /// a small threshold to counts for the same reason.
+  double epsilon = 1e-4;
+};
+
+/// Arithmetic expression E(q_1, ..., q_m) over aggregate-query results
+/// (paper Eq. 1). Supports +, -, *, /, pow, and unary neg/log/exp/sqrt/abs.
+class Expression {
+ public:
+  enum class Kind { kConstant, kVariable, kUnary, kBinary };
+  enum class UnaryOp { kNeg, kLog, kExp, kSqrt, kAbs };
+  enum class BinaryOp { kAdd, kSub, kMul, kDiv, kPow };
+
+  static ExprPtr Constant(double value);
+  /// A reference to subquery result `index` (0-based), displayed as `name`
+  /// (e.g. "q1").
+  static ExprPtr Variable(int index, std::string name);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+
+  Kind kind() const { return kind_; }
+  int variable_index() const { return var_index_; }
+
+  /// Evaluates with `vars[i]` bound to variable i.
+  double Eval(const std::vector<double>& vars, const EvalOptions& opts) const;
+
+  /// Largest variable index mentioned, or -1 if none.
+  int MaxVariableIndex() const;
+
+  std::string ToString() const;
+
+ private:
+  Expression() = default;
+
+  Kind kind_ = Kind::kConstant;
+  double constant_ = 0.0;
+  int var_index_ = -1;
+  std::string var_name_;
+  UnaryOp unary_op_ = UnaryOp::kNeg;
+  BinaryOp binary_op_ = BinaryOp::kAdd;
+  ExprPtr lhs_, rhs_;
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_EXPRESSION_H_

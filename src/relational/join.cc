@@ -1,0 +1,145 @@
+#include "relational/join.h"
+
+#include <algorithm>
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xplain {
+
+namespace {
+
+// Keys with any NULL component never join (SQL semantics).
+bool KeyHasNull(const Tuple& key) {
+  for (const Value& v : key) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+std::unordered_set<Tuple, TupleHash, TupleEq> CollectKeys(
+    const Relation& rel, const std::vector<int>& attrs) {
+  std::unordered_set<Tuple, TupleHash, TupleEq> keys;
+  keys.reserve(rel.NumRows());
+  for (size_t i = 0; i < rel.NumRows(); ++i) {
+    Tuple key = ProjectTuple(rel.row(i), attrs);
+    if (!KeyHasNull(key)) keys.insert(std::move(key));
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::vector<std::pair<size_t, size_t>> HashJoin(const Relation& left,
+                                                const Relation& right,
+                                                const JoinKeys& keys) {
+  std::vector<std::pair<size_t, size_t>> out;
+  const bool build_left = left.NumRows() <= right.NumRows();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const std::vector<int>& build_attrs =
+      build_left ? keys.left_attrs : keys.right_attrs;
+  const std::vector<int>& probe_attrs =
+      build_left ? keys.right_attrs : keys.left_attrs;
+
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash, TupleEq> table;
+  table.reserve(build.NumRows());
+  for (size_t i = 0; i < build.NumRows(); ++i) {
+    Tuple key = ProjectTuple(build.row(i), build_attrs);
+    if (!KeyHasNull(key)) table[std::move(key)].push_back(i);
+  }
+  for (size_t j = 0; j < probe.NumRows(); ++j) {
+    Tuple key = ProjectTuple(probe.row(j), probe_attrs);
+    if (KeyHasNull(key)) continue;
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    for (size_t i : it->second) {
+      if (build_left) {
+        out.emplace_back(i, j);
+      } else {
+        out.emplace_back(j, i);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<size_t, size_t>> SortMergeJoin(const Relation& left,
+                                                     const Relation& right,
+                                                     const JoinKeys& keys) {
+  // Materialize (key, row) pairs, dropping NULL keys, and sort by key.
+  auto make_sorted = [](const Relation& rel, const std::vector<int>& attrs) {
+    std::vector<std::pair<Tuple, size_t>> out;
+    out.reserve(rel.NumRows());
+    for (size_t i = 0; i < rel.NumRows(); ++i) {
+      Tuple key = ProjectTuple(rel.row(i), attrs);
+      if (!KeyHasNull(key)) out.emplace_back(std::move(key), i);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const std::pair<Tuple, size_t>& a,
+                 const std::pair<Tuple, size_t>& b) {
+                int c = CompareTuples(a.first, b.first);
+                if (c != 0) return c < 0;
+                return a.second < b.second;
+              });
+    return out;
+  };
+  std::vector<std::pair<Tuple, size_t>> ls =
+      make_sorted(left, keys.left_attrs);
+  std::vector<std::pair<Tuple, size_t>> rs =
+      make_sorted(right, keys.right_attrs);
+
+  std::vector<std::pair<size_t, size_t>> out;
+  size_t li = 0, ri = 0;
+  while (li < ls.size() && ri < rs.size()) {
+    int c = CompareTuples(ls[li].first, rs[ri].first);
+    if (c < 0) {
+      ++li;
+    } else if (c > 0) {
+      ++ri;
+    } else {
+      // Equal-key groups: cross product.
+      size_t lj = li, rj = ri;
+      while (lj < ls.size() &&
+             CompareTuples(ls[lj].first, ls[li].first) == 0) {
+        ++lj;
+      }
+      while (rj < rs.size() &&
+             CompareTuples(rs[rj].first, rs[ri].first) == 0) {
+        ++rj;
+      }
+      for (size_t a = li; a < lj; ++a) {
+        for (size_t b = ri; b < rj; ++b) {
+          out.emplace_back(ls[a].second, rs[b].second);
+        }
+      }
+      li = lj;
+      ri = rj;
+    }
+  }
+  return out;
+}
+
+RowSet Semijoin(const Relation& left, const Relation& right,
+                const JoinKeys& keys) {
+  auto right_keys = CollectKeys(right, keys.right_attrs);
+  RowSet out(left.NumRows());
+  for (size_t i = 0; i < left.NumRows(); ++i) {
+    Tuple key = ProjectTuple(left.row(i), keys.left_attrs);
+    if (!KeyHasNull(key) && right_keys.count(key) != 0) out.Set(i);
+  }
+  return out;
+}
+
+RowSet Antijoin(const Relation& left, const Relation& right,
+                const JoinKeys& keys) {
+  auto right_keys = CollectKeys(right, keys.right_attrs);
+  RowSet out(left.NumRows());
+  for (size_t i = 0; i < left.NumRows(); ++i) {
+    Tuple key = ProjectTuple(left.row(i), keys.left_attrs);
+    if (KeyHasNull(key) || right_keys.count(key) == 0) out.Set(i);
+  }
+  return out;
+}
+
+}  // namespace xplain

@@ -1,0 +1,44 @@
+#ifndef XPLAIN_RELATIONAL_JOIN_H_
+#define XPLAIN_RELATIONAL_JOIN_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/rowset.h"
+
+namespace xplain {
+
+/// Equi-join key description: positions in the left and right relations.
+struct JoinKeys {
+  std::vector<int> left_attrs;
+  std::vector<int> right_attrs;
+};
+
+/// Hash equi-join: returns (left_row, right_row) index pairs with equal keys.
+/// Builds the hash table on the smaller input.
+std::vector<std::pair<size_t, size_t>> HashJoin(const Relation& left,
+                                                const Relation& right,
+                                                const JoinKeys& keys);
+
+/// Sort-merge equi-join: identical contract and output set to HashJoin
+/// (pair order may differ). Sorts both inputs' row permutations by key and
+/// merges, emitting the cross product of equal-key groups. Provided as the
+/// alternative physical operator; bench_micro_substrate compares the two.
+std::vector<std::pair<size_t, size_t>> SortMergeJoin(const Relation& left,
+                                                     const Relation& right,
+                                                     const JoinKeys& keys);
+
+/// Semijoin left ⋉ right: the left rows having at least one key match on the
+/// right, as a RowSet over the left relation.
+RowSet Semijoin(const Relation& left, const Relation& right,
+                const JoinKeys& keys);
+
+/// Antijoin left ▷ right: the left rows having no key match on the right.
+RowSet Antijoin(const Relation& left, const Relation& right,
+                const JoinKeys& keys);
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_JOIN_H_

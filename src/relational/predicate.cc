@@ -1,0 +1,164 @@
+#include "relational/predicate.h"
+
+#include <algorithm>
+
+namespace xplain {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Result<CompareOp> CompareOpFromString(const std::string& token) {
+  if (token == "=" || token == "==") return CompareOp::kEq;
+  if (token == "<>" || token == "!=") return CompareOp::kNe;
+  if (token == "<") return CompareOp::kLt;
+  if (token == "<=") return CompareOp::kLe;
+  if (token == ">") return CompareOp::kGt;
+  if (token == ">=") return CompareOp::kGe;
+  return Status::ParseError("unknown comparison operator: " + token);
+}
+
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  int c = lhs.Compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+Result<AtomicPredicate> AtomicPredicate::Create(
+    const Database& db, const std::string& qualified_column, CompareOp op,
+    Value constant) {
+  XPLAIN_ASSIGN_OR_RETURN(ColumnRef column,
+                          db.ResolveColumn(qualified_column));
+  DataType col_type = db.ColumnType(column);
+  if (!constant.is_null()) {
+    bool comparable =
+        col_type == constant.type() ||
+        (IsNumeric(col_type) && IsNumeric(constant.type()));
+    if (!comparable) {
+      return Status::InvalidArgument(
+          "predicate constant " + constant.ToString() +
+          " is not comparable with column " + db.ColumnName(column) + " (" +
+          DataTypeToString(col_type) + ")");
+    }
+  }
+  return AtomicPredicate{column, op, std::move(constant)};
+}
+
+std::string AtomicPredicate::ToString(const Database& db) const {
+  return db.ColumnName(column) + " " + CompareOpToString(op) + " " +
+         constant.ToString();
+}
+
+bool ConjunctivePredicate::EvalOnRelation(const Database& db, int rel,
+                                          size_t row) const {
+  for (const AtomicPredicate& atom : atoms_) {
+    if (atom.column.relation != rel) continue;
+    if (!atom.Eval(db.relation(rel).at(row, atom.column.attribute))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ConjunctivePredicate::MentionsRelation(int rel) const {
+  for (const AtomicPredicate& atom : atoms_) {
+    if (atom.column.relation == rel) return true;
+  }
+  return false;
+}
+
+ConjunctivePredicate ConjunctivePredicate::And(
+    const ConjunctivePredicate& other) const {
+  std::vector<AtomicPredicate> atoms = atoms_;
+  atoms.insert(atoms.end(), other.atoms_.begin(), other.atoms_.end());
+  return ConjunctivePredicate(std::move(atoms));
+}
+
+std::string ConjunctivePredicate::ToString(const Database& db) const {
+  if (atoms_.empty()) return "[true]";
+  std::string out = "[";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += atoms_[i].ToString(db);
+  }
+  out += "]";
+  return out;
+}
+
+int ConjunctivePredicate::MaxMentionedRelation() const {
+  int max_rel = -1;
+  for (const AtomicPredicate& atom : atoms_) {
+    max_rel = std::max(max_rel, atom.column.relation);
+  }
+  return max_rel;
+}
+
+DnfPredicate DnfPredicate::And(const ConjunctivePredicate& conjunction) const {
+  std::vector<ConjunctivePredicate> out;
+  out.reserve(disjuncts_.size());
+  for (const ConjunctivePredicate& d : disjuncts_) {
+    out.push_back(d.And(conjunction));
+  }
+  return DnfPredicate(std::move(out));
+}
+
+DnfPredicate DnfPredicate::Or(ConjunctivePredicate conjunction) const {
+  std::vector<ConjunctivePredicate> out = disjuncts_;
+  out.push_back(std::move(conjunction));
+  return DnfPredicate(std::move(out));
+}
+
+bool DnfPredicate::MentionsRelation(int rel) const {
+  for (const ConjunctivePredicate& d : disjuncts_) {
+    if (d.MentionsRelation(rel)) return true;
+  }
+  return false;
+}
+
+int DnfPredicate::MaxMentionedRelation() const {
+  int max_rel = -1;
+  for (const ConjunctivePredicate& d : disjuncts_) {
+    max_rel = std::max(max_rel, d.MaxMentionedRelation());
+  }
+  return max_rel;
+}
+
+std::string DnfPredicate::ToString(const Database& db) const {
+  if (disjuncts_.empty()) return "[false]";
+  std::string out;
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) out += " OR ";
+    out += disjuncts_[i].ToString(db);
+  }
+  return out;
+}
+
+}  // namespace xplain

@@ -1,0 +1,141 @@
+#ifndef XPLAIN_RELATIONAL_PREDICATE_H_
+#define XPLAIN_RELATIONAL_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/universal.h"
+#include "relational/value.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// Comparison operator of an atomic predicate (paper Def. 2.3 uses
+/// {=, <, <=, >, >=}; we additionally support <>).
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpToString(CompareOp op);
+Result<CompareOp> CompareOpFromString(const std::string& token);
+
+/// SQL three-valued comparison collapsed to bool: any comparison against
+/// NULL is false.
+bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
+
+/// An atomic predicate [R_i.A op c] (paper Def. 2.3).
+struct AtomicPredicate {
+  ColumnRef column;
+  CompareOp op = CompareOp::kEq;
+  Value constant;
+
+  /// Creates an atom, resolving `qualified_column` ("Rel.attr") against `db`
+  /// and checking that `constant` is comparable with the column type.
+  static Result<AtomicPredicate> Create(const Database& db,
+                                        const std::string& qualified_column,
+                                        CompareOp op, Value constant);
+
+  bool Eval(const Value& value) const { return EvalCompare(value, op, constant); }
+
+  /// "[Rel.attr = 'c']" rendering (needs the database for column names).
+  std::string ToString(const Database& db) const;
+};
+
+/// A conjunction of atomic predicates; the empty conjunction is TRUE.
+class ConjunctivePredicate {
+ public:
+  ConjunctivePredicate() = default;
+  explicit ConjunctivePredicate(std::vector<AtomicPredicate> atoms)
+      : atoms_(std::move(atoms)) {}
+
+  const std::vector<AtomicPredicate>& atoms() const { return atoms_; }
+  bool IsTrue() const { return atoms_.empty(); }
+  void AddAtom(AtomicPredicate atom) { atoms_.push_back(std::move(atom)); }
+
+  /// Evaluates against universal row `u`.
+  bool EvalUniversal(const UniversalRelation& universal, size_t u) const {
+    for (const AtomicPredicate& atom : atoms_) {
+      if (!atom.Eval(universal.ValueAt(u, atom.column))) return false;
+    }
+    return true;
+  }
+
+  /// Evaluates the atoms that mention relation `rel` against one of its base
+  /// rows; atoms on other relations are ignored (vacuously true here).
+  bool EvalOnRelation(const Database& db, int rel, size_t row) const;
+
+  /// True if some atom mentions relation `rel`.
+  bool MentionsRelation(int rel) const;
+
+  /// Conjunction of this predicate and `other`.
+  ConjunctivePredicate And(const ConjunctivePredicate& other) const;
+
+  /// "[a = 1 AND b = 2]"; "[true]" for the empty conjunction.
+  std::string ToString(const Database& db) const;
+
+  /// Largest relation index mentioned by any atom, or -1.
+  int MaxMentionedRelation() const;
+
+ private:
+  std::vector<AtomicPredicate> atoms_;
+};
+
+/// A predicate in disjunctive normal form: an OR of conjunctions of atomic
+/// predicates (paper Section 6(ii): "explanations with disjunctions", and
+/// the Section 5.2 UK predicate [domain = 'uk' OR country = 'UK']).
+///
+/// The empty disjunction is FALSE; a disjunction containing an empty
+/// conjunction is TRUE.
+class DnfPredicate {
+ public:
+  /// FALSE (no disjuncts).
+  DnfPredicate() = default;
+
+  /// Single-disjunct DNF. Implicit by design: every conjunctive predicate
+  /// is a DNF, and WHERE clauses accept both transparently.
+  DnfPredicate(ConjunctivePredicate conjunction)  // NOLINT
+      : disjuncts_({std::move(conjunction)}) {}
+
+  explicit DnfPredicate(std::vector<ConjunctivePredicate> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  /// The TRUE predicate (one empty conjunction).
+  static DnfPredicate True() { return DnfPredicate(ConjunctivePredicate()); }
+
+  const std::vector<ConjunctivePredicate>& disjuncts() const {
+    return disjuncts_;
+  }
+  bool IsFalse() const { return disjuncts_.empty(); }
+  bool IsTrue() const {
+    for (const ConjunctivePredicate& d : disjuncts_) {
+      if (d.IsTrue()) return true;
+    }
+    return false;
+  }
+
+  bool EvalUniversal(const UniversalRelation& universal, size_t u) const {
+    for (const ConjunctivePredicate& d : disjuncts_) {
+      if (d.EvalUniversal(universal, u)) return true;
+    }
+    return false;
+  }
+
+  /// Distributes a conjunction over the disjuncts:
+  /// (d1 OR d2) AND c = (d1 AND c) OR (d2 AND c).
+  DnfPredicate And(const ConjunctivePredicate& conjunction) const;
+
+  /// Appends a disjunct.
+  DnfPredicate Or(ConjunctivePredicate conjunction) const;
+
+  bool MentionsRelation(int rel) const;
+  int MaxMentionedRelation() const;
+
+  /// "[a = 1 AND b = 2] OR [c = 3]"; "[false]" when empty.
+  std::string ToString(const Database& db) const;
+
+ private:
+  std::vector<ConjunctivePredicate> disjuncts_;
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_PREDICATE_H_

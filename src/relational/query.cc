@@ -1,0 +1,72 @@
+#include "relational/query.h"
+
+namespace xplain {
+
+std::string AggregateQuery::ToString(const Database& db) const {
+  std::string out = name.empty() ? "q?" : name;
+  out += ": select " + agg.ToString(db) + " from U(D)";
+  if (!where.IsTrue()) {
+    out += " where " + where.ToString(db);
+  }
+  return out;
+}
+
+Result<NumericalQuery> NumericalQuery::Create(
+    std::vector<AggregateQuery> subqueries, ExprPtr expression,
+    EvalOptions options) {
+  if (expression == nullptr) {
+    return Status::InvalidArgument("numerical query needs an expression");
+  }
+  if (expression->MaxVariableIndex() >=
+      static_cast<int>(subqueries.size())) {
+    return Status::InvalidArgument(
+        "expression references subquery q" +
+        std::to_string(expression->MaxVariableIndex() + 1) + " but only " +
+        std::to_string(subqueries.size()) + " subqueries were supplied");
+  }
+  NumericalQuery q;
+  q.subqueries_ = std::move(subqueries);
+  q.expression_ = std::move(expression);
+  q.options_ = options;
+  return q;
+}
+
+std::vector<double> NumericalQuery::EvaluateSubqueries(
+    const UniversalRelation& universal, const RowSet* live) const {
+  std::vector<double> values;
+  values.reserve(subqueries_.size());
+  for (const AggregateQuery& q : subqueries_) {
+    Value v = EvaluateAggregate(universal, q.agg, &q.where, live);
+    values.push_back(v.is_null() ? 0.0 : v.AsNumeric());
+  }
+  return values;
+}
+
+double NumericalQuery::Combine(const std::vector<double>& subquery_values) const {
+  return expression_->Eval(subquery_values, options_);
+}
+
+Result<double> NumericalQuery::Evaluate(const Database& db) const {
+  XPLAIN_ASSIGN_OR_RETURN(UniversalRelation universal,
+                          UniversalRelation::Build(db));
+  return EvaluateOnUniversal(universal);
+}
+
+double NumericalQuery::EvaluateOnUniversal(const UniversalRelation& universal,
+                                           const RowSet* live) const {
+  return Combine(EvaluateSubqueries(universal, live));
+}
+
+std::string NumericalQuery::ToString(const Database& db) const {
+  std::string out = "Q = " + expression_->ToString();
+  for (const AggregateQuery& q : subqueries_) {
+    out += "\n  " + q.ToString(db);
+  }
+  return out;
+}
+
+const char* DirectionToString(Direction dir) {
+  return dir == Direction::kHigh ? "high" : "low";
+}
+
+}  // namespace xplain

@@ -1,0 +1,79 @@
+#ifndef XPLAIN_RELATIONAL_QUERY_H_
+#define XPLAIN_RELATIONAL_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/aggregate.h"
+#include "relational/expression.h"
+#include "relational/predicate.h"
+#include "relational/universal.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// One aggregate subquery q_j: `select agg(...) from U(D) where <pred>`.
+struct AggregateQuery {
+  std::string name;  // display name, e.g. "q1"
+  AggregateSpec agg;
+  /// WHERE clause in disjunctive normal form; a plain ConjunctivePredicate
+  /// converts implicitly. Defaults to TRUE.
+  DnfPredicate where = DnfPredicate::True();
+
+  std::string ToString(const Database& db) const;
+};
+
+/// A numerical query Q = E(q_1, ..., q_m) (paper Eq. 1): an arithmetic
+/// expression over aggregate subqueries evaluated on the universal relation.
+class NumericalQuery {
+ public:
+  NumericalQuery() = default;
+
+  /// Validates that the expression's variables are within range.
+  static Result<NumericalQuery> Create(std::vector<AggregateQuery> subqueries,
+                                       ExprPtr expression,
+                                       EvalOptions options = EvalOptions());
+
+  int num_subqueries() const { return static_cast<int>(subqueries_.size()); }
+  const AggregateQuery& subquery(int j) const { return subqueries_[j]; }
+  const std::vector<AggregateQuery>& subqueries() const { return subqueries_; }
+  const ExprPtr& expression() const { return expression_; }
+  const EvalOptions& options() const { return options_; }
+
+  /// Evaluates each q_j over `universal` (rows outside `live` excluded when
+  /// non-null), widening to double (NULL aggregates become 0).
+  std::vector<double> EvaluateSubqueries(const UniversalRelation& universal,
+                                         const RowSet* live = nullptr) const;
+
+  /// Applies E to precomputed subquery values.
+  double Combine(const std::vector<double>& subquery_values) const;
+
+  /// End-to-end: builds U(D) and evaluates.
+  Result<double> Evaluate(const Database& db) const;
+
+  /// Evaluates over an existing universal relation.
+  double EvaluateOnUniversal(const UniversalRelation& universal,
+                             const RowSet* live = nullptr) const;
+
+  std::string ToString(const Database& db) const;
+
+ private:
+  std::vector<AggregateQuery> subqueries_;
+  ExprPtr expression_;
+  EvalOptions options_;
+};
+
+/// The direction in which the user finds Q surprising (paper Def. 2.1).
+enum class Direction { kHigh, kLow };
+
+const char* DirectionToString(Direction dir);
+
+/// A user question (Q, dir): "why is Q so high/low?" (paper Def. 2.1).
+struct UserQuestion {
+  NumericalQuery query;
+  Direction direction = Direction::kHigh;
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_QUERY_H_

@@ -1,0 +1,78 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xplain {
+
+Status Relation::Append(Tuple row) {
+  if (static_cast<int>(row.size()) != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "arity mismatch appending to " + name() + ": got " +
+        std::to_string(row.size()) + " values, schema has " +
+        std::to_string(schema_.num_attributes()));
+  }
+  for (int i = 0; i < schema_.num_attributes(); ++i) {
+    if (!IsAssignable(schema_.attribute(i).type, row[i].type())) {
+      return Status::InvalidArgument(
+          "type mismatch for " + name() + "." + schema_.attribute(i).name +
+          ": column is " + DataTypeToString(schema_.attribute(i).type) +
+          ", value is " + row[i].ToString());
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::vector<Value> Relation::DistinctValues(int attr) const {
+  std::unordered_set<Value> seen;
+  std::vector<Value> out;
+  for (const Tuple& row : rows_) {
+    if (seen.insert(row[attr]).second) out.push_back(row[attr]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  return out;
+}
+
+Status Relation::CheckPrimaryKeyUnique() const {
+  std::unordered_set<Tuple, TupleHash, TupleEq> keys;
+  keys.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!keys.insert(KeyOf(i)).second) {
+      return Status::ConstraintViolation(
+          "duplicate primary key " + TupleToString(KeyOf(i)) +
+          " in relation " + name());
+    }
+  }
+  return Status::OK();
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::string out = name() + ": " + std::to_string(rows_.size()) + " rows";
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    out += "\n  " + TupleToString(rows_[i]);
+  }
+  if (shown < rows_.size()) out += "\n  ...";
+  return out;
+}
+
+const std::vector<size_t> HashIndex::kEmpty;
+
+HashIndex HashIndex::Build(const Relation& relation,
+                           const std::vector<int>& columns) {
+  HashIndex index;
+  index.map_.reserve(relation.NumRows());
+  for (size_t i = 0; i < relation.NumRows(); ++i) {
+    index.map_[ProjectTuple(relation.row(i), columns)].push_back(i);
+  }
+  return index;
+}
+
+const std::vector<size_t>& HashIndex::Lookup(const Tuple& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? kEmpty : it->second;
+}
+
+}  // namespace xplain

@@ -1,0 +1,81 @@
+#ifndef XPLAIN_RELATIONAL_RELATION_H_
+#define XPLAIN_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// An in-memory relation instance: a schema plus a row store.
+///
+/// Rows have stable positions (no in-place deletion); deletions are
+/// represented externally with RowSet masks, and compaction happens only
+/// when a new Relation/Database is materialized.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+
+  size_t NumRows() const { return rows_.size(); }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+  const Value& at(size_t row, int attr) const { return rows_[row][attr]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Appends a row after checking arity and per-column type assignability.
+  Status Append(Tuple row);
+
+  /// Appends without validation (bulk loads from trusted generators).
+  void AppendUnchecked(Tuple row) { rows_.push_back(std::move(row)); }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Values of the primary key attributes of row `i`.
+  Tuple KeyOf(size_t i) const {
+    return ProjectTuple(rows_[i], schema_.primary_key());
+  }
+
+  /// Distinct values appearing in column `attr`, sorted ascending.
+  std::vector<Value> DistinctValues(int attr) const;
+
+  /// Verifies that no two rows share a primary key.
+  Status CheckPrimaryKeyUnique() const;
+
+  /// "name: N rows" plus at most `max_rows` row renderings.
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<Tuple> rows_;
+};
+
+/// A hash index from composite column values to the row positions holding
+/// them. Built over a chosen column subset of one relation.
+class HashIndex {
+ public:
+  HashIndex() = default;
+
+  /// Indexes `relation` on `columns` (attribute positions).
+  static HashIndex Build(const Relation& relation,
+                         const std::vector<int>& columns);
+
+  /// Row positions whose key equals `key` (empty span if none).
+  const std::vector<size_t>& Lookup(const Tuple& key) const;
+
+  size_t NumKeys() const { return map_.size(); }
+
+ private:
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash, TupleEq> map_;
+  static const std::vector<size_t> kEmpty;
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_RELATION_H_

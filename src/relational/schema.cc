@@ -1,0 +1,106 @@
+#include "relational/schema.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace xplain {
+
+Result<RelationSchema> RelationSchema::Create(
+    std::string relation_name, std::vector<AttributeDef> attributes,
+    std::vector<std::string> key_names) {
+  if (relation_name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("relation " + relation_name +
+                                   " must have at least one attribute");
+  }
+  RelationSchema schema;
+  schema.name_ = std::move(relation_name);
+  for (int i = 0; i < static_cast<int>(attributes.size()); ++i) {
+    const AttributeDef& attr = attributes[i];
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute names must be non-empty in " +
+                                     schema.name_);
+    }
+    if (attr.type == DataType::kNull) {
+      return Status::InvalidArgument("attribute " + attr.name +
+                                     " may not be declared with type null");
+    }
+    auto [it, inserted] = schema.attr_index_.emplace(attr.name, i);
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate attribute " + attr.name +
+                                     " in relation " + schema.name_);
+    }
+  }
+  schema.attributes_ = std::move(attributes);
+  if (key_names.empty()) {
+    return Status::InvalidArgument("relation " + schema.name_ +
+                                   " must declare a primary key");
+  }
+  std::unordered_set<int> seen;
+  for (const std::string& key : key_names) {
+    auto it = schema.attr_index_.find(key);
+    if (it == schema.attr_index_.end()) {
+      return Status::InvalidArgument("primary key attribute " + key +
+                                     " not found in relation " + schema.name_);
+    }
+    if (!seen.insert(it->second).second) {
+      return Status::InvalidArgument("duplicate primary key attribute " + key);
+    }
+    schema.primary_key_.push_back(it->second);
+  }
+  return schema;
+}
+
+int RelationSchema::FindAttribute(const std::string& attr_name) const {
+  auto it = attr_index_.find(attr_name);
+  return it == attr_index_.end() ? -1 : it->second;
+}
+
+Result<int> RelationSchema::AttributeIndex(const std::string& attr_name) const {
+  int idx = FindAttribute(attr_name);
+  if (idx < 0) {
+    return Status::NotFound("attribute " + attr_name + " not in relation " +
+                            name_);
+  }
+  return idx;
+}
+
+std::string RelationSchema::ToString() const {
+  std::string out = name_ + "(";
+  for (int i = 0; i < num_attributes(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += DataTypeToString(attributes_[i].type);
+  }
+  out += "; key=";
+  for (size_t i = 0; i < primary_key_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += attributes_[primary_key_[i]].name;
+  }
+  out += ")";
+  return out;
+}
+
+const char* ForeignKeyKindToString(ForeignKeyKind kind) {
+  switch (kind) {
+    case ForeignKeyKind::kStandard:
+      return "standard";
+    case ForeignKeyKind::kBackAndForth:
+      return "back-and-forth";
+  }
+  return "?";
+}
+
+std::string ForeignKey::ToString() const {
+  std::string out = child_relation + "." + Join(child_attrs, ",");
+  out += (kind == ForeignKeyKind::kBackAndForth) ? " <-> " : " -> ";
+  out += parent_relation + "." + Join(parent_attrs, ",");
+  return out;
+}
+
+}  // namespace xplain

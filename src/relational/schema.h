@@ -1,0 +1,96 @@
+#ifndef XPLAIN_RELATIONAL_SCHEMA_H_
+#define XPLAIN_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/type.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// One attribute (column) of a relation.
+struct AttributeDef {
+  std::string name;
+  DataType type = DataType::kString;
+};
+
+/// Schema of one relation: name, typed attributes, primary key.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+
+  /// Validates attribute names (non-empty, unique) and the primary key
+  /// (non-empty subset of the attributes).
+  static Result<RelationSchema> Create(std::string relation_name,
+                                       std::vector<AttributeDef> attributes,
+                                       std::vector<std::string> key_names);
+
+  const std::string& name() const { return name_; }
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  const AttributeDef& attribute(int i) const { return attributes_[i]; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+  /// Attribute positions forming the primary key, in declaration order.
+  const std::vector<int>& primary_key() const { return primary_key_; }
+
+  /// Index of the named attribute, or -1.
+  int FindAttribute(const std::string& attr_name) const;
+
+  /// Index of the named attribute, or NotFound.
+  Result<int> AttributeIndex(const std::string& attr_name) const;
+
+  /// "Relation(attr:type, ...; key=...)" — for debugging and docs.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeDef> attributes_;
+  std::vector<int> primary_key_;
+  std::unordered_map<std::string, int> attr_index_;
+};
+
+/// Causal flavor of a foreign key (paper Section 2.2).
+///
+/// kStandard: R_child.fk -> R_parent.pk. Deleting a parent tuple cascades to
+/// the children (parent causes child).
+/// kBackAndForth: R_child.fk <-> R_parent.pk. Additionally, deleting a child
+/// tuple cascades *backwards* to its parent (each member of a collection is
+/// necessary for the collection; e.g. each author is necessary for a paper).
+enum class ForeignKeyKind { kStandard, kBackAndForth };
+
+const char* ForeignKeyKindToString(ForeignKeyKind kind);
+
+/// A (possibly composite) foreign key constraint
+/// `child.child_attrs -> parent.parent_attrs` where parent_attrs must be the
+/// parent's primary key.
+struct ForeignKey {
+  std::string child_relation;
+  std::vector<std::string> child_attrs;
+  std::string parent_relation;
+  std::vector<std::string> parent_attrs;
+  ForeignKeyKind kind = ForeignKeyKind::kStandard;
+
+  /// "Authored.pubid <-> Publication.pubid" style rendering.
+  std::string ToString() const;
+};
+
+/// A column identified by position: relation index in the database and
+/// attribute index in that relation.
+struct ColumnRef {
+  int relation = -1;
+  int attribute = -1;
+
+  bool operator==(const ColumnRef& other) const {
+    return relation == other.relation && attribute == other.attribute;
+  }
+  bool operator<(const ColumnRef& other) const {
+    if (relation != other.relation) return relation < other.relation;
+    return attribute < other.attribute;
+  }
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,71 @@
+#include "relational/storage.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "relational/csv.h"
+#include "relational/ddl.h"
+
+namespace xplain {
+
+namespace fs = std::filesystem;
+
+Status SaveDatabase(const Database& db, const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError("cannot create directory " + directory + ": " +
+                           ec.message());
+  }
+  {
+    std::ofstream out(fs::path(directory) / "schema.ddl");
+    if (!out) {
+      return Status::IoError("cannot write schema.ddl in " + directory);
+    }
+    out << SchemaToDdl(db);
+    if (!out.good()) {
+      return Status::IoError("write failure on schema.ddl");
+    }
+  }
+  for (int r = 0; r < db.num_relations(); ++r) {
+    const Relation& relation = db.relation(r);
+    std::string path =
+        (fs::path(directory) / (relation.name() + ".csv")).string();
+    XPLAIN_RETURN_NOT_OK(WriteRelationCsv(relation, path));
+  }
+  return Status::OK();
+}
+
+Result<Database> LoadDatabase(const std::string& directory,
+                              const LoadOptions& options) {
+  fs::path schema_path = fs::path(directory) / "schema.ddl";
+  std::ifstream in(schema_path);
+  if (!in) {
+    return Status::IoError("cannot open " + schema_path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  XPLAIN_ASSIGN_OR_RETURN(SchemaSpec spec, ParseSchema(buffer.str()));
+
+  Database db;
+  for (const RelationSchema& schema : spec.relations) {
+    std::string csv_path =
+        (fs::path(directory) / (schema.name() + ".csv")).string();
+    XPLAIN_ASSIGN_OR_RETURN(Relation relation,
+                            ReadRelationCsv(csv_path, schema));
+    XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(relation)));
+  }
+  for (const ForeignKey& fk : spec.foreign_keys) {
+    XPLAIN_RETURN_NOT_OK(db.AddForeignKey(fk));
+  }
+  if (options.check_integrity) {
+    XPLAIN_RETURN_NOT_OK(db.CheckReferentialIntegrity());
+  }
+  if (options.semijoin_reduce) {
+    db.SemijoinReduce();
+  }
+  return db;
+}
+
+}  // namespace xplain

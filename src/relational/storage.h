@@ -1,0 +1,30 @@
+#ifndef XPLAIN_RELATIONAL_STORAGE_H_
+#define XPLAIN_RELATIONAL_STORAGE_H_
+
+#include <string>
+
+#include "relational/database.h"
+#include "util/result.h"
+
+namespace xplain {
+
+struct LoadOptions {
+  /// Verify every foreign key after loading.
+  bool check_integrity = true;
+  /// Drop dangling tuples so the instance is semijoin-reduced (the paper's
+  /// global-consistency normalization, Section 2).
+  bool semijoin_reduce = true;
+};
+
+/// Persists `db` as a directory: `schema.ddl` plus one `<Relation>.csv` per
+/// relation. Creates the directory if needed; overwrites existing files.
+Status SaveDatabase(const Database& db, const std::string& directory);
+
+/// Loads a database previously written by SaveDatabase (or hand-authored in
+/// the same layout).
+Result<Database> LoadDatabase(const std::string& directory,
+                              const LoadOptions& options = LoadOptions());
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_STORAGE_H_

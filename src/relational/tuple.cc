@@ -1,0 +1,32 @@
+#include "relational/tuple.h"
+
+namespace xplain {
+
+std::string TupleToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuple[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Tuple ProjectTuple(const Tuple& tuple, const std::vector<int>& columns) {
+  Tuple out;
+  out.reserve(columns.size());
+  for (int c : columns) out.push_back(tuple[c]);
+  return out;
+}
+
+int CompareTuples(const Tuple& a, const Tuple& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+}  // namespace xplain

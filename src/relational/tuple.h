@@ -1,0 +1,51 @@
+#ifndef XPLAIN_RELATIONAL_TUPLE_H_
+#define XPLAIN_RELATIONAL_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/hash.h"
+
+namespace xplain {
+
+/// A row: a sequence of values positionally aligned with a schema.
+using Tuple = std::vector<Value>;
+
+/// "(v1, v2, ...)" rendering.
+std::string TupleToString(const Tuple& tuple);
+
+/// Projects `tuple` onto the given attribute positions, in order.
+Tuple ProjectTuple(const Tuple& tuple, const std::vector<int>& columns);
+
+/// Hash / equality functors so Tuple can key unordered containers.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t seed = t.size();
+    for (const Value& v : t) HashCombine(&seed, v);
+    return seed;
+  }
+};
+
+struct TupleEq {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// Lexicographic total order on tuples (by Value::Compare).
+int CompareTuples(const Tuple& a, const Tuple& b);
+
+struct TupleLess {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return CompareTuples(a, b) < 0;
+  }
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_TUPLE_H_

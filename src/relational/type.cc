@@ -1,0 +1,39 @@
+#include "relational/type.h"
+
+#include "util/string_util.h"
+
+namespace xplain {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Result<DataType> DataTypeFromString(const std::string& name) {
+  std::string lower = ToLower(name);
+  if (lower == "null") return DataType::kNull;
+  if (lower == "bool" || lower == "boolean") return DataType::kBool;
+  if (lower == "int64" || lower == "int" || lower == "bigint") {
+    return DataType::kInt64;
+  }
+  if (lower == "double" || lower == "float" || lower == "real") {
+    return DataType::kDouble;
+  }
+  if (lower == "string" || lower == "text" || lower == "varchar") {
+    return DataType::kString;
+  }
+  return Status::ParseError("unknown data type name: " + name);
+}
+
+}  // namespace xplain

@@ -1,0 +1,40 @@
+#ifndef XPLAIN_RELATIONAL_TYPE_H_
+#define XPLAIN_RELATIONAL_TYPE_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace xplain {
+
+/// Runtime type of an attribute / Value.
+enum class DataType : int {
+  kNull = 0,
+  kBool = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+/// Human-readable type name ("int64", "string", ...).
+const char* DataTypeToString(DataType type);
+
+/// Parses a type name as produced by DataTypeToString.
+Result<DataType> DataTypeFromString(const std::string& name);
+
+/// True for kInt64 and kDouble.
+inline bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble;
+}
+
+/// True if a value of type `value` may be stored in a column declared
+/// `column` (exact match, null anywhere, or int64 widening into double).
+inline bool IsAssignable(DataType column, DataType value) {
+  if (value == DataType::kNull) return true;
+  if (column == value) return true;
+  return column == DataType::kDouble && value == DataType::kInt64;
+}
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_TYPE_H_

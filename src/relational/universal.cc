@@ -1,0 +1,214 @@
+#include "relational/universal.h"
+
+#include <queue>
+#include <unordered_map>
+
+#include "relational/tuple.h"
+
+namespace xplain {
+
+namespace {
+
+struct AttachStep {
+  int relation;            // relation being attached (X)
+  int anchor;              // already-attached relation it joins to (Y)
+  std::vector<int> rel_attrs;     // join attrs on X
+  std::vector<int> anchor_attrs;  // join attrs on Y
+};
+
+struct FilterEdge {
+  int child;
+  int parent;
+  std::vector<int> child_attrs;
+  std::vector<int> parent_attrs;
+};
+
+}  // namespace
+
+Result<UniversalRelation> UniversalRelation::Build(const Database& db) {
+  DeltaSet none = db.EmptyDelta();
+  return Build(db, none);
+}
+
+Result<UniversalRelation> UniversalRelation::Build(const Database& db,
+                                                   const DeltaSet& deleted) {
+  const int k = db.num_relations();
+  if (k == 0) {
+    return Status::InvalidArgument("cannot build U(D) of an empty database");
+  }
+  XPLAIN_CHECK(deleted.size() == static_cast<size_t>(k));
+
+  // BFS over the FK graph to derive a spanning tree of join steps.
+  std::vector<std::vector<int>> adj(k);  // edge ids per relation
+  const auto& fks = db.resolved_foreign_keys();
+  for (int e = 0; e < static_cast<int>(fks.size()); ++e) {
+    adj[fks[e].child_relation].push_back(e);
+    adj[fks[e].parent_relation].push_back(e);
+  }
+  std::vector<bool> visited(k, false);
+  std::vector<bool> edge_used(fks.size(), false);
+  std::vector<AttachStep> steps;
+  std::vector<FilterEdge> filters;
+  std::queue<int> frontier;
+  visited[0] = true;
+  frontier.push(0);
+  while (!frontier.empty()) {
+    int y = frontier.front();
+    frontier.pop();
+    for (int e : adj[y]) {
+      if (edge_used[e]) continue;
+      const ResolvedForeignKey& fk = fks[e];
+      int other = (fk.child_relation == y && !visited[fk.parent_relation])
+                      ? fk.parent_relation
+                  : (fk.parent_relation == y && !visited[fk.child_relation])
+                      ? fk.child_relation
+                      : -1;
+      if (other >= 0) {
+        edge_used[e] = true;
+        AttachStep step;
+        step.relation = other;
+        step.anchor = y;
+        if (fk.child_relation == other) {
+          step.rel_attrs = fk.child_attrs;
+          step.anchor_attrs = fk.parent_attrs;
+        } else {
+          step.rel_attrs = fk.parent_attrs;
+          step.anchor_attrs = fk.child_attrs;
+        }
+        steps.push_back(std::move(step));
+        visited[other] = true;
+        frontier.push(other);
+      } else if (visited[fk.child_relation] && visited[fk.parent_relation]) {
+        // Non-tree edge within the visited component: post-filter.
+        edge_used[e] = true;
+        filters.push_back(FilterEdge{fk.child_relation, fk.parent_relation,
+                                     fk.child_attrs, fk.parent_attrs});
+      }
+    }
+  }
+  for (int r = 0; r < k; ++r) {
+    if (!visited[r]) {
+      return Status::InvalidArgument(
+          "FK graph is not connected; relation " + db.relation(r).name() +
+          " is unreachable, so U(D) would be a cross product");
+    }
+  }
+  // Any FK edges still unused connect two visited relations (cycle closed
+  // later in BFS); apply them as filters too.
+  for (int e = 0; e < static_cast<int>(fks.size()); ++e) {
+    if (!edge_used[e]) {
+      filters.push_back(FilterEdge{fks[e].child_relation,
+                                   fks[e].parent_relation, fks[e].child_attrs,
+                                   fks[e].parent_attrs});
+    }
+  }
+
+  UniversalRelation universal(&db, k);
+  // Seed with the live rows of relation 0.
+  const Relation& root = db.relation(0);
+  std::vector<uint32_t> current;
+  current.reserve(root.NumRows() * k);
+  for (size_t i = 0; i < root.NumRows(); ++i) {
+    if (deleted[0].Test(i)) continue;
+    for (int r = 0; r < k; ++r) {
+      current.push_back(r == 0 ? static_cast<uint32_t>(i) : 0);
+    }
+  }
+
+  for (const AttachStep& step : steps) {
+    const Relation& x = db.relation(step.relation);
+    // Hash live rows of X on the join key.
+    std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash, TupleEq> index;
+    index.reserve(x.NumRows());
+    for (size_t i = 0; i < x.NumRows(); ++i) {
+      if (deleted[step.relation].Test(i)) continue;
+      index[ProjectTuple(x.row(i), step.rel_attrs)].push_back(
+          static_cast<uint32_t>(i));
+    }
+    const Relation& y = db.relation(step.anchor);
+    std::vector<uint32_t> next;
+    next.reserve(current.size());
+    const size_t n = current.size() / k;
+    for (size_t u = 0; u < n; ++u) {
+      const uint32_t* row = &current[u * k];
+      Tuple key = ProjectTuple(y.row(row[step.anchor]), step.anchor_attrs);
+      auto it = index.find(key);
+      if (it == index.end()) continue;
+      for (uint32_t match : it->second) {
+        size_t base = next.size();
+        next.insert(next.end(), row, row + k);
+        next[base + step.relation] = match;
+      }
+    }
+    current.swap(next);
+  }
+
+  if (!filters.empty()) {
+    std::vector<uint32_t> kept;
+    kept.reserve(current.size());
+    const size_t n = current.size() / k;
+    for (size_t u = 0; u < n; ++u) {
+      const uint32_t* row = &current[u * k];
+      bool pass = true;
+      for (const FilterEdge& f : filters) {
+        Tuple ck = ProjectTuple(db.relation(f.child).row(row[f.child]),
+                                f.child_attrs);
+        Tuple pk = ProjectTuple(db.relation(f.parent).row(row[f.parent]),
+                                f.parent_attrs);
+        if (!TupleEq{}(ck, pk)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) kept.insert(kept.end(), row, row + k);
+    }
+    current.swap(kept);
+  }
+
+  universal.rows_ = std::move(current);
+  return universal;
+}
+
+Tuple UniversalRelation::MaterializeRow(size_t u) const {
+  Tuple out;
+  for (int r = 0; r < num_relations_; ++r) {
+    const Tuple& base = db_->relation(r).row(BaseRow(u, r));
+    out.insert(out.end(), base.begin(), base.end());
+  }
+  return out;
+}
+
+std::vector<std::string> UniversalRelation::ColumnNames() const {
+  std::vector<std::string> names;
+  for (int r = 0; r < num_relations_; ++r) {
+    const RelationSchema& schema = db_->relation(r).schema();
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      names.push_back(schema.name() + "." + schema.attribute(a).name);
+    }
+  }
+  return names;
+}
+
+DeltaSet UniversalRelation::SupportSets(const RowSet* live) const {
+  DeltaSet support = db_->EmptyDelta();
+  const size_t n = NumRows();
+  for (size_t u = 0; u < n; ++u) {
+    if (live != nullptr && !live->Test(u)) continue;
+    for (int r = 0; r < num_relations_; ++r) {
+      support[r].Set(BaseRow(u, r));
+    }
+  }
+  return support;
+}
+
+std::string UniversalRelation::ToString(size_t max_rows) const {
+  std::string out = "U(D): " + std::to_string(NumRows()) + " rows";
+  size_t shown = std::min(max_rows, NumRows());
+  for (size_t u = 0; u < shown; ++u) {
+    out += "\n  " + TupleToString(MaterializeRow(u));
+  }
+  if (shown < NumRows()) out += "\n  ...";
+  return out;
+}
+
+}  // namespace xplain

@@ -1,0 +1,76 @@
+#ifndef XPLAIN_RELATIONAL_UNIVERSAL_H_
+#define XPLAIN_RELATIONAL_UNIVERSAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/rowset.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// The universal relation U(D) = R_1 ⋈ ... ⋈ R_k joined on all foreign key
+/// constraints (paper Section 2).
+///
+/// Each universal row stores, per base relation, the index of the
+/// contributing base row, so projections back to base relations (Π_{A_i}(U))
+/// and per-tuple causal bookkeeping are O(1). Values are never copied.
+///
+/// Construction requires the FK graph over relations to be connected (or the
+/// database to have a single relation); the join is assembled along a BFS
+/// spanning tree of FK edges, and any non-tree FK edges are applied as
+/// post-filters (handles cyclic FK graphs over an acyclic schema).
+class UniversalRelation {
+ public:
+  /// Builds U(D) over all rows of `db`.
+  static Result<UniversalRelation> Build(const Database& db);
+
+  /// Builds U(D - deleted): rows in `deleted` are excluded from the join.
+  static Result<UniversalRelation> Build(const Database& db,
+                                         const DeltaSet& deleted);
+
+  const Database& db() const { return *db_; }
+  size_t NumRows() const {
+    return num_relations_ == 0 ? 0 : rows_.size() / num_relations_;
+  }
+
+  /// Base-row index of relation `rel` in universal row `u`.
+  size_t BaseRow(size_t u, int rel) const {
+    return rows_[u * num_relations_ + rel];
+  }
+
+  /// Value of `column` in universal row `u`.
+  const Value& ValueAt(size_t u, const ColumnRef& column) const {
+    return db_->relation(column.relation)
+        .at(BaseRow(u, column.relation), column.attribute);
+  }
+
+  /// Concatenation of all base tuples of universal row `u`, relations in
+  /// database order (the paper's Figure 4 rendering).
+  Tuple MaterializeRow(size_t u) const;
+
+  /// Header names "Rel.attr" for MaterializeRow, in order.
+  std::vector<std::string> ColumnNames() const;
+
+  /// For each relation, the set of base rows that appear in at least one
+  /// universal row (the projection support). If `live` is non-null, only
+  /// universal rows with live->Test(u) true are considered.
+  DeltaSet SupportSets(const RowSet* live = nullptr) const;
+
+  std::string ToString(size_t max_rows = 10) const;
+
+ private:
+  UniversalRelation(const Database* db, int num_relations)
+      : db_(db), num_relations_(num_relations) {}
+
+  const Database* db_ = nullptr;
+  int num_relations_ = 0;
+  // Flattened: rows_[u * num_relations_ + rel] = base row index.
+  std::vector<uint32_t> rows_;
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_RELATIONAL_UNIVERSAL_H_

@@ -1,0 +1,186 @@
+#include "relational/value.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <sstream>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace xplain {
+
+namespace {
+
+// Compares an int64 with a double without precision loss for the common
+// range. Doubles above 2^63 in magnitude compare by sign.
+int CompareIntDouble(int64_t a, double b) {
+  if (std::isnan(b)) return 1;  // NaN sorts before every number's... keep last
+  constexpr double kTwo63 = 9223372036854775808.0;
+  if (b >= kTwo63) return -1;
+  if (b < -kTwo63) return 1;
+  // Within +-2^63, the integral part of b fits in int64.
+  double floor_b = std::floor(b);
+  int64_t ib = static_cast<int64_t>(floor_b);
+  if (a < ib) return -1;
+  if (a > ib) return 1;
+  // Same integral part: a == ib; fractional part of b breaks the tie.
+  return (b > floor_b) ? -1 : 0;
+}
+
+int CompareDoubles(double a, double b) {
+  // Total order with NaN sorted last.
+  bool na = std::isnan(a), nb = std::isnan(b);
+  if (na && nb) return 0;
+  if (na) return 1;
+  if (nb) return -1;
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+double Value::AsNumeric() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return static_cast<double>(std::get<int64_t>(repr_));
+    case DataType::kDouble:
+      return std::get<double>(repr_);
+    default:
+      XPLAIN_CHECK(false) << "not numeric: " << ToString();
+      return 0.0;
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  DataType ta = type(), tb = other.type();
+  // Cross-type numeric comparison.
+  if (ta == DataType::kInt64 && tb == DataType::kDouble) {
+    return CompareIntDouble(std::get<int64_t>(repr_),
+                            std::get<double>(other.repr_));
+  }
+  if (ta == DataType::kDouble && tb == DataType::kInt64) {
+    return -CompareIntDouble(std::get<int64_t>(other.repr_),
+                             std::get<double>(repr_));
+  }
+  if (ta != tb) {
+    return static_cast<int>(ta) < static_cast<int>(tb) ? -1 : 1;
+  }
+  switch (ta) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool: {
+      bool a = std::get<bool>(repr_), b = std::get<bool>(other.repr_);
+      return (a == b) ? 0 : (a ? 1 : -1);
+    }
+    case DataType::kInt64: {
+      int64_t a = std::get<int64_t>(repr_), b = std::get<int64_t>(other.repr_);
+      return (a == b) ? 0 : (a < b ? -1 : 1);
+    }
+    case DataType::kDouble:
+      return CompareDoubles(std::get<double>(repr_),
+                            std::get<double>(other.repr_));
+    case DataType::kString:
+      return std::get<std::string>(repr_).compare(
+          std::get<std::string>(other.repr_));
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0xc0ffee;
+    case DataType::kBool:
+      return std::get<bool>(repr_) ? 0x9e3779b9 : 0x85ebca6b;
+    case DataType::kInt64:
+      return static_cast<size_t>(Mix64(
+          static_cast<uint64_t>(std::get<int64_t>(repr_))));
+    case DataType::kDouble: {
+      // Integral doubles must hash like the equal int64 (Equals is
+      // cross-type numeric).
+      double d = std::get<double>(repr_);
+      constexpr double kTwo63 = 9223372036854775808.0;
+      if (std::floor(d) == d && d >= -kTwo63 && d < kTwo63) {
+        return static_cast<size_t>(Mix64(
+            static_cast<uint64_t>(static_cast<int64_t>(d))));
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(d));
+      return static_cast<size_t>(Mix64(bits));
+    }
+    case DataType::kString:
+      return std::hash<std::string>{}(std::get<std::string>(repr_));
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  if (type() == DataType::kString) {
+    return "'" + std::get<std::string>(repr_) + "'";
+  }
+  return ToUnquotedString();
+}
+
+std::string Value::ToUnquotedString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return std::get<bool>(repr_) ? "true" : "false";
+    case DataType::kInt64:
+      return std::to_string(std::get<int64_t>(repr_));
+    case DataType::kDouble: {
+      std::ostringstream os;
+      os << std::get<double>(repr_);
+      return os.str();
+    }
+    case DataType::kString:
+      return std::get<std::string>(repr_);
+  }
+  return "?";
+}
+
+Result<Value> Value::Parse(const std::string& text, DataType type) {
+  if (text.empty() || EqualsIgnoreCase(text, "null")) return Value::Null();
+  switch (type) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kBool: {
+      if (EqualsIgnoreCase(text, "true") || text == "1") {
+        return Value::Bool(true);
+      }
+      if (EqualsIgnoreCase(text, "false") || text == "0") {
+        return Value::Bool(false);
+      }
+      return Status::ParseError("bad bool literal: " + text);
+    }
+    case DataType::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno != 0 || end == text.c_str() || *end != '\0') {
+        return Status::ParseError("bad int64 literal: " + text);
+      }
+      return Value::Int(static_cast<int64_t>(v));
+    }
+    case DataType::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (errno != 0 || end == text.c_str() || *end != '\0') {
+        return Status::ParseError("bad double literal: " + text);
+      }
+      return Value::Real(v);
+    }
+    case DataType::kString:
+      return Value::Str(text);
+  }
+  return Status::ParseError("bad type for Value::Parse");
+}
+
+}  // namespace xplain

@@ -1,0 +1,103 @@
+#ifndef XPLAIN_RELATIONAL_VALUE_H_
+#define XPLAIN_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "relational/type.h"
+#include "util/logging.h"
+#include "util/result.h"
+
+namespace xplain {
+
+/// A dynamically-typed SQL value: NULL, bool, int64, double, or string.
+///
+/// Ordering and equality implement a deterministic *total* order used for
+/// grouping and sorting: NULL sorts first and equals itself; int64 and
+/// double compare numerically across types; strings compare
+/// lexicographically. (Three-valued SQL comparison semantics for predicates
+/// are implemented in predicate.cc on top of this, where any comparison
+/// against NULL is false.)
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Repr(v)); }
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Real(double v) { return Value(Repr(v)); }
+  static Value Str(std::string v) { return Value(Repr(std::move(v))); }
+  static Value Str(const char* v) { return Value(Repr(std::string(v))); }
+
+  DataType type() const {
+    return static_cast<DataType>(repr_.index());
+  }
+
+  bool is_null() const { return type() == DataType::kNull; }
+
+  bool AsBool() const {
+    XPLAIN_CHECK(type() == DataType::kBool) << "not a bool: " << ToString();
+    return std::get<bool>(repr_);
+  }
+  int64_t AsInt() const {
+    XPLAIN_CHECK(type() == DataType::kInt64) << "not an int64: " << ToString();
+    return std::get<int64_t>(repr_);
+  }
+  double AsDouble() const {
+    XPLAIN_CHECK(type() == DataType::kDouble) << "not a double: " << ToString();
+    return std::get<double>(repr_);
+  }
+  const std::string& AsString() const {
+    XPLAIN_CHECK(type() == DataType::kString) << "not a string: " << ToString();
+    return std::get<std::string>(repr_);
+  }
+
+  /// Numeric view: int64 or double widened to double. CHECK-fails otherwise.
+  double AsNumeric() const;
+
+  /// Total-order comparison: negative / zero / positive. NULL sorts first;
+  /// int64 and double compare numerically; otherwise ordered by type then
+  /// value.
+  int Compare(const Value& other) const;
+
+  /// Grouping equality, consistent with Compare()==0 (NULL equals NULL).
+  bool Equals(const Value& other) const { return Compare(other) == 0; }
+
+  bool operator==(const Value& other) const { return Equals(other); }
+  bool operator!=(const Value& other) const { return !Equals(other); }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with Equals (numeric values with equal magnitude hash
+  /// identically regardless of int64/double representation).
+  size_t Hash() const;
+
+  /// SQL-literal-ish rendering: NULL, true, 42, 3.5, 'text'.
+  std::string ToString() const;
+
+  /// Plain rendering without string quotes (CSV cell form).
+  std::string ToUnquotedString() const;
+
+  /// Parses a value of the requested type from text ("" parses to NULL).
+  static Result<Value> Parse(const std::string& text, DataType type);
+
+ private:
+  // Variant index order must match DataType enumerator values.
+  using Repr = std::variant<std::monostate, bool, int64_t, double, std::string>;
+
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+};
+
+}  // namespace xplain
+
+namespace std {
+template <>
+struct hash<xplain::Value> {
+  size_t operator()(const xplain::Value& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // XPLAIN_RELATIONAL_VALUE_H_

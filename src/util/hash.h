@@ -1,0 +1,27 @@
+#ifndef XPLAIN_UTIL_HASH_H_
+#define XPLAIN_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace xplain {
+
+/// Mixes `value`'s hash into `seed` (boost::hash_combine recipe, 64-bit).
+template <typename T>
+void HashCombine(size_t* seed, const T& value) {
+  size_t h = std::hash<T>{}(value);
+  *seed ^= h + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Finalizing 64-bit mix (splitmix64) for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace xplain
+
+#endif  // XPLAIN_UTIL_HASH_H_

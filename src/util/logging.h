@@ -1,0 +1,57 @@
+#ifndef XPLAIN_UTIL_LOGGING_H_
+#define XPLAIN_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace xplain {
+namespace internal {
+
+/// Severity of a log/check statement.
+enum class LogLevel { kDebug, kInfo, kWarning, kError, kFatal };
+
+/// Accumulates a message via operator<< and emits it (to stderr) on
+/// destruction; kFatal aborts the process.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Returns the minimum level that is actually emitted (default kInfo).
+LogLevel GetLogThreshold();
+/// Sets the minimum emitted level; used by tests and benches to silence logs.
+void SetLogThreshold(LogLevel level);
+
+}  // namespace internal
+}  // namespace xplain
+
+#define XPLAIN_LOG(level)                                               \
+  ::xplain::internal::LogMessage(::xplain::internal::LogLevel::level,   \
+                                 __FILE__, __LINE__)
+
+/// Aborts with a message when `condition` is false. Used for internal
+/// invariants (programming errors), not for data-dependent failures -- those
+/// return Status.
+#define XPLAIN_CHECK(condition)                                          \
+  if (!(condition))                                                      \
+  ::xplain::internal::LogMessage(::xplain::internal::LogLevel::kFatal,   \
+                                 __FILE__, __LINE__)                     \
+      << "Check failed: " #condition " "
+
+#define XPLAIN_DCHECK(condition) XPLAIN_CHECK(condition)
+
+#endif  // XPLAIN_UTIL_LOGGING_H_

@@ -1,0 +1,86 @@
+#ifndef XPLAIN_UTIL_RESULT_H_
+#define XPLAIN_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace xplain {
+
+/// A value-or-error wrapper: holds either a `T` or a non-OK Status.
+///
+/// Mirrors arrow::Result. Accessing the value of an errored Result aborts
+/// (programming error), so callers must check `ok()` / use the
+/// XPLAIN_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so functions can `return value;`).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Constructs from a non-OK status (implicit so functions can
+  /// `return Status::...;`).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    XPLAIN_CHECK(!status_.ok()) << "Result constructed from OK Status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    XPLAIN_CHECK(ok()) << "ValueOrDie on errored Result: " << status_.ToString();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    XPLAIN_CHECK(ok()) << "ValueOrDie on errored Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    XPLAIN_CHECK(ok()) << "ValueOrDie on errored Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out, or returns `alternative` if errored.
+  T ValueOr(T alternative) && {
+    if (ok()) return std::move(*value_);
+    return alternative;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace xplain
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the unwrapped value to `lhs`.
+#define XPLAIN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define XPLAIN_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define XPLAIN_ASSIGN_OR_RETURN_NAME(x, y) XPLAIN_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define XPLAIN_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  XPLAIN_ASSIGN_OR_RETURN_IMPL(                                              \
+      XPLAIN_ASSIGN_OR_RETURN_NAME(_result_tmp_, __COUNTER__), lhs, rexpr)
+
+#endif  // XPLAIN_UTIL_RESULT_H_

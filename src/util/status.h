@@ -1,0 +1,101 @@
+#ifndef XPLAIN_UTIL_STATUS_H_
+#define XPLAIN_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace xplain {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kParseError = 7,
+  kConstraintViolation = 8,
+  kIoError = 9,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// An Arrow-style operation outcome: either OK, or a code plus message.
+///
+/// The OK status carries no allocation; error states allocate a small
+/// shared state. Statuses are cheap to copy and move.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status ParseError(std::string message) {
+    return Status(StatusCode::kParseError, std::move(message));
+  }
+  static Status ConstraintViolation(std::string message) {
+    return Status(StatusCode::kConstraintViolation, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// The error message; empty for OK.
+  const std::string& message() const;
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace xplain
+
+/// Propagates a non-OK Status from the enclosing function.
+#define XPLAIN_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::xplain::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#endif  // XPLAIN_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef XPLAIN_UTIL_STOPWATCH_H_
+#define XPLAIN_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace xplain {
+
+/// Wall-clock stopwatch used by the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_UTIL_STOPWATCH_H_

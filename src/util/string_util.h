@@ -1,0 +1,31 @@
+#ifndef XPLAIN_UTIL_STRING_UTIL_H_
+#define XPLAIN_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xplain {
+
+/// Splits `input` on every occurrence of `delim`; keeps empty pieces.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view input);
+
+/// True if `input` starts with `prefix` / ends with `suffix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+bool EndsWith(std::string_view input, std::string_view suffix);
+
+/// Case-insensitive equality of two ASCII strings.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace xplain
+
+#endif  // XPLAIN_UTIL_STRING_UTIL_H_

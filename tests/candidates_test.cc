@@ -1,0 +1,157 @@
+#include "core/candidates.h"
+
+#include "gtest/gtest.h"
+#include "relational/parser.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::Pred;
+using ::xplain::testing::UnwrapOrDie;
+
+class CandidatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = BuildRunningExample();
+    universal_ = std::make_unique<UniversalRelation>(
+        UnwrapOrDie(UniversalRelation::Build(db_)));
+    engine_ = std::make_unique<InterventionEngine>(universal_.get());
+
+    // Q = #SIGMOD / #VLDB publications, dir = high.
+    AggregateQuery q1, q2;
+    q1.name = "q1";
+    q1.agg =
+        AggregateSpec::CountDistinct(*db_.ResolveColumn("Publication.pubid"));
+    q1.where = Pred(db_, "Publication.venue = 'SIGMOD'");
+    q2 = q1;
+    q2.name = "q2";
+    q2.where = Pred(db_, "Publication.venue = 'VLDB'");
+    ExprPtr expr = UnwrapOrDie(ParseExpression("q1 / q2", {"q1", "q2"}));
+    question_.query = UnwrapOrDie(NumericalQuery::Create({q1, q2}, expr));
+    question_.direction = Direction::kHigh;
+  }
+
+  Database db_;
+  std::unique_ptr<UniversalRelation> universal_;
+  std::unique_ptr<InterventionEngine> engine_;
+  UserQuestion question_;
+};
+
+TEST_F(CandidatesTest, RangeCandidatesOverYear) {
+  ColumnRef year = *db_.ResolveColumn("Publication.year");
+  RangeCandidateOptions options;
+  options.num_buckets = 2;
+  std::vector<ConjunctivePredicate> ranges =
+      UnwrapOrDie(GenerateRangeCandidates(*universal_, year, options));
+  // Years over U: 2001 x4, 2011 x2 -> buckets [2001,2001], [2001,2011] or
+  // [2011,2011] depending on split; at least one candidate, each a
+  // two-atom range.
+  ASSERT_FALSE(ranges.empty());
+  for (const ConjunctivePredicate& range : ranges) {
+    ASSERT_EQ(range.atoms().size(), 2u);
+    EXPECT_EQ(range.atoms()[0].op, CompareOp::kGe);
+    EXPECT_EQ(range.atoms()[1].op, CompareOp::kLe);
+  }
+}
+
+TEST_F(CandidatesTest, RangeCandidatesRejectNonNumeric) {
+  ColumnRef name = *db_.ResolveColumn("Author.name");
+  EXPECT_FALSE(GenerateRangeCandidates(*universal_, name).ok());
+  ColumnRef year = *db_.ResolveColumn("Publication.year");
+  RangeCandidateOptions bad;
+  bad.num_buckets = 0;
+  EXPECT_FALSE(GenerateRangeCandidates(*universal_, year, bad).ok());
+}
+
+TEST_F(CandidatesTest, MultiscaleEmitsMergedRuns) {
+  // A numeric column with 4 clear buckets.
+  auto schema = RelationSchema::Create("T", {{"v", DataType::kInt64}}, {"v"});
+  Relation t(std::move(*schema));
+  for (int i = 0; i < 16; ++i) t.AppendUnchecked({Value::Int(i)});
+  Database db;
+  XPLAIN_ASSERT_OK(db.AddRelation(std::move(t)));
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  RangeCandidateOptions options;
+  options.num_buckets = 4;
+  std::vector<ConjunctivePredicate> ranges = UnwrapOrDie(
+      GenerateRangeCandidates(u, ColumnRef{0, 0}, options));
+  // 4 base buckets + merged runs (1-2, 2-3, 3-4, 1-3, 2-4) minus the full
+  // span = 4 + 5 = 9.
+  EXPECT_EQ(ranges.size(), 9u);
+  options.multiscale = false;
+  ranges = UnwrapOrDie(GenerateRangeCandidates(u, ColumnRef{0, 0}, options));
+  EXPECT_EQ(ranges.size(), 4u);
+}
+
+TEST_F(CandidatesTest, DisjunctionCandidatesFromTopCells) {
+  std::vector<ColumnRef> attrs = {*db_.ResolveColumn("Author.name")};
+  TableM table = UnwrapOrDie(ComputeTableM(*universal_, question_, attrs));
+  std::vector<DnfPredicate> pairs =
+      GenerateDisjunctionCandidates(table, DegreeKind::kIntervention, 3);
+  // 3 top cells -> 3 pairs.
+  ASSERT_EQ(pairs.size(), 3u);
+  for (const DnfPredicate& p : pairs) {
+    EXPECT_EQ(p.disjuncts().size(), 2u);
+  }
+}
+
+TEST_F(CandidatesTest, ExactScoringRanksRangesSensibly) {
+  ColumnRef year = *db_.ResolveColumn("Publication.year");
+  RangeCandidateOptions options;
+  options.num_buckets = 2;
+  std::vector<ConjunctivePredicate> ranges =
+      UnwrapOrDie(GenerateRangeCandidates(*universal_, year, options));
+  std::vector<DnfPredicate> candidates;
+  for (const ConjunctivePredicate& range : ranges) {
+    candidates.push_back(range);
+  }
+  std::vector<ScoredCandidate> scored = UnwrapOrDie(
+      ScoreCandidatesExact(*engine_, question_, candidates));
+  ASSERT_EQ(scored.size(), candidates.size());
+  // Sorted descending.
+  for (size_t i = 1; i < scored.size(); ++i) {
+    EXPECT_GE(scored[i - 1].degree, scored[i].degree);
+  }
+  // The best range must cover 2001 (removing the SIGMOD years inhibits Q).
+  const DnfPredicate& best = scored.front().predicate;
+  ASSERT_EQ(best.disjuncts().size(), 1u);
+  EXPECT_TRUE(best.disjuncts()[0].atoms()[0].Eval(Value::Int(2001)));
+}
+
+TEST_F(CandidatesTest, ExactScoringAggravationKind) {
+  std::vector<DnfPredicate> candidates = {
+      Pred(db_, "Author.dom = 'com'"),
+      Pred(db_, "Author.dom = 'edu'"),
+  };
+  std::vector<ScoredCandidate> scored = UnwrapOrDie(ScoreCandidatesExact(
+      *engine_, question_, candidates, DegreeKind::kAggravation));
+  ASSERT_EQ(scored.size(), 2u);
+  // Restricting to com authors keeps both SIGMOD papers and drops the edu
+  // VLDB share less than restricting to edu does -- com aggravates more.
+  EXPECT_GT(scored[0].degree, scored[1].degree);
+  ASSERT_EQ(scored[0].predicate.disjuncts().size(), 1u);
+  EXPECT_EQ(scored[0].predicate.ToString(db_), "[Author.dom = 'com']");
+}
+
+TEST_F(CandidatesTest, DisjunctionBeatsItsParts) {
+  // [JG OR RR] removes P1, P2, P3 entirely; each singleton leaves a paper.
+  DnfPredicate jg = Pred(db_, "Author.name = 'JG'");
+  DnfPredicate rr = Pred(db_, "Author.name = 'RR'");
+  DnfPredicate both = UnwrapOrDie(ParseDnfPredicate(
+      db_, "Author.name = 'JG' OR Author.name = 'RR'"));
+  std::vector<ScoredCandidate> scored = UnwrapOrDie(
+      ScoreCandidatesExact(*engine_, question_, {jg, rr, both}));
+  // With dir=high, mu_interv = -Q(D-Delta). Removing JG leaves P3 (SIGMOD)
+  // -> Q explodes -> strongly negative degree; removing RR or the
+  // disjunction zeroes the SIGMOD count -> degree 0, the best possible.
+  ASSERT_EQ(scored.size(), 3u);
+  EXPECT_DOUBLE_EQ(scored[0].degree, 0.0);
+  EXPECT_DOUBLE_EQ(scored[1].degree, 0.0);
+  EXPECT_LT(scored[2].degree, -1.0);  // JG alone is the worst
+  EXPECT_EQ(scored[2].predicate.ToString(db_), "[Author.name = 'JG']");
+}
+
+}  // namespace
+}  // namespace xplain

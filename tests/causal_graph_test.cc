@@ -1,0 +1,179 @@
+#include "core/causal_graph.h"
+
+#include "datagen/worstcase.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::UnwrapOrDie;
+using Node = DataCausalGraph::Node;
+
+TEST(SchemaCausalGraphTest, RunningExampleFigure6a) {
+  Database db = BuildRunningExample();
+  SchemaCausalGraph graph(&db);
+  // Edges: Author -> Authored (solid), Publication -> Authored (solid),
+  // Authored -> Publication (dotted).
+  ASSERT_EQ(graph.edges().size(), 3u);
+  int author = *db.RelationIndex("Author");
+  int authored = *db.RelationIndex("Authored");
+  int publication = *db.RelationIndex("Publication");
+  bool saw_author_edge = false, saw_pub_edge = false, saw_dotted = false;
+  for (const auto& e : graph.edges()) {
+    if (e.from == author && e.to == authored && !e.dotted) {
+      saw_author_edge = true;
+    }
+    if (e.from == publication && e.to == authored && !e.dotted) {
+      saw_pub_edge = true;
+    }
+    if (e.from == authored && e.to == publication && e.dotted) {
+      saw_dotted = true;
+    }
+  }
+  EXPECT_TRUE(saw_author_edge);
+  EXPECT_TRUE(saw_pub_edge);
+  EXPECT_TRUE(saw_dotted);
+}
+
+TEST(SchemaCausalGraphTest, PropertiesOnRunningExample) {
+  Database db = BuildRunningExample();
+  SchemaCausalGraph graph(&db);
+  EXPECT_TRUE(graph.IsSimple());
+  EXPECT_TRUE(graph.IsAcyclicSchema());
+  EXPECT_EQ(graph.NumBackAndForth(), 1);
+  EXPECT_TRUE(graph.AtMostOneBackAndForthPerChild());
+  // Prop 3.11: 2s+2 = 4.
+  ASSERT_TRUE(graph.StaticConvergenceBound().has_value());
+  EXPECT_EQ(*graph.StaticConvergenceBound(), 4u);
+}
+
+TEST(SchemaCausalGraphTest, NoBackAndForthGivesBoundTwo) {
+  Database db = BuildRunningExample(/*all_standard=*/true);
+  SchemaCausalGraph graph(&db);
+  EXPECT_EQ(*graph.StaticConvergenceBound(), 2u);  // Prop 3.5
+}
+
+TEST(SchemaCausalGraphTest, WorstCaseChainRequiresRecursion) {
+  datagen::WorstCaseInstance wc =
+      UnwrapOrDie(datagen::GenerateWorstCaseChain(2));
+  SchemaCausalGraph graph(&wc.db);
+  // R3 has two back-and-forth FKs: no static bound (Example 3.7).
+  EXPECT_FALSE(graph.AtMostOneBackAndForthPerChild());
+  EXPECT_FALSE(graph.StaticConvergenceBound().has_value());
+}
+
+TEST(SchemaCausalGraphTest, ToDotMentionsRelations) {
+  Database db = BuildRunningExample();
+  std::string dot = SchemaCausalGraph(&db).ToDot();
+  EXPECT_NE(dot.find("Authored"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+class DataGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = BuildRunningExample();
+    universal_ = std::make_unique<UniversalRelation>(
+        UnwrapOrDie(UniversalRelation::Build(db_)));
+    graph_ = std::make_unique<DataCausalGraph>(
+        UnwrapOrDie(DataCausalGraph::Build(*universal_)));
+    author_ = *db_.RelationIndex("Author");
+    authored_ = *db_.RelationIndex("Authored");
+    publication_ = *db_.RelationIndex("Publication");
+  }
+
+  Database db_;
+  std::unique_ptr<UniversalRelation> universal_;
+  std::unique_ptr<DataCausalGraph> graph_;
+  int author_, authored_, publication_;
+};
+
+TEST_F(DataGraphTest, Figure6bEdges) {
+  // r1 -> s1 (solid): every universal row containing s1 contains r1.
+  EXPECT_TRUE(graph_->HasSolidEdge(Node{author_, 0}, Node{authored_, 0}));
+  // t1 -> s1 (solid): P1 determines its authored rows? No -- t1 appears in
+  // rows of s1 AND s2, but every row containing s1 contains t1.
+  EXPECT_TRUE(
+      graph_->HasSolidEdge(Node{publication_, 0}, Node{authored_, 0}));
+  // s1 -> t1 (dotted back-and-forth).
+  EXPECT_TRUE(
+      graph_->HasDottedEdge(Node{authored_, 0}, Node{publication_, 0}));
+  // No solid edge r1 -> s2 (s2 is RR's authorship).
+  EXPECT_FALSE(graph_->HasSolidEdge(Node{author_, 0}, Node{authored_, 1}));
+  // No dotted edge from authors.
+  EXPECT_FALSE(graph_->HasDottedEdge(Node{author_, 0}, Node{authored_, 0}));
+}
+
+TEST_F(DataGraphTest, SemijoinInducedReverseEdge) {
+  // Each Authored row is the ONLY row containing itself, so deleting it
+  // would make... more interestingly: each author appears in exactly the
+  // rows of their authorships; author r1 (JG) has two authorships, so no
+  // solid edge s1 -> r1. But t1's only... t1 appears in rows with s1 and
+  // s2: no edge s1 -> ... Check a case with a unique container: every
+  // universal row containing r1 contains -- multiple s's, no edge.
+  EXPECT_FALSE(graph_->HasSolidEdge(Node{authored_, 0}, Node{author_, 0}));
+  // Successors of s1: t1 (dotted) and possibly solid duplicates.
+  auto succ = graph_->Successors(Node{authored_, 0});
+  bool found_dotted = false;
+  for (const auto& [node, dotted] : succ) {
+    if (dotted) {
+      EXPECT_EQ(node.relation, publication_);
+      EXPECT_EQ(node.row, 0u);
+      found_dotted = true;
+    }
+  }
+  EXPECT_TRUE(found_dotted);
+}
+
+TEST_F(DataGraphTest, CausalPathLengthFromSeeds) {
+  // Seed {s1}: the paper's path r1 -> s1 -> t1 -> s2 has causal length 1;
+  // from s1 itself: s1 -> t1 (dotted, length 1) -> s2 (solid) -> ... At
+  // most 1 dotted edge is reachable on a simple path here? s2 has a dotted
+  // edge to t1 (already visited) -- paths through s5 -> t3: s2's dotted
+  // edge goes to t1 only. Expect length >= 1.
+  DeltaSet seeds = db_.EmptyDelta();
+  seeds[authored_].Set(0);
+  size_t q = UnwrapOrDie(graph_->MaxCausalLengthFromSeeds(seeds));
+  EXPECT_GE(q, 1u);
+  // Prop 3.10 sanity: 2q+2 must cover the observed iterations (3) of
+  // Example 2.8.
+  EXPECT_GE(2 * q + 2, 3u);
+}
+
+TEST_F(DataGraphTest, WorkBudgetEnforced) {
+  DeltaSet seeds = db_.EmptyDelta();
+  seeds[authored_].Set(0);
+  auto result = graph_->MaxCausalLengthFromSeeds(seeds, /*work_budget=*/1);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(DataGraphTest, ToDotRendersNodes) {
+  std::string dot = graph_->ToDot(db_);
+  EXPECT_NE(dot.find("Authored#0"), std::string::npos);
+}
+
+TEST(DataGraphWorstCaseTest, LongCausalPath) {
+  // In the Example 3.7 chain the causal path from the seed s_1a zig-zags
+  // through all of R3 via dotted edges: q grows linearly with p.
+  // The zig-zag path s_1a ->(d) r_1 -> s_1b ->(d) t_1 -> s_2a ->(d) r_2
+  // -> ... alternates dotted and solid edges, giving causal length exactly
+  // 2p from the seed s_1a.
+  for (int p : {1, 2, 3}) {
+    datagen::WorstCaseInstance wc =
+        UnwrapOrDie(datagen::GenerateWorstCaseChain(p));
+    UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(wc.db));
+    DataCausalGraph graph = UnwrapOrDie(DataCausalGraph::Build(u));
+    DeltaSet seeds = wc.db.EmptyDelta();
+    int r3 = *wc.db.RelationIndex("R3");
+    seeds[r3].Set(0);  // s_1a
+    size_t q = UnwrapOrDie(graph.MaxCausalLengthFromSeeds(seeds));
+    EXPECT_EQ(q, static_cast<size_t>(2 * p)) << "p=" << p;
+    // 2q+2 must cover the observed 4p-1 iterations (Prop 3.10).
+    EXPECT_GE(2 * q + 2, wc.expected_iterations) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace xplain

@@ -1,0 +1,101 @@
+#include "relational/column_cache.h"
+
+#include "gtest/gtest.h"
+#include "relational/cube.h"
+#include "relational/parser.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::Pred;
+using ::xplain::testing::UnwrapOrDie;
+
+class ColumnCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = BuildRunningExample();
+    universal_ = std::make_unique<UniversalRelation>(
+        UnwrapOrDie(UniversalRelation::Build(db_)));
+    name_ = *db_.ResolveColumn("Author.name");
+    year_ = *db_.ResolveColumn("Publication.year");
+    pubid_ = *db_.ResolveColumn("Publication.pubid");
+  }
+
+  Database db_;
+  std::unique_ptr<UniversalRelation> universal_;
+  ColumnRef name_, year_, pubid_;
+};
+
+TEST_F(ColumnCacheTest, EncodingRoundTrips) {
+  ColumnCache cache = ColumnCache::Build(*universal_, {name_, year_});
+  EXPECT_EQ(cache.num_columns(), 2);
+  EXPECT_EQ(cache.NumRows(), universal_->NumRows());
+  EXPECT_EQ(cache.DictionarySize(0), 3u);  // JG, RR, CM
+  EXPECT_EQ(cache.DictionarySize(1), 2u);  // 2001, 2011
+  for (size_t u = 0; u < cache.NumRows(); ++u) {
+    EXPECT_TRUE(cache.Decode(0, cache.Code(u, 0))
+                    .Equals(universal_->ValueAt(u, name_)));
+    EXPECT_TRUE(cache.Decode(1, cache.Code(u, 1))
+                    .Equals(universal_->ValueAt(u, year_)));
+  }
+  EXPECT_EQ(cache.FindColumn(name_), 0);
+  EXPECT_EQ(cache.FindColumn(pubid_), -1);
+}
+
+TEST_F(ColumnCacheTest, FilterBitmap) {
+  DnfPredicate sigmod = Pred(db_, "Publication.venue = 'SIGMOD'");
+  RowSet rows = EvaluateFilterBitmap(*universal_, &sigmod);
+  EXPECT_EQ(rows.count(), 4u);
+  RowSet all = EvaluateFilterBitmap(*universal_, nullptr);
+  EXPECT_EQ(all.count(), universal_->NumRows());
+}
+
+TEST_F(ColumnCacheTest, CachedCountStarMatchesGeneric) {
+  DnfPredicate sigmod = Pred(db_, "Publication.venue = 'SIGMOD'");
+  DataCube generic = UnwrapOrDie(DataCube::Compute(
+      *universal_, {name_, year_}, AggregateSpec::CountStar(), &sigmod));
+  ColumnCache cache = ColumnCache::Build(*universal_, {name_, year_});
+  RowSet rows = EvaluateFilterBitmap(*universal_, &sigmod);
+  DataCube cached = UnwrapOrDie(DataCube::ComputeCached(
+      cache, {0, 1}, AggregateKind::kCountStar, -1, &rows));
+  ASSERT_EQ(cached.NumCells(), generic.NumCells());
+  for (const auto& [cell, value] : generic.cells()) {
+    EXPECT_DOUBLE_EQ(cached.CellValue(cell), value) << TupleToString(cell);
+  }
+}
+
+TEST_F(ColumnCacheTest, CachedCountDistinctMatchesGeneric) {
+  DataCube generic = UnwrapOrDie(DataCube::Compute(
+      *universal_, {name_}, AggregateSpec::CountDistinct(pubid_), nullptr));
+  ColumnCache cache = ColumnCache::Build(*universal_, {name_, pubid_});
+  RowSet rows = EvaluateFilterBitmap(*universal_, nullptr);
+  DataCube cached = UnwrapOrDie(DataCube::ComputeCached(
+      cache, {0}, AggregateKind::kCountDistinct, 1, &rows));
+  ASSERT_EQ(cached.NumCells(), generic.NumCells());
+  for (const auto& [cell, value] : generic.cells()) {
+    EXPECT_DOUBLE_EQ(cached.CellValue(cell), value) << TupleToString(cell);
+  }
+}
+
+TEST_F(ColumnCacheTest, CachedRejectsBadArguments) {
+  ColumnCache cache = ColumnCache::Build(*universal_, {name_});
+  RowSet rows = EvaluateFilterBitmap(*universal_, nullptr);
+  EXPECT_FALSE(DataCube::ComputeCached(cache, {}, AggregateKind::kCountStar,
+                                       -1, &rows)
+                   .ok());
+  EXPECT_FALSE(DataCube::ComputeCached(cache, {5}, AggregateKind::kCountStar,
+                                       -1, &rows)
+                   .ok());
+  EXPECT_FALSE(DataCube::ComputeCached(cache, {0},
+                                       AggregateKind::kCountDistinct, 7,
+                                       &rows)
+                   .ok());
+  EXPECT_FALSE(
+      DataCube::ComputeCached(cache, {0}, AggregateKind::kSum, -1, &rows)
+          .ok());
+}
+
+}  // namespace
+}  // namespace xplain

@@ -1,0 +1,99 @@
+#include "relational/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::UnwrapOrDie;
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/xplain_csv_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  RelationSchema Schema() {
+    return *RelationSchema::Create("T",
+                                   {{"k", DataType::kInt64},
+                                    {"name", DataType::kString},
+                                    {"score", DataType::kDouble}},
+                                   {"k"});
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, SplitCsvLineHandlesQuoting) {
+  EXPECT_EQ(*SplitCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(*SplitCsvLine("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(*SplitCsvLine("\"he said \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"he said \"hi\"", "x"}));
+  EXPECT_EQ(*SplitCsvLine("a,,c"),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_FALSE(SplitCsvLine("\"unterminated").ok());
+  EXPECT_FALSE(SplitCsvLine("ab\"cd").ok());
+}
+
+TEST_F(CsvTest, ReadBasicFile) {
+  WriteFile("k,name,score\n1,alice,2.5\n2,bob,\n");
+  Relation rel = UnwrapOrDie(ReadRelationCsv(path_, Schema()));
+  ASSERT_EQ(rel.NumRows(), 2u);
+  EXPECT_EQ(rel.at(0, 1).AsString(), "alice");
+  EXPECT_DOUBLE_EQ(rel.at(0, 2).AsDouble(), 2.5);
+  EXPECT_TRUE(rel.at(1, 2).is_null());
+}
+
+TEST_F(CsvTest, RoundTrip) {
+  Relation rel(Schema());
+  XPLAIN_EXPECT_OK(rel.Append({Value::Int(1), Value::Str("has,comma"),
+                               Value::Real(1.5)}));
+  XPLAIN_EXPECT_OK(
+      rel.Append({Value::Int(2), Value::Str("has \"quote\""), Value::Null()}));
+  XPLAIN_EXPECT_OK(WriteRelationCsv(rel, path_));
+  Relation back = UnwrapOrDie(ReadRelationCsv(path_, Schema()));
+  ASSERT_EQ(back.NumRows(), 2u);
+  EXPECT_EQ(back.at(0, 1).AsString(), "has,comma");
+  EXPECT_EQ(back.at(1, 1).AsString(), "has \"quote\"");
+  EXPECT_TRUE(back.at(1, 2).is_null());
+}
+
+TEST_F(CsvTest, HeaderMismatchRejected) {
+  WriteFile("k,wrong,score\n1,x,1\n");
+  EXPECT_FALSE(ReadRelationCsv(path_, Schema()).ok());
+  WriteFile("k,name\n1,x\n");
+  EXPECT_FALSE(ReadRelationCsv(path_, Schema()).ok());
+}
+
+TEST_F(CsvTest, BadCellsRejected) {
+  WriteFile("k,name,score\nnot_an_int,x,1\n");
+  EXPECT_FALSE(ReadRelationCsv(path_, Schema()).ok());
+  WriteFile("k,name,score\n1,x\n");  // short row
+  EXPECT_FALSE(ReadRelationCsv(path_, Schema()).ok());
+}
+
+TEST_F(CsvTest, MissingFile) {
+  EXPECT_EQ(ReadRelationCsv("/nonexistent/nope.csv", Schema()).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, CrLfAndBlankLinesTolerated) {
+  WriteFile("k,name,score\r\n1,x,1\r\n\r\n2,y,2\r\n");
+  Relation rel = UnwrapOrDie(ReadRelationCsv(path_, Schema()));
+  EXPECT_EQ(rel.NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace xplain

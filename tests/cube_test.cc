@@ -1,0 +1,130 @@
+#include "relational/cube.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::Pred;
+using ::xplain::testing::UnwrapOrDie;
+
+class CubeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = BuildRunningExample();
+    universal_ = std::make_unique<UniversalRelation>(
+        UnwrapOrDie(UniversalRelation::Build(db_)));
+    name_ = *db_.ResolveColumn("Author.name");
+    year_ = *db_.ResolveColumn("Publication.year");
+  }
+
+  Database db_;
+  std::unique_ptr<UniversalRelation> universal_;
+  ColumnRef name_, year_;
+};
+
+TEST_F(CubeTest, Example41CountCube) {
+  // The paper's Example 4.1: cube over (name, year) with count(*).
+  DataCube cube = UnwrapOrDie(DataCube::Compute(
+      *universal_, {name_, year_}, AggregateSpec::CountStar(), nullptr));
+  EXPECT_EQ(cube.NumCells(), 11u);
+  auto cell = [](const char* n, int64_t y) {
+    Tuple t(2);
+    t[0] = n == nullptr ? Value::Null() : Value::Str(n);
+    t[1] = y == 0 ? Value::Null() : Value::Int(y);
+    return t;
+  };
+  EXPECT_DOUBLE_EQ(cube.CellValue(cell("JG", 2001)), 1);
+  EXPECT_DOUBLE_EQ(cube.CellValue(cell("JG", 2011)), 1);
+  EXPECT_DOUBLE_EQ(cube.CellValue(cell("RR", 2001)), 2);
+  EXPECT_DOUBLE_EQ(cube.CellValue(cell("CM", 2001)), 1);
+  EXPECT_DOUBLE_EQ(cube.CellValue(cell("CM", 2011)), 1);
+  EXPECT_DOUBLE_EQ(cube.CellValue(cell("JG", 0)), 2);
+  EXPECT_DOUBLE_EQ(cube.CellValue(cell("RR", 0)), 2);
+  EXPECT_DOUBLE_EQ(cube.CellValue(cell("CM", 0)), 2);
+  EXPECT_DOUBLE_EQ(cube.CellValue(cell(nullptr, 2001)), 4);
+  EXPECT_DOUBLE_EQ(cube.CellValue(cell(nullptr, 2011)), 2);
+  EXPECT_DOUBLE_EQ(cube.CellValue(cell(nullptr, 0)), 6);
+  EXPECT_DOUBLE_EQ(cube.GrandTotal(), 6);
+  // Missing cells read as 0.
+  EXPECT_DOUBLE_EQ(cube.CellValue(cell("RR", 2011)), 0);
+}
+
+TEST_F(CubeTest, FilteredCube) {
+  DnfPredicate sigmod = Pred(db_, "Publication.venue = 'SIGMOD'");
+  DataCube cube = UnwrapOrDie(DataCube::Compute(
+      *universal_, {name_}, AggregateSpec::CountStar(), &sigmod));
+  EXPECT_DOUBLE_EQ(cube.CellValue({Value::Str("RR")}), 2);
+  EXPECT_DOUBLE_EQ(cube.CellValue({Value::Str("JG")}), 1);
+  EXPECT_DOUBLE_EQ(cube.GrandTotal(), 4);
+}
+
+TEST_F(CubeTest, CountDistinctRollsUpExactly) {
+  ColumnRef pubid = *db_.ResolveColumn("Publication.pubid");
+  DataCube cube = UnwrapOrDie(DataCube::Compute(
+      *universal_, {name_}, AggregateSpec::CountDistinct(pubid), nullptr));
+  // Each author wrote 2 distinct papers; total distinct papers is 3, NOT
+  // the sum 6 -- distinct rollup must not double count.
+  EXPECT_DOUBLE_EQ(cube.CellValue({Value::Str("JG")}), 2);
+  EXPECT_DOUBLE_EQ(cube.GrandTotal(), 3);
+}
+
+TEST_F(CubeTest, SumCube) {
+  DataCube cube = UnwrapOrDie(
+      DataCube::Compute(*universal_, {name_},
+                        AggregateSpec::Sum(year_), nullptr));
+  EXPECT_DOUBLE_EQ(cube.CellValue({Value::Str("JG")}), 2001 + 2011);
+}
+
+TEST_F(CubeTest, AttributeCapEnforced) {
+  CubeOptions options;
+  options.max_attributes = 1;
+  EXPECT_FALSE(DataCube::Compute(*universal_, {name_, year_},
+                                 AggregateSpec::CountStar(), nullptr, options)
+                   .ok());
+  EXPECT_FALSE(DataCube::Compute(*universal_, {},
+                                 AggregateSpec::CountStar(), nullptr)
+                   .ok());
+}
+
+TEST_F(CubeTest, FullOuterJoinFillsZeros) {
+  DnfPredicate y2001 = Pred(db_, "Publication.year = 2001");
+  DnfPredicate y2011 = Pred(db_, "Publication.year = 2011");
+  DataCube c1 = UnwrapOrDie(DataCube::Compute(
+      *universal_, {name_}, AggregateSpec::CountStar(), &y2001));
+  DataCube c2 = UnwrapOrDie(DataCube::Compute(
+      *universal_, {name_}, AggregateSpec::CountStar(), &y2011));
+  CubeJoinResult joined = UnwrapOrDie(FullOuterJoinCubes({&c1, &c2}));
+  // Union of cells; JG appears in both, RR only in 2001, CM in both.
+  ASSERT_EQ(joined.NumRows(), 4u);  // JG, RR, CM, ALL
+  for (size_t row = 0; row < joined.NumRows(); ++row) {
+    if (joined.coords[row][0].is_null()) continue;
+    const std::string& who = joined.coords[row][0].AsString();
+    if (who == "RR") {
+      EXPECT_DOUBLE_EQ(joined.values[0][row], 2);
+      EXPECT_DOUBLE_EQ(joined.values[1][row], 0);  // missing cell -> 0
+    }
+  }
+}
+
+TEST_F(CubeTest, FullOuterJoinValidatesInputs) {
+  DataCube c1 = UnwrapOrDie(DataCube::Compute(
+      *universal_, {name_}, AggregateSpec::CountStar(), nullptr));
+  DataCube c2 = UnwrapOrDie(DataCube::Compute(
+      *universal_, {year_}, AggregateSpec::CountStar(), nullptr));
+  EXPECT_FALSE(FullOuterJoinCubes({&c1, &c2}).ok());
+  EXPECT_FALSE(FullOuterJoinCubes({}).ok());
+  EXPECT_FALSE(FullOuterJoinCubes({&c1, nullptr}).ok());
+}
+
+TEST_F(CubeTest, ToStringIsDeterministic) {
+  DataCube cube = UnwrapOrDie(DataCube::Compute(
+      *universal_, {name_}, AggregateSpec::CountStar(), nullptr));
+  EXPECT_EQ(cube.ToString(db_), cube.ToString(db_));
+  EXPECT_NE(cube.ToString(db_).find("Author.name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xplain

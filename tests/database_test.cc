@@ -1,0 +1,131 @@
+#include "relational/database.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+
+TEST(DatabaseTest, RelationLookup) {
+  Database db = BuildRunningExample();
+  EXPECT_EQ(db.num_relations(), 3);
+  EXPECT_EQ(*db.RelationIndex("Author"), 0);
+  EXPECT_EQ(*db.RelationIndex("Publication"), 2);
+  EXPECT_FALSE(db.RelationIndex("Nope").ok());
+  EXPECT_EQ(db.RelationByName("Authored").NumRows(), 6u);
+  EXPECT_EQ(db.TotalRows(), 12u);
+}
+
+TEST(DatabaseTest, DuplicateRelationRejected) {
+  Database db = BuildRunningExample();
+  auto schema =
+      RelationSchema::Create("Author", {{"id", DataType::kInt64}}, {"id"});
+  EXPECT_FALSE(db.AddRelation(Relation(std::move(*schema))).ok());
+}
+
+TEST(DatabaseTest, ResolveColumnQualifiedAndBare) {
+  Database db = BuildRunningExample();
+  ColumnRef ref = *db.ResolveColumn("Author.name");
+  EXPECT_EQ(ref.relation, 0);
+  EXPECT_EQ(ref.attribute, 1);
+  EXPECT_EQ(db.ColumnName(ref), "Author.name");
+  EXPECT_EQ(db.ColumnType(ref), DataType::kString);
+  // Bare names resolve when unambiguous.
+  EXPECT_EQ(db.ResolveColumn("venue")->relation, 2);
+  // "id" appears in Author and Authored: ambiguous.
+  EXPECT_FALSE(db.ResolveColumn("id").ok());
+  EXPECT_FALSE(db.ResolveColumn("Author.zz").ok());
+  EXPECT_FALSE(db.ResolveColumn("Nope.id").ok());
+}
+
+TEST(DatabaseTest, ReferentialIntegrityHolds) {
+  Database db = BuildRunningExample();
+  XPLAIN_EXPECT_OK(db.CheckReferentialIntegrity());
+}
+
+TEST(DatabaseTest, ReferentialIntegrityDetectsDangling) {
+  Database db = BuildRunningExample();
+  db.mutable_relation(1)->AppendUnchecked(
+      {Value::Str("A9"), Value::Str("P1")});
+  EXPECT_EQ(db.CheckReferentialIntegrity().code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(DatabaseTest, ReferentialIntegrityRejectsNullKeys) {
+  Database db = BuildRunningExample();
+  db.mutable_relation(1)->AppendUnchecked({Value::Null(), Value::Str("P1")});
+  EXPECT_EQ(db.CheckReferentialIntegrity().code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(DatabaseTest, SemijoinReduceDropsDanglingTuples) {
+  Database db = BuildRunningExample();
+  // An author with no papers violates global consistency.
+  db.mutable_relation(0)->AppendUnchecked({Value::Str("A9"),
+                                           Value::Str("ZZ"),
+                                           Value::Str("n.edu"),
+                                           Value::Str("edu")});
+  // A publication nobody wrote.
+  db.mutable_relation(2)->AppendUnchecked(
+      {Value::Str("P9"), Value::Int(1999), Value::Str("VLDB")});
+  EXPECT_EQ(db.SemijoinReduce(), 2u);
+  EXPECT_EQ(db.RelationByName("Author").NumRows(), 3u);
+  EXPECT_EQ(db.RelationByName("Publication").NumRows(), 3u);
+  // Already reduced: no-op.
+  EXPECT_EQ(db.SemijoinReduce(), 0u);
+}
+
+TEST(DatabaseTest, SemijoinReduceCascades) {
+  Database db = BuildRunningExample();
+  // Delete all Authored rows for P2 (s3, s4): P2 dangles; its authors
+  // remain reachable through their other papers.
+  DeltaSet delta = db.EmptyDelta();
+  delta[1].Set(2);
+  delta[1].Set(3);
+  Database reduced = db.ApplyDelta(delta);
+  EXPECT_EQ(reduced.SemijoinReduce(), 1u);  // P2 dropped
+  EXPECT_EQ(reduced.RelationByName("Author").NumRows(), 3u);
+  EXPECT_EQ(reduced.RelationByName("Publication").NumRows(), 2u);
+}
+
+TEST(DatabaseTest, ApplyDeltaCompactsRows) {
+  Database db = BuildRunningExample();
+  DeltaSet delta = db.EmptyDelta();
+  delta[0].Set(1);  // drop RR
+  Database out = db.ApplyDelta(delta);
+  EXPECT_EQ(out.RelationByName("Author").NumRows(), 2u);
+  EXPECT_EQ(out.RelationByName("Author").at(1, 1).AsString(), "CM");
+  // Foreign keys carried over.
+  EXPECT_EQ(out.foreign_keys().size(), 2u);
+}
+
+TEST(DatabaseTest, EmptyDeltaShape) {
+  Database db = BuildRunningExample();
+  DeltaSet delta = db.EmptyDelta();
+  ASSERT_EQ(delta.size(), 3u);
+  EXPECT_EQ(delta[1].size(), 6u);
+  EXPECT_EQ(DeltaCount(delta), 0u);
+}
+
+TEST(MarkDanglingRowsTest, FindsNothingOnConsistentDb) {
+  Database db = BuildRunningExample();
+  DeltaSet dangling = db.EmptyDelta();
+  EXPECT_EQ(MarkDanglingRows(db, &dangling), 0u);
+}
+
+TEST(MarkDanglingRowsTest, CascadesAcrossEdges) {
+  Database db = BuildRunningExample();
+  DeltaSet dangling = db.EmptyDelta();
+  // Pretend every Authored row of A1 is deleted: A1 dangles.
+  dangling[1].Set(0);
+  dangling[1].Set(2);
+  size_t added = MarkDanglingRows(db, &dangling);
+  EXPECT_GE(added, 1u);
+  EXPECT_TRUE(dangling[0].Test(0));  // A1 dropped
+  EXPECT_FALSE(dangling[0].Test(1));
+}
+
+}  // namespace
+}  // namespace xplain

@@ -1,0 +1,178 @@
+#include "datalog/datalog.h"
+
+#include "core/intervention.h"
+#include "datagen/random_db.h"
+#include "datagen/worstcase.h"
+#include "datalog/program_p.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildChainExample;
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::Pred;
+using ::xplain::testing::UnwrapOrDie;
+using datalog::Atom;
+using datalog::Builtin;
+using datalog::Program;
+using datalog::Rule;
+using datalog::RunProgramPDatalog;
+using datalog::Term;
+
+TEST(DatalogEngineTest, DeclarationErrors) {
+  Program p;
+  XPLAIN_EXPECT_OK(p.DeclareRelation("R", 2));
+  EXPECT_FALSE(p.DeclareRelation("R", 2).ok());  // duplicate
+  EXPECT_FALSE(p.DeclareRelation("", 1).ok());
+  EXPECT_FALSE(p.DeclareRelation("Z", 0).ok());
+  EXPECT_FALSE(p.AddFact("Nope", {Value::Int(1)}).ok());
+  EXPECT_FALSE(p.AddFact("R", {Value::Int(1)}).ok());  // arity
+}
+
+TEST(DatalogEngineTest, TransitiveClosure) {
+  Program p;
+  XPLAIN_EXPECT_OK(p.DeclareRelation("edge", 2));
+  XPLAIN_EXPECT_OK(p.DeclareRelation("path", 2));
+  for (auto [a, b] : {std::pair{1, 2}, {2, 3}, {3, 4}}) {
+    XPLAIN_EXPECT_OK(p.AddFact("edge", {Value::Int(a), Value::Int(b)}));
+  }
+  Rule base;
+  base.head = Atom::Positive("path", {Term::Var("x"), Term::Var("y")});
+  base.body = {Atom::Positive("edge", {Term::Var("x"), Term::Var("y")})};
+  XPLAIN_EXPECT_OK(p.AddRule(base));
+  Rule step;
+  step.head = Atom::Positive("path", {Term::Var("x"), Term::Var("z")});
+  step.body = {Atom::Positive("path", {Term::Var("x"), Term::Var("y")}),
+               Atom::Positive("edge", {Term::Var("y"), Term::Var("z")})};
+  XPLAIN_EXPECT_OK(p.AddRule(step));
+  size_t rounds = UnwrapOrDie(p.Evaluate());
+  EXPECT_GE(rounds, 3u);
+  EXPECT_EQ(p.NumFacts("path"), 6u);  // all ordered pairs along the chain
+  EXPECT_TRUE(
+      p.Facts("path").count({Value::Int(1), Value::Int(4)}) != 0);
+}
+
+TEST(DatalogEngineTest, NegationAndBuiltins) {
+  Program p;
+  XPLAIN_EXPECT_OK(p.DeclareRelation("num", 1));
+  // `even` appears negated, so like S/T in program P it must be transient
+  // (recomputed in phase 1 of each round) for the negation to see its
+  // final value.
+  XPLAIN_EXPECT_OK(p.DeclareRelation("even", 1, /*transient=*/true));
+  XPLAIN_EXPECT_OK(p.DeclareRelation("odd", 1));
+  for (int i = 0; i < 6; ++i) {
+    XPLAIN_EXPECT_OK(p.AddFact("num", {Value::Int(i)}));
+  }
+  Rule evens;
+  evens.head = Atom::Positive("even", {Term::Var("x")});
+  evens.body = {Atom::Positive("num", {Term::Var("x")})};
+  evens.builtins.push_back(Builtin{
+      {"x"},
+      [](const std::vector<Value>& args) {
+        return args[0].AsInt() % 2 == 0;
+      }});
+  XPLAIN_EXPECT_OK(p.AddRule(evens));
+  Rule odds;
+  odds.head = Atom::Positive("odd", {Term::Var("x")});
+  odds.body = {Atom::Positive("num", {Term::Var("x")}),
+               Atom::Negative("even", {Term::Var("x")})};
+  XPLAIN_EXPECT_OK(p.AddRule(odds));
+  XPLAIN_EXPECT_OK(p.Evaluate().status());
+  EXPECT_EQ(p.NumFacts("even"), 3u);
+  EXPECT_EQ(p.NumFacts("odd"), 3u);
+  EXPECT_TRUE(p.Facts("odd").count({Value::Int(5)}) != 0);
+}
+
+TEST(DatalogEngineTest, SafetyChecks) {
+  Program p;
+  XPLAIN_EXPECT_OK(p.DeclareRelation("r", 1));
+  XPLAIN_EXPECT_OK(p.DeclareRelation("q", 1));
+  // Unsafe head variable.
+  Rule bad_head;
+  bad_head.head = Atom::Positive("q", {Term::Var("y")});
+  bad_head.body = {Atom::Positive("r", {Term::Var("x")})};
+  EXPECT_FALSE(p.AddRule(bad_head).ok());
+  // Unsafe negated variable.
+  Rule bad_neg;
+  bad_neg.head = Atom::Positive("q", {Term::Var("x")});
+  bad_neg.body = {Atom::Positive("r", {Term::Var("x")}),
+                  Atom::Negative("q", {Term::Var("z")})};
+  EXPECT_FALSE(p.AddRule(bad_neg).ok());
+  // Negated heads are rejected.
+  Rule neg_head;
+  neg_head.head = Atom::Negative("q", {Term::Var("x")});
+  neg_head.body = {Atom::Positive("r", {Term::Var("x")})};
+  EXPECT_FALSE(p.AddRule(neg_head).ok());
+  // Constants in atoms restrict matches.
+  XPLAIN_EXPECT_OK(p.AddFact("r", {Value::Int(1)}));
+  XPLAIN_EXPECT_OK(p.AddFact("r", {Value::Int(2)}));
+  Rule constant_rule;
+  constant_rule.head = Atom::Positive("q", {Term::Const(Value::Int(1))});
+  constant_rule.body = {Atom::Positive("r", {Term::Const(Value::Int(1))})};
+  XPLAIN_EXPECT_OK(p.AddRule(constant_rule));
+  XPLAIN_EXPECT_OK(p.Evaluate().status());
+  EXPECT_EQ(p.NumFacts("q"), 1u);
+}
+
+// --- Prop. 3.2: the datalog rewriting computes the same intervention. ---
+
+void ExpectDatalogMatchesEngine(const Database& db,
+                                const ConjunctivePredicate& phi) {
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  InterventionEngine engine(&u);
+  InterventionResult direct = UnwrapOrDie(engine.Compute(phi));
+  DeltaSet datalog_delta = UnwrapOrDie(RunProgramPDatalog(db, phi));
+  ASSERT_EQ(datalog_delta.size(), direct.delta.size());
+  for (size_t r = 0; r < datalog_delta.size(); ++r) {
+    EXPECT_TRUE(datalog_delta[r] == direct.delta[r])
+        << phi.ToString(db) << " relation " << r << ": datalog {"
+        << datalog_delta[r].count() << "} vs engine {"
+        << direct.delta[r].count() << "}";
+  }
+}
+
+TEST(ProgramPDatalogTest, Example28) {
+  Database db = BuildRunningExample();
+  ExpectDatalogMatchesEngine(
+      db, Pred(db, "Author.name = 'JG' AND Publication.year = 2001"));
+  ExpectDatalogMatchesEngine(db, Pred(db, "Author.name = 'RR'"));
+  ExpectDatalogMatchesEngine(db, Pred(db, "Publication.venue = 'SIGMOD'"));
+  ExpectDatalogMatchesEngine(db, Pred(db, "Author.name = 'ZZ'"));  // empty
+}
+
+TEST(ProgramPDatalogTest, ChainExamples) {
+  Database chain = BuildChainExample();
+  ExpectDatalogMatchesEngine(
+      chain, Pred(chain, "R1.x = 'a' AND R2.y = 'b' AND R3.z = 'c'"));
+  Database extended = BuildChainExample(/*extended=*/true);
+  ExpectDatalogMatchesEngine(
+      extended, Pred(extended, "R1.x = 'a' AND R2.y = 'b' AND R3.z = 'c'"));
+}
+
+TEST(ProgramPDatalogTest, WorstCaseChain) {
+  datagen::WorstCaseInstance wc =
+      UnwrapOrDie(datagen::GenerateWorstCaseChain(3));
+  ExpectDatalogMatchesEngine(wc.db, wc.phi);
+}
+
+TEST(ProgramPDatalogTest, RandomInstances) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    for (auto tmpl : {datagen::DbTemplate::kChain,
+                      datagen::DbTemplate::kStarFact,
+                      datagen::DbTemplate::kDblpLike}) {
+      datagen::RandomDbOptions options;
+      options.seed = seed;
+      options.schema = tmpl;
+      options.size = 6;
+      Database db = UnwrapOrDie(datagen::GenerateRandomDb(options));
+      auto phi_or = datagen::RandomExplanation(db, seed * 17);
+      if (!phi_or.ok()) continue;
+      ExpectDatalogMatchesEngine(db, *phi_or);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xplain

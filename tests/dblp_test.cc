@@ -1,0 +1,119 @@
+#include "datagen/dblp.h"
+
+#include "core/additivity.h"
+#include "gtest/gtest.h"
+#include "relational/universal.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::Pred;
+using ::xplain::testing::UnwrapOrDie;
+using datagen::DblpOptions;
+using datagen::GenerateDblp;
+
+class DblpTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DblpOptions options;
+    options.scale = 0.5;
+    db_ = new Database(UnwrapOrDie(GenerateDblp(options)));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static Database* db_;
+};
+
+Database* DblpTest::db_ = nullptr;
+
+TEST_F(DblpTest, SchemaMatchesThePaper) {
+  EXPECT_EQ(db_->num_relations(), 3);
+  EXPECT_EQ(db_->RelationByName("Author").schema().num_attributes(), 6);
+  ASSERT_EQ(db_->foreign_keys().size(), 2u);
+  EXPECT_EQ(db_->foreign_keys()[0].ToString(), "Authored.id -> Author.id");
+  EXPECT_EQ(db_->foreign_keys()[1].ToString(),
+            "Authored.pubid <-> Publication.pubid");
+}
+
+TEST_F(DblpTest, IntegrityAndReduction) {
+  XPLAIN_EXPECT_OK(db_->CheckReferentialIntegrity());
+  XPLAIN_EXPECT_OK(db_->RelationByName("Author").CheckPrimaryKeyUnique());
+  XPLAIN_EXPECT_OK(
+      db_->RelationByName("Publication").CheckPrimaryKeyUnique());
+  // Already semijoin-reduced by the generator.
+  Database copy = db_->Clone();
+  EXPECT_EQ(copy.SemijoinReduce(), 0u);
+}
+
+TEST_F(DblpTest, AuthoredIsUniqueCore) {
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(*db_));
+  EXPECT_EQ(u.NumRows(), db_->RelationByName("Authored").NumRows());
+  EXPECT_TRUE(RelationIsUniqueCore(u, *db_->RelationIndex("Authored")));
+}
+
+TEST_F(DblpTest, BumpQuestionShape) {
+  UserQuestion question = UnwrapOrDie(datagen::MakeDblpBumpQuestion(*db_));
+  EXPECT_EQ(question.direction, Direction::kHigh);
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(*db_));
+  std::vector<double> values = question.query.EvaluateSubqueries(u);
+  ASSERT_EQ(values.size(), 4u);
+  // com declines from 2000-04 to 2007-11...
+  EXPECT_GT(values[0], values[1]);
+  // ...while edu keeps growing.
+  EXPECT_LT(values[2], values[3]);
+  // So the ratio-of-ratios is well above 1.
+  EXPECT_GT(question.query.Combine(values), 1.5);
+  // And the question is intervention-additive (count distinct pubid +
+  // unique core).
+  EXPECT_TRUE(CheckQueryAdditivity(u, question.query).additive);
+}
+
+TEST_F(DblpTest, UkPodsAnomalyPlanted) {
+  UserQuestion question = UnwrapOrDie(datagen::MakeUkPodsQuestion(*db_));
+  EXPECT_EQ(question.direction, Direction::kLow);
+  double value = UnwrapOrDie(question.query.Evaluate(*db_));
+  // Figure 15: more than half of UK papers are in PODS, i.e. the
+  // SIGMOD/PODS ratio is below 1 (for other countries it is far above 1).
+  EXPECT_LT(value, 1.0);
+  EXPECT_GT(value, 0.0);
+}
+
+TEST_F(DblpTest, HeavyHittersExist) {
+  const Relation& author = db_->RelationByName("Author");
+  int name = author.schema().FindAttribute("name");
+  bool rastogi = false, pirahesh = false;
+  for (size_t i = 0; i < author.NumRows(); ++i) {
+    const std::string& n = author.at(i, name).AsString();
+    if (n == "Rajeev Rastogi") rastogi = true;
+    if (n == "Hamid Pirahesh") pirahesh = true;
+  }
+  EXPECT_TRUE(rastogi);
+  EXPECT_TRUE(pirahesh);
+}
+
+TEST_F(DblpTest, ScaleRoughlyLinear) {
+  DblpOptions small;
+  small.scale = 0.25;
+  Database s = UnwrapOrDie(GenerateDblp(small));
+  size_t pubs_small = s.RelationByName("Publication").NumRows();
+  size_t pubs_half = db_->RelationByName("Publication").NumRows();
+  EXPECT_GT(pubs_half, pubs_small * 3 / 2);
+}
+
+TEST_F(DblpTest, UkCanBeExcluded) {
+  DblpOptions options;
+  options.scale = 0.25;
+  options.include_uk = false;
+  Database no_uk = UnwrapOrDie(GenerateDblp(options));
+  const Relation& author = no_uk.RelationByName("Author");
+  int country = author.schema().FindAttribute("country");
+  for (size_t i = 0; i < author.NumRows(); ++i) {
+    EXPECT_NE(author.at(i, country).AsString(), "UK");
+  }
+}
+
+}  // namespace
+}  // namespace xplain

@@ -1,0 +1,87 @@
+#include "relational/ddl.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::UnwrapOrDie;
+
+constexpr const char* kDblpDdl = R"(
+# The paper's running example schema (Figure 3 / Eq. 2).
+TABLE Author (id string KEY, name string, inst string, dom string);
+TABLE Authored (id string KEY, pubid string KEY);
+TABLE Publication (pubid string KEY, year int64, venue string);
+FOREIGN KEY Authored(id) -> Author(id);
+FOREIGN KEY Authored(pubid) <-> Publication(pubid);
+)";
+
+TEST(DdlTest, ParsesRunningExampleSchema) {
+  SchemaSpec spec = UnwrapOrDie(ParseSchema(kDblpDdl));
+  ASSERT_EQ(spec.relations.size(), 3u);
+  EXPECT_EQ(spec.relations[0].name(), "Author");
+  EXPECT_EQ(spec.relations[0].num_attributes(), 4);
+  EXPECT_EQ(spec.relations[1].primary_key(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(spec.relations[2].attribute(1).type, DataType::kInt64);
+  ASSERT_EQ(spec.foreign_keys.size(), 2u);
+  EXPECT_EQ(spec.foreign_keys[0].kind, ForeignKeyKind::kStandard);
+  EXPECT_EQ(spec.foreign_keys[1].kind, ForeignKeyKind::kBackAndForth);
+  EXPECT_EQ(spec.foreign_keys[1].parent_relation, "Publication");
+}
+
+TEST(DdlTest, CreateDatabaseWiresForeignKeys) {
+  SchemaSpec spec = UnwrapOrDie(ParseSchema(kDblpDdl));
+  Database db = UnwrapOrDie(CreateDatabase(spec));
+  EXPECT_EQ(db.num_relations(), 3);
+  EXPECT_TRUE(db.HasBackAndForthKeys());
+  EXPECT_EQ(db.RelationByName("Author").NumRows(), 0u);
+}
+
+TEST(DdlTest, CaseInsensitiveKeywordsAndTypes) {
+  SchemaSpec spec = UnwrapOrDie(ParseSchema(
+      "table T (a INT key, b TEXT, c DOUBLE, d BOOL);"));
+  EXPECT_EQ(spec.relations[0].attribute(0).type, DataType::kInt64);
+  EXPECT_EQ(spec.relations[0].attribute(1).type, DataType::kString);
+  EXPECT_EQ(spec.relations[0].attribute(2).type, DataType::kDouble);
+  EXPECT_EQ(spec.relations[0].attribute(3).type, DataType::kBool);
+}
+
+TEST(DdlTest, CompositeForeignKeys) {
+  SchemaSpec spec = UnwrapOrDie(ParseSchema(R"(
+    TABLE P (a int64 KEY, b int64 KEY);
+    TABLE C (x int64 KEY, a int64, b int64);
+    FOREIGN KEY C(a, b) -> P(a, b);
+  )"));
+  ASSERT_EQ(spec.foreign_keys.size(), 1u);
+  EXPECT_EQ(spec.foreign_keys[0].child_attrs,
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(DdlTest, Errors) {
+  EXPECT_FALSE(ParseSchema("").ok());
+  EXPECT_FALSE(ParseSchema("TABLE ;").ok());
+  EXPECT_FALSE(ParseSchema("TABLE T (a int64 KEY)").ok());  // missing ;
+  EXPECT_FALSE(ParseSchema("TABLE T (a blob KEY);").ok());  // bad type
+  EXPECT_FALSE(ParseSchema("TABLE T (a int64);").ok());     // no key
+  EXPECT_FALSE(ParseSchema("FOREIGN T(a) -> P(a);").ok());
+  EXPECT_FALSE(
+      ParseSchema("TABLE T (a int64 KEY); FOREIGN KEY T(a) = P(a);").ok());
+  EXPECT_FALSE(ParseSchema("GRANT ALL;").ok());
+}
+
+TEST(DdlTest, SchemaToDdlRoundTrips) {
+  Database db = BuildRunningExample();
+  std::string ddl = SchemaToDdl(db);
+  SchemaSpec spec = UnwrapOrDie(ParseSchema(ddl), ddl.c_str());
+  ASSERT_EQ(spec.relations.size(), 3u);
+  ASSERT_EQ(spec.foreign_keys.size(), 2u);
+  EXPECT_EQ(spec.foreign_keys[1].kind, ForeignKeyKind::kBackAndForth);
+  // Round-tripping again yields identical text.
+  Database db2 = UnwrapOrDie(CreateDatabase(spec));
+  EXPECT_EQ(SchemaToDdl(db2), ddl);
+}
+
+}  // namespace
+}  // namespace xplain

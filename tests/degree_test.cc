@@ -1,0 +1,108 @@
+#include "core/degree.h"
+
+#include "gtest/gtest.h"
+#include "relational/parser.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::Pred;
+using ::xplain::testing::UnwrapOrDie;
+
+class DegreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = BuildRunningExample();
+    universal_ = std::make_unique<UniversalRelation>(
+        UnwrapOrDie(UniversalRelation::Build(db_)));
+    engine_ = std::make_unique<InterventionEngine>(universal_.get());
+
+    // Q = q1 / q2 with q1 = SIGMOD com papers, q2 = SIGMOD edu papers
+    // (count distinct pubid); Q(D) = 2 / 1 = 2.
+    AggregateQuery q1, q2;
+    q1.name = "q1";
+    q1.agg =
+        AggregateSpec::CountDistinct(*db_.ResolveColumn("Publication.pubid"));
+    q1.where = Pred(db_,
+                    "Author.dom = 'com' AND Publication.venue = 'SIGMOD'");
+    q2 = q1;
+    q2.name = "q2";
+    q2.where = Pred(db_,
+                    "Author.dom = 'edu' AND Publication.venue = 'SIGMOD'");
+    ExprPtr expr = UnwrapOrDie(ParseExpression("q1 / q2", {"q1", "q2"}));
+    question_.query =
+        UnwrapOrDie(NumericalQuery::Create({q1, q2}, expr));
+    question_.direction = Direction::kHigh;
+  }
+
+  Database db_;
+  std::unique_ptr<UniversalRelation> universal_;
+  std::unique_ptr<InterventionEngine> engine_;
+  UserQuestion question_;
+};
+
+TEST_F(DegreeTest, Signs) {
+  EXPECT_DOUBLE_EQ(AggravationSign(Direction::kHigh), 1.0);
+  EXPECT_DOUBLE_EQ(AggravationSign(Direction::kLow), -1.0);
+  EXPECT_DOUBLE_EQ(InterventionSign(Direction::kHigh), -1.0);
+  EXPECT_DOUBLE_EQ(InterventionSign(Direction::kLow), 1.0);
+}
+
+TEST_F(DegreeTest, AggravationRestrictsToPhi) {
+  // phi = [venue = SIGMOD]: D_phi has q1 = 2, q2 = 1 -> mu_aggr = 2.
+  ConjunctivePredicate phi = Pred(db_, "Publication.venue = 'SIGMOD'");
+  EXPECT_DOUBLE_EQ(AggravationDegree(*universal_, question_, phi), 2.0);
+
+  // phi = [name = 'RR']: rows u2, u5 -> q1 = 2 (P1, P3), q2 = 0 ->
+  // epsilon-guarded ratio 2 / 1e-4.
+  ConjunctivePredicate rr = Pred(db_, "Author.name = 'RR'");
+  EXPECT_DOUBLE_EQ(AggravationDegree(*universal_, question_, rr), 2.0 / 1e-4);
+}
+
+TEST_F(DegreeTest, AggravationSignFlipsForLow) {
+  UserQuestion low = question_;
+  low.direction = Direction::kLow;
+  ConjunctivePredicate phi = Pred(db_, "Publication.venue = 'SIGMOD'");
+  EXPECT_DOUBLE_EQ(AggravationDegree(*universal_, low, phi), -2.0);
+}
+
+TEST_F(DegreeTest, InterventionDegreeExactRemovesDelta) {
+  // phi = [name = 'RR']: removing RR cascades to P1 and P3 (back-and-forth)
+  // and then to all their author links; residual universal = {u3, u4} (P2
+  // by JG and CM). q1 = 1 (P2 com via CM), q2 = ... P2 is VLDB, so q1 = 0,
+  // q2 = 0 -> Q(D') = (0+?) / eps... both zero -> 0 / eps = 0.
+  ConjunctivePredicate phi = Pred(db_, "Author.name = 'RR'");
+  InterventionResult result;
+  double degree = UnwrapOrDie(
+      InterventionDegreeExact(*engine_, question_, phi, &result));
+  // dir = high -> mu = -Q(D - Delta) = -0.
+  EXPECT_DOUBLE_EQ(degree, 0.0);
+  EXPECT_GT(DeltaCount(result.delta), 0u);
+  // RR deleted; JG and CM survive (they still have P2).
+  EXPECT_TRUE(result.delta[0].Test(1));
+  EXPECT_FALSE(result.delta[0].Test(0));
+  EXPECT_FALSE(result.delta[0].Test(2));
+}
+
+TEST_F(DegreeTest, InterventionDegreeOfNoopExplanation) {
+  // phi matching nothing leaves Q unchanged: mu = -Q(D) = -2.
+  ConjunctivePredicate phi = Pred(db_, "Author.name = 'ZZ'");
+  double degree =
+      UnwrapOrDie(InterventionDegreeExact(*engine_, question_, phi));
+  EXPECT_DOUBLE_EQ(degree, -2.0);
+}
+
+TEST_F(DegreeTest, BetterExplanationGetsHigherInterventionDegree) {
+  // Removing RR (kills all com SIGMOD papers) must outrank removing JG
+  // (kills the edu SIGMOD paper, which *raises* Q).
+  double rr = UnwrapOrDie(InterventionDegreeExact(
+      *engine_, question_, Pred(db_, "Author.name = 'RR'")));
+  double jg = UnwrapOrDie(InterventionDegreeExact(
+      *engine_, question_, Pred(db_, "Author.name = 'JG'")));
+  EXPECT_GT(rr, jg);
+}
+
+}  // namespace
+}  // namespace xplain

@@ -1,0 +1,140 @@
+#include "core/intervention.h"
+#include "gtest/gtest.h"
+#include "relational/parser.h"
+#include "relational/predicate.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::Pred;
+using ::xplain::testing::UnwrapOrDie;
+
+class DnfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = BuildRunningExample();
+    universal_ = std::make_unique<UniversalRelation>(
+        UnwrapOrDie(UniversalRelation::Build(db_)));
+  }
+
+  Database db_;
+  std::unique_ptr<UniversalRelation> universal_;
+};
+
+TEST_F(DnfTest, TruthTableBasics) {
+  DnfPredicate false_pred;
+  EXPECT_TRUE(false_pred.IsFalse());
+  EXPECT_FALSE(false_pred.IsTrue());
+  EXPECT_FALSE(false_pred.EvalUniversal(*universal_, 0));
+  EXPECT_EQ(false_pred.ToString(db_), "[false]");
+
+  DnfPredicate true_pred = DnfPredicate::True();
+  EXPECT_TRUE(true_pred.IsTrue());
+  EXPECT_FALSE(true_pred.IsFalse());
+  EXPECT_TRUE(true_pred.EvalUniversal(*universal_, 0));
+}
+
+TEST_F(DnfTest, ImplicitConversionFromConjunction) {
+  DnfPredicate p = Pred(db_, "Author.name = 'JG'");
+  ASSERT_EQ(p.disjuncts().size(), 1u);
+  EXPECT_FALSE(p.IsTrue());
+}
+
+TEST_F(DnfTest, EvalDisjunction) {
+  DnfPredicate p = UnwrapOrDie(ParseDnfPredicate(
+      db_, "Author.name = 'JG' OR Author.name = 'RR'"));
+  ASSERT_EQ(p.disjuncts().size(), 2u);
+  int matches = 0;
+  for (size_t u = 0; u < universal_->NumRows(); ++u) {
+    if (p.EvalUniversal(*universal_, u)) ++matches;
+  }
+  EXPECT_EQ(matches, 4);  // JG: 2 rows, RR: 2 rows
+}
+
+TEST_F(DnfTest, AndDistributes) {
+  DnfPredicate p = UnwrapOrDie(ParseDnfPredicate(
+      db_, "Author.name = 'JG' OR Author.name = 'RR'"));
+  ConjunctivePredicate sigmod = Pred(db_, "Publication.venue = 'SIGMOD'");
+  DnfPredicate both = p.And(sigmod);
+  ASSERT_EQ(both.disjuncts().size(), 2u);
+  EXPECT_EQ(both.disjuncts()[0].atoms().size(), 2u);
+  int matches = 0;
+  for (size_t u = 0; u < universal_->NumRows(); ++u) {
+    if (both.EvalUniversal(*universal_, u)) ++matches;
+  }
+  EXPECT_EQ(matches, 3);  // s1 (JG,P1), s2 (RR,P1), s5 (RR,P3)
+}
+
+TEST_F(DnfTest, OrAppends) {
+  DnfPredicate p = Pred(db_, "Author.name = 'JG'");
+  DnfPredicate wider = p.Or(Pred(db_, "Author.name = 'CM'"));
+  EXPECT_EQ(wider.disjuncts().size(), 2u);
+  EXPECT_EQ(wider.ToString(db_),
+            "[Author.name = 'JG'] OR [Author.name = 'CM']");
+}
+
+TEST_F(DnfTest, MentionsAndMaxRelation) {
+  DnfPredicate p = UnwrapOrDie(ParseDnfPredicate(
+      db_, "Author.name = 'JG' OR Publication.year = 2001"));
+  EXPECT_TRUE(p.MentionsRelation(0));
+  EXPECT_FALSE(p.MentionsRelation(1));
+  EXPECT_TRUE(p.MentionsRelation(2));
+  EXPECT_EQ(p.MaxMentionedRelation(), 2);
+  EXPECT_EQ(DnfPredicate().MaxMentionedRelation(), -1);
+}
+
+TEST_F(DnfTest, ParserPrecedenceAndErrors) {
+  // AND binds tighter than OR: two disjuncts of sizes 2 and 1.
+  DnfPredicate p = UnwrapOrDie(ParseDnfPredicate(
+      db_,
+      "Author.name = 'JG' AND Publication.year = 2001 OR Author.dom = "
+      "'com'"));
+  ASSERT_EQ(p.disjuncts().size(), 2u);
+  EXPECT_EQ(p.disjuncts()[0].atoms().size(), 2u);
+  EXPECT_EQ(p.disjuncts()[1].atoms().size(), 1u);
+  // Empty text parses to TRUE.
+  EXPECT_TRUE(UnwrapOrDie(ParseDnfPredicate(db_, " ")).IsTrue());
+  // The conjunctive parser rejects OR with a helpful message.
+  auto conj = ParsePredicate(db_, "Author.dom = 'com' OR Author.dom = 'edu'");
+  ASSERT_FALSE(conj.ok());
+  EXPECT_NE(conj.status().message().find("ParseDnfPredicate"),
+            std::string::npos);
+  EXPECT_FALSE(ParseDnfPredicate(db_, "Author.dom = 'com' OR").ok());
+}
+
+// The paper-style disjunctive intervention: remove all tuples matching
+// either disjunct.
+TEST_F(DnfTest, DisjunctiveIntervention) {
+  InterventionEngine engine(universal_.get());
+  DnfPredicate phi = UnwrapOrDie(ParseDnfPredicate(
+      db_, "Author.name = 'JG' OR Author.name = 'CM'"));
+  InterventionResult result = UnwrapOrDie(engine.Compute(phi));
+  // Removing both JG and CM: all their papers (P1, P2, P3 -- P1 via JG, P2
+  // via both, P3 via CM) die, then RR dangles. Everything goes.
+  EXPECT_EQ(DeltaCount(result.delta), db_.TotalRows());
+  EXPECT_TRUE(result.residual_phi_free);
+  ValidityReport report = VerifyIntervention(db_, phi, result.delta);
+  EXPECT_TRUE(report.valid()) << report.ToString();
+}
+
+TEST_F(DnfTest, DisjunctiveInterventionPartial) {
+  InterventionEngine engine(universal_.get());
+  // [JG and 2001] OR [JG and 2011]: both of JG's papers go but the other
+  // authors survive through P3.
+  DnfPredicate phi = UnwrapOrDie(ParseDnfPredicate(
+      db_,
+      "Author.name = 'JG' AND Publication.year = 2001 OR "
+      "Author.name = 'JG' AND Publication.year = 2011"));
+  InterventionResult result = UnwrapOrDie(engine.Compute(phi));
+  EXPECT_TRUE(result.delta[0].Test(0));   // JG removed
+  EXPECT_FALSE(result.delta[0].Test(1));  // RR survives
+  EXPECT_FALSE(result.delta[0].Test(2));  // CM survives
+  EXPECT_TRUE(result.delta[2].Test(0));   // P1 removed
+  EXPECT_TRUE(result.delta[2].Test(1));   // P2 removed
+  EXPECT_FALSE(result.delta[2].Test(2));  // P3 survives
+}
+
+}  // namespace
+}  // namespace xplain

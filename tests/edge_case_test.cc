@@ -1,0 +1,192 @@
+// Edge cases across the stack: degenerate databases, NULL-heavy data,
+// extreme values, and boundary conditions the module tests do not reach.
+
+#include "core/engine.h"
+#include "core/intervention.h"
+#include "gtest/gtest.h"
+#include "relational/cube.h"
+#include "relational/parser.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::Pred;
+using ::xplain::testing::UnwrapOrDie;
+
+/// Single relation whose value column is entirely NULL except one row.
+Database BuildNullHeavyDb() {
+  auto schema = RelationSchema::Create(
+      "T", {{"k", DataType::kInt64}, {"v", DataType::kString}}, {"k"});
+  Relation t(std::move(*schema));
+  for (int i = 0; i < 5; ++i) {
+    t.AppendUnchecked({Value::Int(i),
+                       i == 2 ? Value::Str("present") : Value::Null()});
+  }
+  Database db;
+  XPLAIN_CHECK(db.AddRelation(std::move(t)).ok());
+  return db;
+}
+
+TEST(EdgeCaseTest, NullValuesNeverSatisfyPredicates) {
+  Database db = BuildNullHeavyDb();
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  DnfPredicate eq = Pred(db, "T.v = 'present'");
+  EXPECT_DOUBLE_EQ(
+      EvaluateAggregate(u, AggregateSpec::CountStar(), &eq).AsNumeric(), 1);
+  // <> also fails on NULL (three-valued logic): only the present row
+  // qualifies for v <> 'other'.
+  DnfPredicate ne = Pred(db, "T.v <> 'other'");
+  EXPECT_DOUBLE_EQ(
+      EvaluateAggregate(u, AggregateSpec::CountStar(), &ne).AsNumeric(), 1);
+}
+
+TEST(EdgeCaseTest, CubeRejectsNullGroupingAttributes) {
+  // A data NULL in a grouping attribute would be indistinguishable from
+  // the lattice's don't-care marker (SQL's GROUPING() ambiguity), so both
+  // cube paths reject it up front.
+  Database db = BuildNullHeavyDb();
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  ColumnRef v = *db.ResolveColumn("T.v");
+  auto generic = DataCube::Compute(u, {v}, AggregateSpec::CountStar(),
+                                   nullptr);
+  EXPECT_EQ(generic.status().code(), StatusCode::kInvalidArgument);
+  ColumnCache cache = ColumnCache::Build(u, {v});
+  RowSet rows = EvaluateFilterBitmap(u, nullptr);
+  auto cached = DataCube::ComputeCached(cache, {0},
+                                        AggregateKind::kCountStar, -1, &rows);
+  EXPECT_EQ(cached.status().code(), StatusCode::kInvalidArgument);
+  // Filtering the NULLs away first makes the cube legal.
+  DnfPredicate present = Pred(db, "T.v = 'present'");
+  DataCube ok = UnwrapOrDie(
+      DataCube::Compute(u, {v}, AggregateSpec::CountStar(), &present));
+  EXPECT_DOUBLE_EQ(ok.CellValue({Value::Str("present")}), 1);
+}
+
+TEST(EdgeCaseTest, InterventionOnNullColumnPredicate) {
+  Database db = BuildNullHeavyDb();
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  InterventionEngine engine(&u);
+  ConjunctivePredicate phi = Pred(db, "T.v = 'present'");
+  InterventionResult result = UnwrapOrDie(engine.Compute(phi));
+  // Only the single matching row is removed; NULL rows never satisfy phi.
+  EXPECT_EQ(DeltaCount(result.delta), 1u);
+  EXPECT_TRUE(result.delta[0].Test(2));
+}
+
+TEST(EdgeCaseTest, SingleRowDatabase) {
+  auto schema = RelationSchema::Create("T", {{"k", DataType::kInt64}}, {"k"});
+  Relation t(std::move(*schema));
+  t.AppendUnchecked({Value::Int(7)});
+  Database db;
+  XPLAIN_CHECK(db.AddRelation(std::move(t)).ok());
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  InterventionEngine engine(&u);
+  InterventionResult hit =
+      UnwrapOrDie(engine.Compute(Pred(db, "T.k = 7")));
+  EXPECT_EQ(DeltaCount(hit.delta), 1u);
+  InterventionResult miss =
+      UnwrapOrDie(engine.Compute(Pred(db, "T.k = 8")));
+  EXPECT_EQ(DeltaCount(miss.delta), 0u);
+}
+
+TEST(EdgeCaseTest, EmptyRelationUniversal) {
+  auto schema = RelationSchema::Create("T", {{"k", DataType::kInt64}}, {"k"});
+  Database db;
+  XPLAIN_CHECK(db.AddRelation(Relation(std::move(*schema))).ok());
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  EXPECT_EQ(u.NumRows(), 0u);
+  EXPECT_DOUBLE_EQ(
+      EvaluateAggregate(u, AggregateSpec::CountStar(), nullptr).AsNumeric(),
+      0);
+  // A cube over an empty input has only absent cells.
+  DataCube cube = UnwrapOrDie(DataCube::Compute(
+      u, {ColumnRef{0, 0}}, AggregateSpec::CountStar(), nullptr));
+  EXPECT_EQ(cube.NumCells(), 0u);
+  EXPECT_DOUBLE_EQ(cube.GrandTotal(), 0.0);
+}
+
+TEST(EdgeCaseTest, ExtremeNumericValues) {
+  auto schema = RelationSchema::Create(
+      "T", {{"k", DataType::kInt64}, {"d", DataType::kDouble}}, {"k"});
+  Relation t(std::move(*schema));
+  t.AppendUnchecked({Value::Int(std::numeric_limits<int64_t>::max()),
+                     Value::Real(1e308)});
+  t.AppendUnchecked({Value::Int(std::numeric_limits<int64_t>::min()),
+                     Value::Real(-1e308)});
+  XPLAIN_EXPECT_OK(t.CheckPrimaryKeyUnique());
+  Database db;
+  XPLAIN_CHECK(db.AddRelation(std::move(t)).ok());
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  ColumnRef d = *db.ResolveColumn("T.d");
+  Value mx = EvaluateAggregate(u, AggregateSpec{AggregateKind::kMax, d},
+                               nullptr);
+  EXPECT_DOUBLE_EQ(mx.AsDouble(), 1e308);
+  // Cross-type comparison near the int64 boundary stays exact.
+  EXPECT_GT(Value::Int(std::numeric_limits<int64_t>::max())
+                .Compare(Value::Real(9.0e18)),
+            0);
+}
+
+TEST(EdgeCaseTest, SelfReferencingSchemaRejectedGracefully) {
+  // An FK from a relation to itself: AddForeignKey accepts it (parent pk),
+  // and the universal relation treats it as a filter edge.
+  auto schema = RelationSchema::Create(
+      "E", {{"id", DataType::kInt64}, {"boss", DataType::kInt64}}, {"id"});
+  Relation e(std::move(*schema));
+  e.AppendUnchecked({Value::Int(1), Value::Int(1)});  // self-managed
+  e.AppendUnchecked({Value::Int(2), Value::Int(1)});
+  Database db;
+  XPLAIN_CHECK(db.AddRelation(std::move(e)).ok());
+  ForeignKey fk;
+  fk.child_relation = "E";
+  fk.child_attrs = {"boss"};
+  fk.parent_relation = "E";
+  fk.parent_attrs = {"id"};
+  XPLAIN_EXPECT_OK(db.AddForeignKey(fk));
+  XPLAIN_EXPECT_OK(db.CheckReferentialIntegrity());
+  // The self-edge acts as the filter E.boss == E.id: only row 1 survives
+  // in U(D) (a one-relation "join" with itself on the same row).
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  EXPECT_EQ(u.NumRows(), 1u);
+}
+
+TEST(EdgeCaseTest, TopKLargerThanTable) {
+  Database db = BuildRunningExample();
+  ExplainEngine engine = UnwrapOrDie(ExplainEngine::Create(&db));
+  AggregateQuery q;
+  q.name = "q1";
+  q.agg = AggregateSpec::CountDistinct(*db.ResolveColumn("Publication.pubid"));
+  UserQuestion question{
+      UnwrapOrDie(NumericalQuery::Create(
+          {q}, UnwrapOrDie(ParseExpression("q1", {"q1"})))),
+      Direction::kHigh};
+  ExplainOptions options;
+  options.top_k = 1000;  // far more than candidate cells
+  ExplainReport report =
+      UnwrapOrDie(engine.Explain(question, {"Author.name"}, options));
+  EXPECT_LE(report.explanations.size(), 3u);
+}
+
+TEST(EdgeCaseTest, MinSupportPrunesEverything) {
+  Database db = BuildRunningExample();
+  ExplainEngine engine = UnwrapOrDie(ExplainEngine::Create(&db));
+  AggregateQuery q;
+  q.name = "q1";
+  q.agg = AggregateSpec::CountStar();
+  UserQuestion question{
+      UnwrapOrDie(NumericalQuery::Create(
+          {q}, UnwrapOrDie(ParseExpression("q1", {"q1"})))),
+      Direction::kHigh};
+  ExplainOptions options;
+  options.min_support = 1e9;
+  options.degree = DegreeKind::kAggravation;
+  ExplainReport report =
+      UnwrapOrDie(engine.Explain(question, {"Author.name"}, options));
+  EXPECT_TRUE(report.explanations.empty());
+  EXPECT_EQ(report.table.NumRows(), 0u);
+}
+
+}  // namespace
+}  // namespace xplain

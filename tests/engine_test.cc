@@ -1,0 +1,181 @@
+#include "core/engine.h"
+
+#include "gtest/gtest.h"
+#include "relational/parser.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::Pred;
+using ::xplain::testing::UnwrapOrDie;
+
+// Q = (#SIGMOD papers) / (#VLDB papers) = 2, dir = high. The WHERE
+// predicates stay on the counted Publication relation, so the question is
+// cell-exact additive (CheckCellAdditivity) and the cube path applies
+// without rescoring.
+UserQuestion MakeVenueRatioQuestion(const Database& db) {
+  AggregateQuery q1, q2;
+  q1.name = "q1";
+  q1.agg =
+      AggregateSpec::CountDistinct(*db.ResolveColumn("Publication.pubid"));
+  q1.where =
+      UnwrapOrDie(ParsePredicate(db, "Publication.venue = 'SIGMOD'"));
+  q2 = q1;
+  q2.name = "q2";
+  q2.where = UnwrapOrDie(ParsePredicate(db, "Publication.venue = 'VLDB'"));
+  ExprPtr expr = UnwrapOrDie(ParseExpression("q1 / q2", {"q1", "q2"}));
+  return UserQuestion{
+      UnwrapOrDie(NumericalQuery::Create({q1, q2}, expr)),
+      Direction::kHigh};
+}
+
+TEST(EngineTest, CreateValidates) {
+  Database db = BuildRunningExample();
+  ExplainEngine engine = UnwrapOrDie(ExplainEngine::Create(&db));
+  EXPECT_EQ(engine.universal().NumRows(), 6u);
+  EXPECT_FALSE(ExplainEngine::Create(nullptr).ok());
+
+  Database broken = BuildRunningExample();
+  broken.mutable_relation(1)->AppendUnchecked(
+      {Value::Str("A9"), Value::Str("P1")});
+  EXPECT_FALSE(ExplainEngine::Create(&broken).ok());
+}
+
+TEST(EngineTest, ResolveAttributes) {
+  Database db = BuildRunningExample();
+  ExplainEngine engine = UnwrapOrDie(ExplainEngine::Create(&db));
+  auto attrs = engine.ResolveAttributes({"Author.name", "venue"});
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size(), 2u);
+  EXPECT_FALSE(engine.ResolveAttributes({"nope"}).ok());
+}
+
+TEST(EngineTest, ExplainAdditiveQuestionUsesCube) {
+  Database db = BuildRunningExample();
+  ExplainEngine engine = UnwrapOrDie(ExplainEngine::Create(&db));
+  UserQuestion question = MakeVenueRatioQuestion(db);
+  ExplainOptions options;
+  options.top_k = 3;
+  ExplainReport report = UnwrapOrDie(
+      engine.Explain(question, {"Author.name", "Publication.year"}, options));
+  EXPECT_TRUE(report.additivity.additive) << report.additivity.reason;
+  EXPECT_FALSE(report.exact_rescored);
+  EXPECT_DOUBLE_EQ(report.original_value, 2.0);
+  ASSERT_GE(report.explanations.size(), 2u);
+  // Two interventions fully erase the com SIGMOD papers (degree 0, the
+  // maximum): removing year 2001 and removing RR. Ties prefer the
+  // lexicographically-first cell.
+  EXPECT_DOUBLE_EQ(report.explanations[0].degree, 0.0);
+  EXPECT_EQ(report.explanations[0].explanation.ToString(db),
+            "[Publication.year = 2001]");
+  EXPECT_EQ(report.explanations[1].explanation.ToString(db),
+            "[Author.name = 'RR']");
+  // Cube degrees must match the exact fixpoint degrees (additivity).
+  for (const RankedExplanation& e : report.explanations) {
+    double exact = UnwrapOrDie(InterventionDegreeExact(
+        engine.intervention(), question, e.explanation.predicate()));
+    EXPECT_DOUBLE_EQ(e.degree, exact) << e.explanation.ToString(db);
+  }
+  EXPECT_NE(report.ToString(db).find("RR"), std::string::npos);
+}
+
+TEST(EngineTest, ExplainByAggravation) {
+  Database db = BuildRunningExample();
+  ExplainEngine engine = UnwrapOrDie(ExplainEngine::Create(&db));
+  UserQuestion question = MakeVenueRatioQuestion(db);
+  ExplainOptions options;
+  options.degree = DegreeKind::kAggravation;
+  options.top_k = 2;
+  ExplainReport report = UnwrapOrDie(
+      engine.Explain(question, {"Author.name", "Publication.year"}, options));
+  ASSERT_FALSE(report.explanations.empty());
+  // Aggravation is maximized by restricting to com-heavy cells.
+  EXPECT_GT(report.explanations[0].degree, 2.0);
+}
+
+TEST(EngineTest, NonAdditiveIntervRescoresExactly) {
+  Database db = BuildRunningExample();
+  ExplainEngine engine = UnwrapOrDie(ExplainEngine::Create(&db));
+  // count(*) with the back-and-forth key: not additive.
+  UserQuestion question = MakeVenueRatioQuestion(db);
+  AggregateQuery q1, q2;
+  q1.name = "q1";
+  q1.agg = AggregateSpec::CountStar();
+  q1.where = Pred(db, "Author.dom = 'com'");
+  q2.name = "q2";
+  q2.agg = AggregateSpec::CountStar();
+  q2.where = Pred(db, "Author.dom = 'edu'");
+  ExprPtr expr = UnwrapOrDie(ParseExpression("q1 / q2", {"q1", "q2"}));
+  question.query = UnwrapOrDie(NumericalQuery::Create({q1, q2}, expr));
+
+  ExplainOptions options;
+  options.top_k = 3;
+  ExplainReport report = UnwrapOrDie(
+      engine.Explain(question, {"Author.name"}, options));
+  EXPECT_FALSE(report.additivity.additive);
+  EXPECT_TRUE(report.exact_rescored);
+  ASSERT_FALSE(report.explanations.empty());
+  // Degrees are exact now.
+  for (const RankedExplanation& e : report.explanations) {
+    double exact = UnwrapOrDie(InterventionDegreeExact(
+        engine.intervention(), question, e.explanation.predicate()));
+    EXPECT_DOUBLE_EQ(e.degree, exact);
+  }
+
+  options.exact_rescore_when_not_additive = false;
+  EXPECT_FALSE(
+      engine.Explain(question, {"Author.name"}, options).ok());
+}
+
+TEST(EngineTest, HybridDegreeSkipsExactRescoring) {
+  Database db = BuildRunningExample();
+  ExplainEngine engine = UnwrapOrDie(ExplainEngine::Create(&db));
+  // count(*) with the back-and-forth key is NOT additive, but the hybrid
+  // degree (Section 6(iii)) reads the cube proxy anyway, without program P.
+  AggregateQuery q1, q2;
+  q1.name = "q1";
+  q1.agg = AggregateSpec::CountStar();
+  q1.where = Pred(db, "Author.dom = 'com'");
+  q2.name = "q2";
+  q2.agg = AggregateSpec::CountStar();
+  q2.where = Pred(db, "Author.dom = 'edu'");
+  ExprPtr expr = UnwrapOrDie(ParseExpression("q1 / q2", {"q1", "q2"}));
+  UserQuestion question{UnwrapOrDie(NumericalQuery::Create({q1, q2}, expr)),
+                        Direction::kHigh};
+  ExplainOptions options;
+  options.degree = DegreeKind::kHybrid;
+  options.top_k = 3;
+  ExplainReport report = UnwrapOrDie(
+      engine.Explain(question, {"Author.name"}, options));
+  EXPECT_FALSE(report.additivity.additive);
+  EXPECT_FALSE(report.exact_rescored);  // hybrid never rescored
+  ASSERT_FALSE(report.explanations.empty());
+  // The hybrid column is sign * E(u - v): check against the table.
+  for (const RankedExplanation& e : report.explanations) {
+    EXPECT_DOUBLE_EQ(e.degree, report.table.mu_interv[e.m_row]);
+  }
+}
+
+TEST(EngineTest, NaivePathMatchesCubePath) {
+  Database db = BuildRunningExample();
+  ExplainEngine engine = UnwrapOrDie(ExplainEngine::Create(&db));
+  UserQuestion question = MakeVenueRatioQuestion(db);
+  ExplainOptions cube_options;
+  ExplainOptions naive_options;
+  naive_options.use_cube = false;
+  ExplainReport cube = UnwrapOrDie(
+      engine.Explain(question, {"Author.name"}, cube_options));
+  ExplainReport naive = UnwrapOrDie(
+      engine.Explain(question, {"Author.name"}, naive_options));
+  ASSERT_EQ(cube.explanations.size(), naive.explanations.size());
+  for (size_t i = 0; i < cube.explanations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cube.explanations[i].degree,
+                     naive.explanations[i].degree);
+  }
+  EXPECT_FALSE(naive.used_cube);
+}
+
+}  // namespace
+}  // namespace xplain

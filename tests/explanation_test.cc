@@ -1,0 +1,71 @@
+#include "core/explanation.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::Pred;
+
+TEST(ExplanationTest, FromPredicate) {
+  Database db = BuildRunningExample();
+  Explanation e =
+      Explanation::FromPredicate(Pred(db, "Author.name = 'JG'"));
+  EXPECT_FALSE(e.has_cell());
+  EXPECT_EQ(e.NumBound(), 1);
+  EXPECT_FALSE(e.IsTrivial());
+  EXPECT_EQ(e.ToString(db), "[Author.name = 'JG']");
+}
+
+TEST(ExplanationTest, FromCellBuildsEqualityAtoms) {
+  Database db = BuildRunningExample();
+  ColumnRef name = *db.ResolveColumn("Author.name");
+  ColumnRef year = *db.ResolveColumn("Publication.year");
+  Explanation e = Explanation::FromCell(
+      {name, year}, {Value::Str("JG"), Value::Int(2001)});
+  EXPECT_TRUE(e.has_cell());
+  EXPECT_EQ(e.NumBound(), 2);
+  EXPECT_EQ(e.predicate().atoms().size(), 2u);
+  EXPECT_EQ(e.ToString(db),
+            "[Author.name = 'JG' AND Publication.year = 2001]");
+}
+
+TEST(ExplanationTest, NullCoordsAreDontCares) {
+  Database db = BuildRunningExample();
+  ColumnRef name = *db.ResolveColumn("Author.name");
+  ColumnRef year = *db.ResolveColumn("Publication.year");
+  Explanation e = Explanation::FromCell({name, year},
+                                        {Value::Null(), Value::Int(2001)});
+  EXPECT_EQ(e.NumBound(), 1);
+  EXPECT_EQ(e.predicate().atoms().size(), 1u);
+  Explanation trivial = Explanation::FromCell(
+      {name, year}, {Value::Null(), Value::Null()});
+  EXPECT_TRUE(trivial.IsTrivial());
+}
+
+TEST(ExplanationTest, SpecializationOrder) {
+  Database db = BuildRunningExample();
+  ColumnRef name = *db.ResolveColumn("Author.name");
+  ColumnRef year = *db.ResolveColumn("Publication.year");
+  std::vector<ColumnRef> attrs{name, year};
+  Explanation general =
+      Explanation::FromCell(attrs, {Value::Str("JG"), Value::Null()});
+  Explanation specific =
+      Explanation::FromCell(attrs, {Value::Str("JG"), Value::Int(2001)});
+  Explanation other =
+      Explanation::FromCell(attrs, {Value::Str("RR"), Value::Int(2001)});
+  EXPECT_TRUE(specific.IsSpecializationOf(general));
+  EXPECT_FALSE(general.IsSpecializationOf(specific));
+  EXPECT_FALSE(other.IsSpecializationOf(general));
+  // Non-strict: every explanation specializes itself.
+  EXPECT_TRUE(general.IsSpecializationOf(general));
+  // Everything specializes the trivial cell.
+  Explanation trivial =
+      Explanation::FromCell(attrs, {Value::Null(), Value::Null()});
+  EXPECT_TRUE(specific.IsSpecializationOf(trivial));
+}
+
+}  // namespace
+}  // namespace xplain

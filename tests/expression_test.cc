@@ -1,0 +1,103 @@
+#include "relational/expression.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "relational/parser.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::UnwrapOrDie;
+
+const EvalOptions kOpts;
+
+TEST(ExpressionTest, ConstantsAndVariables) {
+  ExprPtr c = Expression::Constant(2.5);
+  EXPECT_DOUBLE_EQ(c->Eval({}, kOpts), 2.5);
+  ExprPtr v = Expression::Variable(1, "q2");
+  EXPECT_DOUBLE_EQ(v->Eval({10, 20}, kOpts), 20);
+  EXPECT_EQ(v->MaxVariableIndex(), 1);
+  EXPECT_EQ(c->MaxVariableIndex(), -1);
+}
+
+TEST(ExpressionTest, Arithmetic) {
+  ExprPtr e = Expression::Binary(
+      Expression::BinaryOp::kAdd, Expression::Constant(1),
+      Expression::Binary(Expression::BinaryOp::kMul, Expression::Constant(2),
+                         Expression::Constant(3)));
+  EXPECT_DOUBLE_EQ(e->Eval({}, kOpts), 7.0);
+}
+
+TEST(ExpressionTest, DivisionGuardedByEpsilon) {
+  ExprPtr e = Expression::Binary(Expression::BinaryOp::kDiv,
+                                 Expression::Constant(1),
+                                 Expression::Variable(0, "q1"));
+  EXPECT_DOUBLE_EQ(e->Eval({4}, kOpts), 0.25);
+  // Denominator 0 is clamped to +epsilon.
+  EXPECT_DOUBLE_EQ(e->Eval({0}, kOpts), 1.0 / kOpts.epsilon);
+  // Small negative denominators clamp to -epsilon.
+  EXPECT_DOUBLE_EQ(e->Eval({-1e-9}, kOpts), -1.0 / kOpts.epsilon);
+}
+
+TEST(ExpressionTest, UnaryFunctions) {
+  ExprPtr x = Expression::Variable(0, "x");
+  EXPECT_DOUBLE_EQ(
+      Expression::Unary(Expression::UnaryOp::kNeg, x)->Eval({3}, kOpts), -3);
+  EXPECT_DOUBLE_EQ(
+      Expression::Unary(Expression::UnaryOp::kAbs, x)->Eval({-3}, kOpts), 3);
+  EXPECT_DOUBLE_EQ(
+      Expression::Unary(Expression::UnaryOp::kExp, x)->Eval({0}, kOpts), 1);
+  EXPECT_DOUBLE_EQ(
+      Expression::Unary(Expression::UnaryOp::kSqrt, x)->Eval({9}, kOpts), 3);
+  // sqrt of negative clamps to 0; log of non-positive clamps to epsilon.
+  EXPECT_DOUBLE_EQ(
+      Expression::Unary(Expression::UnaryOp::kSqrt, x)->Eval({-1}, kOpts), 0);
+  EXPECT_DOUBLE_EQ(
+      Expression::Unary(Expression::UnaryOp::kLog, x)->Eval({0}, kOpts),
+      std::log(kOpts.epsilon));
+}
+
+TEST(ParseExpressionTest, PaperRatioOfRatios) {
+  ExprPtr e = UnwrapOrDie(
+      ParseExpression("(q1 / q2) / (q3 / q4)", {"q1", "q2", "q3", "q4"}));
+  EXPECT_DOUBLE_EQ(e->Eval({10, 2, 3, 6}, kOpts), (10.0 / 2) / (3.0 / 6));
+  EXPECT_EQ(e->MaxVariableIndex(), 3);
+}
+
+TEST(ParseExpressionTest, Precedence) {
+  ExprPtr e = UnwrapOrDie(ParseExpression("1 + 2 * 3 - 4 / 2", {}));
+  EXPECT_DOUBLE_EQ(e->Eval({}, kOpts), 5.0);
+  ExprPtr p = UnwrapOrDie(ParseExpression("2 ^ 3 ^ 2", {}));  // right-assoc
+  EXPECT_DOUBLE_EQ(p->Eval({}, kOpts), 512.0);
+}
+
+TEST(ParseExpressionTest, UnaryMinusAndFunctions) {
+  ExprPtr e = UnwrapOrDie(ParseExpression("-q1 + abs(-3)", {"q1"}));
+  EXPECT_DOUBLE_EQ(e->Eval({2}, kOpts), 1.0);
+  ExprPtr f = UnwrapOrDie(ParseExpression("log(exp(2))", {}));
+  EXPECT_NEAR(f->Eval({}, kOpts), 2.0, 1e-9);
+}
+
+TEST(ParseExpressionTest, CaseInsensitiveVariables) {
+  ExprPtr e = UnwrapOrDie(ParseExpression("Q1 / q2", {"q1", "q2"}));
+  EXPECT_DOUBLE_EQ(e->Eval({6, 3}, kOpts), 2.0);
+}
+
+TEST(ParseExpressionTest, Errors) {
+  EXPECT_FALSE(ParseExpression("q1 +", {"q1"}).ok());
+  EXPECT_FALSE(ParseExpression("(q1", {"q1"}).ok());
+  EXPECT_FALSE(ParseExpression("qX", {"q1"}).ok());
+  EXPECT_FALSE(ParseExpression("median(q1)", {"q1"}).ok());
+  EXPECT_FALSE(ParseExpression("q1 q2", {"q1", "q2"}).ok());
+}
+
+TEST(ExpressionToStringTest, Rendering) {
+  ExprPtr e = UnwrapOrDie(ParseExpression("(q1 / q2) / (q3 / q4)",
+                                          {"q1", "q2", "q3", "q4"}));
+  EXPECT_EQ(e->ToString(), "((q1 / q2) / (q3 / q4))");
+}
+
+}  // namespace
+}  // namespace xplain

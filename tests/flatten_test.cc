@@ -1,0 +1,83 @@
+#include "core/flatten.h"
+
+#include "core/additivity.h"
+#include "gtest/gtest.h"
+#include "relational/universal.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::UnwrapOrDie;
+
+TEST(FlattenTest, RunningExampleFanout2) {
+  Database db = BuildRunningExample();
+  FlattenResult flat = UnwrapOrDie(FlattenBackAndForth(db, /*fanout=*/2));
+
+  // 2 author copies + 2 authored copies + the fact relation.
+  EXPECT_EQ(flat.db.num_relations(), 5);
+  EXPECT_EQ(flat.dimension_copies.size(), 2u);
+  EXPECT_EQ(flat.member_copies.size(), 2u);
+  EXPECT_EQ(flat.fact_relation, "Publication_flat");
+
+  // No back-and-forth keys remain.
+  EXPECT_FALSE(flat.db.HasBackAndForthKeys());
+  XPLAIN_EXPECT_OK(flat.db.CheckReferentialIntegrity());
+
+  // Every publication appears exactly once in the universal relation.
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(flat.db));
+  EXPECT_EQ(u.NumRows(), 3u);
+  int fact = *flat.db.RelationIndex("Publication_flat");
+  EXPECT_TRUE(RelationIsUniqueCore(u, fact));
+
+  // Hence count(*) is now intervention-additive (Corollary 3.6).
+  AdditivityReport report =
+      CheckAggregateAdditivity(u, AggregateSpec::CountStar());
+  EXPECT_TRUE(report.additive) << report.reason;
+}
+
+TEST(FlattenTest, FactRowsCarryOriginalAttributes) {
+  Database db = BuildRunningExample();
+  FlattenResult flat = UnwrapOrDie(FlattenBackAndForth(db, 2));
+  const Relation& fact = flat.db.RelationByName("Publication_flat");
+  ASSERT_EQ(fact.NumRows(), 3u);
+  // Schema: kad_1, kad_2, pubid, year, venue.
+  EXPECT_EQ(fact.schema().num_attributes(), 5);
+  EXPECT_EQ(fact.schema().attribute(0).name, "kad_1");
+  EXPECT_EQ(fact.schema().attribute(2).name, "pubid");
+  // Every publication in Figure 3 has exactly 2 authors: no dummy slots.
+  for (size_t i = 0; i < fact.NumRows(); ++i) {
+    EXPECT_NE(fact.at(i, 0).AsInt(), -1);
+    EXPECT_NE(fact.at(i, 1).AsInt(), -1);
+  }
+}
+
+TEST(FlattenTest, DummySlotsForSmallCollections) {
+  Database db = BuildRunningExample();
+  FlattenResult flat = UnwrapOrDie(FlattenBackAndForth(db, 3));
+  const Relation& fact = flat.db.RelationByName("Publication_flat");
+  // With fanout 3 and 2-author papers, slot 3 is always the dummy.
+  for (size_t i = 0; i < fact.NumRows(); ++i) {
+    EXPECT_EQ(fact.at(i, 2).AsInt(), -1);
+  }
+  // The dummy member/dimension rows keep the join total.
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(flat.db));
+  EXPECT_EQ(u.NumRows(), 3u);
+}
+
+TEST(FlattenTest, FanoutTooSmallRejected) {
+  Database db = BuildRunningExample();
+  EXPECT_FALSE(FlattenBackAndForth(db, 1).ok());
+  EXPECT_FALSE(FlattenBackAndForth(db, 0).ok());
+}
+
+TEST(FlattenTest, UnsupportedShapesRejected) {
+  Database db = BuildRunningExample(/*all_standard=*/true);
+  // No back-and-forth key: nothing to flatten.
+  EXPECT_EQ(FlattenBackAndForth(db, 3).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace xplain

@@ -1,0 +1,161 @@
+#include "core/engine.h"
+#include "datagen/dblp.h"
+#include "datagen/natality.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::UnwrapOrDie;
+
+bool AnyExplanationMentions(const std::vector<RankedExplanation>& out,
+                            const Database& db, const std::string& needle) {
+  for (const RankedExplanation& e : out) {
+    if (e.explanation.ToString(db).find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// End-to-end reproduction of the paper's Section 5.1 qualitative result:
+// the top interventions for Q_Race are the confounded "good" subpopulations
+// (married, early prenatal care, non-smoking, educated, 30-34).
+TEST(IntegrationTest, NatalityQRaceTopInterventions) {
+  datagen::NatalityOptions options;
+  options.num_rows = 60000;
+  Database db = UnwrapOrDie(datagen::GenerateNatality(options));
+  ExplainEngine engine = UnwrapOrDie(ExplainEngine::Create(&db));
+  UserQuestion question = UnwrapOrDie(datagen::MakeNatalityQRace(db));
+
+  ExplainOptions explain;
+  explain.top_k = 5;
+  explain.min_support = 500;
+  explain.minimality = MinimalityStrategy::kAppend;
+  ExplainReport report = UnwrapOrDie(engine.Explain(
+      question,
+      {"Birth.age", "Birth.tobacco", "Birth.prenatal", "Birth.education",
+       "Birth.marital"},
+      explain));
+
+  ASSERT_EQ(report.explanations.size(), 5u);
+  EXPECT_TRUE(report.additivity.additive) << report.additivity.reason;
+  // Every top intervention lowers Q below the original value:
+  // mu_interv = -Q(D - Delta) > -Q(D).
+  for (const RankedExplanation& e : report.explanations) {
+    EXPECT_GT(e.degree, -report.original_value);
+  }
+  // The paper's Figure 10 list: married / 1st-trim / non-smoking /
+  // educated / 30-34. At least three of those flavors must appear.
+  int hits = 0;
+  for (const char* needle : {"married", "1st trim", "non smoking",
+                             ">=16yrs", "30-34"}) {
+    if (AnyExplanationMentions(report.explanations, db, needle)) ++hits;
+  }
+  EXPECT_GE(hits, 3) << report.ToString(db);
+}
+
+// Figure 11's shape: aggravation prefers more specific conjunctions than
+// intervention does.
+TEST(IntegrationTest, NatalityAggravationIsMoreSpecific) {
+  datagen::NatalityOptions options;
+  options.num_rows = 60000;
+  Database db = UnwrapOrDie(datagen::GenerateNatality(options));
+  ExplainEngine engine = UnwrapOrDie(ExplainEngine::Create(&db));
+  UserQuestion question = UnwrapOrDie(datagen::MakeNatalityQRace(db));
+
+  ExplainOptions interv;
+  interv.top_k = 3;
+  interv.min_support = 500;
+  ExplainOptions aggr = interv;
+  aggr.degree = DegreeKind::kAggravation;
+  std::vector<std::string> attrs = {"Birth.age", "Birth.tobacco",
+                                    "Birth.prenatal", "Birth.education",
+                                    "Birth.marital"};
+  ExplainReport interv_report =
+      UnwrapOrDie(engine.Explain(question, attrs, interv));
+  ExplainReport aggr_report =
+      UnwrapOrDie(engine.Explain(question, attrs, aggr));
+  ASSERT_FALSE(interv_report.explanations.empty());
+  ASSERT_FALSE(aggr_report.explanations.empty());
+  double interv_bound = 0, aggr_bound = 0;
+  for (const auto& e : interv_report.explanations) {
+    interv_bound += e.explanation.NumBound();
+  }
+  for (const auto& e : aggr_report.explanations) {
+    aggr_bound += e.explanation.NumBound();
+  }
+  EXPECT_GE(aggr_bound / aggr_report.explanations.size() + 0.51,
+            interv_bound / interv_report.explanations.size());
+}
+
+// End-to-end Figure 2: explaining the SIGMOD industrial bump surfaces the
+// classic industrial labs / their prolific authors.
+TEST(IntegrationTest, DblpBumpTopExplanations) {
+  datagen::DblpOptions options;
+  options.scale = 0.6;
+  Database db = UnwrapOrDie(datagen::GenerateDblp(options));
+  ExplainEngine engine = UnwrapOrDie(ExplainEngine::Create(&db));
+  UserQuestion question = UnwrapOrDie(datagen::MakeDblpBumpQuestion(db));
+
+  ExplainOptions explain;
+  explain.top_k = 9;
+  ExplainReport report = UnwrapOrDie(
+      engine.Explain(question, {"Author.name", "Author.inst"}, explain));
+  EXPECT_TRUE(report.additivity.additive) << report.additivity.reason;
+  ASSERT_FALSE(report.explanations.empty());
+  bool classic_lab =
+      AnyExplanationMentions(report.explanations, db, "ibm.com") ||
+      AnyExplanationMentions(report.explanations, db, "bell-labs.com") ||
+      AnyExplanationMentions(report.explanations, db, "att.com") ||
+      AnyExplanationMentions(report.explanations, db, "Rastogi") ||
+      AnyExplanationMentions(report.explanations, db, "Pirahesh") ||
+      AnyExplanationMentions(report.explanations, db, "Agrawal");
+  EXPECT_TRUE(classic_lab) << report.ToString(db);
+}
+
+// End-to-end Figure 15: the UK SIGMOD/PODS anomaly is explained by the
+// PODS-heavy UK institutions (or their authors).
+TEST(IntegrationTest, UkPodsExplanations) {
+  datagen::DblpOptions options;
+  options.scale = 0.6;
+  Database db = UnwrapOrDie(datagen::GenerateDblp(options));
+  ExplainEngine engine = UnwrapOrDie(ExplainEngine::Create(&db));
+  UserQuestion question = UnwrapOrDie(datagen::MakeUkPodsQuestion(db));
+
+  ExplainOptions explain;
+  explain.top_k = 6;
+  ExplainReport report = UnwrapOrDie(engine.Explain(
+      question, {"Author.name", "Author.inst", "Author.city"}, explain));
+  ASSERT_FALSE(report.explanations.empty());
+  bool uk_inst =
+      AnyExplanationMentions(report.explanations, db, "Oxford") ||
+      AnyExplanationMentions(report.explanations, db, "Edinburgh") ||
+      AnyExplanationMentions(report.explanations, db, "Semmle");
+  EXPECT_TRUE(uk_inst) << report.ToString(db);
+}
+
+// The engine agrees with itself across minimality strategies on real data.
+TEST(IntegrationTest, StrategiesAgreeOnNatalityTop1) {
+  datagen::NatalityOptions options;
+  options.num_rows = 30000;
+  Database db = UnwrapOrDie(datagen::GenerateNatality(options));
+  ExplainEngine engine = UnwrapOrDie(ExplainEngine::Create(&db));
+  UserQuestion question = UnwrapOrDie(datagen::MakeNatalityQMarital(db));
+  std::vector<std::string> attrs = {"Birth.age", "Birth.tobacco",
+                                    "Birth.education"};
+  ExplainOptions self_join;
+  self_join.minimality = MinimalityStrategy::kSelfJoin;
+  self_join.min_support = 200;
+  ExplainOptions append = self_join;
+  append.minimality = MinimalityStrategy::kAppend;
+  ExplainReport a = UnwrapOrDie(engine.Explain(question, attrs, self_join));
+  ExplainReport b = UnwrapOrDie(engine.Explain(question, attrs, append));
+  ASSERT_FALSE(a.explanations.empty());
+  ASSERT_FALSE(b.explanations.empty());
+  EXPECT_EQ(a.explanations[0].m_row, b.explanations[0].m_row);
+}
+
+}  // namespace
+}  // namespace xplain

@@ -1,0 +1,297 @@
+#include "core/intervention.h"
+
+#include "datagen/worstcase.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildChainExample;
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::Pred;
+using ::xplain::testing::UnwrapOrDie;
+
+class InterventionFixture {
+ public:
+  explicit InterventionFixture(Database db) : db_(std::move(db)) {
+    universal_ = std::make_unique<UniversalRelation>(
+        UnwrapOrDie(UniversalRelation::Build(db_)));
+    engine_ = std::make_unique<InterventionEngine>(universal_.get());
+  }
+
+  const Database& db() const { return db_; }
+  const InterventionEngine& engine() const { return *engine_; }
+
+  InterventionResult Compute(const std::string& phi_text,
+                             InterventionOptions options = {}) {
+    ConjunctivePredicate phi = UnwrapOrDie(ParsePredicate(db_, phi_text));
+    return UnwrapOrDie(engine_->Compute(phi, options), phi_text.c_str());
+  }
+
+ private:
+  Database db_;
+  std::unique_ptr<UniversalRelation> universal_;
+  std::unique_ptr<InterventionEngine> engine_;
+};
+
+// --- Example 2.8: the asymmetric intervention on the running example. ---
+TEST(InterventionTest, Example28BackAndForth) {
+  InterventionFixture fix(BuildRunningExample());
+  InterventionResult result =
+      fix.Compute("Author.name = 'JG' AND Publication.year = 2001");
+  // Delta_Author = {}; Delta_Authored = {s1, s2}; Delta_Publication = {t1}.
+  EXPECT_EQ(result.delta[0].count(), 0u);
+  EXPECT_EQ(result.delta[1].ToRows(), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(result.delta[2].ToRows(), (std::vector<size_t>{0}));
+  EXPECT_EQ(result.seed_count, 1u);  // only s1 seeded
+  EXPECT_TRUE(result.residual_phi_free);
+  // Prop 3.11 bound: 2s+2 = 4 iterations for one back-and-forth key.
+  EXPECT_LE(result.iterations, 4u);
+}
+
+TEST(InterventionTest, Example28AllStandardIsSymmetric) {
+  InterventionFixture fix(BuildRunningExample(/*all_standard=*/true));
+  InterventionResult result =
+      fix.Compute("Author.name = 'JG' AND Publication.year = 2001");
+  // With standard keys only s1 is deleted.
+  EXPECT_EQ(result.delta[0].count(), 0u);
+  EXPECT_EQ(result.delta[1].ToRows(), (std::vector<size_t>{0}));
+  EXPECT_EQ(result.delta[2].count(), 0u);
+  // Prop 3.5: convergence in two steps.
+  EXPECT_LE(result.iterations, 2u);
+}
+
+TEST(InterventionTest, ComputedDeltaIsValid) {
+  Database db = BuildRunningExample();
+  InterventionFixture fix(BuildRunningExample());
+  InterventionResult result =
+      fix.Compute("Author.name = 'JG' AND Publication.year = 2001");
+  ConjunctivePredicate phi =
+      Pred(db, "Author.name = 'JG' AND Publication.year = 2001");
+  ValidityReport report = VerifyIntervention(fix.db(), phi, result.delta);
+  EXPECT_TRUE(report.valid()) << report.ToString();
+}
+
+TEST(InterventionTest, DeletingAnAuthorCascadesToTheirPapers) {
+  InterventionFixture fix(BuildRunningExample());
+  // Removing JG must remove his papers P1, P2 (back-and-forth), then the
+  // co-author links s2, s4 -- but RR and CM survive through P3.
+  InterventionResult result = fix.Compute("Author.name = 'JG'");
+  EXPECT_EQ(result.delta[0].ToRows(), (std::vector<size_t>{0}));
+  EXPECT_EQ(result.delta[1].ToRows(), (std::vector<size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(result.delta[2].ToRows(), (std::vector<size_t>{0, 1}));
+}
+
+// --- Example 2.9: the chain requires deleting everything. ---
+TEST(InterventionTest, Example29WholeDatabase) {
+  Database db = BuildChainExample();
+  InterventionFixture fix(BuildChainExample());
+  InterventionResult result =
+      fix.Compute("R1.x = 'a' AND R2.y = 'b' AND R3.z = 'c'");
+  EXPECT_EQ(DeltaCount(result.delta), fix.db().TotalRows());
+  ConjunctivePredicate phi =
+      Pred(db, "R1.x = 'a' AND R2.y = 'b' AND R3.z = 'c'");
+  EXPECT_TRUE(VerifyIntervention(fix.db(), phi, result.delta).valid());
+}
+
+// --- Example 2.10: the intervention is non-monotone in the database. ---
+TEST(InterventionTest, Example210NonMonotoneInDatabase) {
+  InterventionFixture fix(BuildChainExample(/*extended=*/true));
+  InterventionResult result =
+      fix.Compute("R1.x = 'a' AND R2.y = 'b' AND R3.z = 'c'");
+  // Delta = {S1(a,b), R2(b), S2(b,c)}: rows 0 of S1, R2, S2.
+  const Database& db = fix.db();
+  int s1 = *db.RelationIndex("S1");
+  int r2 = *db.RelationIndex("R2");
+  int s2 = *db.RelationIndex("S2");
+  int r1 = *db.RelationIndex("R1");
+  int r3 = *db.RelationIndex("R3");
+  EXPECT_EQ(result.delta[s1].ToRows(), (std::vector<size_t>{0}));
+  EXPECT_EQ(result.delta[r2].ToRows(), (std::vector<size_t>{0}));
+  EXPECT_EQ(result.delta[s2].ToRows(), (std::vector<size_t>{0}));
+  // R1(a) and R3(c) survive: strictly smaller than Example 2.9's Delta even
+  // though the database grew.
+  EXPECT_EQ(result.delta[r1].count(), 0u);
+  EXPECT_EQ(result.delta[r3].count(), 0u);
+  EXPECT_EQ(DeltaCount(result.delta), 3u);
+}
+
+// --- Example 3.7: linear number of iterations. ---
+TEST(InterventionTest, Example37LinearIterations) {
+  for (int p : {1, 2, 5}) {
+    datagen::WorstCaseInstance wc =
+        UnwrapOrDie(datagen::GenerateWorstCaseChain(p));
+    UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(wc.db));
+    InterventionEngine engine(&u);
+    InterventionResult result = UnwrapOrDie(engine.Compute(wc.phi));
+    EXPECT_EQ(result.iterations, wc.expected_iterations) << "p=" << p;
+    // The whole chain is dragged in.
+    EXPECT_EQ(DeltaCount(result.delta), wc.total_rows) << "p=" << p;
+    EXPECT_TRUE(result.residual_phi_free);
+    // Prop 3.4: at most n iterations.
+    EXPECT_LE(result.iterations, wc.total_rows);
+  }
+}
+
+TEST(InterventionTest, EmptyPhiMatchesNothing) {
+  InterventionFixture fix(BuildRunningExample());
+  // phi that no tuple satisfies: intervention is empty.
+  InterventionResult result = fix.Compute("Author.name = 'ZZ'");
+  EXPECT_EQ(DeltaCount(result.delta), 0u);
+  EXPECT_EQ(result.seed_count, 0u);
+  EXPECT_EQ(result.iterations, 1u);
+  EXPECT_TRUE(result.residual_phi_free);
+}
+
+TEST(InterventionTest, PredicateOnWholeDomainDeletesEverything) {
+  InterventionFixture fix(BuildRunningExample());
+  InterventionResult result = fix.Compute("Publication.year >= 1900");
+  EXPECT_EQ(DeltaCount(result.delta), fix.db().TotalRows());
+}
+
+TEST(InterventionTest, LiveUniversalRowsMatchesResidual) {
+  Database db = BuildRunningExample();
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  InterventionEngine engine(&u);
+  ConjunctivePredicate phi =
+      Pred(db, "Author.name = 'JG' AND Publication.year = 2001");
+  InterventionResult result = UnwrapOrDie(engine.Compute(phi));
+  RowSet live = engine.LiveUniversalRows(result.delta);
+  UniversalRelation residual =
+      UnwrapOrDie(UniversalRelation::Build(db, result.delta));
+  EXPECT_EQ(live.count(), residual.NumRows());
+}
+
+TEST(InterventionTest, MaxIterationsGuard) {
+  InterventionFixture fix(BuildRunningExample());
+  ConjunctivePredicate phi = UnwrapOrDie(
+      ParsePredicate(fix.db(), "Author.name = 'JG'"));
+  InterventionOptions options;
+  options.max_iterations = 1;  // too small: JG needs 3-4 rounds
+  EXPECT_FALSE(fix.engine().Compute(phi, options).ok());
+}
+
+// --- The pathological star schema where Rule (i) is not exact. ---
+Database BuildStarPathology() {
+  auto cs = RelationSchema::Create("Cn", {{"c", DataType::kInt64}}, {"c"});
+  auto l1s = RelationSchema::Create(
+      "L1", {{"k", DataType::kInt64}, {"c", DataType::kInt64},
+             {"x", DataType::kInt64}},
+      {"k"});
+  auto l2s = RelationSchema::Create(
+      "L2", {{"k", DataType::kInt64}, {"c", DataType::kInt64},
+             {"y", DataType::kInt64}},
+      {"k"});
+  Relation center(std::move(*cs)), l1(std::move(*l1s)), l2(std::move(*l2s));
+  center.AppendUnchecked({Value::Int(1)});
+  l1.AppendUnchecked({Value::Int(0), Value::Int(1), Value::Int(1)});  // x=1
+  l1.AppendUnchecked({Value::Int(1), Value::Int(1), Value::Int(2)});  // x=2
+  l2.AppendUnchecked({Value::Int(0), Value::Int(1), Value::Int(1)});  // y=1
+  l2.AppendUnchecked({Value::Int(1), Value::Int(1), Value::Int(2)});  // y=2
+  Database db;
+  XPLAIN_CHECK(db.AddRelation(std::move(center)).ok());
+  XPLAIN_CHECK(db.AddRelation(std::move(l1)).ok());
+  XPLAIN_CHECK(db.AddRelation(std::move(l2)).ok());
+  for (const char* child : {"L1", "L2"}) {
+    ForeignKey fk;
+    fk.child_relation = child;
+    fk.child_attrs = {"c"};
+    fk.parent_relation = "Cn";
+    fk.parent_attrs = {"c"};
+    fk.kind = ForeignKeyKind::kStandard;
+    XPLAIN_CHECK(db.AddForeignKey(fk).ok());
+  }
+  return db;
+}
+
+TEST(InterventionTest, StarPathologyFixpointNotPhiFree) {
+  // phi touches two independent dimension relations: every base tuple of
+  // the phi-row also occurs in a !phi row, so program P's fixpoint is empty
+  // and phi-tuples remain (Theorem 3.3's precondition fails; see
+  // DESIGN.md).
+  Database db = BuildStarPathology();
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  InterventionEngine engine(&u);
+  ConjunctivePredicate phi = Pred(db, "L1.x = 1 AND L2.y = 1");
+  InterventionResult result = UnwrapOrDie(engine.Compute(phi));
+  EXPECT_EQ(DeltaCount(result.delta), 0u);
+  EXPECT_FALSE(result.residual_phi_free);
+}
+
+TEST(InterventionTest, StarPathologyRepairProducesValidIntervention) {
+  Database db = BuildStarPathology();
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  InterventionEngine engine(&u);
+  ConjunctivePredicate phi = Pred(db, "L1.x = 1 AND L2.y = 1");
+  InterventionOptions options;
+  options.repair = true;
+  InterventionResult result = UnwrapOrDie(engine.Compute(phi, options));
+  EXPECT_TRUE(result.residual_phi_free);
+  EXPECT_GE(result.repair_rounds, 1u);
+  ValidityReport report = VerifyIntervention(db, phi, result.delta);
+  EXPECT_TRUE(report.valid()) << report.ToString();
+}
+
+TEST(ValidityReportTest, DetectsEachViolation) {
+  Database db = BuildRunningExample();
+  ConjunctivePredicate phi =
+      Pred(db, "Author.name = 'JG' AND Publication.year = 2001");
+
+  // Empty delta: closed and "semijoin reduced", but phi remains.
+  DeltaSet empty = db.EmptyDelta();
+  ValidityReport r1 = VerifyIntervention(db, phi, empty);
+  EXPECT_TRUE(r1.closed);
+  EXPECT_TRUE(r1.semijoin_reduced);
+  EXPECT_FALSE(r1.phi_free);
+
+  // Deleting t1 without its Authored children violates closedness.
+  DeltaSet bad = db.EmptyDelta();
+  bad[2].Set(0);
+  ValidityReport r2 = VerifyIntervention(db, phi, bad);
+  EXPECT_FALSE(r2.closed);
+
+  // Deleting s1 alone is phi-free and closed, but t1's backward cascade is
+  // violated (back-and-forth key) -> not closed.
+  DeltaSet s1_only = db.EmptyDelta();
+  s1_only[1].Set(0);
+  ValidityReport r3 = VerifyIntervention(db, phi, s1_only);
+  EXPECT_FALSE(r3.closed);
+  EXPECT_TRUE(r3.phi_free);
+
+  // The full, correct intervention: valid.
+  DeltaSet good = db.EmptyDelta();
+  good[1].Set(0);
+  good[1].Set(1);
+  good[2].Set(0);
+  ValidityReport r4 = VerifyIntervention(db, phi, good);
+  EXPECT_TRUE(r4.valid()) << r4.ToString();
+
+  // Deleting everything is also valid (but not minimal).
+  DeltaSet all = db.EmptyDelta();
+  for (int r = 0; r < db.num_relations(); ++r) {
+    for (size_t i = 0; i < db.relation(r).NumRows(); ++i) all[r].Set(i);
+  }
+  EXPECT_TRUE(VerifyIntervention(db, phi, all).valid());
+  EXPECT_TRUE(DeltaIsSubsetOf(good, all));
+}
+
+TEST(ValidityReportTest, SemijoinReductionViolation) {
+  Database db = BuildRunningExample(/*all_standard=*/true);
+  ConjunctivePredicate phi = Pred(db, "Publication.venue = 'VLDB'");
+  // Removing s3 and s4 makes P2 dangle: phi-free and closed but not
+  // reduced.
+  DeltaSet delta = db.EmptyDelta();
+  delta[1].Set(2);
+  delta[1].Set(3);
+  ValidityReport report = VerifyIntervention(db, phi, delta);
+  EXPECT_TRUE(report.closed);
+  EXPECT_TRUE(report.phi_free);
+  EXPECT_FALSE(report.semijoin_reduced);
+  // Adding P2 itself fixes it.
+  delta[2].Set(1);
+  EXPECT_TRUE(VerifyIntervention(db, phi, delta).valid());
+}
+
+}  // namespace
+}  // namespace xplain

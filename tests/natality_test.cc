@@ -1,0 +1,114 @@
+#include "datagen/natality.h"
+
+#include "gtest/gtest.h"
+#include "relational/universal.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::UnwrapOrDie;
+using datagen::GenerateNatality;
+using datagen::NatalityOptions;
+
+class NatalityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    NatalityOptions options;
+    options.num_rows = 50000;
+    db_ = new Database(UnwrapOrDie(GenerateNatality(options)));
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static Database* db_;
+};
+
+Database* NatalityTest::db_ = nullptr;
+
+TEST_F(NatalityTest, ShapeAndDeterminism) {
+  EXPECT_EQ(db_->num_relations(), 1);
+  const Relation& birth = db_->RelationByName("Birth");
+  EXPECT_EQ(birth.NumRows(), 50000u);
+  EXPECT_EQ(birth.schema().num_attributes(), 11);
+  XPLAIN_EXPECT_OK(birth.CheckPrimaryKeyUnique());
+
+  // Deterministic by seed.
+  NatalityOptions options;
+  options.num_rows = 100;
+  Database a = UnwrapOrDie(GenerateNatality(options));
+  Database b = UnwrapOrDie(GenerateNatality(options));
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(TupleEq{}(a.RelationByName("Birth").row(i),
+                          b.RelationByName("Birth").row(i)));
+  }
+  options.seed = 999;
+  Database c = UnwrapOrDie(GenerateNatality(options));
+  bool any_diff = false;
+  for (size_t i = 0; i < 100 && !any_diff; ++i) {
+    any_diff = !TupleEq{}(a.RelationByName("Birth").row(i),
+                          c.RelationByName("Birth").row(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(NatalityTest, DomainsAreRecoded) {
+  const Relation& birth = db_->RelationByName("Birth");
+  int ap = birth.schema().FindAttribute("ap");
+  int race = birth.schema().FindAttribute("race");
+  EXPECT_EQ(birth.DistinctValues(ap).size(), 2u);
+  EXPECT_EQ(birth.DistinctValues(race).size(), 4u);
+  int prenatal = birth.schema().FindAttribute("prenatal");
+  EXPECT_LE(birth.DistinctValues(prenatal).size(), 4u);
+}
+
+TEST_F(NatalityTest, PlantedEffectsMatchThePaper) {
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(*db_));
+  auto count = [&](const char* where) {
+    DnfPredicate phi = ::xplain::testing::Pred(*db_, where);
+    return EvaluateAggregate(u, AggregateSpec::CountStar(), &phi)
+        .AsNumeric();
+  };
+  // Figure 8's shape: the good/poor ratio is higher for Asian mothers than
+  // for Black mothers.
+  double asian_ratio = count("Birth.ap = 'good' AND Birth.race = 'Asian'") /
+                       count("Birth.ap = 'poor' AND Birth.race = 'Asian'");
+  double black_ratio = count("Birth.ap = 'good' AND Birth.race = 'Black'") /
+                       count("Birth.ap = 'poor' AND Birth.race = 'Black'");
+  EXPECT_GT(asian_ratio, black_ratio * 1.5);
+  // Figure 9's shape: married ratio exceeds unmarried.
+  double married =
+      count("Birth.ap = 'good' AND Birth.marital = 'married'") /
+      count("Birth.ap = 'poor' AND Birth.marital = 'married'");
+  double unmarried =
+      count("Birth.ap = 'good' AND Birth.marital = 'unmarried'") /
+      count("Birth.ap = 'poor' AND Birth.marital = 'unmarried'");
+  EXPECT_GT(married, unmarried * 1.15);
+}
+
+TEST_F(NatalityTest, QuestionBuilders) {
+  UserQuestion q_race = UnwrapOrDie(datagen::MakeNatalityQRace(*db_));
+  EXPECT_EQ(q_race.query.num_subqueries(), 2);
+  EXPECT_EQ(q_race.direction, Direction::kHigh);
+  double value = UnwrapOrDie(q_race.query.Evaluate(*db_));
+  // The paper reports Q_Race(D) = 79.3; our synthetic model lands in the
+  // same order of magnitude.
+  EXPECT_GT(value, 20.0);
+  EXPECT_LT(value, 400.0);
+
+  UserQuestion q_marital = UnwrapOrDie(datagen::MakeNatalityQMarital(*db_));
+  EXPECT_EQ(q_marital.query.num_subqueries(), 4);
+  double marital_value = UnwrapOrDie(q_marital.query.Evaluate(*db_));
+  // Paper: Q_Marital(D) = 1.46.
+  EXPECT_GT(marital_value, 1.1);
+  EXPECT_LT(marital_value, 3.0);
+
+  UserQuestion q_prime = UnwrapOrDie(datagen::MakeNatalityQRacePrime(*db_));
+  double prime_value = UnwrapOrDie(q_prime.query.Evaluate(*db_));
+  EXPECT_GT(prime_value, 1.0);  // Asian ratio beats Black ratio
+}
+
+}  // namespace
+}  // namespace xplain

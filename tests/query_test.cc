@@ -1,0 +1,88 @@
+#include "relational/query.h"
+
+#include "gtest/gtest.h"
+#include "relational/parser.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::Pred;
+using ::xplain::testing::UnwrapOrDie;
+
+NumericalQuery MakeComEduRatio(const Database& db) {
+  // q1: SIGMOD papers by com authors; q2: by edu authors (count distinct
+  // pubid) -- a miniature of the paper's Example 2.2.
+  AggregateQuery q1, q2;
+  q1.name = "q1";
+  q1.agg = AggregateSpec::CountDistinct(*db.ResolveColumn("Publication.pubid"));
+  q1.where = UnwrapOrDie(
+      ParsePredicate(db, "Author.dom = 'com' AND Publication.venue = 'SIGMOD'"));
+  q2.name = "q2";
+  q2.agg = AggregateSpec::CountDistinct(*db.ResolveColumn("Publication.pubid"));
+  q2.where = UnwrapOrDie(
+      ParsePredicate(db, "Author.dom = 'edu' AND Publication.venue = 'SIGMOD'"));
+  ExprPtr expr = UnwrapOrDie(ParseExpression("q1 / q2", {"q1", "q2"}));
+  return UnwrapOrDie(
+      NumericalQuery::Create({std::move(q1), std::move(q2)}, expr));
+}
+
+TEST(NumericalQueryTest, EvaluatesRunningExample) {
+  Database db = BuildRunningExample();
+  NumericalQuery q = MakeComEduRatio(db);
+  // com SIGMOD pubs: P1 (RR), P3 (RR, CM) -> 2. edu SIGMOD pubs: P1 (JG) ->
+  // 1.
+  double value = UnwrapOrDie(q.Evaluate(db), "Evaluate");
+  EXPECT_DOUBLE_EQ(value, 2.0);
+}
+
+TEST(NumericalQueryTest, EvaluateSubqueries) {
+  Database db = BuildRunningExample();
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  NumericalQuery q = MakeComEduRatio(db);
+  std::vector<double> values = q.EvaluateSubqueries(u);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0], 2.0);
+  EXPECT_DOUBLE_EQ(values[1], 1.0);
+  EXPECT_DOUBLE_EQ(q.Combine(values), 2.0);
+}
+
+TEST(NumericalQueryTest, LiveMaskChangesAnswer) {
+  Database db = BuildRunningExample();
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  NumericalQuery q = MakeComEduRatio(db);
+  // Keep only rows of publication P1.
+  RowSet live(u.NumRows());
+  ColumnRef pubid = *db.ResolveColumn("Publication.pubid");
+  for (size_t i = 0; i < u.NumRows(); ++i) {
+    if (u.ValueAt(i, pubid).AsString() == "P1") live.Set(i);
+  }
+  EXPECT_DOUBLE_EQ(q.EvaluateOnUniversal(u, &live), 1.0);
+}
+
+TEST(NumericalQueryTest, CreateRejectsUnboundVariables) {
+  Database db = BuildRunningExample();
+  AggregateQuery q1;
+  q1.agg = AggregateSpec::CountStar();
+  ExprPtr expr = UnwrapOrDie(ParseExpression("q1 / q2", {"q1", "q2"}));
+  EXPECT_FALSE(NumericalQuery::Create({q1}, expr).ok());
+  EXPECT_FALSE(NumericalQuery::Create({q1}, nullptr).ok());
+}
+
+TEST(NumericalQueryTest, ToStringListsSubqueries) {
+  Database db = BuildRunningExample();
+  NumericalQuery q = MakeComEduRatio(db);
+  std::string text = q.ToString(db);
+  EXPECT_NE(text.find("q1"), std::string::npos);
+  EXPECT_NE(text.find("count(distinct Publication.pubid)"),
+            std::string::npos);
+}
+
+TEST(UserQuestionTest, DirectionNames) {
+  EXPECT_STREQ(DirectionToString(Direction::kHigh), "high");
+  EXPECT_STREQ(DirectionToString(Direction::kLow), "low");
+}
+
+}  // namespace
+}  // namespace xplain

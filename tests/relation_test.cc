@@ -1,0 +1,120 @@
+#include "relational/relation.h"
+
+#include "gtest/gtest.h"
+#include "relational/rowset.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+Relation MakeRelation() {
+  auto schema = RelationSchema::Create(
+      "T", {{"k", DataType::kInt64}, {"v", DataType::kString}}, {"k"});
+  return Relation(std::move(*schema));
+}
+
+TEST(RelationTest, AppendValidates) {
+  Relation t = MakeRelation();
+  XPLAIN_EXPECT_OK(t.Append({Value::Int(1), Value::Str("a")}));
+  // Arity mismatch.
+  EXPECT_FALSE(t.Append({Value::Int(1)}).ok());
+  // Type mismatch.
+  EXPECT_FALSE(t.Append({Value::Str("x"), Value::Str("a")}).ok());
+  // NULLs are assignable anywhere.
+  XPLAIN_EXPECT_OK(t.Append({Value::Int(2), Value::Null()}));
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+TEST(RelationTest, Int64WidensIntoDoubleColumn) {
+  auto schema =
+      RelationSchema::Create("T", {{"d", DataType::kDouble}}, {"d"});
+  Relation t(std::move(*schema));
+  XPLAIN_EXPECT_OK(t.Append({Value::Int(3)}));
+}
+
+TEST(RelationTest, KeyOfAndDistinct) {
+  Relation t = MakeRelation();
+  XPLAIN_EXPECT_OK(t.Append({Value::Int(2), Value::Str("b")}));
+  XPLAIN_EXPECT_OK(t.Append({Value::Int(1), Value::Str("a")}));
+  XPLAIN_EXPECT_OK(t.Append({Value::Int(3), Value::Str("a")}));
+  EXPECT_EQ(t.KeyOf(0), (Tuple{Value::Int(2)}));
+  std::vector<Value> distinct = t.DistinctValues(1);
+  ASSERT_EQ(distinct.size(), 2u);
+  EXPECT_EQ(distinct[0].AsString(), "a");
+  EXPECT_EQ(distinct[1].AsString(), "b");
+}
+
+TEST(RelationTest, CheckPrimaryKeyUnique) {
+  Relation t = MakeRelation();
+  XPLAIN_EXPECT_OK(t.Append({Value::Int(1), Value::Str("a")}));
+  XPLAIN_EXPECT_OK(t.Append({Value::Int(2), Value::Str("b")}));
+  XPLAIN_EXPECT_OK(t.CheckPrimaryKeyUnique());
+  XPLAIN_EXPECT_OK(t.Append({Value::Int(1), Value::Str("c")}));
+  EXPECT_FALSE(t.CheckPrimaryKeyUnique().ok());
+}
+
+TEST(HashIndexTest, LookupGroupsRows) {
+  Relation t = MakeRelation();
+  XPLAIN_EXPECT_OK(t.Append({Value::Int(1), Value::Str("a")}));
+  XPLAIN_EXPECT_OK(t.Append({Value::Int(2), Value::Str("a")}));
+  XPLAIN_EXPECT_OK(t.Append({Value::Int(3), Value::Str("b")}));
+  HashIndex index = HashIndex::Build(t, {1});
+  EXPECT_EQ(index.NumKeys(), 2u);
+  EXPECT_EQ(index.Lookup({Value::Str("a")}),
+            (std::vector<size_t>{0, 1}));
+  EXPECT_TRUE(index.Lookup({Value::Str("zzz")}).empty());
+}
+
+TEST(TupleTest, Helpers) {
+  Tuple t{Value::Int(1), Value::Str("x"), Value::Null()};
+  EXPECT_EQ(TupleToString(t), "(1, 'x', NULL)");
+  EXPECT_EQ(ProjectTuple(t, {2, 0}), (Tuple{Value::Null(), Value::Int(1)}));
+  EXPECT_TRUE(TupleEq{}(t, t));
+  EXPECT_EQ(TupleHash{}(t), TupleHash{}(t));
+  Tuple u{Value::Int(1), Value::Str("x"), Value::Int(0)};
+  EXPECT_FALSE(TupleEq{}(t, u));
+  EXPECT_LT(CompareTuples(t, u), 0);  // NULL sorts first
+  EXPECT_LT(CompareTuples({Value::Int(1)}, {Value::Int(1), Value::Int(2)}),
+            0);
+}
+
+TEST(RowSetTest, BasicOps) {
+  RowSet set(5);
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.Set(2));
+  EXPECT_FALSE(set.Set(2));
+  EXPECT_TRUE(set.Set(4));
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_TRUE(set.Test(2));
+  EXPECT_FALSE(set.Test(3));
+  EXPECT_EQ(set.ToRows(), (std::vector<size_t>{2, 4}));
+}
+
+TEST(RowSetTest, UnionAndSubset) {
+  RowSet a(4), b(4);
+  a.Set(0);
+  b.Set(0);
+  b.Set(2);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_EQ(a.UnionWith(b), 1u);
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a == b);
+  a.Clear();
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(RowSetTest, DeltaHelpers) {
+  DeltaSet d1{RowSet(3), RowSet(2)};
+  DeltaSet d2{RowSet(3), RowSet(2)};
+  d1[0].Set(1);
+  d2[0].Set(1);
+  d2[1].Set(0);
+  EXPECT_EQ(DeltaCount(d1), 1u);
+  EXPECT_EQ(DeltaCount(d2), 2u);
+  EXPECT_TRUE(DeltaIsSubsetOf(d1, d2));
+  EXPECT_FALSE(DeltaIsSubsetOf(d2, d1));
+}
+
+}  // namespace
+}  // namespace xplain

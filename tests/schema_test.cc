@@ -1,0 +1,99 @@
+#include "relational/schema.h"
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+
+TEST(RelationSchemaTest, CreateAndLookup) {
+  auto schema = RelationSchema::Create(
+      "T", {{"a", DataType::kInt64}, {"b", DataType::kString}}, {"a"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->name(), "T");
+  EXPECT_EQ(schema->num_attributes(), 2);
+  EXPECT_EQ(schema->FindAttribute("b"), 1);
+  EXPECT_EQ(schema->FindAttribute("zz"), -1);
+  EXPECT_EQ(schema->primary_key(), (std::vector<int>{0}));
+  EXPECT_EQ(*schema->AttributeIndex("a"), 0);
+  EXPECT_FALSE(schema->AttributeIndex("zz").ok());
+}
+
+TEST(RelationSchemaTest, RejectsBadInputs) {
+  EXPECT_FALSE(
+      RelationSchema::Create("", {{"a", DataType::kInt64}}, {"a"}).ok());
+  EXPECT_FALSE(RelationSchema::Create("T", {}, {}).ok());
+  EXPECT_FALSE(RelationSchema::Create(
+                   "T", {{"a", DataType::kInt64}, {"a", DataType::kInt64}},
+                   {"a"})
+                   .ok());
+  EXPECT_FALSE(
+      RelationSchema::Create("T", {{"a", DataType::kInt64}}, {}).ok());
+  EXPECT_FALSE(
+      RelationSchema::Create("T", {{"a", DataType::kInt64}}, {"b"}).ok());
+  EXPECT_FALSE(RelationSchema::Create("T", {{"a", DataType::kInt64}},
+                                      {"a", "a"})
+                   .ok());
+  EXPECT_FALSE(
+      RelationSchema::Create("T", {{"a", DataType::kNull}}, {"a"}).ok());
+}
+
+TEST(RelationSchemaTest, ToStringMentionsKey) {
+  auto schema = RelationSchema::Create(
+      "T", {{"a", DataType::kInt64}, {"b", DataType::kString}}, {"a", "b"});
+  EXPECT_EQ(schema->ToString(), "T(a:int64, b:string; key=a,b)");
+}
+
+TEST(ForeignKeyTest, ToStringShowsKind) {
+  ForeignKey fk;
+  fk.child_relation = "Authored";
+  fk.child_attrs = {"pubid"};
+  fk.parent_relation = "Publication";
+  fk.parent_attrs = {"pubid"};
+  fk.kind = ForeignKeyKind::kBackAndForth;
+  EXPECT_EQ(fk.ToString(), "Authored.pubid <-> Publication.pubid");
+  fk.kind = ForeignKeyKind::kStandard;
+  EXPECT_EQ(fk.ToString(), "Authored.pubid -> Publication.pubid");
+  EXPECT_STREQ(ForeignKeyKindToString(ForeignKeyKind::kBackAndForth),
+               "back-and-forth");
+}
+
+TEST(DatabaseSchemaTest, AddForeignKeyValidates) {
+  Database db = BuildRunningExample();
+  // Unknown relation.
+  ForeignKey fk;
+  fk.child_relation = "Nope";
+  fk.child_attrs = {"id"};
+  fk.parent_relation = "Author";
+  fk.parent_attrs = {"id"};
+  EXPECT_FALSE(db.AddForeignKey(fk).ok());
+  // Mismatched attr list lengths.
+  fk.child_relation = "Authored";
+  fk.child_attrs = {"id", "pubid"};
+  EXPECT_FALSE(db.AddForeignKey(fk).ok());
+  // Must reference the parent primary key.
+  fk.child_attrs = {"id"};
+  fk.parent_attrs = {"name"};
+  EXPECT_FALSE(db.AddForeignKey(fk).ok());
+}
+
+TEST(DatabaseSchemaTest, ForeignKeyTypeMismatchRejected) {
+  Database db = BuildRunningExample();
+  ForeignKey fk;
+  fk.child_relation = "Publication";
+  fk.child_attrs = {"year"};  // int64 vs Author.id string
+  fk.parent_relation = "Author";
+  fk.parent_attrs = {"id"};
+  EXPECT_FALSE(db.AddForeignKey(fk).ok());
+}
+
+TEST(DatabaseSchemaTest, HasBackAndForthKeys) {
+  EXPECT_TRUE(BuildRunningExample().HasBackAndForthKeys());
+  EXPECT_FALSE(BuildRunningExample(/*all_standard=*/true)
+                   .HasBackAndForthKeys());
+}
+
+}  // namespace
+}  // namespace xplain

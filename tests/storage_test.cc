@@ -1,0 +1,93 @@
+#include "relational/storage.h"
+
+#include <filesystem>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::UnwrapOrDie;
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/xplain_storage_test";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(StorageTest, SaveAndLoadRoundTrips) {
+  Database db = BuildRunningExample();
+  XPLAIN_ASSERT_OK(SaveDatabase(db, dir_));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/schema.ddl"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/Author.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/Authored.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/Publication.csv"));
+
+  Database loaded = UnwrapOrDie(LoadDatabase(dir_));
+  EXPECT_EQ(loaded.num_relations(), 3);
+  EXPECT_EQ(loaded.TotalRows(), db.TotalRows());
+  EXPECT_EQ(loaded.foreign_keys().size(), 2u);
+  EXPECT_TRUE(loaded.HasBackAndForthKeys());
+  // Row contents survive.
+  const Relation& author = loaded.RelationByName("Author");
+  EXPECT_EQ(author.at(0, 1).AsString(), "JG");
+  const Relation& pub = loaded.RelationByName("Publication");
+  EXPECT_EQ(pub.at(0, 1).AsInt(), 2001);
+}
+
+TEST_F(StorageTest, LoadChecksIntegrity) {
+  Database db = BuildRunningExample();
+  // Inject a dangling Authored row before saving.
+  db.mutable_relation(1)->AppendUnchecked(
+      {Value::Str("A9"), Value::Str("P1")});
+  XPLAIN_ASSERT_OK(SaveDatabase(db, dir_));
+  EXPECT_FALSE(LoadDatabase(dir_).ok());
+  LoadOptions lax;
+  lax.check_integrity = false;
+  lax.semijoin_reduce = false;
+  Database loaded = UnwrapOrDie(LoadDatabase(dir_, lax));
+  EXPECT_EQ(loaded.RelationByName("Authored").NumRows(), 7u);
+}
+
+TEST_F(StorageTest, LoadSemijoinReduces) {
+  Database db = BuildRunningExample();
+  // An author with no papers: integrity holds but consistency does not.
+  db.mutable_relation(0)->AppendUnchecked({Value::Str("A9"), Value::Str("X"),
+                                           Value::Str("n.edu"),
+                                           Value::Str("edu")});
+  XPLAIN_ASSERT_OK(SaveDatabase(db, dir_));
+  Database loaded = UnwrapOrDie(LoadDatabase(dir_));
+  EXPECT_EQ(loaded.RelationByName("Author").NumRows(), 3u);
+  LoadOptions keep;
+  keep.semijoin_reduce = false;
+  Database raw = UnwrapOrDie(LoadDatabase(dir_, keep));
+  EXPECT_EQ(raw.RelationByName("Author").NumRows(), 4u);
+}
+
+TEST_F(StorageTest, MissingDirectoryFails) {
+  EXPECT_FALSE(LoadDatabase("/nonexistent/nowhere").ok());
+}
+
+TEST_F(StorageTest, NullsAndQuotingSurvive) {
+  auto schema = RelationSchema::Create(
+      "T", {{"k", DataType::kInt64}, {"v", DataType::kString}}, {"k"});
+  Relation t(std::move(*schema));
+  t.AppendUnchecked({Value::Int(1), Value::Str("a,b \"q\"")});
+  t.AppendUnchecked({Value::Int(2), Value::Null()});
+  Database db;
+  XPLAIN_ASSERT_OK(db.AddRelation(std::move(t)));
+  XPLAIN_ASSERT_OK(SaveDatabase(db, dir_));
+  Database loaded = UnwrapOrDie(LoadDatabase(dir_));
+  EXPECT_EQ(loaded.RelationByName("T").at(0, 1).AsString(), "a,b \"q\"");
+  EXPECT_TRUE(loaded.RelationByName("T").at(1, 1).is_null());
+}
+
+}  // namespace
+}  // namespace xplain

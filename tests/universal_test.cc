@@ -1,0 +1,139 @@
+#include "relational/universal.h"
+
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::UnwrapOrDie;
+
+TEST(UniversalTest, RunningExampleMatchesFigure4) {
+  Database db = BuildRunningExample();
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  // Figure 4 lists 6 universal tuples, one per Authored row.
+  ASSERT_EQ(u.NumRows(), 6u);
+
+  // Collect (Author.name, Publication.pubid) pairs.
+  ColumnRef name = *db.ResolveColumn("Author.name");
+  ColumnRef pubid = *db.ResolveColumn("Publication.pubid");
+  std::multiset<std::pair<std::string, std::string>> pairs;
+  for (size_t i = 0; i < u.NumRows(); ++i) {
+    pairs.emplace(u.ValueAt(i, name).AsString(),
+                  u.ValueAt(i, pubid).AsString());
+  }
+  std::multiset<std::pair<std::string, std::string>> expected{
+      {"JG", "P1"}, {"RR", "P1"}, {"JG", "P2"},
+      {"CM", "P2"}, {"RR", "P3"}, {"CM", "P3"}};
+  EXPECT_EQ(pairs, expected);
+}
+
+TEST(UniversalTest, MaterializeRowConcatenatesBaseTuples) {
+  Database db = BuildRunningExample();
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  Tuple row = u.MaterializeRow(0);
+  // Author(4) + Authored(2) + Publication(3) attributes.
+  EXPECT_EQ(row.size(), 9u);
+  EXPECT_EQ(u.ColumnNames().size(), 9u);
+  EXPECT_EQ(u.ColumnNames()[0], "Author.id");
+  EXPECT_EQ(u.ColumnNames()[8], "Publication.venue");
+}
+
+TEST(UniversalTest, DeletionsExcludeJoinRows) {
+  Database db = BuildRunningExample();
+  DeltaSet deleted = db.EmptyDelta();
+  deleted[2].Set(0);  // drop publication P1
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db, deleted));
+  // s1 and s2 joined P1; 4 rows remain.
+  EXPECT_EQ(u.NumRows(), 4u);
+}
+
+TEST(UniversalTest, SupportSetsCoverSemijoinReducedDb) {
+  Database db = BuildRunningExample();
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  DeltaSet support = u.SupportSets();
+  for (int r = 0; r < db.num_relations(); ++r) {
+    EXPECT_EQ(support[r].count(), db.relation(r).NumRows())
+        << db.relation(r).name();
+  }
+}
+
+TEST(UniversalTest, SupportSetsWithLiveMask) {
+  Database db = BuildRunningExample();
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  RowSet live(u.NumRows());
+  live.Set(0);  // only the first universal row
+  DeltaSet support = u.SupportSets(&live);
+  EXPECT_EQ(support[0].count(), 1u);
+  EXPECT_EQ(support[1].count(), 1u);
+  EXPECT_EQ(support[2].count(), 1u);
+}
+
+TEST(UniversalTest, SingleRelationDatabase) {
+  auto schema = RelationSchema::Create("T", {{"k", DataType::kInt64}}, {"k"});
+  Relation t(std::move(*schema));
+  t.AppendUnchecked({Value::Int(1)});
+  t.AppendUnchecked({Value::Int(2)});
+  Database db;
+  XPLAIN_EXPECT_OK(db.AddRelation(std::move(t)));
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  EXPECT_EQ(u.NumRows(), 2u);
+  EXPECT_EQ(u.BaseRow(1, 0), 1u);
+}
+
+TEST(UniversalTest, DisconnectedSchemaRejected) {
+  auto s1 = RelationSchema::Create("T1", {{"k", DataType::kInt64}}, {"k"});
+  auto s2 = RelationSchema::Create("T2", {{"k", DataType::kInt64}}, {"k"});
+  Relation t1(std::move(*s1)), t2(std::move(*s2));
+  t1.AppendUnchecked({Value::Int(1)});
+  t2.AppendUnchecked({Value::Int(1)});
+  Database db;
+  XPLAIN_EXPECT_OK(db.AddRelation(std::move(t1)));
+  XPLAIN_EXPECT_OK(db.AddRelation(std::move(t2)));
+  EXPECT_FALSE(UniversalRelation::Build(db).ok());
+}
+
+TEST(UniversalTest, ChainExampleUniversal) {
+  Database db = ::xplain::testing::BuildChainExample(/*extended=*/true);
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  // Two chains: a-b-c and a-b'-c.
+  EXPECT_EQ(u.NumRows(), 2u);
+}
+
+TEST(UniversalTest, CyclicFkGraphUsesFilters) {
+  // Two parallel FKs between the same pair of relations: C(x, y) refs
+  // P1-like parents twice through composite single-attr keys, forming a
+  // cycle in the FK multigraph.
+  auto ps = RelationSchema::Create("P", {{"k", DataType::kInt64}}, {"k"});
+  auto cs = RelationSchema::Create(
+      "C", {{"a", DataType::kInt64}, {"b", DataType::kInt64}}, {"a", "b"});
+  Relation p(std::move(*ps)), c(std::move(*cs));
+  p.AppendUnchecked({Value::Int(1)});
+  p.AppendUnchecked({Value::Int(2)});
+  c.AppendUnchecked({Value::Int(1), Value::Int(1)});
+  c.AppendUnchecked({Value::Int(1), Value::Int(2)});
+  Database db;
+  XPLAIN_EXPECT_OK(db.AddRelation(std::move(c)));
+  XPLAIN_EXPECT_OK(db.AddRelation(std::move(p)));
+  ForeignKey fk1;
+  fk1.child_relation = "C";
+  fk1.child_attrs = {"a"};
+  fk1.parent_relation = "P";
+  fk1.parent_attrs = {"k"};
+  XPLAIN_EXPECT_OK(db.AddForeignKey(fk1));
+  ForeignKey fk2 = fk1;
+  fk2.child_attrs = {"b"};
+  XPLAIN_EXPECT_OK(db.AddForeignKey(fk2));
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(db));
+  // Join on BOTH fks: row (1,1) joins P(1); row (1,2) joins nothing (a and
+  // b must reference the same P tuple).
+  EXPECT_EQ(u.NumRows(), 1u);
+  EXPECT_EQ(u.BaseRow(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace xplain

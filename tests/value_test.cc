@@ -1,0 +1,126 @@
+#include "relational/value.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace xplain {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::Str("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, AsNumericWidens) {
+  EXPECT_DOUBLE_EQ(Value::Int(7).AsNumeric(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::Real(7.5).AsNumeric(), 7.5);
+}
+
+TEST(ValueTest, NullEqualsNullAndSortsFirst) {
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_LT(Value::Null().Compare(Value::Str("")), 0);
+}
+
+TEST(ValueTest, CrossTypeNumericComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Real(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Real(3.5)), 0);
+  EXPECT_GT(Value::Real(3.5).Compare(Value::Int(3)), 0);
+  EXPECT_LT(Value::Real(-1e30).Compare(Value::Int(0)), 0);
+  EXPECT_GT(Value::Real(1e30).Compare(Value::Int(1)), 0);
+}
+
+TEST(ValueTest, LargeIntegersCompareExactly) {
+  // 2^62 + 1 is not representable as a double; exact comparison must see
+  // the difference.
+  int64_t big = (int64_t{1} << 62) + 1;
+  EXPECT_GT(Value::Int(big).Compare(Value::Real(static_cast<double>(
+                (int64_t{1} << 62)))),
+            0);
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_EQ(Value::Str("x").Compare(Value::Str("x")), 0);
+}
+
+TEST(ValueTest, HashConsistentWithCrossTypeEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Real(5.0).Hash());
+  EXPECT_TRUE(Value::Int(5).Equals(Value::Real(5.0)));
+}
+
+TEST(ValueTest, HashDistinguishesTypicalValues) {
+  std::unordered_set<Value> set;
+  set.insert(Value::Int(1));
+  set.insert(Value::Int(2));
+  set.insert(Value::Str("1"));
+  set.insert(Value::Null());
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_TRUE(set.count(Value::Int(1)));
+  EXPECT_TRUE(set.count(Value::Null()));
+  EXPECT_FALSE(set.count(Value::Int(3)));
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Str("x").ToString(), "'x'");
+  EXPECT_EQ(Value::Str("x").ToUnquotedString(), "x");
+}
+
+TEST(ValueTest, ParseInt) {
+  auto v = Value::Parse("123", DataType::kInt64);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), 123);
+  EXPECT_FALSE(Value::Parse("12x", DataType::kInt64).ok());
+}
+
+TEST(ValueTest, ParseDouble) {
+  auto v = Value::Parse("2.5e1", DataType::kDouble);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsDouble(), 25.0);
+  EXPECT_FALSE(Value::Parse("abc", DataType::kDouble).ok());
+}
+
+TEST(ValueTest, ParseBool) {
+  EXPECT_EQ(Value::Parse("true", DataType::kBool)->AsBool(), true);
+  EXPECT_EQ(Value::Parse("0", DataType::kBool)->AsBool(), false);
+  EXPECT_FALSE(Value::Parse("maybe", DataType::kBool).ok());
+}
+
+TEST(ValueTest, ParseEmptyAndNullBecomeNull) {
+  EXPECT_TRUE(Value::Parse("", DataType::kInt64)->is_null());
+  EXPECT_TRUE(Value::Parse("NULL", DataType::kString)->is_null());
+}
+
+TEST(ValueTest, ParseString) {
+  EXPECT_EQ(Value::Parse("hello", DataType::kString)->AsString(), "hello");
+}
+
+TEST(TypeTest, Names) {
+  EXPECT_STREQ(DataTypeToString(DataType::kInt64), "int64");
+  EXPECT_EQ(*DataTypeFromString("INT"), DataType::kInt64);
+  EXPECT_EQ(*DataTypeFromString("text"), DataType::kString);
+  EXPECT_FALSE(DataTypeFromString("blob").ok());
+}
+
+TEST(TypeTest, Assignability) {
+  EXPECT_TRUE(IsAssignable(DataType::kDouble, DataType::kInt64));
+  EXPECT_FALSE(IsAssignable(DataType::kInt64, DataType::kDouble));
+  EXPECT_TRUE(IsAssignable(DataType::kString, DataType::kNull));
+  EXPECT_TRUE(IsNumeric(DataType::kDouble));
+  EXPECT_FALSE(IsNumeric(DataType::kString));
+}
+
+}  // namespace
+}  // namespace xplain

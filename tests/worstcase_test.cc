@@ -1,0 +1,54 @@
+#include "datagen/worstcase.h"
+
+#include "core/intervention.h"
+#include "gtest/gtest.h"
+#include "relational/universal.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace {
+
+using ::xplain::testing::UnwrapOrDie;
+using datagen::GenerateWorstCaseChain;
+using datagen::WorstCaseInstance;
+
+TEST(WorstCaseTest, InstanceShape) {
+  WorstCaseInstance wc = UnwrapOrDie(GenerateWorstCaseChain(2));
+  EXPECT_EQ(wc.total_rows, 9u);  // the paper's n = 9 instance
+  EXPECT_EQ(wc.db.RelationByName("R1").NumRows(), 2u);
+  EXPECT_EQ(wc.db.RelationByName("R2").NumRows(), 3u);
+  EXPECT_EQ(wc.db.RelationByName("R3").NumRows(), 4u);
+  XPLAIN_EXPECT_OK(wc.db.CheckReferentialIntegrity());
+  // Semijoin-reduced already.
+  Database copy = wc.db.Clone();
+  EXPECT_EQ(copy.SemijoinReduce(), 0u);
+  EXPECT_FALSE(GenerateWorstCaseChain(0).ok());
+}
+
+TEST(WorstCaseTest, IterationsGrowLinearly) {
+  for (int p : {1, 2, 4, 8}) {
+    WorstCaseInstance wc = UnwrapOrDie(GenerateWorstCaseChain(p));
+    UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(wc.db));
+    InterventionEngine engine(&u);
+    InterventionResult result = UnwrapOrDie(engine.Compute(wc.phi));
+    EXPECT_EQ(result.iterations, wc.expected_iterations) << "p=" << p;
+    EXPECT_EQ(DeltaCount(result.delta), wc.total_rows) << "p=" << p;
+    // Prop. 3.4's bound n holds.
+    EXPECT_LE(result.iterations, wc.total_rows);
+    ValidityReport report = VerifyIntervention(wc.db, wc.phi, result.delta);
+    EXPECT_TRUE(report.valid()) << report.ToString();
+  }
+}
+
+TEST(WorstCaseTest, SeedIsOnlyTheFirstLink) {
+  WorstCaseInstance wc = UnwrapOrDie(GenerateWorstCaseChain(3));
+  UniversalRelation u = UnwrapOrDie(UniversalRelation::Build(wc.db));
+  InterventionEngine engine(&u);
+  InterventionResult result = UnwrapOrDie(engine.Compute(wc.phi));
+  // Rule (i) seeds s_1a plus the dangling b_0 (t0 appears only in the
+  // phi-row s_1a).
+  EXPECT_EQ(result.seed_count, 2u);
+}
+
+}  // namespace
+}  // namespace xplain

@@ -1,0 +1,21 @@
+// The xplain command-line tool: generate synthetic datasets, inspect
+// schemas, evaluate aggregates, compute interventions, and rank candidate
+// explanations over a directory-stored database (schema.ddl + CSVs).
+//
+//   xplain gen dblp /tmp/dblp
+//   xplain schema /tmp/dblp
+//   xplain ask /tmp/dblp --expr "q1 / q2" --direction low
+//     --subquery "q1|count(distinct Publication.pubid)|venue = 'SIGMOD'"
+//     --subquery "q2|count(distinct Publication.pubid)|venue = 'PODS'"
+//     --attrs Author.name,Author.inst
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return xplain::cli::RunCli(args, std::cout, std::cerr);
+}
