@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_dblp_series.dir/bench_fig01_dblp_series.cc.o"
+  "CMakeFiles/bench_fig01_dblp_series.dir/bench_fig01_dblp_series.cc.o.d"
+  "bench_fig01_dblp_series"
+  "bench_fig01_dblp_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_dblp_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_topk_interv.dir/bench_fig10_topk_interv.cc.o"
+  "CMakeFiles/bench_fig10_topk_interv.dir/bench_fig10_topk_interv.cc.o.d"
+  "bench_fig10_topk_interv"
+  "bench_fig10_topk_interv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_topk_interv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_topk_aggr.dir/bench_fig11_topk_aggr.cc.o"
+  "CMakeFiles/bench_fig11_topk_aggr.dir/bench_fig11_topk_aggr.cc.o.d"
+  "bench_fig11_topk_aggr"
+  "bench_fig11_topk_aggr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_topk_aggr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

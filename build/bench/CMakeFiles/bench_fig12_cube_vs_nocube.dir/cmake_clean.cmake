@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cube_vs_nocube.dir/bench_fig12_cube_vs_nocube.cc.o"
+  "CMakeFiles/bench_fig12_cube_vs_nocube.dir/bench_fig12_cube_vs_nocube.cc.o.d"
+  "bench_fig12_cube_vs_nocube"
+  "bench_fig12_cube_vs_nocube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cube_vs_nocube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

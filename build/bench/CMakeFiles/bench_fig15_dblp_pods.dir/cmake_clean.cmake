@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_dblp_pods.dir/bench_fig15_dblp_pods.cc.o"
+  "CMakeFiles/bench_fig15_dblp_pods.dir/bench_fig15_dblp_pods.cc.o.d"
+  "bench_fig15_dblp_pods"
+  "bench_fig15_dblp_pods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_dblp_pods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

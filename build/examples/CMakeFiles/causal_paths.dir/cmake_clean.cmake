@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_paths.dir/causal_paths.cpp.o"
+  "CMakeFiles/causal_paths.dir/causal_paths.cpp.o.d"
+  "causal_paths"
+  "causal_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

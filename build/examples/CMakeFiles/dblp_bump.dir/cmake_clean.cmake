@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_bump.dir/dblp_bump.cpp.o"
+  "CMakeFiles/dblp_bump.dir/dblp_bump.cpp.o.d"
+  "dblp_bump"
+  "dblp_bump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_bump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

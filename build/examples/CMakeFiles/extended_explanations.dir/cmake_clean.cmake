@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_explanations.dir/extended_explanations.cpp.o"
+  "CMakeFiles/extended_explanations.dir/extended_explanations.cpp.o.d"
+  "extended_explanations"
+  "extended_explanations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_explanations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natality_apgar.dir/natality_apgar.cpp.o"
+  "CMakeFiles/natality_apgar.dir/natality_apgar.cpp.o.d"
+  "natality_apgar"
+  "natality_apgar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natality_apgar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for natality_apgar.
+# This may be replaced when dependencies are built.

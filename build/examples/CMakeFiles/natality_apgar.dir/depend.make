@@ -1,0 +1,2 @@
+# Empty dependencies file for natality_apgar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/cli.cc" "src/CMakeFiles/xplain.dir/cli/cli.cc.o" "gcc" "src/CMakeFiles/xplain.dir/cli/cli.cc.o.d"
+  "/root/repo/src/core/additivity.cc" "src/CMakeFiles/xplain.dir/core/additivity.cc.o" "gcc" "src/CMakeFiles/xplain.dir/core/additivity.cc.o.d"
+  "/root/repo/src/core/candidates.cc" "src/CMakeFiles/xplain.dir/core/candidates.cc.o" "gcc" "src/CMakeFiles/xplain.dir/core/candidates.cc.o.d"
+  "/root/repo/src/core/causal_graph.cc" "src/CMakeFiles/xplain.dir/core/causal_graph.cc.o" "gcc" "src/CMakeFiles/xplain.dir/core/causal_graph.cc.o.d"
+  "/root/repo/src/core/cube_algorithm.cc" "src/CMakeFiles/xplain.dir/core/cube_algorithm.cc.o" "gcc" "src/CMakeFiles/xplain.dir/core/cube_algorithm.cc.o.d"
+  "/root/repo/src/core/degree.cc" "src/CMakeFiles/xplain.dir/core/degree.cc.o" "gcc" "src/CMakeFiles/xplain.dir/core/degree.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/xplain.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/xplain.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/explanation.cc" "src/CMakeFiles/xplain.dir/core/explanation.cc.o" "gcc" "src/CMakeFiles/xplain.dir/core/explanation.cc.o.d"
+  "/root/repo/src/core/flatten.cc" "src/CMakeFiles/xplain.dir/core/flatten.cc.o" "gcc" "src/CMakeFiles/xplain.dir/core/flatten.cc.o.d"
+  "/root/repo/src/core/intervention.cc" "src/CMakeFiles/xplain.dir/core/intervention.cc.o" "gcc" "src/CMakeFiles/xplain.dir/core/intervention.cc.o.d"
+  "/root/repo/src/core/naive.cc" "src/CMakeFiles/xplain.dir/core/naive.cc.o" "gcc" "src/CMakeFiles/xplain.dir/core/naive.cc.o.d"
+  "/root/repo/src/core/topk.cc" "src/CMakeFiles/xplain.dir/core/topk.cc.o" "gcc" "src/CMakeFiles/xplain.dir/core/topk.cc.o.d"
+  "/root/repo/src/core/trends.cc" "src/CMakeFiles/xplain.dir/core/trends.cc.o" "gcc" "src/CMakeFiles/xplain.dir/core/trends.cc.o.d"
+  "/root/repo/src/datagen/dblp.cc" "src/CMakeFiles/xplain.dir/datagen/dblp.cc.o" "gcc" "src/CMakeFiles/xplain.dir/datagen/dblp.cc.o.d"
+  "/root/repo/src/datagen/natality.cc" "src/CMakeFiles/xplain.dir/datagen/natality.cc.o" "gcc" "src/CMakeFiles/xplain.dir/datagen/natality.cc.o.d"
+  "/root/repo/src/datagen/random_db.cc" "src/CMakeFiles/xplain.dir/datagen/random_db.cc.o" "gcc" "src/CMakeFiles/xplain.dir/datagen/random_db.cc.o.d"
+  "/root/repo/src/datagen/worstcase.cc" "src/CMakeFiles/xplain.dir/datagen/worstcase.cc.o" "gcc" "src/CMakeFiles/xplain.dir/datagen/worstcase.cc.o.d"
+  "/root/repo/src/datalog/datalog.cc" "src/CMakeFiles/xplain.dir/datalog/datalog.cc.o" "gcc" "src/CMakeFiles/xplain.dir/datalog/datalog.cc.o.d"
+  "/root/repo/src/datalog/program_p.cc" "src/CMakeFiles/xplain.dir/datalog/program_p.cc.o" "gcc" "src/CMakeFiles/xplain.dir/datalog/program_p.cc.o.d"
+  "/root/repo/src/relational/aggregate.cc" "src/CMakeFiles/xplain.dir/relational/aggregate.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/aggregate.cc.o.d"
+  "/root/repo/src/relational/column_cache.cc" "src/CMakeFiles/xplain.dir/relational/column_cache.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/column_cache.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/CMakeFiles/xplain.dir/relational/csv.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/csv.cc.o.d"
+  "/root/repo/src/relational/cube.cc" "src/CMakeFiles/xplain.dir/relational/cube.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/cube.cc.o.d"
+  "/root/repo/src/relational/database.cc" "src/CMakeFiles/xplain.dir/relational/database.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/database.cc.o.d"
+  "/root/repo/src/relational/ddl.cc" "src/CMakeFiles/xplain.dir/relational/ddl.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/ddl.cc.o.d"
+  "/root/repo/src/relational/expression.cc" "src/CMakeFiles/xplain.dir/relational/expression.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/expression.cc.o.d"
+  "/root/repo/src/relational/join.cc" "src/CMakeFiles/xplain.dir/relational/join.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/join.cc.o.d"
+  "/root/repo/src/relational/parser.cc" "src/CMakeFiles/xplain.dir/relational/parser.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/parser.cc.o.d"
+  "/root/repo/src/relational/predicate.cc" "src/CMakeFiles/xplain.dir/relational/predicate.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/predicate.cc.o.d"
+  "/root/repo/src/relational/query.cc" "src/CMakeFiles/xplain.dir/relational/query.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/query.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/CMakeFiles/xplain.dir/relational/relation.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/xplain.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/storage.cc" "src/CMakeFiles/xplain.dir/relational/storage.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/storage.cc.o.d"
+  "/root/repo/src/relational/tuple.cc" "src/CMakeFiles/xplain.dir/relational/tuple.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/tuple.cc.o.d"
+  "/root/repo/src/relational/type.cc" "src/CMakeFiles/xplain.dir/relational/type.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/type.cc.o.d"
+  "/root/repo/src/relational/universal.cc" "src/CMakeFiles/xplain.dir/relational/universal.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/universal.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/xplain.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/xplain.dir/relational/value.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/xplain.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/xplain.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/xplain.dir/util/status.cc.o" "gcc" "src/CMakeFiles/xplain.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/xplain.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/xplain.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

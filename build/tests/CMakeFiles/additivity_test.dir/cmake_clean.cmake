@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/additivity_test.dir/additivity_test.cc.o"
+  "CMakeFiles/additivity_test.dir/additivity_test.cc.o.d"
+  "additivity_test"
+  "additivity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/additivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_algorithm_test.dir/cube_algorithm_test.cc.o"
+  "CMakeFiles/cube_algorithm_test.dir/cube_algorithm_test.cc.o.d"
+  "cube_algorithm_test"
+  "cube_algorithm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intervention_test.dir/intervention_test.cc.o"
+  "CMakeFiles/intervention_test.dir/intervention_test.cc.o.d"
+  "intervention_test"
+  "intervention_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intervention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natality_test.dir/natality_test.cc.o"
+  "CMakeFiles/natality_test.dir/natality_test.cc.o.d"
+  "natality_test"
+  "natality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

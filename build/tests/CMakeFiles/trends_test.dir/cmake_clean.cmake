@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trends_test.dir/trends_test.cc.o"
+  "CMakeFiles/trends_test.dir/trends_test.cc.o.d"
+  "trends_test"
+  "trends_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trends_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

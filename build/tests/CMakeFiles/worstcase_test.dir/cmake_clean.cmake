@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worstcase_test.dir/worstcase_test.cc.o"
+  "CMakeFiles/worstcase_test.dir/worstcase_test.cc.o.d"
+  "worstcase_test"
+  "worstcase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worstcase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xplain_cli.dir/xplain_cli.cc.o"
+  "CMakeFiles/xplain_cli.dir/xplain_cli.cc.o.d"
+  "xplain"
+  "xplain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xplain_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
