@@ -172,7 +172,7 @@ Status RunGen(const ParsedArgs& args, std::ostream& out) {
   } else {
     return Status::InvalidArgument("unknown dataset kind: " + kind);
   }
-  XPLAIN_RETURN_NOT_OK(SaveDatabase(db, dir));
+  XPLAIN_RETURN_IF_ERROR(SaveDatabase(db, dir));
   out << "wrote " << db.num_relations() << " relations ("
       << db.TotalRows() << " rows) to " << dir << "\n";
   return Status::OK();
@@ -259,7 +259,7 @@ Status RunFlatten(const ParsedArgs& args, std::ostream& out) {
                           ParseInt(args.Get("fanout"), "--fanout"));
   XPLAIN_ASSIGN_OR_RETURN(FlattenResult flat,
                           FlattenBackAndForth(db, static_cast<int>(fanout)));
-  XPLAIN_RETURN_NOT_OK(SaveDatabase(flat.db, args.positional[1]));
+  XPLAIN_RETURN_IF_ERROR(SaveDatabase(flat.db, args.positional[1]));
   out << "flattened into " << flat.db.num_relations() << " relations ("
       << flat.fact_relation << " + " << flat.member_copies.size()
       << " member copies + " << flat.dimension_copies.size()

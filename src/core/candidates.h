@@ -31,7 +31,7 @@ struct RangeCandidateOptions {
 /// Candidate range explanations [A >= lo AND A <= hi] over a numeric
 /// column, with boundaries at equi-depth quantiles of the values observed
 /// in the universal relation. Fails on non-numeric columns.
-Result<std::vector<ConjunctivePredicate>> GenerateRangeCandidates(
+[[nodiscard]] Result<std::vector<ConjunctivePredicate>> GenerateRangeCandidates(
     const UniversalRelation& universal, ColumnRef column,
     const RangeCandidateOptions& options = RangeCandidateOptions());
 
@@ -51,7 +51,7 @@ struct ScoredCandidate {
 /// Scores every candidate exactly (program P fixpoint + Q on the residual
 /// for intervention; sigma_phi restriction for aggravation) and returns
 /// them ranked by decreasing degree.
-Result<std::vector<ScoredCandidate>> ScoreCandidatesExact(
+[[nodiscard]] Result<std::vector<ScoredCandidate>> ScoreCandidatesExact(
     const InterventionEngine& engine, const UserQuestion& question,
     const std::vector<DnfPredicate>& candidates,
     DegreeKind kind = DegreeKind::kIntervention);

@@ -70,7 +70,7 @@ class DataCausalGraph {
     }
   };
 
-  static Result<DataCausalGraph> Build(const UniversalRelation& universal);
+  [[nodiscard]] static Result<DataCausalGraph> Build(const UniversalRelation& universal);
 
   size_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.back(); }
 
@@ -84,7 +84,7 @@ class DataCausalGraph {
   /// over all simple directed paths starting at any seed tuple. Exhaustive
   /// DFS; returns OutOfRange once `work_budget` edge expansions are
   /// exceeded.
-  Result<size_t> MaxCausalLengthFromSeeds(const DeltaSet& seeds,
+  [[nodiscard]] Result<size_t> MaxCausalLengthFromSeeds(const DeltaSet& seeds,
                                           size_t work_budget = 1000000) const;
 
   std::string ToDot(const Database& db) const;

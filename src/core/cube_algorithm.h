@@ -53,7 +53,7 @@ struct TableMOptions {
 /// mu_aggr columns. The mu_interv column is the *cube-based* degree, which
 /// equals the exact degree exactly when Q is intervention-additive
 /// (Definition 4.2) -- callers should gate on CheckQueryAdditivity.
-Result<TableM> ComputeTableM(const UniversalRelation& universal,
+[[nodiscard]] Result<TableM> ComputeTableM(const UniversalRelation& universal,
                              const UserQuestion& question,
                              const std::vector<ColumnRef>& attributes,
                              const TableMOptions& options = TableMOptions());

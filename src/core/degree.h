@@ -20,7 +20,7 @@ double AggravationDegree(const UniversalRelation& universal,
 ///   mu_interv(phi) = sign * Q(D - Delta^phi), sign = -1 for dir=high,
 ///                                             sign = +1 for dir=low.
 /// If `result_out` is non-null the full intervention result is stored there.
-Result<double> InterventionDegreeExact(
+[[nodiscard]] Result<double> InterventionDegreeExact(
     const InterventionEngine& engine, const UserQuestion& question,
     const ConjunctivePredicate& phi,
     InterventionResult* result_out = nullptr,
@@ -28,7 +28,7 @@ Result<double> InterventionDegreeExact(
 
 /// Exact intervention degree for a disjunctive explanation (paper
 /// Section 6(ii)).
-Result<double> InterventionDegreeExact(
+[[nodiscard]] Result<double> InterventionDegreeExact(
     const InterventionEngine& engine, const UserQuestion& question,
     const DnfPredicate& phi, InterventionResult* result_out = nullptr,
     const InterventionOptions& options = InterventionOptions());

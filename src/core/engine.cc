@@ -23,7 +23,7 @@ Result<ExplainEngine> ExplainEngine::Create(const Database* db) {
   if (db == nullptr) {
     return Status::InvalidArgument("null database");
   }
-  XPLAIN_RETURN_NOT_OK(db->CheckReferentialIntegrity());
+  XPLAIN_RETURN_IF_ERROR(db->CheckReferentialIntegrity());
   ExplainEngine engine;
   engine.db_ = db;
   XPLAIN_ASSIGN_OR_RETURN(UniversalRelation universal,

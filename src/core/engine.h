@@ -62,7 +62,7 @@ class ExplainEngine {
  public:
   /// `db` must outlive the engine. Fails if referential integrity does not
   /// hold or U(D) cannot be built (disconnected FK graph).
-  static Result<ExplainEngine> Create(const Database* db);
+  [[nodiscard]] static Result<ExplainEngine> Create(const Database* db);
 
   const Database& db() const { return *db_; }
   const UniversalRelation& universal() const { return *universal_; }
@@ -70,17 +70,17 @@ class ExplainEngine {
 
   /// Resolves candidate attribute names ("Rel.attr" or unambiguous bare
   /// names) to positional references.
-  Result<std::vector<ColumnRef>> ResolveAttributes(
+  [[nodiscard]] Result<std::vector<ColumnRef>> ResolveAttributes(
       const std::vector<std::string>& names) const;
 
   /// Answers a user question: returns the top-K candidate explanations over
   /// the candidate attributes A'.
-  Result<ExplainReport> Explain(
+  [[nodiscard]] Result<ExplainReport> Explain(
       const UserQuestion& question, const std::vector<std::string>& attributes,
       const ExplainOptions& options = ExplainOptions()) const;
 
   /// As above with pre-resolved attributes.
-  Result<ExplainReport> ExplainResolved(
+  [[nodiscard]] Result<ExplainReport> ExplainResolved(
       const UserQuestion& question, const std::vector<ColumnRef>& attributes,
       const ExplainOptions& options = ExplainOptions()) const;
 

@@ -144,7 +144,7 @@ Result<FlattenResult> FlattenBackAndForth(const Database& db, int fanout) {
       }
       a_copy.AppendUnchecked(std::move(dummy));
     }
-    XPLAIN_RETURN_NOT_OK(out.db.AddRelation(std::move(a_copy)));
+    XPLAIN_RETURN_IF_ERROR(out.db.AddRelation(std::move(a_copy)));
     out.dimension_copies.push_back(a_rel.name() + suffix);
 
     // C_copy: kad_copy plus the member attributes.
@@ -176,7 +176,7 @@ Result<FlattenResult> FlattenBackAndForth(const Database& db, int fanout) {
       }
       c_copy.AppendUnchecked(std::move(dummy));
     }
-    XPLAIN_RETURN_NOT_OK(out.db.AddRelation(std::move(c_copy)));
+    XPLAIN_RETURN_IF_ERROR(out.db.AddRelation(std::move(c_copy)));
     out.member_copies.push_back(c_rel.name() + suffix);
   }
 
@@ -210,7 +210,7 @@ Result<FlattenResult> FlattenBackAndForth(const Database& db, int fanout) {
     row.insert(row.end(), base.begin(), base.end());
     p_flat.AppendUnchecked(std::move(row));
   }
-  XPLAIN_RETURN_NOT_OK(out.db.AddRelation(std::move(p_flat)));
+  XPLAIN_RETURN_IF_ERROR(out.db.AddRelation(std::move(p_flat)));
   out.fact_relation = p_rel.name() + "_flat";
 
   // Foreign keys: C_i -> A_i and P'.kad_i -> C_i.kad_i, all standard.
@@ -226,7 +226,7 @@ Result<FlattenResult> FlattenBackAndForth(const Database& db, int fanout) {
           a_rel.schema().attribute(standard->parent_attrs[j]).name + suffix);
     }
     c_to_a.kind = ForeignKeyKind::kStandard;
-    XPLAIN_RETURN_NOT_OK(out.db.AddForeignKey(c_to_a));
+    XPLAIN_RETURN_IF_ERROR(out.db.AddForeignKey(c_to_a));
 
     ForeignKey p_to_c;
     p_to_c.child_relation = out.fact_relation;
@@ -234,7 +234,7 @@ Result<FlattenResult> FlattenBackAndForth(const Database& db, int fanout) {
     p_to_c.child_attrs = {"kad" + suffix};
     p_to_c.parent_attrs = {"kad" + suffix};
     p_to_c.kind = ForeignKeyKind::kStandard;
-    XPLAIN_RETURN_NOT_OK(out.db.AddForeignKey(p_to_c));
+    XPLAIN_RETURN_IF_ERROR(out.db.AddForeignKey(p_to_c));
   }
   return out;
 }

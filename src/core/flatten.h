@@ -37,7 +37,7 @@ struct FlattenResult {
 /// After the transform every universal row contains exactly one P' tuple,
 /// so COUNT(*) over U becomes intervention-additive (Corollary 3.6 applies:
 /// no back-and-forth keys remain).
-Result<FlattenResult> FlattenBackAndForth(const Database& db, int fanout);
+[[nodiscard]] Result<FlattenResult> FlattenBackAndForth(const Database& db, int fanout);
 
 }  // namespace xplain
 

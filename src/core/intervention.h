@@ -84,13 +84,13 @@ class InterventionEngine {
   const Database& db() const { return universal_->db(); }
 
   /// Runs program P for `phi` to its minimal fixpoint.
-  Result<InterventionResult> Compute(
+  [[nodiscard]] Result<InterventionResult> Compute(
       const ConjunctivePredicate& phi,
       const InterventionOptions& options = InterventionOptions()) const;
 
   /// As above for a disjunctive explanation (paper Section 6(ii)): sigma_phi
   /// generalizes transparently since program P only evaluates phi row-wise.
-  Result<InterventionResult> Compute(
+  [[nodiscard]] Result<InterventionResult> Compute(
       const DnfPredicate& phi,
       const InterventionOptions& options = InterventionOptions()) const;
 
@@ -116,7 +116,7 @@ class InterventionEngine {
   /// ConjunctivePredicate and DnfPredicate provide EvalUniversal and
   /// MaxMentionedRelation).
   template <typename Predicate>
-  Result<InterventionResult> ComputeImpl(
+  [[nodiscard]] Result<InterventionResult> ComputeImpl(
       const Predicate& phi, const InterventionOptions& options) const;
 
   const UniversalRelation* universal_;

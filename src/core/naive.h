@@ -20,7 +20,7 @@ struct NaiveOptions {
 /// full scan of the universal relation. Produces the same TableM schema as
 /// ComputeTableM so results can be cross-checked; rows whose subquery
 /// values are all zero are omitted (the cube produces no cell for them).
-Result<TableM> ComputeTableMNaive(const UniversalRelation& universal,
+[[nodiscard]] Result<TableM> ComputeTableMNaive(const UniversalRelation& universal,
                                   const UserQuestion& question,
                                   const std::vector<ColumnRef>& attributes,
                                   const NaiveOptions& options = NaiveOptions());

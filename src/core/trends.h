@@ -36,7 +36,7 @@ struct SlopeQuestionSpec {
 /// Builds the slope question: one subquery per window, combined by the
 /// regression-slope expression. Fails if the spec yields fewer than two
 /// windows or more than 64.
-Result<UserQuestion> MakeSlopeQuestion(const Database& db,
+[[nodiscard]] Result<UserQuestion> MakeSlopeQuestion(const Database& db,
                                        const SlopeQuestionSpec& spec);
 
 }  // namespace xplain

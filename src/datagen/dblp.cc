@@ -270,23 +270,23 @@ Result<Database> GenerateDblp(const DblpOptions& options) {
   }
 
   Database db;
-  XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(author)));
-  XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(authored)));
-  XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(publication)));
+  XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(author)));
+  XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(authored)));
+  XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(publication)));
   ForeignKey authored_to_author;
   authored_to_author.child_relation = "Authored";
   authored_to_author.child_attrs = {"id"};
   authored_to_author.parent_relation = "Author";
   authored_to_author.parent_attrs = {"id"};
   authored_to_author.kind = ForeignKeyKind::kStandard;
-  XPLAIN_RETURN_NOT_OK(db.AddForeignKey(authored_to_author));
+  XPLAIN_RETURN_IF_ERROR(db.AddForeignKey(authored_to_author));
   ForeignKey authored_to_pub;
   authored_to_pub.child_relation = "Authored";
   authored_to_pub.child_attrs = {"pubid"};
   authored_to_pub.parent_relation = "Publication";
   authored_to_pub.parent_attrs = {"pubid"};
   authored_to_pub.kind = ForeignKeyKind::kBackAndForth;
-  XPLAIN_RETURN_NOT_OK(db.AddForeignKey(authored_to_pub));
+  XPLAIN_RETURN_IF_ERROR(db.AddForeignKey(authored_to_pub));
 
   // Authors who never published would leave the instance non-semijoin-
   // reduced (paper Section 2 requires global consistency); drop them.

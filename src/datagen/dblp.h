@@ -42,17 +42,17 @@ struct DblpOptions {
   bool include_uk = true;
 };
 
-Result<Database> GenerateDblp(const DblpOptions& options);
+[[nodiscard]] Result<Database> GenerateDblp(const DblpOptions& options);
 
 /// The Figure 1/2 "bump" question: Q = (q1/q2)/(q3/q4), dir = high, where
 /// q1..q4 = count(distinct Publication.pubid) of SIGMOD papers for
 /// (com, 2000-2004), (com, 2007-2011), (edu, 2000-2004), (edu, 2007-2011).
-Result<UserQuestion> MakeDblpBumpQuestion(const Database& db);
+[[nodiscard]] Result<UserQuestion> MakeDblpBumpQuestion(const Database& db);
 
 /// The Figure 15 question: Q = q1/q2, dir = low, where q1/q2 =
 /// count(distinct Publication.pubid) of SIGMOD/PODS papers with an author
 /// from the UK, 2001-2011.
-Result<UserQuestion> MakeUkPodsQuestion(const Database& db);
+[[nodiscard]] Result<UserQuestion> MakeUkPodsQuestion(const Database& db);
 
 }  // namespace datagen
 }  // namespace xplain

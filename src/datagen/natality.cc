@@ -138,7 +138,7 @@ Result<Database> GenerateNatality(const NatalityOptions& options) {
   }
 
   Database db;
-  XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(birth)));
+  XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(birth)));
   return db;
 }
 

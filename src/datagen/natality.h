@@ -35,19 +35,19 @@ struct NatalityOptions {
 ///   education: <9yrs | 9-11yrs | 12yrs | 13-15yrs | >=16yrs
 ///   sex:       M | F
 ///   hypertension, diabetes: yes | no
-Result<Database> GenerateNatality(const NatalityOptions& options);
+[[nodiscard]] Result<Database> GenerateNatality(const NatalityOptions& options);
 
 /// The paper's Q_Race question (Section 5.1, Figure 8):
 ///   Q = q1/q2, dir = high, with q1/q2 = count(*) of
 ///   [ap=good/poor, race=Asian].
-Result<UserQuestion> MakeNatalityQRace(const Database& db);
+[[nodiscard]] Result<UserQuestion> MakeNatalityQRace(const Database& db);
 
 /// The paper's Q'_Race question: (q1/q2)/(q3/q4) comparing Asian vs Black.
-Result<UserQuestion> MakeNatalityQRacePrime(const Database& db);
+[[nodiscard]] Result<UserQuestion> MakeNatalityQRacePrime(const Database& db);
 
 /// The paper's Q_Marital question (Figure 9): Q = (q1/q2)/(q3/q4),
 /// dir = high, comparing good/poor ratios for married vs unmarried.
-Result<UserQuestion> MakeNatalityQMarital(const Database& db);
+[[nodiscard]] Result<UserQuestion> MakeNatalityQMarital(const Database& db);
 
 }  // namespace datagen
 }  // namespace xplain

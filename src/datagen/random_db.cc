@@ -89,18 +89,18 @@ Result<Database> GenerateRandomDb(const RandomDbOptions& options) {
       XPLAIN_ASSIGN_OR_RETURN(
           Relation s2, MakeLinkRelation("S2", "y", "z", keys, keys, size,
                                         &rng));
-      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(r1)));
-      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(s1)));
-      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(r2)));
-      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(s2)));
-      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(r3)));
-      XPLAIN_RETURN_NOT_OK(
+      XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(r1)));
+      XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(s1)));
+      XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(r2)));
+      XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(s2)));
+      XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(r3)));
+      XPLAIN_RETURN_IF_ERROR(
           AddFk(&db, "S1", "x", "R1", "x", ForeignKeyKind::kStandard));
-      XPLAIN_RETURN_NOT_OK(
+      XPLAIN_RETURN_IF_ERROR(
           AddFk(&db, "S1", "y", "R2", "y", ForeignKeyKind::kStandard));
-      XPLAIN_RETURN_NOT_OK(
+      XPLAIN_RETURN_IF_ERROR(
           AddFk(&db, "S2", "y", "R2", "y", ForeignKeyKind::kStandard));
-      XPLAIN_RETURN_NOT_OK(
+      XPLAIN_RETURN_IF_ERROR(
           AddFk(&db, "S2", "z", "R3", "z", ForeignKeyKind::kStandard));
       break;
     }
@@ -126,12 +126,12 @@ Result<Database> GenerateRandomDb(const RandomDbOptions& options) {
             Value::Int(rng.UniformInt(0, keys - 1)),
             Value::Int(rng.UniformInt(0, options.domain - 1))});
       }
-      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(fact)));
-      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(dim_a)));
-      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(dim_b)));
-      XPLAIN_RETURN_NOT_OK(
+      XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(fact)));
+      XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(dim_a)));
+      XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(dim_b)));
+      XPLAIN_RETURN_IF_ERROR(
           AddFk(&db, "F", "a", "DimA", "a", ForeignKeyKind::kStandard));
-      XPLAIN_RETURN_NOT_OK(
+      XPLAIN_RETURN_IF_ERROR(
           AddFk(&db, "F", "b", "DimB", "b", ForeignKeyKind::kStandard));
       break;
     }
@@ -145,12 +145,12 @@ Result<Database> GenerateRandomDb(const RandomDbOptions& options) {
       XPLAIN_ASSIGN_OR_RETURN(
           Relation c, MakeLinkRelation("C", "aid", "pid", keys, keys, size,
                                        &rng));
-      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(a)));
-      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(c)));
-      XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(p)));
-      XPLAIN_RETURN_NOT_OK(
+      XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(a)));
+      XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(c)));
+      XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(p)));
+      XPLAIN_RETURN_IF_ERROR(
           AddFk(&db, "C", "aid", "A", "id", ForeignKeyKind::kStandard));
-      XPLAIN_RETURN_NOT_OK(
+      XPLAIN_RETURN_IF_ERROR(
           AddFk(&db, "C", "pid", "P", "pid", ForeignKeyKind::kBackAndForth));
       break;
     }

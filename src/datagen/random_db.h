@@ -35,11 +35,11 @@ struct RandomDbOptions {
 
 /// Generates a small random, referentially-intact, semijoin-reduced
 /// instance of the chosen template.
-Result<Database> GenerateRandomDb(const RandomDbOptions& options);
+[[nodiscard]] Result<Database> GenerateRandomDb(const RandomDbOptions& options);
 
 /// A random candidate explanation over the instance: 1-3 equality atoms on
 /// non-key attributes, constants drawn from the live domains.
-Result<ConjunctivePredicate> RandomExplanation(const Database& db,
+[[nodiscard]] Result<ConjunctivePredicate> RandomExplanation(const Database& db,
                                                uint64_t seed);
 
 }  // namespace datagen

@@ -32,23 +32,23 @@ Result<WorstCaseInstance> GenerateWorstCaseChain(int p) {
   }
 
   WorstCaseInstance out;
-  XPLAIN_RETURN_NOT_OK(out.db.AddRelation(std::move(r1)));
-  XPLAIN_RETURN_NOT_OK(out.db.AddRelation(std::move(r2)));
-  XPLAIN_RETURN_NOT_OK(out.db.AddRelation(std::move(r3)));
+  XPLAIN_RETURN_IF_ERROR(out.db.AddRelation(std::move(r1)));
+  XPLAIN_RETURN_IF_ERROR(out.db.AddRelation(std::move(r2)));
+  XPLAIN_RETURN_IF_ERROR(out.db.AddRelation(std::move(r3)));
   ForeignKey to_r1;
   to_r1.child_relation = "R3";
   to_r1.child_attrs = {"a"};
   to_r1.parent_relation = "R1";
   to_r1.parent_attrs = {"a"};
   to_r1.kind = ForeignKeyKind::kBackAndForth;
-  XPLAIN_RETURN_NOT_OK(out.db.AddForeignKey(to_r1));
+  XPLAIN_RETURN_IF_ERROR(out.db.AddForeignKey(to_r1));
   ForeignKey to_r2;
   to_r2.child_relation = "R3";
   to_r2.child_attrs = {"b"};
   to_r2.parent_relation = "R2";
   to_r2.parent_attrs = {"b"};
   to_r2.kind = ForeignKeyKind::kBackAndForth;
-  XPLAIN_RETURN_NOT_OK(out.db.AddForeignKey(to_r2));
+  XPLAIN_RETURN_IF_ERROR(out.db.AddForeignKey(to_r2));
 
   XPLAIN_ASSIGN_OR_RETURN(
       AtomicPredicate atom,

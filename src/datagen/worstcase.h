@@ -32,7 +32,7 @@ struct WorstCaseInstance {
   size_t expected_iterations = 0;
 };
 
-Result<WorstCaseInstance> GenerateWorstCaseChain(int p);
+[[nodiscard]] Result<WorstCaseInstance> GenerateWorstCaseChain(int p);
 
 }  // namespace datagen
 }  // namespace xplain

@@ -49,13 +49,13 @@ Status Program::CheckAtom(const Atom& atom) const {
 }
 
 Status Program::AddRule(Rule rule) {
-  XPLAIN_RETURN_NOT_OK(CheckAtom(rule.head));
+  XPLAIN_RETURN_IF_ERROR(CheckAtom(rule.head));
   if (rule.head.negated) {
     return Status::InvalidArgument("rule heads cannot be negated");
   }
   std::unordered_set<std::string> positive_vars;
   for (const Atom& atom : rule.body) {
-    XPLAIN_RETURN_NOT_OK(CheckAtom(atom));
+    XPLAIN_RETURN_IF_ERROR(CheckAtom(atom));
     if (!atom.negated) {
       for (const Term& term : atom.terms) {
         if (term.is_variable) positive_vars.insert(term.variable);
@@ -74,20 +74,20 @@ Status Program::AddRule(Rule rule) {
   };
   for (const Term& term : rule.head.terms) {
     if (term.is_variable) {
-      XPLAIN_RETURN_NOT_OK(check_bound(term.variable, "rule head"));
+      XPLAIN_RETURN_IF_ERROR(check_bound(term.variable, "rule head"));
     }
   }
   for (const Atom& atom : rule.body) {
     if (!atom.negated) continue;
     for (const Term& term : atom.terms) {
       if (term.is_variable) {
-        XPLAIN_RETURN_NOT_OK(check_bound(term.variable, "negated atom"));
+        XPLAIN_RETURN_IF_ERROR(check_bound(term.variable, "negated atom"));
       }
     }
   }
   for (const Builtin& builtin : rule.builtins) {
     for (const std::string& var : builtin.variables) {
-      XPLAIN_RETURN_NOT_OK(check_bound(var, "builtin"));
+      XPLAIN_RETURN_IF_ERROR(check_bound(var, "builtin"));
     }
   }
   // Evaluate positives before negatives: stable-partition the body.

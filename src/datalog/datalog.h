@@ -88,20 +88,20 @@ class Program {
   /// Declares a relation with the given arity. EDB and IDB relations are
   /// declared the same way; EDBs simply receive initial facts. Transient
   /// relations are cleared and recomputed each round (see class comment).
-  Status DeclareRelation(const std::string& name, int arity,
+  [[nodiscard]] Status DeclareRelation(const std::string& name, int arity,
                          bool transient = false);
 
   /// Adds an initial fact.
-  Status AddFact(const std::string& relation, Tuple fact);
+  [[nodiscard]] Status AddFact(const std::string& relation, Tuple fact);
 
   /// Adds a rule; all referenced relations must be declared, arities must
   /// match, and negated/builtin variables must be bound by positive atoms.
-  Status AddRule(Rule rule);
+  [[nodiscard]] Status AddRule(Rule rule);
 
   /// Runs naive inflationary evaluation. Returns the number of rounds
   /// (applications of the full rule set) until the fixpoint, capped by
   /// `max_rounds` (error if exceeded).
-  Result<size_t> Evaluate(size_t max_rounds = 100000);
+  [[nodiscard]] Result<size_t> Evaluate(size_t max_rounds = 100000);
 
   /// Facts currently in `relation` (initial + derived).
   const std::unordered_set<Tuple, TupleHash, TupleEq>& Facts(
@@ -112,7 +112,7 @@ class Program {
   }
 
  private:
-  Status CheckAtom(const Atom& atom) const;
+  [[nodiscard]] Status CheckAtom(const Atom& atom) const;
 
   /// Matches `rule` against current facts, collecting newly derived head
   /// facts into `derived`.

@@ -75,14 +75,14 @@ Result<DeltaSet> RunProgramPDatalog(const Database& db,
   for (int r = 0; r < k; ++r) {
     const std::string name = db.relation(r).name();
     const int arity = db.relation(r).schema().num_attributes();
-    XPLAIN_RETURN_NOT_OK(program.DeclareRelation(name, arity));
-    XPLAIN_RETURN_NOT_OK(
+    XPLAIN_RETURN_IF_ERROR(program.DeclareRelation(name, arity));
+    XPLAIN_RETURN_IF_ERROR(
         program.DeclareRelation("S_" + name, arity, /*transient=*/true));
-    XPLAIN_RETURN_NOT_OK(
+    XPLAIN_RETURN_IF_ERROR(
         program.DeclareRelation("T_" + name, arity, /*transient=*/true));
-    XPLAIN_RETURN_NOT_OK(program.DeclareRelation("Delta_" + name, arity));
+    XPLAIN_RETURN_IF_ERROR(program.DeclareRelation("Delta_" + name, arity));
     for (size_t row = 0; row < db.relation(r).NumRows(); ++row) {
-      XPLAIN_RETURN_NOT_OK(program.AddFact(name, db.relation(r).row(row)));
+      XPLAIN_RETURN_IF_ERROR(program.AddFact(name, db.relation(r).row(row)));
     }
   }
 
@@ -119,14 +119,14 @@ Result<DeltaSet> RunProgramPDatalog(const Database& db,
     s_rule.head = Atom::Positive("S_" + name, x_i);
     s_rule.body = universal_body;
     s_rule.builtins.push_back(not_phi);
-    XPLAIN_RETURN_NOT_OK(program.AddRule(std::move(s_rule)));
+    XPLAIN_RETURN_IF_ERROR(program.AddRule(std::move(s_rule)));
 
     // Delta_i(x_i) :- R_i(x_i), !S_i(x_i).        (Rule (i))
     Rule seed_rule;
     seed_rule.head = Atom::Positive("Delta_" + name, x_i);
     seed_rule.body = {Atom::Positive(name, x_i),
                       Atom::Negative("S_" + name, x_i)};
-    XPLAIN_RETURN_NOT_OK(program.AddRule(std::move(seed_rule)));
+    XPLAIN_RETURN_IF_ERROR(program.AddRule(std::move(seed_rule)));
 
     // T_i(x_i) :- R_1(x_1), !Delta_1(x_1), ..., R_k(x_k), !Delta_k(x_k).
     Rule t_rule;
@@ -138,14 +138,14 @@ Result<DeltaSet> RunProgramPDatalog(const Database& db,
       t_rule.body.push_back(
           Atom::Negative("Delta_" + db.relation(j).name(), x_j));
     }
-    XPLAIN_RETURN_NOT_OK(program.AddRule(std::move(t_rule)));
+    XPLAIN_RETURN_IF_ERROR(program.AddRule(std::move(t_rule)));
 
     // Delta_i(x_i) :- R_i(x_i), !T_i(x_i).        (Rule (ii))
     Rule reduce_rule;
     reduce_rule.head = Atom::Positive("Delta_" + name, x_i);
     reduce_rule.body = {Atom::Positive(name, x_i),
                         Atom::Negative("T_" + name, x_i)};
-    XPLAIN_RETURN_NOT_OK(program.AddRule(std::move(reduce_rule)));
+    XPLAIN_RETURN_IF_ERROR(program.AddRule(std::move(reduce_rule)));
   }
 
   // Delta_i(x_i) :- R_i(x_i), Delta_j(x_j) per back-and-forth FK (Rule
@@ -160,7 +160,7 @@ Result<DeltaSet> RunProgramPDatalog(const Database& db,
     back_rule.body = {
         Atom::Positive(parent, vars.TermsFor(fk.parent_relation)),
         Atom::Positive("Delta_" + child, vars.TermsFor(fk.child_relation))};
-    XPLAIN_RETURN_NOT_OK(program.AddRule(std::move(back_rule)));
+    XPLAIN_RETURN_IF_ERROR(program.AddRule(std::move(back_rule)));
   }
 
   XPLAIN_ASSIGN_OR_RETURN(size_t rounds, program.Evaluate());

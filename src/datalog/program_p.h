@@ -28,7 +28,7 @@ namespace datalog {
 /// round, so use it on small instances.
 ///
 /// `rounds_out`, if non-null, receives the number of evaluation rounds.
-Result<DeltaSet> RunProgramPDatalog(const Database& db,
+[[nodiscard]] Result<DeltaSet> RunProgramPDatalog(const Database& db,
                                     const ConjunctivePredicate& phi,
                                     size_t* rounds_out = nullptr);
 

@@ -64,7 +64,7 @@ RowSet EvaluateFilterBitmap(const UniversalRelation& universal,
 /// column to be cached.
 class CodedFilter {
  public:
-  static Result<CodedFilter> Compile(const ColumnCache& cache,
+  [[nodiscard]] static Result<CodedFilter> Compile(const ColumnCache& cache,
                                      const DnfPredicate& filter);
 
   bool Eval(const ColumnCache& cache, size_t row) const {

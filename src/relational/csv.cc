@@ -104,7 +104,7 @@ Result<Relation> ReadRelationCsv(const std::string& path,
       }
       row.push_back(std::move(value).ValueOrDie());
     }
-    XPLAIN_RETURN_NOT_OK(relation.Append(std::move(row)));
+    XPLAIN_RETURN_IF_ERROR(relation.Append(std::move(row)));
   }
   return relation;
 }

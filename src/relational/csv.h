@@ -12,14 +12,14 @@ namespace xplain {
 /// the schema's attribute names in order; cells parse per the declared
 /// column types; empty cells become NULL. Quoting: RFC-4180 style double
 /// quotes with "" escapes.
-Result<Relation> ReadRelationCsv(const std::string& path,
+[[nodiscard]] Result<Relation> ReadRelationCsv(const std::string& path,
                                  const RelationSchema& schema);
 
 /// Writes `relation` as a headered CSV file.
-Status WriteRelationCsv(const Relation& relation, const std::string& path);
+[[nodiscard]] Status WriteRelationCsv(const Relation& relation, const std::string& path);
 
 /// Parses one CSV line into cells (exposed for testing).
-Result<std::vector<std::string>> SplitCsvLine(const std::string& line);
+[[nodiscard]] Result<std::vector<std::string>> SplitCsvLine(const std::string& line);
 
 }  // namespace xplain
 

@@ -29,7 +29,7 @@ class DataCube {
  public:
   /// Computes the cube of `agg` over the rows of `universal` satisfying
   /// `filter` (nullptr = all rows), grouped by `attributes`.
-  static Result<DataCube> Compute(const UniversalRelation& universal,
+  [[nodiscard]] static Result<DataCube> Compute(const UniversalRelation& universal,
                                   const std::vector<ColumnRef>& attributes,
                                   const AggregateSpec& agg,
                                   const DnfPredicate* filter,
@@ -41,7 +41,7 @@ class DataCube {
   /// attributes and the counted column are cached; produces bit-identical
   /// cells to Compute(). `attr_indices` are cache column positions;
   /// `distinct_index` is the cached counted column (-1 for COUNT(*)).
-  static Result<DataCube> ComputeCached(
+  [[nodiscard]] static Result<DataCube> ComputeCached(
       const ColumnCache& cache, const std::vector<int>& attr_indices,
       AggregateKind kind, int distinct_index, const RowSet* filter_rows,
       const CubeOptions& options = CubeOptions());
@@ -79,7 +79,7 @@ struct CubeJoinResult {
 };
 
 /// Joins `cubes` (all non-null, same attribute list) into one table.
-Result<CubeJoinResult> FullOuterJoinCubes(
+[[nodiscard]] Result<CubeJoinResult> FullOuterJoinCubes(
     const std::vector<const DataCube*>& cubes);
 
 }  // namespace xplain

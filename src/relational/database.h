@@ -28,18 +28,18 @@ class Database {
   Database() = default;
 
   /// Adds a relation; names must be unique.
-  Status AddRelation(Relation relation);
+  [[nodiscard]] Status AddRelation(Relation relation);
 
   /// Adds and validates a foreign key: both relations exist, attribute lists
   /// exist with matching types, and the parent attributes are exactly the
   /// parent's primary key.
-  Status AddForeignKey(const ForeignKey& fk);
+  [[nodiscard]] Status AddForeignKey(const ForeignKey& fk);
 
   int num_relations() const { return static_cast<int>(relations_.size()); }
   const Relation& relation(int i) const { return relations_[i]; }
   Relation* mutable_relation(int i) { return &relations_[i]; }
   /// Index of the named relation, or NotFound.
-  Result<int> RelationIndex(const std::string& name) const;
+  [[nodiscard]] Result<int> RelationIndex(const std::string& name) const;
   /// Convenience: relation by name; CHECK-fails when absent.
   const Relation& RelationByName(const std::string& name) const;
 
@@ -52,7 +52,7 @@ class Database {
   bool HasBackAndForthKeys() const;
 
   /// Resolves "Relation.attribute" to positional form.
-  Result<ColumnRef> ResolveColumn(const std::string& qualified) const;
+  [[nodiscard]] Result<ColumnRef> ResolveColumn(const std::string& qualified) const;
   /// "Relation.attribute" for a positional reference.
   std::string ColumnName(const ColumnRef& ref) const;
   DataType ColumnType(const ColumnRef& ref) const;
@@ -62,7 +62,7 @@ class Database {
 
   /// Verifies every foreign key: each child key value appears as a parent
   /// primary key (child key values must be non-NULL).
-  Status CheckReferentialIntegrity() const;
+  [[nodiscard]] Status CheckReferentialIntegrity() const;
 
   /// Removes dangling tuples in place so that each R_i equals the projection
   /// of the universal relation (pairwise-consistency fixpoint over all FK

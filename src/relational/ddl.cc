@@ -71,12 +71,12 @@ class DdlParser {
     SchemaSpec spec;
     while (!AtEnd()) {
       if (ConsumeKeyword("table")) {
-        XPLAIN_RETURN_NOT_OK(ParseTable(&spec));
+        XPLAIN_RETURN_IF_ERROR(ParseTable(&spec));
       } else if (ConsumeKeyword("foreign")) {
         if (!ConsumeKeyword("key")) {
           return Status::ParseError("expected KEY after FOREIGN");
         }
-        XPLAIN_RETURN_NOT_OK(ParseForeignKey(&spec));
+        XPLAIN_RETURN_IF_ERROR(ParseForeignKey(&spec));
       } else {
         return Status::ParseError("expected TABLE or FOREIGN KEY, found '" +
                                   Peek() + "'");
@@ -126,7 +126,7 @@ class DdlParser {
 
   Status ParseTable(SchemaSpec* spec) {
     XPLAIN_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
-    XPLAIN_RETURN_NOT_OK(Expect("("));
+    XPLAIN_RETURN_IF_ERROR(Expect("("));
     std::vector<AttributeDef> attrs;
     std::vector<std::string> keys;
     while (true) {
@@ -138,8 +138,8 @@ class DdlParser {
       if (Consume(",")) continue;
       break;
     }
-    XPLAIN_RETURN_NOT_OK(Expect(")"));
-    XPLAIN_RETURN_NOT_OK(Expect(";"));
+    XPLAIN_RETURN_IF_ERROR(Expect(")"));
+    XPLAIN_RETURN_IF_ERROR(Expect(";"));
     XPLAIN_ASSIGN_OR_RETURN(
         RelationSchema schema,
         RelationSchema::Create(name, std::move(attrs), std::move(keys)));
@@ -149,7 +149,7 @@ class DdlParser {
 
   Result<std::pair<std::string, std::vector<std::string>>> ParseRelAttrs() {
     XPLAIN_ASSIGN_OR_RETURN(std::string rel, ExpectIdent());
-    XPLAIN_RETURN_NOT_OK(Expect("("));
+    XPLAIN_RETURN_IF_ERROR(Expect("("));
     std::vector<std::string> attrs;
     while (true) {
       XPLAIN_ASSIGN_OR_RETURN(std::string attr, ExpectIdent());
@@ -157,7 +157,7 @@ class DdlParser {
       if (Consume(",")) continue;
       break;
     }
-    XPLAIN_RETURN_NOT_OK(Expect(")"));
+    XPLAIN_RETURN_IF_ERROR(Expect(")"));
     return std::make_pair(std::move(rel), std::move(attrs));
   }
 
@@ -172,7 +172,7 @@ class DdlParser {
       return Status::ParseError("expected -> or <-> in FOREIGN KEY");
     }
     XPLAIN_ASSIGN_OR_RETURN(auto parent, ParseRelAttrs());
-    XPLAIN_RETURN_NOT_OK(Expect(";"));
+    XPLAIN_RETURN_IF_ERROR(Expect(";"));
     fk.child_relation = std::move(child.first);
     fk.child_attrs = std::move(child.second);
     fk.parent_relation = std::move(parent.first);
@@ -198,10 +198,10 @@ Result<SchemaSpec> ParseSchema(const std::string& ddl_text) {
 Result<Database> CreateDatabase(const SchemaSpec& spec) {
   Database db;
   for (const RelationSchema& schema : spec.relations) {
-    XPLAIN_RETURN_NOT_OK(db.AddRelation(Relation(schema)));
+    XPLAIN_RETURN_IF_ERROR(db.AddRelation(Relation(schema)));
   }
   for (const ForeignKey& fk : spec.foreign_keys) {
-    XPLAIN_RETURN_NOT_OK(db.AddForeignKey(fk));
+    XPLAIN_RETURN_IF_ERROR(db.AddForeignKey(fk));
   }
   return db;
 }

@@ -27,10 +27,10 @@ struct SchemaSpec {
 /// Types: bool, int64 (int/bigint), double (float/real), string
 /// (text/varchar). `KEY` marks primary-key attributes; `<->` declares the
 /// paper's back-and-forth causal foreign key.
-Result<SchemaSpec> ParseSchema(const std::string& ddl_text);
+[[nodiscard]] Result<SchemaSpec> ParseSchema(const std::string& ddl_text);
 
 /// Builds an empty database with the spec's relations and foreign keys.
-Result<Database> CreateDatabase(const SchemaSpec& spec);
+[[nodiscard]] Result<Database> CreateDatabase(const SchemaSpec& spec);
 
 /// Renders a database's schema back to DDL text (round-trips through
 /// ParseSchema).

@@ -281,7 +281,7 @@ class ExpressionParser {
     }
     if (cur_->ConsumeSymbol("(")) {
       XPLAIN_ASSIGN_OR_RETURN(ExprPtr inner, ParseSum());
-      XPLAIN_RETURN_NOT_OK(cur_->Expect(")"));
+      XPLAIN_RETURN_IF_ERROR(cur_->Expect(")"));
       return inner;
     }
     if (t.kind == TokenKind::kIdent) {
@@ -303,7 +303,7 @@ class ExpressionParser {
         }
         cur_->Next();  // '('
         XPLAIN_ASSIGN_OR_RETURN(ExprPtr inner, ParseSum());
-        XPLAIN_RETURN_NOT_OK(cur_->Expect(")"));
+        XPLAIN_RETURN_IF_ERROR(cur_->Expect(")"));
         return Expression::Unary(op, inner);
       }
       // Variable reference.
@@ -412,7 +412,7 @@ Result<AggregateSpec> ParseAggregate(const Database& db,
     return Status::ParseError("expected an aggregate function name");
   }
   std::string func = ToLower(cur.Next().text);
-  XPLAIN_RETURN_NOT_OK(cur.Expect("("));
+  XPLAIN_RETURN_IF_ERROR(cur.Expect("("));
   AggregateSpec spec;
   if (func == "count") {
     if (cur.ConsumeSymbol("*")) {
@@ -445,7 +445,7 @@ Result<AggregateSpec> ParseAggregate(const Database& db,
                                      db.ColumnName(spec.column));
     }
   }
-  XPLAIN_RETURN_NOT_OK(cur.Expect(")"));
+  XPLAIN_RETURN_IF_ERROR(cur.Expect(")"));
   if (!cur.AtEnd()) {
     return Status::ParseError("unexpected trailing token '" +
                               cur.Peek().text + "' after aggregate");

@@ -16,14 +16,14 @@ namespace xplain {
 /// Column names are resolved against `db`; unqualified names must be
 /// unambiguous. String literals use single or double quotes; numbers parse
 /// as int64 unless they contain '.', 'e' or 'E'.
-Result<ConjunctivePredicate> ParsePredicate(const Database& db,
+[[nodiscard]] Result<ConjunctivePredicate> ParsePredicate(const Database& db,
                                             const std::string& text);
 
 /// Parses a predicate in disjunctive normal form, e.g.
 ///   "Author.dom = 'uk' OR Author.country = 'UK'"
 /// AND binds tighter than OR; the empty string parses to TRUE. Every
 /// conjunctive predicate is accepted too.
-Result<DnfPredicate> ParseDnfPredicate(const Database& db,
+[[nodiscard]] Result<DnfPredicate> ParseDnfPredicate(const Database& db,
                                        const std::string& text);
 
 /// Parses an arithmetic expression over subquery names, e.g.
@@ -31,12 +31,12 @@ Result<DnfPredicate> ParseDnfPredicate(const Database& db,
 /// `variables` lists the allowed variable names in index order (typically
 /// {"q1", ..., "qm"}). Supports + - * / ^, unary minus, parentheses and the
 /// functions log, exp, sqrt, abs.
-Result<ExprPtr> ParseExpression(const std::string& text,
+[[nodiscard]] Result<ExprPtr> ParseExpression(const std::string& text,
                                 const std::vector<std::string>& variables);
 
 /// Parses an aggregate specification, e.g.
 ///   "count(*)", "count(distinct Publication.pubid)", "sum(amount)"
-Result<AggregateSpec> ParseAggregate(const Database& db,
+[[nodiscard]] Result<AggregateSpec> ParseAggregate(const Database& db,
                                      const std::string& text);
 
 }  // namespace xplain

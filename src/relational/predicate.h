@@ -16,7 +16,7 @@ namespace xplain {
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
 const char* CompareOpToString(CompareOp op);
-Result<CompareOp> CompareOpFromString(const std::string& token);
+[[nodiscard]] Result<CompareOp> CompareOpFromString(const std::string& token);
 
 /// SQL three-valued comparison collapsed to bool: any comparison against
 /// NULL is false.
@@ -30,7 +30,7 @@ struct AtomicPredicate {
 
   /// Creates an atom, resolving `qualified_column` ("Rel.attr") against `db`
   /// and checking that `constant` is comparable with the column type.
-  static Result<AtomicPredicate> Create(const Database& db,
+  [[nodiscard]] static Result<AtomicPredicate> Create(const Database& db,
                                         const std::string& qualified_column,
                                         CompareOp op, Value constant);
 

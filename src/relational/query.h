@@ -30,7 +30,7 @@ class NumericalQuery {
   NumericalQuery() = default;
 
   /// Validates that the expression's variables are within range.
-  static Result<NumericalQuery> Create(std::vector<AggregateQuery> subqueries,
+  [[nodiscard]] static Result<NumericalQuery> Create(std::vector<AggregateQuery> subqueries,
                                        ExprPtr expression,
                                        EvalOptions options = EvalOptions());
 
@@ -49,7 +49,7 @@ class NumericalQuery {
   double Combine(const std::vector<double>& subquery_values) const;
 
   /// End-to-end: builds U(D) and evaluates.
-  Result<double> Evaluate(const Database& db) const;
+  [[nodiscard]] Result<double> Evaluate(const Database& db) const;
 
   /// Evaluates over an existing universal relation.
   double EvaluateOnUniversal(const UniversalRelation& universal,

@@ -30,7 +30,7 @@ class Relation {
   const std::vector<Tuple>& rows() const { return rows_; }
 
   /// Appends a row after checking arity and per-column type assignability.
-  Status Append(Tuple row);
+  [[nodiscard]] Status Append(Tuple row);
 
   /// Appends without validation (bulk loads from trusted generators).
   void AppendUnchecked(Tuple row) { rows_.push_back(std::move(row)); }
@@ -46,7 +46,7 @@ class Relation {
   std::vector<Value> DistinctValues(int attr) const;
 
   /// Verifies that no two rows share a primary key.
-  Status CheckPrimaryKeyUnique() const;
+  [[nodiscard]] Status CheckPrimaryKeyUnique() const;
 
   /// "name: N rows" plus at most `max_rows` row renderings.
   std::string ToString(size_t max_rows = 10) const;

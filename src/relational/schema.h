@@ -23,7 +23,7 @@ class RelationSchema {
 
   /// Validates attribute names (non-empty, unique) and the primary key
   /// (non-empty subset of the attributes).
-  static Result<RelationSchema> Create(std::string relation_name,
+  [[nodiscard]] static Result<RelationSchema> Create(std::string relation_name,
                                        std::vector<AttributeDef> attributes,
                                        std::vector<std::string> key_names);
 
@@ -39,7 +39,7 @@ class RelationSchema {
   int FindAttribute(const std::string& attr_name) const;
 
   /// Index of the named attribute, or NotFound.
-  Result<int> AttributeIndex(const std::string& attr_name) const;
+  [[nodiscard]] Result<int> AttributeIndex(const std::string& attr_name) const;
 
   /// "Relation(attr:type, ...; key=...)" — for debugging and docs.
   std::string ToString() const;

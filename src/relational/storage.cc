@@ -32,7 +32,7 @@ Status SaveDatabase(const Database& db, const std::string& directory) {
     const Relation& relation = db.relation(r);
     std::string path =
         (fs::path(directory) / (relation.name() + ".csv")).string();
-    XPLAIN_RETURN_NOT_OK(WriteRelationCsv(relation, path));
+    XPLAIN_RETURN_IF_ERROR(WriteRelationCsv(relation, path));
   }
   return Status::OK();
 }
@@ -54,13 +54,13 @@ Result<Database> LoadDatabase(const std::string& directory,
         (fs::path(directory) / (schema.name() + ".csv")).string();
     XPLAIN_ASSIGN_OR_RETURN(Relation relation,
                             ReadRelationCsv(csv_path, schema));
-    XPLAIN_RETURN_NOT_OK(db.AddRelation(std::move(relation)));
+    XPLAIN_RETURN_IF_ERROR(db.AddRelation(std::move(relation)));
   }
   for (const ForeignKey& fk : spec.foreign_keys) {
-    XPLAIN_RETURN_NOT_OK(db.AddForeignKey(fk));
+    XPLAIN_RETURN_IF_ERROR(db.AddForeignKey(fk));
   }
   if (options.check_integrity) {
-    XPLAIN_RETURN_NOT_OK(db.CheckReferentialIntegrity());
+    XPLAIN_RETURN_IF_ERROR(db.CheckReferentialIntegrity());
   }
   if (options.semijoin_reduce) {
     db.SemijoinReduce();

@@ -18,11 +18,11 @@ struct LoadOptions {
 
 /// Persists `db` as a directory: `schema.ddl` plus one `<Relation>.csv` per
 /// relation. Creates the directory if needed; overwrites existing files.
-Status SaveDatabase(const Database& db, const std::string& directory);
+[[nodiscard]] Status SaveDatabase(const Database& db, const std::string& directory);
 
 /// Loads a database previously written by SaveDatabase (or hand-authored in
 /// the same layout).
-Result<Database> LoadDatabase(const std::string& directory,
+[[nodiscard]] Result<Database> LoadDatabase(const std::string& directory,
                               const LoadOptions& options = LoadOptions());
 
 }  // namespace xplain

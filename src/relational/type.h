@@ -20,7 +20,7 @@ enum class DataType : int {
 const char* DataTypeToString(DataType type);
 
 /// Parses a type name as produced by DataTypeToString.
-Result<DataType> DataTypeFromString(const std::string& name);
+[[nodiscard]] Result<DataType> DataTypeFromString(const std::string& name);
 
 /// True for kInt64 and kDouble.
 inline bool IsNumeric(DataType type) {

@@ -25,10 +25,10 @@ namespace xplain {
 class UniversalRelation {
  public:
   /// Builds U(D) over all rows of `db`.
-  static Result<UniversalRelation> Build(const Database& db);
+  [[nodiscard]] static Result<UniversalRelation> Build(const Database& db);
 
   /// Builds U(D - deleted): rows in `deleted` are excluded from the join.
-  static Result<UniversalRelation> Build(const Database& db,
+  [[nodiscard]] static Result<UniversalRelation> Build(const Database& db,
                                          const DeltaSet& deleted);
 
   const Database& db() const { return *db_; }

@@ -80,7 +80,7 @@ class Value {
   std::string ToUnquotedString() const;
 
   /// Parses a value of the requested type from text ("" parses to NULL).
-  static Result<Value> Parse(const std::string& text, DataType type);
+  [[nodiscard]] static Result<Value> Parse(const std::string& text, DataType type);
 
  private:
   // Variant index order must match DataType enumerator values.

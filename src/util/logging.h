@@ -31,6 +31,15 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+/// Turns a LogMessage stream expression into `void` so it can sit in the
+/// false branch of the ternary inside XPLAIN_CHECK. `operator&` binds
+/// looser than `<<` (so the whole message chain is consumed first) but
+/// tighter than `?:`.
+class LogMessageVoidify {
+ public:
+  void operator&(LogMessage&) {}
+};
+
 /// Returns the minimum level that is actually emitted (default kInfo).
 LogLevel GetLogThreshold();
 /// Sets the minimum emitted level; used by tests and benches to silence logs.
@@ -46,12 +55,26 @@ void SetLogThreshold(LogLevel level);
 /// Aborts with a message when `condition` is false. Used for internal
 /// invariants (programming errors), not for data-dependent failures -- those
 /// return Status.
+///
+/// Expands to a single expression (ternary + voidify, glog-style) so it
+/// nests safely inside unbraced if/else -- a bare `if (!(cond)) LogMessage`
+/// would swallow a following `else`.
 #define XPLAIN_CHECK(condition)                                          \
-  if (!(condition))                                                      \
-  ::xplain::internal::LogMessage(::xplain::internal::LogLevel::kFatal,   \
-                                 __FILE__, __LINE__)                     \
-      << "Check failed: " #condition " "
+  (condition)                                                            \
+      ? (void)0                                                          \
+      : ::xplain::internal::LogMessageVoidify() &                        \
+            ::xplain::internal::LogMessage(                              \
+                ::xplain::internal::LogLevel::kFatal, __FILE__, __LINE__) \
+                << "Check failed: " #condition " "
 
+/// Debug-only invariant check. In NDEBUG builds the condition is never
+/// evaluated (side effects do not fire), but it still compiles, so
+/// variables used only in DCHECKs do not become "unused".
+#ifdef NDEBUG
+#define XPLAIN_DCHECK(condition) \
+  while (false) XPLAIN_CHECK(condition)
+#else
 #define XPLAIN_DCHECK(condition) XPLAIN_CHECK(condition)
+#endif
 
 #endif  // XPLAIN_UTIL_LOGGING_H_

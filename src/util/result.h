@@ -14,8 +14,10 @@ namespace xplain {
 /// Mirrors arrow::Result. Accessing the value of an errored Result aborts
 /// (programming error), so callers must check `ok()` / use the
 /// XPLAIN_ASSIGN_OR_RETURN macro.
+/// Like Status, Result is [[nodiscard]]: dropping a returned Result is a
+/// compile error under -Werror.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit so functions can `return value;`).
   Result(T value)  // NOLINT(google-explicit-constructor)
@@ -33,9 +35,9 @@ class Result {
   Result(Result&&) = default;
   Result& operator=(Result&&) = default;
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
 
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   const T& ValueOrDie() const& {
     XPLAIN_CHECK(ok()) << "ValueOrDie on errored Result: " << status_.ToString();

@@ -28,7 +28,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// The OK status carries no allocation; error states allocate a small
 /// shared state. Statuses are cheap to copy and move.
-class Status {
+///
+/// The class is [[nodiscard]]: any function returning Status by value
+/// fails to compile under -Werror when the caller drops the return.
+/// Intentional drops must be explicit: `(void)expr;` or the
+/// XPLAIN_IGNORE_ERROR helper below.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -69,13 +74,15 @@ class Status {
     return Status(StatusCode::kIoError, std::move(message));
   }
 
-  bool ok() const { return state_ == nullptr; }
-  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  [[nodiscard]] bool ok() const { return state_ == nullptr; }
+  [[nodiscard]] StatusCode code() const {
+    return ok() ? StatusCode::kOk : state_->code;
+  }
   /// The error message; empty for OK.
-  const std::string& message() const;
+  [[nodiscard]] const std::string& message() const;
 
   /// "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   bool operator==(const Status& other) const {
     return code() == other.code() && message() == other.message();
@@ -89,13 +96,25 @@ class Status {
   std::shared_ptr<const State> state_;
 };
 
+/// Explicitly discards a Status/Result, e.g. for best-effort cleanup paths.
+/// Grep-able, unlike a bare (void) cast.
+template <typename T>
+void IgnoreError(T&&) {}
+
 }  // namespace xplain
 
-/// Propagates a non-OK Status from the enclosing function.
-#define XPLAIN_RETURN_NOT_OK(expr)                 \
+/// Propagates a non-OK Status from the enclosing function. Canonical
+/// spelling; XPLAIN_RETURN_NOT_OK is the legacy alias.
+#define XPLAIN_RETURN_IF_ERROR(expr)               \
   do {                                             \
     ::xplain::Status _st = (expr);                 \
     if (!_st.ok()) return _st;                     \
   } while (false)
+
+/// Legacy alias for XPLAIN_RETURN_IF_ERROR.
+#define XPLAIN_RETURN_NOT_OK(expr) XPLAIN_RETURN_IF_ERROR(expr)
+
+/// Explicitly drops an error return. Use sparingly; prefer propagation.
+#define XPLAIN_IGNORE_ERROR(expr) ::xplain::IgnoreError((expr))
 
 #endif  // XPLAIN_UTIL_STATUS_H_

@@ -1,0 +1,15 @@
+// Compile-fail fixture: silently dropping a returned Result<T> must not
+// compile under -Werror (class-level [[nodiscard]]). Driven by the
+// nodiscard_result_enforced ctest entry with WILL_FAIL.
+
+#include "util/result.h"
+
+namespace xplain {
+
+Result<int> MightFail() { return 7; }
+
+void Caller() {
+  MightFail();  // discarded Result: must trigger -Werror=unused-result
+}
+
+}  // namespace xplain

@@ -1,0 +1,15 @@
+// Compile-fail fixture: silently dropping a returned Status must not
+// compile under -Werror (class-level [[nodiscard]]). Driven by the
+// nodiscard_status_enforced ctest entry with WILL_FAIL.
+
+#include "util/status.h"
+
+namespace xplain {
+
+Status MightFail() { return Status::Internal("boom"); }
+
+void Caller() {
+  MightFail();  // discarded Status: must trigger -Werror=unused-result
+}
+
+}  // namespace xplain

@@ -1,0 +1,60 @@
+// Regression tests for the XPLAIN_CHECK / XPLAIN_DCHECK contracts:
+//  - XPLAIN_CHECK expands to a single expression, so it nests in unbraced
+//    if/else without swallowing the else (dangling-else hazard).
+//  - XPLAIN_CHECK aborts on failure.
+//  - XPLAIN_DCHECK side effects do not fire in NDEBUG TUs (see
+//    logging_ndebug_test.cc for the NDEBUG half).
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace {
+
+TEST(CheckTest, NestsInUnbracedIfElse) {
+  // With the old `if (!(cond)) LogMessage(...)` expansion the `else` below
+  // bound to the macro's hidden `if`, so `else_taken` stayed false.
+  bool else_taken = false;
+  if (false)
+    XPLAIN_CHECK(true);
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+
+  // Streaming a message must also work inside unbraced if/else.
+  bool then_taken = false;
+  if (true)
+    XPLAIN_CHECK(2 + 2 == 4) << "arithmetic broke";
+  else
+    then_taken = true;
+  EXPECT_FALSE(then_taken);
+}
+
+TEST(CheckTest, PassingCheckDoesNotEvaluateMessage) {
+  int message_evals = 0;
+  const auto count = [&message_evals]() {
+    ++message_evals;
+    return "msg";
+  };
+  XPLAIN_CHECK(true) << count();
+  // The false branch of the ternary is never evaluated when the condition
+  // holds, so the message expression must not run.
+  EXPECT_EQ(message_evals, 0);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(XPLAIN_CHECK(1 == 2) << "expected failure",
+               "Check failed: 1 == 2");
+}
+
+TEST(DcheckTest, EvaluatesInDebugTranslationUnits) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "this TU is compiled with NDEBUG";
+#else
+  int evals = 0;
+  XPLAIN_DCHECK(++evals > 0);
+  EXPECT_EQ(evals, 1);
+#endif
+}
+
+}  // namespace

@@ -1,0 +1,40 @@
+// Verifies that XPLAIN_DCHECK compiles to a no-op in NDEBUG translation
+// units: the condition is NOT evaluated, so side effects do not fire and
+// a false condition does not abort. This TU forces NDEBUG regardless of
+// the build type so the regression is covered even in Debug CI builds.
+
+#ifndef NDEBUG
+#define NDEBUG 1
+#endif
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace {
+
+TEST(DcheckNdebugTest, SideEffectsDoNotFire) {
+  int evals = 0;
+  XPLAIN_DCHECK(++evals > 0);
+  EXPECT_EQ(evals, 0) << "XPLAIN_DCHECK evaluated its condition under NDEBUG";
+}
+
+TEST(DcheckNdebugTest, FalseConditionDoesNotAbort) {
+  XPLAIN_DCHECK(false) << "must not abort under NDEBUG";
+  SUCCEED();
+}
+
+TEST(DcheckNdebugTest, VariablesOnlyUsedInDchecksStayUsed) {
+  // Under -Werror=unused-variable this TU would fail to compile if the
+  // NDEBUG expansion dropped the condition entirely.
+  const int invariant_input = 3;
+  XPLAIN_DCHECK(invariant_input == 3);
+  SUCCEED();
+}
+
+TEST(CheckNdebugDeathTest, CheckStillFiresUnderNdebug) {
+  // XPLAIN_CHECK (no D) must keep aborting in release builds.
+  EXPECT_DEATH(XPLAIN_CHECK(false) << "still fatal", "Check failed: false");
+}
+
+}  // namespace

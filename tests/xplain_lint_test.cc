@@ -1,0 +1,230 @@
+// Self-test for tools/xplain_lint: seeds each banned pattern into a
+// scratch src/ tree and asserts the lint flags it (exit 1, rule name in
+// the output), and that clean files pass (exit 0). The binary path is
+// injected by CMake as XPLAIN_LINT_BINARY.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct LintRun {
+  int exit_code;
+  std::string output;
+};
+
+LintRun RunLint(const fs::path& root) {
+  const std::string cmd = std::string(XPLAIN_LINT_BINARY) + " --root " +
+                          root.string() + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "failed to run " << cmd;
+  std::string output;
+  char buf[4096];
+  while (pipe != nullptr && fgets(buf, sizeof(buf), pipe) != nullptr) {
+    output += buf;
+  }
+  const int raw = pipe != nullptr ? pclose(pipe) : -1;
+  const int code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  return {code, output};
+}
+
+class XplainLintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("xplain_lint_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "src" / "util");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void WriteFile(const std::string& rel, const std::string& content) {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << path;
+    out << content;
+  }
+
+  fs::path root_;
+};
+
+constexpr char kCleanHeader[] =
+    "#ifndef XPLAIN_UTIL_CLEAN_H_\n"
+    "#define XPLAIN_UTIL_CLEAN_H_\n"
+    "namespace xplain {\n"
+    "int Add(int a, int b);\n"
+    "}  // namespace xplain\n"
+    "#endif  // XPLAIN_UTIL_CLEAN_H_\n";
+
+TEST_F(XplainLintTest, CleanTreePasses) {
+  WriteFile("src/util/clean.h", kCleanHeader);
+  WriteFile("src/util/clean.cc",
+            "#include \"util/clean.h\"\n"
+            "namespace xplain {\n"
+            "int Add(int a, int b) { return a + b; }\n"
+            "}  // namespace xplain\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsWrongHeaderGuard) {
+  WriteFile("src/util/bad.h",
+            "#ifndef WRONG_GUARD_H\n"
+            "#define WRONG_GUARD_H\n"
+            "#endif\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("header-guard"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("XPLAIN_UTIL_BAD_H_"), std::string::npos)
+      << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsMissingHeaderGuard) {
+  WriteFile("src/util/bad.h", "#pragma once\nint x;\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("header-guard"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsStdCout) {
+  WriteFile("src/util/noisy.cc",
+            "#include <iostream>\n"
+            "void Shout() { std::cout << \"hi\\n\"; }\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-stdout"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsPrintf) {
+  WriteFile("src/util/noisy.cc",
+            "#include <cstdio>\n"
+            "void Shout() { printf(\"hi\\n\"); }\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("no-stdout"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsBannedFunctions) {
+  WriteFile("src/util/legacy.cc",
+            "#include <cstdlib>\n"
+            "int Parse(const char* s) { return atoi(s); }\n"
+            "int Roll() { return rand(); }\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("banned-fn"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("atoi"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("rand"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, DoesNotFlagBannedNamesInsideIdentifiers) {
+  WriteFile("src/util/fine.cc",
+            "int operand(int x) { return x; }\n"
+            "int Use() { return operand(3); }\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsIncludeOfCcFile) {
+  WriteFile("src/util/sneaky.cc", "#include \"util/other.cc\"\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("include-cc"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsUncheckedValueOrDie) {
+  WriteFile("src/util/unchecked.cc",
+            "int Use(Result<int> r) {\n"
+            "  return r.ValueOrDie();\n"
+            "}\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("valueordie-unchecked"), std::string::npos)
+      << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsUncheckedValueOrDieInOneLineFunction) {
+  // A single-line function body sits at brace depth 0 at line start; an
+  // ok() in an unrelated earlier function must not vouch for it.
+  WriteFile("src/util/oneliner.cc",
+            "bool Fine(Result<int> r) { return r.ok(); }\n"
+            "int Use(Result<int> r) { return r.ValueOrDie(); }\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("valueordie-unchecked"), std::string::npos)
+      << run.output;
+}
+
+TEST_F(XplainLintTest, AcceptsCheckedValueOrDieInOneLineFunction) {
+  WriteFile("src/util/oneliner.cc",
+            "int Use(Result<int> r) { return r.ok() ? r.ValueOrDie() : 0; }\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, AcceptsCheckedValueOrDie) {
+  WriteFile("src/util/checked.cc",
+            "int Use(Result<int> r) {\n"
+            "  if (!r.ok()) return -1;\n"
+            "  return r.ValueOrDie();\n"
+            "}\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, OkCheckInOuterScopeDoesNotCount) {
+  // The ok() check must be in (or before) the ValueOrDie's own scope
+  // region; a check in a *sibling* earlier function does not leak through
+  // because function bodies return to depth 0 between definitions.
+  WriteFile("src/util/sibling.cc",
+            "bool Check(Result<int> r) { return r.ok(); }\n"
+            "int NotChecked();\n"
+            "int Use(Result<int> r) {\n"
+            "  int pad = NotChecked();\n"
+            "  (void)pad;\n"
+            "  return r.ValueOrDie();\n"
+            "}\n");
+  const LintRun run = RunLint(root_);
+  // Scanning stops at the enclosing scope boundary (depth drop), so the
+  // ok() inside Check() must not satisfy Use()'s ValueOrDie.
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("valueordie-unchecked"), std::string::npos)
+      << run.output;
+}
+
+TEST_F(XplainLintTest, LintAllowCommentSuppresses) {
+  WriteFile("src/util/waived.cc",
+            "#include <cstdio>\n"
+            "void Shout() { printf(\"hi\\n\"); }  // xplain-lint: allow\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, PatternsInCommentsAndStringsIgnored) {
+  WriteFile("src/util/prose.cc",
+            "// don't use atoi() or std::cout here\n"
+            "/* rand() is banned */\n"
+            "const char* kMsg = \"call atoi(x) and printf(y)\";\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, MissingSrcDirIsUsageError) {
+  const LintRun run = RunLint(root_ / "nonexistent");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+}  // namespace

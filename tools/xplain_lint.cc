@@ -1,0 +1,350 @@
+// xplain_lint: repo-invariant checker for rules clang-tidy cannot express.
+//
+// Scans library code under <root>/src (line/token based, no libclang) and
+// enforces:
+//   [valueordie-unchecked] ValueOrDie() must be preceded by an ok() check
+//                          (or a checking macro) in the same scope.
+//   [no-stdout]            library code must not write to stdout via
+//                          std::cout / printf; use XPLAIN_LOG.
+//   [header-guard]         headers use guards named XPLAIN_<DIR>_<FILE>_H_.
+//   [include-cc]           no #include of .cc files.
+//   [banned-fn]            atoi / strtok / rand are banned (use
+//                          Value::Parse, string_util, datagen/rng.h).
+//
+// A line containing "xplain-lint: allow" is exempt from all rules.
+// Exit code: 0 = clean, 1 = findings, 2 = usage/IO error.
+//
+// Usage: xplain_lint [--root DIR]   (DIR defaults to the current directory)
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  size_t line;  // 1-based; 0 = whole file
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Finding> g_findings;
+
+void Report(const std::string& file, size_t line, const std::string& rule,
+            const std::string& message) {
+  g_findings.push_back({file, line, rule, message});
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Replaces comment and string-literal contents with spaces so token scans
+// do not fire on prose. Tracks /* */ state across lines via `in_block`.
+std::string StripCommentsAndStrings(const std::string& line, bool* in_block) {
+  std::string out;
+  out.reserve(line.size());
+  size_t i = 0;
+  while (i < line.size()) {
+    if (*in_block) {
+      if (line.compare(i, 2, "*/") == 0) {
+        *in_block = false;
+        out += "  ";
+        i += 2;
+      } else {
+        out += ' ';
+        ++i;
+      }
+      continue;
+    }
+    if (line.compare(i, 2, "//") == 0) {
+      out.append(line.size() - i, ' ');
+      break;
+    }
+    if (line.compare(i, 2, "/*") == 0) {
+      *in_block = true;
+      out += "  ";
+      i += 2;
+      continue;
+    }
+    if (line[i] == '"' || line[i] == '\'') {
+      const char quote = line[i];
+      out += quote;
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          out += "  ";
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        out += ' ';
+        ++i;
+      }
+      if (i < line.size()) {
+        out += quote;
+        ++i;
+      }
+      continue;
+    }
+    out += line[i];
+    ++i;
+  }
+  return out;
+}
+
+// True if `token` occurs in `text` as a whole identifier.
+bool HasToken(const std::string& text, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+// True if `token` occurs as an identifier immediately followed by '('.
+bool HasCall(const std::string& text, const std::string& token) {
+  size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    size_t end = pos + token.size();
+    while (end < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[end]))) {
+      ++end;
+    }
+    if (left_ok && end < text.size() && text[end] == '(') return true;
+    pos += token.size();
+  }
+  return false;
+}
+
+struct FileText {
+  std::vector<std::string> raw;       // original lines
+  std::vector<std::string> code;      // comment/string-stripped lines
+  std::vector<int> depth_at_start;    // brace depth before each line
+};
+
+bool LoadFile(const fs::path& path, FileText* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  bool in_block = false;
+  int depth = 0;
+  while (std::getline(in, line)) {
+    out->raw.push_back(line);
+    std::string code = StripCommentsAndStrings(line, &in_block);
+    out->depth_at_start.push_back(depth);
+    for (char c : code) {
+      if (c == '{') ++depth;
+      if (c == '}') depth = std::max(0, depth - 1);
+    }
+    out->code.push_back(std::move(code));
+  }
+  return true;
+}
+
+bool LineIsExempt(const std::string& raw) {
+  return raw.find("xplain-lint: allow") != std::string::npos;
+}
+
+// --- rules -----------------------------------------------------------------
+
+void CheckHeaderGuard(const std::string& display, const fs::path& rel,
+                      const FileText& text) {
+  std::string expected = "XPLAIN_";
+  for (const char c : rel.generic_string()) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      expected += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      expected += '_';
+    }
+  }
+  expected += '_';  // "util/status.h" -> "XPLAIN_UTIL_STATUS_H_"
+
+  size_t ifndef_line = 0;
+  std::string actual;
+  for (size_t i = 0; i < text.code.size(); ++i) {
+    const std::string& code = text.code[i];
+    const size_t pos = code.find("#ifndef");
+    if (pos == std::string::npos) continue;
+    size_t start = pos + 7;
+    while (start < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[start]))) {
+      ++start;
+    }
+    size_t end = start;
+    while (end < code.size() && IsIdentChar(code[end])) ++end;
+    actual = code.substr(start, end - start);
+    ifndef_line = i + 1;
+    break;
+  }
+  if (actual.empty()) {
+    Report(display, 0, "header-guard",
+           "missing include guard (expected " + expected + ")");
+    return;
+  }
+  if (actual != expected) {
+    Report(display, ifndef_line, "header-guard",
+           "guard is " + actual + ", expected " + expected);
+    return;
+  }
+  if (ifndef_line >= text.code.size() ||
+      !HasToken(text.code[ifndef_line], expected) ||
+      text.code[ifndef_line].find("#define") == std::string::npos) {
+    Report(display, ifndef_line, "header-guard",
+           "#ifndef " + expected + " not followed by matching #define");
+  }
+}
+
+void CheckLines(const std::string& display, const FileText& text,
+                bool is_header) {
+  (void)is_header;
+  // result.h defines ValueOrDie (and operator* forwards to it); the rule
+  // applies to callers, not the definition site.
+  const bool check_valueordie = display != "src/util/result.h";
+  for (size_t i = 0; i < text.code.size(); ++i) {
+    if (LineIsExempt(text.raw[i])) continue;
+    const std::string& code = text.code[i];
+    const size_t line_no = i + 1;
+
+    // [include-cc]
+    if (code.find("#include") != std::string::npos) {
+      const std::string& raw = text.raw[i];
+      if (raw.find(".cc\"") != std::string::npos ||
+          raw.find(".cc>") != std::string::npos) {
+        Report(display, line_no, "include-cc",
+               "#include of a .cc file; include the header instead");
+      }
+    }
+
+    // [no-stdout]
+    if (code.find("std::cout") != std::string::npos) {
+      Report(display, line_no, "no-stdout",
+             "std::cout in library code; use XPLAIN_LOG or take an ostream&");
+    }
+    for (const char* fn : {"printf", "fprintf", "puts", "putchar"}) {
+      if (HasCall(code, fn)) {
+        Report(display, line_no, "no-stdout",
+               std::string(fn) + " in library code; use XPLAIN_LOG");
+      }
+    }
+
+    // [banned-fn]
+    for (const char* fn : {"atoi", "strtok", "rand"}) {
+      if (HasCall(code, fn)) {
+        Report(display, line_no, "banned-fn",
+               std::string(fn) +
+                   "() is banned (use Value::Parse / string_util / "
+                   "datagen/rng.h)");
+      }
+    }
+
+    // [valueordie-unchecked]
+    if (check_valueordie && HasToken(code, "ValueOrDie")) {
+      const int scope_depth = text.depth_at_start[i];
+      bool checked = false;
+      // depth 0 at line start means file scope: the call sits in a
+      // one-line function body, so only a same-line ok() can vouch for
+      // it -- scanning back would leak checks from unrelated functions.
+      for (size_t j = i; scope_depth > 0 && j-- > 0;) {
+        if (text.depth_at_start[j] < scope_depth) break;  // left the scope
+        const std::string& prev = text.code[j];
+        if (prev.find("ok()") != std::string::npos ||
+            prev.find("XPLAIN_CHECK") != std::string::npos ||
+            prev.find("XPLAIN_DCHECK") != std::string::npos ||
+            prev.find("ASSERT_OK") != std::string::npos ||
+            prev.find("XPLAIN_ASSIGN_OR_RETURN") != std::string::npos) {
+          checked = true;
+          break;
+        }
+      }
+      // An ok() check on the same line (e.g. `r.ok() ? r.ValueOrDie() : d`)
+      // also counts.
+      if (code.find("ok()") != std::string::npos) checked = true;
+      if (!checked) {
+        Report(display, line_no, "valueordie-unchecked",
+               "ValueOrDie() without a preceding ok() check in this scope; "
+               "check ok() or use XPLAIN_ASSIGN_OR_RETURN");
+      }
+    }
+  }
+}
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cerr << "usage: xplain_lint [--root DIR]\n";
+      return 0;
+    } else {
+      std::cerr << "xplain_lint: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  const fs::path src_root = root / "src";
+  if (!fs::is_directory(src_root)) {
+    std::cerr << "xplain_lint: no src/ directory under " << root << "\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().generic_string();
+    if (HasSuffix(name, ".h") || HasSuffix(name, ".cc") ||
+        HasSuffix(name, ".cpp") || HasSuffix(name, ".hpp")) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& path : files) {
+    FileText text;
+    if (!LoadFile(path, &text)) {
+      std::cerr << "xplain_lint: cannot read " << path << "\n";
+      return 2;
+    }
+    const fs::path rel = fs::relative(path, src_root);
+    const std::string display = (fs::path("src") / rel).generic_string();
+    const bool is_header =
+        HasSuffix(display, ".h") || HasSuffix(display, ".hpp");
+    if (is_header) CheckHeaderGuard(display, rel, text);
+    CheckLines(display, text, is_header);
+  }
+
+  for (const Finding& f : g_findings) {
+    std::cerr << f.file;
+    if (f.line > 0) std::cerr << ":" << f.line;
+    std::cerr << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  if (!g_findings.empty()) {
+    std::cerr << "xplain_lint: " << g_findings.size() << " finding(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "xplain_lint: OK (" << files.size() << " files clean)\n";
+  return 0;
+}
