@@ -24,7 +24,8 @@ using bench::PrintRow;
 using bench::Unwrap;
 
 void RunComparison(const UniversalRelation& u, const UserQuestion& question,
-                   const std::vector<ColumnRef>& attrs, const char* label) {
+                   const std::vector<ColumnRef>& attrs, const char* label,
+                   bench::JsonReporter* json) {
   TableMOptions generic;
   generic.use_column_cache = false;
   TableMOptions columnar;
@@ -53,6 +54,10 @@ void RunComparison(const UniversalRelation& u, const UserQuestion& question,
   PrintRow({label, Fmt(g_s), Fmt(c_s),
             Fmt(g_s / std::max(c_s, 1e-9), 1) + "x",
             std::to_string(c.NumRows())});
+  json->Add(std::string("ablation_cube/") + label + "/generic", 1,
+            g_s * 1000.0);
+  json->Add(std::string("ablation_cube/") + label + "/columnar", 1,
+            c_s * 1000.0);
 }
 
 }  // namespace
@@ -62,6 +67,7 @@ int main() {
   using namespace xplain;         // NOLINT
   using namespace xplain::bench;  // NOLINT
 
+  JsonReporter json("ablation_cube");
   PrintHeader("Ablation: columnar (cached) vs generic cube in Algorithm 1");
   PrintRow({"workload", "generic_s", "columnar_s", "speedup", "cells"});
 
@@ -76,7 +82,7 @@ int main() {
     std::vector<ColumnRef> attrs = {
         Unwrap(db.ResolveColumn("Author.name")),
         Unwrap(db.ResolveColumn("Author.inst"))};
-    RunComparison(u, question, attrs, "dblp-join");
+    RunComparison(u, question, attrs, "dblp-join", &json);
   }
 
   // Natality: single table, 4 count(*) cubes (Q_Marital), 2..6 attrs.
@@ -94,7 +100,7 @@ int main() {
       attrs.push_back(Unwrap(db.ResolveColumn(kAttrs[i])));
     }
     std::string label = "natality-d" + std::to_string(num_attrs);
-    RunComparison(u, question, attrs, label.c_str());
+    RunComparison(u, question, attrs, label.c_str(), &json);
   }
   std::cout << "finding: near parity at these scales -- the encoding pass "
                "costs about what the integer group-bys save, and either "

@@ -15,6 +15,7 @@ int main() {
   using namespace xplain;         // NOLINT
   using namespace xplain::bench;  // NOLINT
 
+  JsonReporter json("ablation_fixpoint");
   PrintHeader("Ablation: Rule (ii) support scan vs pairwise semijoins");
   PrintRow({"scale", "|U|", "scan_ms", "pairwise_ms", "iters"});
   for (double scale : {0.25, 0.5, 1.0, 2.0}) {
@@ -46,6 +47,10 @@ int main() {
     }
     PrintRow({Fmt(scale, 2), std::to_string(u.NumRows()), Fmt(scan_ms, 2),
               Fmt(pair_ms, 2), std::to_string(scan_result.iterations)});
+    json.Add("ablation_fixpoint/scale=" + Fmt(scale, 2) + "/scan", 1,
+             scan_ms);
+    json.Add("ablation_fixpoint/scale=" + Fmt(scale, 2) + "/pairwise", 1,
+             pair_ms);
   }
   std::cout << "claim: the support scan amortizes better once U(D) is "
                "materialized anyway (Rule (i) needs it); pairwise passes "

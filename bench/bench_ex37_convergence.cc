@@ -14,6 +14,7 @@ int main() {
   using namespace xplain;         // NOLINT
   using namespace xplain::bench;  // NOLINT
 
+  JsonReporter json("ex37_convergence");
   PrintHeader("Example 3.7: iterations of program P on the worst-case chain");
   PrintRow({"p", "rows(n)", "iterations", "bound(n)", "time_ms"});
   for (int p : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}) {
@@ -27,6 +28,7 @@ int main() {
     PrintRow({std::to_string(p), std::to_string(wc.total_rows),
               std::to_string(result.iterations),
               std::to_string(wc.total_rows), Fmt(ms, 2)});
+    json.Add("ex37/fixpoint/p=" + std::to_string(p), 1, ms);
     if (result.iterations > wc.total_rows) {
       std::cerr << "BOUND VIOLATION (Prop 3.4)\n";
       return 1;

@@ -35,11 +35,13 @@ int main() {
   using namespace xplain;  // NOLINT
   using namespace xplain::bench;  // NOLINT
 
+  JsonReporter json("fig01_dblp_series");
   datagen::DblpOptions options;
   options.scale = 1.0;
   Stopwatch gen_watch;
   Database db = Unwrap(datagen::GenerateDblp(options), "GenerateDblp");
   UniversalRelation u = Unwrap(UniversalRelation::Build(db));
+  json.Add("fig01/generate+join", 1, gen_watch.ElapsedMillis());
   PrintHeader("Figure 1: SIGMOD papers per 5-year window, com vs edu");
   std::cout << "dataset: " << db.RelationByName("Author").NumRows()
             << " authors / " << db.RelationByName("Authored").NumRows()
@@ -47,6 +49,7 @@ int main() {
             << " publications (generated+joined in "
             << Fmt(gen_watch.ElapsedSeconds()) << " s)\n";
   PrintRow({"window", "com", "edu"});
+  Stopwatch series_watch;
   double com_peak = 0, com_last = 0, edu_first = -1, edu_last = 0;
   for (int start = options.year_begin; start + 4 <= options.year_end;
        start += 3) {
@@ -59,6 +62,7 @@ int main() {
     if (edu_first < 0) edu_first = edu;
     edu_last = edu;
   }
+  json.Add("fig01/window_series", 1, series_watch.ElapsedMillis());
   std::cout << "shape check: com declines from its peak ("
             << Fmt(com_peak, 0) << " -> " << Fmt(com_last, 0)
             << "), edu rises (" << Fmt(edu_first, 0) << " -> "

@@ -8,11 +8,13 @@
 #include "bench/bench_util.h"
 #include "core/engine.h"
 #include "datagen/dblp.h"
+#include "util/thread_pool.h"
 
 int main() {
   using namespace xplain;         // NOLINT
   using namespace xplain::bench;  // NOLINT
 
+  JsonReporter json("fig02_dblp_topk");
   datagen::DblpOptions options;
   options.scale = 1.0;
   Database db = Unwrap(datagen::GenerateDblp(options), "GenerateDblp");
@@ -31,6 +33,8 @@ int main() {
       engine.Explain(question, {"Author.name", "Author.inst"}, explain),
       "Explain");
   double elapsed = watch.ElapsedSeconds();
+  // num_threads = 0 resolves to one worker per hardware core.
+  json.Add("fig02/explain", ThreadPool::DefaultNumThreads(), elapsed * 1000.0);
 
   PrintRow({"rank", "explanation", "mu_interv"}, 10);
   int rank = 1;

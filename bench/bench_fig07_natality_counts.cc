@@ -27,6 +27,7 @@ int main() {
   using namespace xplain;         // NOLINT
   using namespace xplain::bench;  // NOLINT
 
+  JsonReporter json("fig07_natality_counts");
   datagen::NatalityOptions options;
   options.num_rows = 400000;
   Stopwatch watch;
@@ -34,6 +35,8 @@ int main() {
   UniversalRelation u = Unwrap(UniversalRelation::Build(db));
   std::cout << "synthetic natality: " << db.TotalRows() << " rows ("
             << Fmt(watch.ElapsedSeconds()) << " s to generate)\n";
+  json.Add("fig07/generate", 1, watch.ElapsedMillis());
+  Stopwatch tables_watch;
 
   PrintHeader("Figure 7a: counts by APGAR group and race");
   PrintRow({"AP", "White", "Black", "AmInd", "Asian"});
@@ -89,5 +92,6 @@ int main() {
   PrintRow({"unmarried", Fmt(unmarried, 1)});
   std::cout << "shape check (paper Q_Marital = 1.46): ratio-of-ratios = "
             << Fmt(married / unmarried, 2) << "\n";
+  json.Add("fig07/contingency_tables", 1, tables_watch.ElapsedMillis());
   return 0;
 }

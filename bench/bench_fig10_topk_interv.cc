@@ -4,6 +4,9 @@
 // first-trimester prenatal care, non-smokers, highly educated, age 30-34.
 // The same flavors must dominate here, and every intervention must move Q
 // in the inhibiting direction (Q(D - Delta) < Q(D) for dir = high).
+// Each question is additionally swept over 1/2/4/8 worker threads
+// (ExplainOptions::num_threads); the ranked answers must be identical at
+// every thread count (DESIGN.md §6).
 
 #include "bench/bench_util.h"
 #include "core/engine.h"
@@ -13,12 +16,24 @@ namespace xplain {
 namespace {
 
 using bench::Fmt;
+using bench::JsonReporter;
 using bench::PrintHeader;
 using bench::Unwrap;
 
-void Run(const Database& db, const ExplainEngine& engine,
-         const UserQuestion& question, const char* title,
-         const std::vector<std::string>& attrs) {
+/// True when the two rankings agree exactly: same rows, same degrees bit
+/// for bit (COUNT-based natality questions carry no fp merge slack).
+bool SameAnswers(const std::vector<RankedExplanation>& a,
+                 const std::vector<RankedExplanation>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].m_row != b[i].m_row || a[i].degree != b[i].degree) return false;
+  }
+  return true;
+}
+
+bool Run(const Database& db, const ExplainEngine& engine,
+         const UserQuestion& question, const char* title, const char* tag,
+         const std::vector<std::string>& attrs, JsonReporter* json) {
   PrintHeader(title);
   double q_d = Unwrap(question.query.Evaluate(db));
   std::cout << "Q(D) = " << Fmt(q_d) << "\n";
@@ -26,19 +41,39 @@ void Run(const Database& db, const ExplainEngine& engine,
   options.top_k = 5;
   options.min_support = 1000;  // the paper's support threshold
   options.minimality = MinimalityStrategy::kAppend;
-  Stopwatch watch;
-  ExplainReport report =
-      Unwrap(engine.Explain(question, attrs, options), title);
-  double elapsed = watch.ElapsedSeconds();
-  int rank = 1;
-  for (const RankedExplanation& e : report.explanations) {
-    // mu_interv = -Q(D - Delta) for dir = high.
-    std::cout << "  " << rank++ << ". " << e.explanation.ToString(db)
-              << "  mu_interv=" << Fmt(e.degree) << "  Q(D-Delta)="
-              << Fmt(-e.degree) << "\n";
+  std::vector<RankedExplanation> baseline;
+  double baseline_s = 1.0;
+  for (int threads : {1, 2, 4, 8}) {
+    options.num_threads = threads;
+    Stopwatch watch;
+    ExplainReport report =
+        Unwrap(engine.Explain(question, attrs, options), title);
+    double elapsed = watch.ElapsedSeconds();
+    json->Add(std::string(tag) + "/explain", threads, elapsed * 1000.0);
+    if (threads == 1) {
+      baseline = report.explanations;
+      baseline_s = elapsed;
+      int rank = 1;
+      for (const RankedExplanation& e : report.explanations) {
+        // mu_interv = -Q(D - Delta) for dir = high.
+        std::cout << "  " << rank++ << ". " << e.explanation.ToString(db)
+                  << "  mu_interv=" << Fmt(e.degree) << "  Q(D-Delta)="
+                  << Fmt(-e.degree) << "\n";
+      }
+      std::cout << "  time: " << Fmt(elapsed)
+                << " s (cube+join+top-5, paper: < 4 s on 4M rows)\n";
+    } else {
+      if (!SameAnswers(baseline, report.explanations)) {
+        std::cerr << "PARALLEL MISMATCH at " << threads << " threads for "
+                  << tag << "\n";
+        return false;
+      }
+      std::cout << "  threads=" << threads << ": " << Fmt(elapsed) << " s ("
+                << Fmt(baseline_s / std::max(elapsed, 1e-6), 2)
+                << "x), answers identical\n";
+    }
   }
-  std::cout << "  time: " << Fmt(elapsed)
-            << " s (cube+join+top-5, paper: < 4 s on 4M rows)\n";
+  return true;
 }
 
 }  // namespace
@@ -48,26 +83,39 @@ int main() {
   using namespace xplain;         // NOLINT
   using namespace xplain::bench;  // NOLINT
 
+  JsonReporter json("fig10_topk_interv");
+
   datagen::NatalityOptions options;
   options.num_rows = 400000;
   Database db = Unwrap(datagen::GenerateNatality(options));
   ExplainEngine engine = Unwrap(ExplainEngine::Create(&db));
   std::cout << "synthetic natality: " << db.TotalRows() << " rows\n";
 
-  Run(db, engine, Unwrap(datagen::MakeNatalityQRace(db)),
-      "Figure 10 (left): top-5 minimal explanations by intervention, Q_Race",
-      {"Birth.age", "Birth.tobacco", "Birth.prenatal", "Birth.education",
-       "Birth.marital"});
-  Run(db, engine, Unwrap(datagen::MakeNatalityQMarital(db)),
-      "Figure 10 (right): top-5 minimal explanations by intervention, "
-      "Q_Marital",
-      {"Birth.age", "Birth.tobacco", "Birth.prenatal", "Birth.education",
-       "Birth.race"});
+  bool ok = true;
+  ok = Run(db, engine, Unwrap(datagen::MakeNatalityQRace(db)),
+           "Figure 10 (left): top-5 minimal explanations by intervention, "
+           "Q_Race",
+           "fig10/q_race",
+           {"Birth.age", "Birth.tobacco", "Birth.prenatal", "Birth.education",
+            "Birth.marital"},
+           &json) &&
+       ok;
+  ok = Run(db, engine, Unwrap(datagen::MakeNatalityQMarital(db)),
+           "Figure 10 (right): top-5 minimal explanations by intervention, "
+           "Q_Marital",
+           "fig10/q_marital",
+           {"Birth.age", "Birth.tobacco", "Birth.prenatal", "Birth.education",
+            "Birth.race"},
+           &json) &&
+       ok;
   // The paper also ran Q'_Race = (Asian ratio)/(Black ratio) and reports
   // "similar observations" with the details omitted; regenerate them here.
-  Run(db, engine, Unwrap(datagen::MakeNatalityQRacePrime(db)),
-      "Section 5.1 (omitted in paper): top-5 by intervention, Q'_Race",
-      {"Birth.age", "Birth.tobacco", "Birth.prenatal", "Birth.education",
-       "Birth.marital"});
-  return 0;
+  ok = Run(db, engine, Unwrap(datagen::MakeNatalityQRacePrime(db)),
+           "Section 5.1 (omitted in paper): top-5 by intervention, Q'_Race",
+           "fig10/q_race_prime",
+           {"Birth.age", "Birth.tobacco", "Birth.prenatal", "Birth.education",
+            "Birth.marital"},
+           &json) &&
+       ok;
+  return ok ? 0 : 1;
 }

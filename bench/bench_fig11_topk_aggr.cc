@@ -7,17 +7,19 @@
 #include "bench/bench_util.h"
 #include "core/engine.h"
 #include "datagen/natality.h"
+#include "util/thread_pool.h"
 
 namespace xplain {
 namespace {
 
 using bench::Fmt;
+using bench::JsonReporter;
 using bench::PrintHeader;
 using bench::Unwrap;
 
 double Run(const Database& db, const ExplainEngine& engine,
-           const UserQuestion& question, const char* title,
-           const std::vector<std::string>& attrs) {
+           const UserQuestion& question, const char* title, const char* tag,
+           const std::vector<std::string>& attrs, JsonReporter* json) {
   PrintHeader(title);
   double q_d = Unwrap(question.query.Evaluate(db));
   std::cout << "Q(D) = " << Fmt(q_d) << "\n";
@@ -26,8 +28,10 @@ double Run(const Database& db, const ExplainEngine& engine,
   options.degree = DegreeKind::kAggravation;
   options.min_support = 1000;
   options.minimality = MinimalityStrategy::kAppend;
+  Stopwatch watch;
   ExplainReport report =
       Unwrap(engine.Explain(question, attrs, options), title);
+  json->Add(tag, ThreadPool::DefaultNumThreads(), watch.ElapsedMillis());
   int rank = 1;
   double total_bound = 0;
   for (const RankedExplanation& e : report.explanations) {
@@ -47,6 +51,7 @@ int main() {
   using namespace xplain;         // NOLINT
   using namespace xplain::bench;  // NOLINT
 
+  JsonReporter json("fig11_topk_aggr");
   datagen::NatalityOptions options;
   options.num_rows = 400000;
   Database db = Unwrap(datagen::GenerateNatality(options));
@@ -62,11 +67,11 @@ int main() {
   double aggr_bound = Run(
       db, engine, Unwrap(datagen::MakeNatalityQRace(db)),
       "Figure 11 (left): top-3 minimal explanations by aggravation, Q_Race",
-      race_attrs);
+      "fig11/q_race_aggr", race_attrs, &json);
   Run(db, engine, Unwrap(datagen::MakeNatalityQMarital(db)),
       "Figure 11 (right): top-3 minimal explanations by aggravation, "
       "Q_Marital",
-      marital_attrs);
+      "fig11/q_marital_aggr", marital_attrs, &json);
 
   // Shape check against Figure 10: aggravation answers are more specific.
   ExplainOptions interv;

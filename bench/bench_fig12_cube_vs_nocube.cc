@@ -4,12 +4,19 @@
 //  (b) number of candidate attributes vs time, on a 1% sample.
 // The claim to reproduce is the *dramatic* gap: No Cube grows with
 // (#candidate cells x input size) while Cube stays near a single scan.
+// Section (c) sweeps the parallel cube over 1/2/4/8 worker threads
+// (DESIGN.md §6) and verifies every parallel table M is byte-identical to
+// the sequential one.
+
+#include <cstring>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "core/cube_algorithm.h"
 #include "core/naive.h"
 #include "datagen/natality.h"
 #include "relational/universal.h"
+#include "util/thread_pool.h"
 
 namespace xplain {
 namespace {
@@ -28,12 +35,30 @@ std::vector<ColumnRef> Attrs(const Database& db,
   return attrs;
 }
 
+/// Bitwise comparison of two tables M: same canonical row order, same
+/// degree columns down to the last bit.
+bool BitIdentical(const TableM& a, const TableM& b) {
+  if (a.NumRows() != b.NumRows()) return false;
+  for (size_t row = 0; row < a.NumRows(); ++row) {
+    if (CompareTuples(a.coords[row], b.coords[row]) != 0) return false;
+  }
+  auto same_bits = [](const std::vector<double>& x,
+                      const std::vector<double>& y) {
+    return x.size() == y.size() &&
+           (x.empty() ||
+            std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) == 0);
+  };
+  return same_bits(a.mu_interv, b.mu_interv) && same_bits(a.mu_aggr, b.mu_aggr);
+}
+
 }  // namespace
 }  // namespace xplain
 
 int main() {
   using namespace xplain;         // NOLINT
   using namespace xplain::bench;  // NOLINT
+
+  JsonReporter json("fig12_cube_vs_nocube");
 
   const std::vector<std::string> kAllAttrs = {
       "Birth.age", "Birth.tobacco", "Birth.prenatal", "Birth.education",
@@ -61,6 +86,10 @@ int main() {
 
     PrintRow({std::to_string(rows), Fmt(cube_s), Fmt(naive_s),
               Fmt(naive_s / std::max(cube_s, 1e-6), 1) + "x"});
+    json.Add("fig12a/rows=" + std::to_string(rows) + "/cube", 1,
+             cube_s * 1000.0);
+    json.Add("fig12a/rows=" + std::to_string(rows) + "/nocube", 1,
+             naive_s * 1000.0);
   }
 
   PrintHeader(
@@ -86,8 +115,53 @@ int main() {
 
     PrintRow({std::to_string(num_attrs), Fmt(cube_s), Fmt(naive_s),
               Fmt(naive_s / std::max(cube_s, 1e-6), 1) + "x"});
+    json.Add("fig12b/attrs=" + std::to_string(num_attrs) + "/cube", 1,
+             cube_s * 1000.0);
+    json.Add("fig12b/attrs=" + std::to_string(num_attrs) + "/nocube", 1,
+             naive_s * 1000.0);
   }
   std::cout << "shape check: the No-Cube column grows multiplicatively with "
                "both axes; Cube stays near one scan (paper Figure 12).\n";
+
+  PrintHeader("Figure 12c: parallel cube, worker threads vs time (4 attrs)");
+  PrintRow({"threads", "cube_s", "speedup", "identical"});
+  datagen::NatalityOptions par_options;
+  par_options.num_rows = 2000000;
+  Database par_db = Unwrap(datagen::GenerateNatality(par_options));
+  UniversalRelation par_u = Unwrap(UniversalRelation::Build(par_db));
+  UserQuestion par_question = Unwrap(datagen::MakeNatalityQRace(par_db));
+  std::vector<ColumnRef> par_attrs =
+      Attrs(par_db, {"Birth.age", "Birth.tobacco", "Birth.prenatal",
+                     "Birth.education"});
+  TableM sequential;
+  double sequential_s = 1.0;
+  for (int threads : {1, 2, 4, 8}) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    TableMOptions mopts;
+    mopts.cube.pool = pool.get();
+    Stopwatch watch;
+    TableM table = Unwrap(ComputeTableM(par_u, par_question, par_attrs, mopts));
+    double seconds = watch.ElapsedSeconds();
+    bool identical = true;
+    if (threads == 1) {
+      sequential = std::move(table);
+      sequential_s = seconds;
+    } else {
+      identical = BitIdentical(sequential, table);
+      if (!identical) {
+        std::cerr << "PARALLEL MISMATCH at " << threads << " threads\n";
+        return 1;
+      }
+    }
+    PrintRow({std::to_string(threads), Fmt(seconds),
+              Fmt(sequential_s / std::max(seconds, 1e-6), 2) + "x",
+              identical ? "yes" : "NO"});
+    json.Add("fig12c/cube_parallel", threads, seconds * 1000.0);
+  }
+  std::cout << "determinism check: every parallel table M is byte-identical "
+               "to the sequential one (DESIGN.md §6). Speedup tracks the "
+               "machine's core count (hardware_concurrency = "
+            << ThreadPool::DefaultNumThreads() << " here).\n";
   return 0;
 }

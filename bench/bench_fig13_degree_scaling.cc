@@ -50,6 +50,8 @@ int main() {
       "Birth.education", "Birth.marital",  "Birth.sex",
       "Birth.hypertension", "Birth.diabetes"};
 
+  JsonReporter json("fig13_degree_scaling");
+
   PrintHeader("Figure 13a: data size vs time to compute all degrees");
   // The paper sweeps 0.01%..100% of the 4M-row natality file; we sweep the
   // same absolute sizes up to the full 4M.
@@ -65,6 +67,10 @@ int main() {
     double race_s = TimeTableM(u, q_race, attrs, nullptr);
     double marital_s = TimeTableM(u, q_marital, attrs, nullptr);
     PrintRow({std::to_string(rows), Fmt(race_s), Fmt(marital_s)});
+    json.Add("fig13a/rows=" + std::to_string(rows) + "/q_race", 1,
+             race_s * 1000.0);
+    json.Add("fig13a/rows=" + std::to_string(rows) + "/q_marital", 1,
+             marital_s * 1000.0);
   }
 
   PrintHeader("Figure 13b: #attributes vs time (full dataset, log growth)");
@@ -84,6 +90,10 @@ int main() {
     double marital_s = TimeTableM(u, q_marital, attrs, nullptr);
     PrintRow({std::to_string(num_attrs), Fmt(race_s), Fmt(marital_s),
               std::to_string(cells)});
+    json.Add("fig13b/attrs=" + std::to_string(num_attrs) + "/q_race", 1,
+             race_s * 1000.0);
+    json.Add("fig13b/attrs=" + std::to_string(num_attrs) + "/q_marital", 1,
+             marital_s * 1000.0);
   }
   std::cout << "shape check: Q_Marital ~ 2x Q_Race (4 cubes vs 2); time "
                "rises steeply with #attributes (paper Figure 13).\n";

@@ -38,6 +38,7 @@ int main() {
       "Birth.education", "Birth.marital",  "Birth.sex",
       "Birth.hypertension", "Birth.diabetes"};
 
+  JsonReporter json("fig14_minimal_topk");
   datagen::NatalityOptions options;
   options.num_rows = 400000;
   Database db = Unwrap(datagen::GenerateNatality(options));
@@ -66,6 +67,10 @@ int main() {
               Fmt(none_s, 4),
               run_self_join ? Fmt(self_s, 4) : std::string("(skipped)"),
               Fmt(append_s, 4)});
+    const std::string prefix = "fig14/attrs=" + std::to_string(num_attrs);
+    json.Add(prefix + "/no_minimal", 1, none_s * 1000.0);
+    if (run_self_join) json.Add(prefix + "/self_join", 1, self_s * 1000.0);
+    json.Add(prefix + "/append", 1, append_s * 1000.0);
   }
   std::cout << "shape check: no-minimal cheapest; self-join best for small "
                "M, append overtakes it as M grows (paper Figure 14).\n";

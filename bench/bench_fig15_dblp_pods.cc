@@ -10,6 +10,7 @@
 #include "core/topk.h"
 #include "datagen/dblp.h"
 #include "relational/parser.h"
+#include "util/thread_pool.h"
 
 namespace xplain {
 namespace {
@@ -37,6 +38,7 @@ int main() {
   using namespace xplain;         // NOLINT
   using namespace xplain::bench;  // NOLINT
 
+  JsonReporter json("fig15_dblp_pods");
   datagen::DblpOptions options;
   options.scale = 1.0;
   Database db = Unwrap(datagen::GenerateDblp(options));
@@ -77,6 +79,9 @@ int main() {
   auto top50 = TopKExplanations(report.table, DegreeKind::kIntervention, 50,
                                 MinimalityStrategy::kSelfJoin);
   double topk_ms = topk_watch.ElapsedMillis();
+  json.Add("fig15/explain", ThreadPool::DefaultNumThreads(),
+           m_seconds * 1000.0);
+  json.Add("fig15/top50_self_join", 1, topk_ms);
   std::cout << "table M: " << report.table.NumRows() << " rows in "
             << Fmt(m_seconds)
             << " s (paper: 2.176 s on SQLServer); top-50 self-join: "

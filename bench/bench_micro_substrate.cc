@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "core/intervention.h"
 #include "datagen/dblp.h"
 #include "datagen/natality.h"
@@ -162,5 +163,38 @@ void BM_HashIndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_HashIndexBuild);
 
+/// Console reporter that additionally records every finished run into the
+/// repo-wide BENCH_<name>.json format (bench_util.h JsonReporter).
+class JsonForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonForwardingReporter(bench::JsonReporter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      // GetAdjustedRealTime is per-iteration real time expressed in the
+      // run's time unit; normalize to milliseconds.
+      const double ms = run.GetAdjustedRealTime() /
+                        benchmark::GetTimeUnitMultiplier(run.time_unit) *
+                        1000.0;
+      json_->Add(run.benchmark_name(), run.threads, ms);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::JsonReporter* json_;
+};
+
 }  // namespace
 }  // namespace xplain
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  xplain::bench::JsonReporter json("micro_substrate");
+  xplain::JsonForwardingReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,7 @@
 #define XPLAIN_BENCH_BENCH_UTIL_H_
 
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -41,6 +42,94 @@ inline std::string Fmt(double v, int precision = 3) {
   os << std::fixed << std::setprecision(precision) << v;
   return os.str();
 }
+
+/// Machine-readable companion to the printed tables: collects one record
+/// per measured configuration and writes `BENCH_<name>.json` into the
+/// working directory. One object per bench binary:
+///
+///   {"bench": "<name>",
+///    "records": [
+///      {"workload": "<label>", "threads": <N>, "wall_ms": <X.XXX>}, ...]}
+///
+/// `threads` is the worker count the measured step actually used (1 for
+/// the sequential paths). Construct one reporter at the top of main();
+/// the destructor writes the file, or call Write() explicitly to flush
+/// early (a second Write is a no-op).
+///
+/// Thread-safety: externally synchronized -- benches record from main().
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string name) : name_(std::move(name)) {}
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+  ~JsonReporter() { Write(); }
+
+  void Add(const std::string& workload, int threads, double wall_ms) {
+    records_.push_back(Record{workload, threads, wall_ms});
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench error: cannot write " << path << std::endl;
+      return;
+    }
+    out << "{\n  \"bench\": \"" << Escape(name_) << "\",\n  \"records\": [";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out << (i == 0 ? "" : ",") << "\n    {\"workload\": \""
+          << Escape(r.workload) << "\", \"threads\": " << r.threads
+          << ", \"wall_ms\": " << Fmt(r.wall_ms) << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::cout << "wrote " << path << " (" << records_.size() << " records)\n";
+  }
+
+ private:
+  struct Record {
+    std::string workload;
+    int threads;
+    double wall_ms;
+  };
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            std::ostringstream os;
+            os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+               << static_cast<int>(c);
+            out += os.str();
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Record> records_;
+  bool written_ = false;
+};
 
 }  // namespace bench
 }  // namespace xplain

@@ -12,6 +12,7 @@ namespace xplain {
 /// Outcome of the intervention-additivity check (paper Def. 4.2): whether
 ///   q(D - Delta^phi) = q(D) - q(D_phi)   for every phi,
 /// which is the precondition for computing mu_interv with the data cube.
+/// Thread-safety: plain data, externally synchronized.
 struct AdditivityReport {
   bool additive = false;
   std::string reason;

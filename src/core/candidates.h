@@ -20,6 +20,8 @@ namespace xplain {
 /// equi-depth histograms and disjunctions from pairing the strongest
 /// equality cells, and both are scored exactly with program P.
 
+/// Knobs for GenerateRangeCandidates.
+/// Thread-safety: plain data, externally synchronized.
 struct RangeCandidateOptions {
   /// Number of base (equi-depth) buckets per attribute.
   int num_buckets = 4;
@@ -43,6 +45,7 @@ std::vector<DnfPredicate> GenerateDisjunctionCandidates(const TableM& table,
                                                         size_t top_n);
 
 /// One scored extended candidate.
+/// Thread-safety: plain data, externally synchronized.
 struct ScoredCandidate {
   DnfPredicate predicate;
   double degree = 0.0;

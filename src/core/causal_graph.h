@@ -15,6 +15,8 @@ namespace xplain {
 /// The schema causal graph G (paper Def. 3.8): one node per relation, a
 /// solid edge parent -> child for every foreign key, and a dotted edge
 /// child -> parent for every back-and-forth foreign key.
+/// Thread-safety: immutable after construction; const accessors are safe
+/// to call concurrently.
 class SchemaCausalGraph {
  public:
   struct Edge {
@@ -60,6 +62,8 @@ class SchemaCausalGraph {
 /// also contains t_i; a dotted edge t_j -> t_i for every back-and-forth FK
 /// edge with t_j.fk = t_i.pk. Intended as an analysis tool on small-to-
 /// medium instances (O(|U| * k^2) construction).
+/// Thread-safety: immutable after construction; const accessors are safe
+/// to call concurrently.
 class DataCausalGraph {
  public:
   struct Node {

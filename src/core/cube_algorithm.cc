@@ -1,6 +1,7 @@
 #include "core/cube_algorithm.h"
 
 #include "core/degree.h"
+#include "util/thread_pool.h"
 
 namespace xplain {
 
@@ -125,23 +126,31 @@ Result<TableM> ComputeTableM(const UniversalRelation& universal,
     }
   }
 
-  // Steps 4-5: degree columns.
+  // Steps 4-5: degree columns. Rows are independent, so shards write
+  // disjoint ranges of the preallocated columns; each row's arithmetic is
+  // identical to the sequential path, keeping the columns bit-identical
+  // for every thread count.
   const double interv_sign = InterventionSign(question.direction);
   const double aggr_sign = AggravationSign(question.direction);
   const size_t rows = table.coords.size();
-  table.mu_interv.reserve(rows);
-  table.mu_aggr.reserve(rows);
-  std::vector<double> vars(m);
-  for (size_t row = 0; row < rows; ++row) {
-    for (int j = 0; j < m; ++j) {
-      vars[j] = table.original_values[j] - table.subquery_values[j][row];
-    }
-    table.mu_interv.push_back(interv_sign * query.Combine(vars));
-    for (int j = 0; j < m; ++j) {
-      vars[j] = table.subquery_values[j][row];
-    }
-    table.mu_aggr.push_back(aggr_sign * query.Combine(vars));
-  }
+  table.mu_interv.assign(rows, 0.0);
+  table.mu_aggr.assign(rows, 0.0);
+  XPLAIN_RETURN_IF_ERROR(ParallelShards(
+      options.cube.pool, rows, [&](int, size_t begin, size_t end) {
+        std::vector<double> vars(m);
+        for (size_t row = begin; row < end; ++row) {
+          for (int j = 0; j < m; ++j) {
+            vars[j] =
+                table.original_values[j] - table.subquery_values[j][row];
+          }
+          table.mu_interv[row] = interv_sign * query.Combine(vars);
+          for (int j = 0; j < m; ++j) {
+            vars[j] = table.subquery_values[j][row];
+          }
+          table.mu_aggr[row] = aggr_sign * query.Combine(vars);
+        }
+        return Status::OK();
+      }));
   return table;
 }
 

@@ -14,7 +14,9 @@ namespace xplain {
 /// The materialized table M of Algorithm 1: one row per candidate
 /// explanation (cube cell over the candidate attributes A'), carrying the
 /// per-subquery cube values v_j(phi) = q_j(D_phi) and the two degree
-/// columns.
+/// columns. Rows are in canonical (lexicographic coordinate) order.
+/// Thread-safety: safe for concurrent const access once computed;
+/// mutation (e.g. the engine's exact rescore) is externally synchronized.
 struct TableM {
   std::vector<ColumnRef> attributes;
   /// Cell coordinates; NULL = don't care. Includes the trivial all-NULL row.
@@ -37,7 +39,11 @@ struct TableM {
   int64_t FindRow(const Tuple& cell) const;
 };
 
+/// Options for ComputeTableM.
+/// Thread-safety: plain data, externally synchronized.
 struct TableMOptions {
+  /// Cube evaluation options; set `cube.pool` to shard the cube scans,
+  /// rollups, and the degree columns across a ThreadPool (DESIGN.md §6).
   CubeOptions cube;
   /// Keep only rows where at least one v_j reaches this support (the paper
   /// used 1000 on natality). 0 keeps everything.

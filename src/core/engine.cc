@@ -1,7 +1,10 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
+
+#include "util/thread_pool.h"
 
 namespace xplain {
 
@@ -63,9 +66,20 @@ Result<ExplainReport> ExplainEngine::ExplainResolved(
   report.cell_additivity = CheckCellAdditivity(*universal_, question.query);
   report.used_cube = options.use_cube;
 
+  // The parallel execution layer (DESIGN.md §6): one pool per Explain
+  // call, shared by the cube shards, the top-K scans, and the exact
+  // rescoring. num_threads == 1 (or a single-core machine) keeps `workers`
+  // null — the exact sequential legacy path.
+  const int num_threads = options.num_threads == 0
+                              ? ThreadPool::DefaultNumThreads()
+                              : options.num_threads;
+  std::unique_ptr<ThreadPool> workers;
+  if (num_threads > 1) workers = std::make_unique<ThreadPool>(num_threads);
+
   if (options.use_cube) {
     TableMOptions table_options;
     table_options.cube = options.cube;
+    table_options.cube.pool = workers.get();
     table_options.min_support = options.min_support;
     XPLAIN_ASSIGN_OR_RETURN(
         report.table,
@@ -81,8 +95,9 @@ Result<ExplainReport> ExplainEngine::ExplainResolved(
   const bool need_exact = options.degree == DegreeKind::kIntervention &&
                           !report.cell_additivity.additive;
   if (!need_exact) {
-    report.explanations = TopKExplanations(report.table, options.degree,
-                                           options.top_k, options.minimality);
+    report.explanations =
+        TopKExplanations(report.table, options.degree, options.top_k,
+                         options.minimality, workers.get());
     return report;
   }
 
@@ -102,15 +117,26 @@ Result<ExplainReport> ExplainEngine::ExplainResolved(
       report.table, DegreeKind::kIntervention, pool_size,
       options.minimality == MinimalityStrategy::kNone
           ? MinimalityStrategy::kNone
-          : MinimalityStrategy::kSelfJoin);
-  for (RankedExplanation& candidate : pool) {
-    XPLAIN_ASSIGN_OR_RETURN(
-        double exact,
-        InterventionDegreeExact(*intervention_, question,
-                                candidate.explanation.predicate()));
-    candidate.degree = exact;
+          : MinimalityStrategy::kSelfJoin,
+      workers.get());
+  // Each candidate's program-P evaluation is independent; shards write
+  // disjoint slots of `exact`, so the degrees (and the stable sort below)
+  // match the sequential path bit for bit.
+  std::vector<double> exact(pool.size(), 0.0);
+  XPLAIN_RETURN_IF_ERROR(ParallelShards(
+      workers.get(), pool.size(), [&](int, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          XPLAIN_ASSIGN_OR_RETURN(
+              exact[i],
+              InterventionDegreeExact(*intervention_, question,
+                                      pool[i].explanation.predicate()));
+        }
+        return Status::OK();
+      }));
+  for (size_t i = 0; i < pool.size(); ++i) {
+    pool[i].degree = exact[i];
     // Keep table M in sync so follow-up minimality sees exact values.
-    report.table.mu_interv[candidate.m_row] = exact;
+    report.table.mu_interv[pool[i].m_row] = exact[i];
   }
   std::stable_sort(pool.begin(), pool.end(),
                    [](const RankedExplanation& a, const RankedExplanation& b) {

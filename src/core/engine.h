@@ -17,12 +17,20 @@
 
 namespace xplain {
 
+/// Per-question knobs for ExplainEngine::Explain.
+/// Thread-safety: plain data, externally synchronized.
 struct ExplainOptions {
   size_t top_k = 5;
   DegreeKind degree = DegreeKind::kIntervention;
   MinimalityStrategy minimality = MinimalityStrategy::kAppend;
   /// Support threshold on the cube cells (paper Section 5.1.1 used 1000).
   double min_support = 0.0;
+  /// Worker threads for the parallel execution layer (cube aggregation,
+  /// degree columns, top-K scans, exact rescoring). 0 = one thread per
+  /// hardware core (ThreadPool::DefaultNumThreads); 1 = the exact
+  /// sequential legacy path, no pool created. Results are bit-identical
+  /// for every setting (DESIGN.md §6).
+  int num_threads = 0;
   /// false selects the naive (No Cube) evaluation -- exponential; only for
   /// small candidate spaces and the Figure 12 baseline.
   bool use_cube = true;
@@ -37,6 +45,7 @@ struct ExplainOptions {
 };
 
 /// The outcome of one Explain call.
+/// Thread-safety: plain data, externally synchronized.
 struct ExplainReport {
   std::vector<RankedExplanation> explanations;
   /// Q(D), for reference (e.g. the paper reports Q_Race(D) = 79.3).
@@ -58,6 +67,14 @@ struct ExplainReport {
 /// Facade tying the pieces together: builds U(D) once, checks
 /// intervention-additivity, runs Algorithm 1 (or the naive baseline), and
 /// ranks candidate explanations with the requested minimality strategy.
+/// Each Explain call spins up its own ThreadPool when
+/// ExplainOptions::num_threads warrants one, so no pool state outlives a
+/// call.
+///
+/// Thread-safety: safe after construction — Explain only reads the
+/// engine, the database, and U(D), so concurrent Explain calls (each with
+/// their own options) are allowed. The `db` passed to Create must not be
+/// mutated while the engine exists.
 class ExplainEngine {
  public:
   /// `db` must outlive the engine. Fails if referential integrity does not

@@ -16,6 +16,8 @@ namespace xplain {
 /// candidate attribute list A' and a coordinate tuple where NULL means
 /// "don't care" — which the minimality machinery (paper Section 4.3) uses
 /// for subset/domination tests.
+/// Thread-safety: immutable value type after construction; const access
+/// is safe, mutation is externally synchronized.
 class Explanation {
  public:
   Explanation() = default;

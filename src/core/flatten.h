@@ -13,6 +13,7 @@ namespace xplain {
 /// back-and-forth foreign key with standard foreign keys by replicating the
 /// member-side tables into `fanout` copies and widening the collection
 /// relation into a fact table.
+/// Thread-safety: plain data, externally synchronized.
 struct FlattenResult {
   Database db;
   int fanout = 0;

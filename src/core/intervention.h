@@ -13,6 +13,8 @@
 
 namespace xplain {
 
+/// Knobs for InterventionEngine::Compute.
+/// Thread-safety: plain data, externally synchronized.
 struct InterventionOptions {
   /// Safety cap on fixpoint rounds; 0 means the theoretical bound n
   /// (Prop. 3.4) is used.
@@ -33,6 +35,7 @@ struct InterventionOptions {
 };
 
 /// Outcome of running program P (paper Section 3.1) for one explanation.
+/// Thread-safety: plain data, externally synchronized.
 struct InterventionResult {
   /// The fixpoint Delta = (Delta_1, ..., Delta_k).
   DeltaSet delta;
@@ -56,6 +59,7 @@ struct InterventionResult {
 };
 
 /// Report for the three conditions of Definition 2.6.
+/// Thread-safety: plain data, externally synchronized.
 struct ValidityReport {
   bool closed = false;            // condition 1 (cascade + backward cascade)
   bool semijoin_reduced = false;  // condition 2
@@ -75,6 +79,10 @@ struct ValidityReport {
 /// each Compute() is then O(iterations * |U| * k). Rule (ii) exploits that
 /// U(D - Delta) is exactly the set of U(D) rows all of whose base tuples
 /// survive Delta, so one rule application is a support scan over U.
+///
+/// Thread-safety: safe after construction -- Compute() only reads the
+/// shared U(D), so concurrent Compute calls are allowed (the parallel
+/// exact-rescore path in ExplainEngine relies on this).
 class InterventionEngine {
  public:
   /// `universal` must outlive the engine.
@@ -134,6 +142,7 @@ class InterventionEngine {
 ValidityReport VerifyIntervention(const Database& db,
                                   const ConjunctivePredicate& phi,
                                   const DeltaSet& delta);
+/// DNF overload of the validity check above.
 ValidityReport VerifyIntervention(const Database& db, const DnfPredicate& phi,
                                   const DeltaSet& delta);
 

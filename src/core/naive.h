@@ -5,6 +5,8 @@
 
 namespace xplain {
 
+/// Knobs for ComputeTableMNaive.
+/// Thread-safety: plain data, externally synchronized.
 struct NaiveOptions {
   /// Abort when the candidate-cell product exceeds this cap (the naive
   /// algorithm is exponential in the number of attributes; this guards the

@@ -1,6 +1,7 @@
 #include "core/topk.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace xplain {
 
@@ -86,56 +87,112 @@ bool IsDominated(const TableM& table, DegreeKind kind, size_t phi_row) {
 
 std::vector<RankedExplanation> TopKExplanations(const TableM& table,
                                                 DegreeKind kind, size_t k,
-                                                MinimalityStrategy strategy) {
+                                                MinimalityStrategy strategy,
+                                                ThreadPool* pool) {
   std::vector<RankedExplanation> out;
   const size_t n = table.NumRows();
+  if (k == 0) return out;
 
   auto emit = [&](size_t row) {
     out.push_back(RankedExplanation{table.ExplanationAt(row),
                                     DegreeOf(table, kind, row), row});
   };
 
+  // Bounded top-k selection over the RankBefore total order: `heap` keeps
+  // the best <= k rows seen so far, with the *worst* kept row at the heap
+  // top so it can be evicted. Because RankBefore never ties (table M rows
+  // have distinct coordinates), the k best rows are a unique set — the
+  // result does not depend on scan or merge order.
+  // std::push_heap keeps the comparator-maximal element at front; ranking
+  // "better" rows as smaller therefore puts the worst kept row on top,
+  // where it can be compared and evicted in O(log k).
+  auto worst_on_top = [&](size_t a, size_t b) {
+    return RankBefore(table, kind, a, b);
+  };
+  auto heap_offer = [&](std::vector<size_t>& heap, size_t row) {
+    if (heap.size() < k) {
+      heap.push_back(row);
+      std::push_heap(heap.begin(), heap.end(), worst_on_top);
+    } else if (RankBefore(table, kind, row, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), worst_on_top);
+      heap.back() = row;
+      std::push_heap(heap.begin(), heap.end(), worst_on_top);
+    }
+  };
+
   switch (strategy) {
     case MinimalityStrategy::kNone:
     case MinimalityStrategy::kSelfJoin: {
-      std::vector<size_t> rows;
-      rows.reserve(n);
-      for (size_t row = 0; row < n; ++row) {
-        if (NumBound(table.coords[row]) == 0) continue;  // trivial
-        if (strategy == MinimalityStrategy::kSelfJoin &&
-            IsDominated(table, kind, row)) {
-          continue;
-        }
-        rows.push_back(row);
-      }
-      std::sort(rows.begin(), rows.end(), [&](size_t a, size_t b) {
+      // Sharded scan (domination tests included), merging each shard's
+      // local top-k into the shared heap behind `mu`.
+      std::vector<size_t> best;
+      std::mutex mu;
+      // The shard body is infallible; a non-OK status could only come from
+      // a translated exception (e.g. bad_alloc), which is a CHECK-level
+      // failure here since this API has no error channel.
+      Status scan_status = ParallelShards(
+          pool, n, [&](int, size_t begin, size_t end) {
+            std::vector<size_t> local;
+            for (size_t row = begin; row < end; ++row) {
+              if (NumBound(table.coords[row]) == 0) continue;  // trivial
+              if (strategy == MinimalityStrategy::kSelfJoin &&
+                  IsDominated(table, kind, row)) {
+                continue;
+              }
+              heap_offer(local, row);
+            }
+            std::lock_guard<std::mutex> lock(mu);
+            for (size_t row : local) heap_offer(best, row);
+            return Status::OK();
+          });
+      XPLAIN_CHECK(scan_status.ok()) << scan_status.ToString();
+      std::sort(best.begin(), best.end(), [&](size_t a, size_t b) {
         return RankBefore(table, kind, a, b);
       });
-      for (size_t i = 0; i < rows.size() && i < k; ++i) emit(rows[i]);
+      for (size_t row : best) emit(row);
       return out;
     }
     case MinimalityStrategy::kAppend: {
       std::vector<size_t> winners;
       for (size_t round = 0; round < k; ++round) {
+        // Parallel argmax: shards scan disjoint ranges (the winner list is
+        // read-only within a round) and race only for the shared best,
+        // which the total order makes unique.
         bool found = false;
         size_t best = 0;
-        for (size_t row = 0; row < n; ++row) {
-          if (NumBound(table.coords[row]) == 0) continue;
-          // Accumulated NOT(phi_i) clauses: skip any specialization of a
-          // previous winner (a row equal to a winner is also skipped).
-          bool excluded = false;
-          for (size_t w : winners) {
-            if (Specializes(table.coords[row], table.coords[w])) {
-              excluded = true;
-              break;
-            }
-          }
-          if (excluded) continue;
-          if (!found || RankBefore(table, kind, row, best)) {
-            best = row;
-            found = true;
-          }
-        }
+        std::mutex mu;
+        Status scan_status = ParallelShards(
+            pool, n, [&](int, size_t begin, size_t end) {
+              bool local_found = false;
+              size_t local_best = 0;
+              for (size_t row = begin; row < end; ++row) {
+                if (NumBound(table.coords[row]) == 0) continue;
+                // Accumulated NOT(phi_i) clauses: skip any specialization
+                // of a previous winner (a row equal to a winner is also
+                // skipped).
+                bool excluded = false;
+                for (size_t w : winners) {
+                  if (Specializes(table.coords[row], table.coords[w])) {
+                    excluded = true;
+                    break;
+                  }
+                }
+                if (excluded) continue;
+                if (!local_found ||
+                    RankBefore(table, kind, row, local_best)) {
+                  local_best = row;
+                  local_found = true;
+                }
+              }
+              if (!local_found) return Status::OK();
+              std::lock_guard<std::mutex> lock(mu);
+              if (!found || RankBefore(table, kind, local_best, best)) {
+                best = local_best;
+                found = true;
+              }
+              return Status::OK();
+            });
+        XPLAIN_CHECK(scan_status.ok()) << scan_status.ToString();
         if (!found) break;
         winners.push_back(best);
         emit(best);

@@ -5,6 +5,7 @@
 
 #include "core/cube_algorithm.h"
 #include "core/explanation.h"
+#include "util/thread_pool.h"
 
 namespace xplain {
 
@@ -30,10 +31,16 @@ enum class MinimalityStrategy {
   kAppend,
 };
 
+/// Printable name of a minimality strategy ("no-minimal", ...).
+/// Thread-safety: safe (pure).
 const char* MinimalityStrategyToString(MinimalityStrategy strategy);
+
+/// Printable name of a degree kind ("intervention", ...).
+/// Thread-safety: safe (pure).
 const char* DegreeKindToString(DegreeKind kind);
 
 /// One ranked answer.
+/// Thread-safety: plain data, externally synchronized.
 struct RankedExplanation {
   Explanation explanation;
   double degree = 0.0;
@@ -45,12 +52,23 @@ struct RankedExplanation {
 /// excluded. An explanation phi is *dominated* when some phi' binds a
 /// strict subset of phi's (attribute, value) pairs with degree(phi') >=
 /// degree(phi); minimal strategies drop dominated rows.
-std::vector<RankedExplanation> TopKExplanations(const TableM& table,
-                                                DegreeKind kind, size_t k,
-                                                MinimalityStrategy strategy);
+///
+/// With a non-null `pool`, the candidate scans (and domination tests) are
+/// sharded across its workers; shard results merge into a top-K heap
+/// behind a mutex. The ranking comparator is a strict total order (degree,
+/// then generality, then lexicographic coordinates — table M rows have
+/// distinct coordinates), so the output is bit-identical to the sequential
+/// path for every pool size (DESIGN.md §6).
+///
+/// Thread-safety: safe — reads `table` only; concurrent calls may share a
+/// table and a pool.
+std::vector<RankedExplanation> TopKExplanations(
+    const TableM& table, DegreeKind kind, size_t k,
+    MinimalityStrategy strategy, ThreadPool* pool = nullptr);
 
 /// True if row `phi_row` of `table` is dominated under `kind` (exposed for
 /// tests).
+/// Thread-safety: safe (reads `table` only).
 bool IsDominated(const TableM& table, DegreeKind kind, size_t phi_row);
 
 }  // namespace xplain

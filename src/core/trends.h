@@ -18,6 +18,7 @@ namespace xplain {
 ///   slope = sum_i w_i * q_i,   w_i = (x_i - xbar) / sum_j (x_j - xbar)^2
 /// -- linear in the q_i, so it fits Eq. (1) directly and inherits the
 /// cube/additivity machinery.
+/// Thread-safety: plain data, externally synchronized.
 struct SlopeQuestionSpec {
   /// The per-window aggregate (e.g. count(distinct Publication.pubid)).
   AggregateSpec agg;

@@ -19,56 +19,101 @@ Result<DataCube> DataCube::Compute(const UniversalRelation& universal,
         std::to_string(options.max_attributes));
   }
 
-  // Phase 1: full group-by into base cells.
+  // Phase 1: full group-by into base cells. With a pool, the input rows
+  // are partitioned into contiguous per-shard ranges aggregated into
+  // thread-local maps; the merge is exact because every accumulator kind
+  // is mergeable (count/sum add, min/max compare, distinct sets union) —
+  // the same cell-additivity that justifies the cube degrees in §4.
   const bool needs_column = agg.kind != AggregateKind::kCountStar;
-  std::unordered_map<Tuple, AggregateAccumulator, TupleHash, TupleEq> base;
+  using BaseMap =
+      std::unordered_map<Tuple, AggregateAccumulator, TupleHash, TupleEq>;
   const size_t n = universal.NumRows();
-  Tuple coords(d);
-  for (size_t u = 0; u < n; ++u) {
-    if (filter != nullptr && !filter->EvalUniversal(universal, u)) continue;
-    for (int i = 0; i < d; ++i) {
-      coords[i] = universal.ValueAt(u, attributes[i]);
-      if (coords[i].is_null()) {
-        // A data NULL would be indistinguishable from the lattice's
-        // don't-care marker (SQL's GROUPING() ambiguity); the paper's
-        // candidate attributes are recoded non-NULL categories.
-        return Status::InvalidArgument(
-            "cube attribute " + universal.db().ColumnName(attributes[i]) +
-            " contains NULL; recode NULLs before cubing");
+  ThreadPool* pool = options.pool;
+  const int shards = pool == nullptr ? 1 : std::max(pool->num_threads(), 1);
+  std::vector<BaseMap> base_locals(static_cast<size_t>(shards));
+  XPLAIN_RETURN_IF_ERROR(ParallelShards(
+      pool, n, [&](int shard, size_t begin, size_t end) -> Status {
+        BaseMap& local = base_locals[static_cast<size_t>(shard)];
+        Tuple coords(d);
+        for (size_t u = begin; u < end; ++u) {
+          if (filter != nullptr && !filter->EvalUniversal(universal, u)) {
+            continue;
+          }
+          for (int i = 0; i < d; ++i) {
+            coords[i] = universal.ValueAt(u, attributes[i]);
+            if (coords[i].is_null()) {
+              // A data NULL would be indistinguishable from the lattice's
+              // don't-care marker (SQL's GROUPING() ambiguity); the paper's
+              // candidate attributes are recoded non-NULL categories.
+              return Status::InvalidArgument(
+                  "cube attribute " +
+                  universal.db().ColumnName(attributes[i]) +
+                  " contains NULL; recode NULLs before cubing");
+            }
+          }
+          auto it = local.find(coords);
+          if (it == local.end()) {
+            it = local.emplace(coords, AggregateAccumulator(agg.kind)).first;
+          }
+          it->second.Add(needs_column ? universal.ValueAt(u, agg.column)
+                                      : Value::Null());
+        }
+        return Status::OK();
+      }));
+  // Merge in shard order so the combined map is reproducible for a fixed
+  // thread count.
+  BaseMap base = std::move(base_locals[0]);
+  for (size_t s = 1; s < base_locals.size(); ++s) {
+    for (auto& [coords, acc] : base_locals[s]) {
+      auto it = base.find(coords);
+      if (it == base.end()) {
+        base.emplace(std::move(coords), std::move(acc));
+      } else {
+        it->second.Merge(acc);
       }
     }
-    auto it = base.find(coords);
-    if (it == base.end()) {
-      it = base.emplace(coords, AggregateAccumulator(agg.kind)).first;
-    }
-    it->second.Add(needs_column ? universal.ValueAt(u, agg.column)
-                                : Value::Null());
   }
 
-  // Phase 2: roll every base cell up through the 2^d lattice.
-  std::unordered_map<Tuple, AggregateAccumulator, TupleHash, TupleEq> rolled;
-  rolled.reserve(base.size() * 2);
+  // Phase 2: roll every base cell up through the 2^d lattice. Sharding is
+  // by mask: two distinct masks null out different attribute subsets, so
+  // the cells they produce can never collide and each shard owns a
+  // disjoint slice of the output lattice (no merge needed).
   const uint32_t num_masks = 1u << d;
-  for (const auto& [full_coords, acc] : base) {
-    for (uint32_t mask = 0; mask < num_masks; ++mask) {
-      Tuple cell(d);
-      for (int i = 0; i < d; ++i) {
-        cell[i] = (mask & (1u << i)) ? full_coords[i] : Value::Null();
-      }
-      auto it = rolled.find(cell);
-      if (it == rolled.end()) {
-        it = rolled.emplace(std::move(cell), AggregateAccumulator(agg.kind))
-                 .first;
-      }
-      it->second.Merge(acc);
-    }
-  }
+  using RolledMap = BaseMap;
+  std::vector<RolledMap> rolled_locals(static_cast<size_t>(shards));
+  XPLAIN_RETURN_IF_ERROR(ParallelShards(
+      pool, num_masks, [&](int shard, size_t mask_begin, size_t mask_end) {
+        RolledMap& rolled = rolled_locals[static_cast<size_t>(shard)];
+        rolled.reserve(base.size());
+        for (const auto& [full_coords, acc] : base) {
+          for (size_t mask = mask_begin; mask < mask_end; ++mask) {
+            Tuple cell(d);
+            for (int i = 0; i < d; ++i) {
+              cell[i] =
+                  (mask & (1u << i)) ? full_coords[i] : Value::Null();
+            }
+            auto it = rolled.find(cell);
+            if (it == rolled.end()) {
+              it = rolled
+                       .emplace(std::move(cell),
+                                AggregateAccumulator(agg.kind))
+                       .first;
+            }
+            it->second.Merge(acc);
+          }
+        }
+        return Status::OK();
+      }));
 
   DataCube cube;
   cube.attributes_ = attributes;
-  cube.cells_.reserve(rolled.size());
-  for (const auto& [cell, acc] : rolled) {
-    cube.cells_.emplace(cell, acc.FinishNumeric());
+  size_t total_cells = 0;
+  for (const RolledMap& rolled : rolled_locals) total_cells += rolled.size();
+  cube.cells_.reserve(total_cells);
+  for (const RolledMap& rolled : rolled_locals) {
+    for (const auto& [cell, acc] : rolled) {
+      cube.cells_.emplace(cell, acc.FinishNumeric());
+    }
   }
   return cube;
 }
@@ -177,19 +222,35 @@ Result<DataCube> DataCube::ComputeCached(const ColumnCache& cache,
   };
 
   if (total_bits <= 64) {
-    // Fast path: packed uint64 keys.
-    std::unordered_map<uint64_t, FastAccumulator> base;
-    for (size_t u = 0; u < n; ++u) {
-      if (filter_rows != nullptr && !filter_rows->Test(u)) continue;
-      uint64_t key = 0;
-      for (int i = 0; i < d; ++i) {
-        key |= static_cast<uint64_t>(cache.Code(u, attr_indices[i]))
-               << shifts[i];
-      }
-      add_input(&base[key], u);
+    // Fast path: packed uint64 keys. Parallel scheme mirrors Compute():
+    // phase 1 shards the row scan into thread-local maps (merge is exact —
+    // counts add, distinct code sets union), phase 2 shards the rollup by
+    // mask, which yields disjoint output cells because the reserved ALL
+    // code marks exactly the masked-out attribute fields.
+    ThreadPool* pool = options.pool;
+    const int shards =
+        pool == nullptr ? 1 : std::max(pool->num_threads(), 1);
+    using BaseMap = std::unordered_map<uint64_t, FastAccumulator>;
+    std::vector<BaseMap> base_locals(static_cast<size_t>(shards));
+    XPLAIN_RETURN_IF_ERROR(ParallelShards(
+        pool, n, [&](int shard, size_t begin, size_t end) {
+          BaseMap& local = base_locals[static_cast<size_t>(shard)];
+          for (size_t u = begin; u < end; ++u) {
+            if (filter_rows != nullptr && !filter_rows->Test(u)) continue;
+            uint64_t key = 0;
+            for (int i = 0; i < d; ++i) {
+              key |= static_cast<uint64_t>(cache.Code(u, attr_indices[i]))
+                     << shifts[i];
+            }
+            add_input(&local[key], u);
+          }
+          return Status::OK();
+        }));
+    BaseMap base = std::move(base_locals[0]);
+    for (size_t s = 1; s < base_locals.size(); ++s) {
+      for (const auto& [key, acc] : base_locals[s]) base[key].Merge(acc);
     }
-    std::unordered_map<uint64_t, FastAccumulator> rolled;
-    rolled.reserve(base.size() * 2);
+
     // Precompute, per mask, the bits to clear and the ALL pattern to set.
     std::vector<uint64_t> clear_bits(num_masks, 0), set_all(num_masks, 0);
     for (uint32_t mask = 0; mask < num_masks; ++mask) {
@@ -206,33 +267,48 @@ Result<DataCube> DataCube::ComputeCached(const ColumnCache& cache,
         }
       }
     }
-    for (const auto& [full_key, acc] : base) {
-      for (uint32_t mask = 0; mask < num_masks; ++mask) {
-        uint64_t cell = (full_key & ~clear_bits[mask]) | set_all[mask];
-        rolled[cell].Merge(acc);
+    std::vector<BaseMap> rolled_locals(static_cast<size_t>(shards));
+    XPLAIN_RETURN_IF_ERROR(ParallelShards(
+        pool, num_masks, [&](int shard, size_t mask_begin, size_t mask_end) {
+          BaseMap& rolled = rolled_locals[static_cast<size_t>(shard)];
+          rolled.reserve(base.size());
+          for (const auto& [full_key, acc] : base) {
+            for (size_t mask = mask_begin; mask < mask_end; ++mask) {
+              uint64_t cell =
+                  (full_key & ~clear_bits[mask]) | set_all[mask];
+              rolled[cell].Merge(acc);
+            }
+          }
+          return Status::OK();
+        }));
+    size_t total_cells = 0;
+    for (const BaseMap& rolled : rolled_locals) total_cells += rolled.size();
+    cube.cells_.reserve(total_cells);
+    for (const BaseMap& rolled : rolled_locals) {
+      for (const auto& [cell_key, acc] : rolled) {
+        Tuple cell(d);
+        for (int i = 0; i < d; ++i) {
+          uint64_t next_shift =
+              (i + 1 < d) ? static_cast<uint64_t>(shifts[i + 1]) : 64;
+          uint64_t width = next_shift - shifts[i];
+          uint64_t mask_bits =
+              width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+          uint32_t code =
+              static_cast<uint32_t>((cell_key >> shifts[i]) & mask_bits);
+          cell[i] = code == all_codes[i]
+                        ? Value::Null()
+                        : cache.Decode(attr_indices[i], code);
+        }
+        cube.cells_.emplace(std::move(cell), finish(acc));
       }
-    }
-    cube.cells_.reserve(rolled.size());
-    for (const auto& [cell_key, acc] : rolled) {
-      Tuple cell(d);
-      for (int i = 0; i < d; ++i) {
-        uint64_t next_shift =
-            (i + 1 < d) ? static_cast<uint64_t>(shifts[i + 1]) : 64;
-        uint64_t width = next_shift - shifts[i];
-        uint64_t mask_bits =
-            width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
-        uint32_t code =
-            static_cast<uint32_t>((cell_key >> shifts[i]) & mask_bits);
-        cell[i] = code == all_codes[i]
-                      ? Value::Null()
-                      : cache.Decode(attr_indices[i], code);
-      }
-      cube.cells_.emplace(std::move(cell), finish(acc));
     }
     return cube;
   }
 
-  // General path: code-vector keys.
+  // General path: code-vector keys (> 64 bits of packed codes; only hit
+  // far beyond the paper's workloads). Kept sequential: the packed path
+  // above is the hot one, and a pool here would complicate the overflow
+  // fallback for no measured benefit.
   std::unordered_map<std::vector<uint32_t>, FastAccumulator, CodeVecHash>
       base;
   std::vector<uint32_t> key(d);
@@ -325,6 +401,17 @@ Result<CubeJoinResult> FullOuterJoinCubes(
         out.coords.push_back(coords);
       }
     }
+  }
+  // Canonical row order: the union above inherits the cubes' hash-map
+  // iteration order, which varies with how the cells were inserted (e.g.
+  // across num_threads settings). Sorting pins table M — and everything
+  // downstream of it — to a single representation (DESIGN.md §6).
+  std::sort(out.coords.begin(), out.coords.end(),
+            [](const Tuple& a, const Tuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  for (size_t row = 0; row < out.coords.size(); ++row) {
+    row_of[out.coords[row]] = row;
   }
   out.values.assign(cubes.size(), std::vector<double>(out.coords.size(), 0.0));
   for (size_t j = 0; j < cubes.size(); ++j) {

@@ -8,12 +8,22 @@
 #include "relational/column_cache.h"
 #include "relational/universal.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace xplain {
 
+/// Options for DataCube computation.
+/// Thread-safety: plain data, externally synchronized like any struct.
 struct CubeOptions {
   /// Hard cap on the number of cube attributes (2^d lattice).
   int max_attributes = 16;
+  /// Non-owning worker pool for the sharded cube evaluation (DESIGN.md §6):
+  /// the input scan is split into per-thread row ranges aggregated into
+  /// thread-local cell maps (merged exactly — cells are additive under any
+  /// disjoint partition of the input rows), and the 2^d rollup lattice is
+  /// partitioned by mask so shards emit disjoint cell sets. nullptr (the
+  /// default) runs the exact single-threaded legacy path.
+  ThreadPool* pool = nullptr;
 };
 
 /// The result of `GROUP BY ... WITH CUBE` over the universal relation for a
@@ -24,7 +34,12 @@ struct CubeOptions {
 /// Computation is two-phase: (1) group input rows into base cells keyed by
 /// the full attribute tuple; (2) roll every base cell up into all 2^d
 /// ancestor cells of the lattice. COUNT(DISTINCT) rolls up its value sets,
-/// so it is exact (not sum-based).
+/// so it is exact (not sum-based). Both phases shard across
+/// CubeOptions::pool when one is supplied (see DESIGN.md §6 for the
+/// determinism guarantee).
+///
+/// Thread-safety: a computed DataCube is immutable; all const accessors
+/// are safe to call concurrently.
 class DataCube {
  public:
   /// Computes the cube of `agg` over the rows of `universal` satisfying
@@ -69,6 +84,10 @@ class DataCube {
 /// The full outer join of m cubes over identical attribute lists: one row
 /// per coordinate appearing in any cube, with that cube's value or 0
 /// (paper Section 4.1: explanations missing from a cube count as zero).
+/// Rows are in canonical (lexicographic coordinate) order, so the joined
+/// table is identical however the input cubes were computed — in
+/// particular across num_threads settings.
+/// Thread-safety: plain data, externally synchronized.
 struct CubeJoinResult {
   std::vector<ColumnRef> attributes;
   std::vector<Tuple> coords;

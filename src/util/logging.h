@@ -12,6 +12,8 @@ enum class LogLevel { kDebug, kInfo, kWarning, kError, kFatal };
 
 /// Accumulates a message via operator<< and emits it (to stderr) on
 /// destruction; kFatal aborts the process.
+/// Thread-safety: each LogMessage is used by one thread (it lives for a
+/// single statement); the underlying stderr write is atomic per message.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -35,6 +37,7 @@ class LogMessage {
 /// false branch of the ternary inside XPLAIN_CHECK. `operator&` binds
 /// looser than `<<` (so the whole message chain is consumed first) but
 /// tighter than `?:`.
+/// Thread-safety: stateless; safe.
 class LogMessageVoidify {
  public:
   void operator&(LogMessage&) {}

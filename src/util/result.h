@@ -16,6 +16,8 @@ namespace xplain {
 /// XPLAIN_ASSIGN_OR_RETURN macro.
 /// Like Status, Result is [[nodiscard]]: dropping a returned Result is a
 /// compile error under -Werror.
+/// Thread-safety: a const Result is safe to read concurrently; mutation
+/// is externally synchronized (value semantics, no shared state).
 template <typename T>
 class [[nodiscard]] Result {
  public:

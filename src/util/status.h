@@ -33,6 +33,8 @@ const char* StatusCodeToString(StatusCode code);
 /// fails to compile under -Werror when the caller drops the return.
 /// Intentional drops must be explicit: `(void)expr;` or the
 /// XPLAIN_IGNORE_ERROR helper below.
+/// Thread-safety: a const Status is safe to read concurrently; mutation
+/// is externally synchronized (value semantics, no shared state).
 class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.

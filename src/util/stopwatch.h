@@ -6,6 +6,8 @@
 namespace xplain {
 
 /// Wall-clock stopwatch used by the benchmark harnesses.
+/// Thread-safety: each Stopwatch is used by one thread; distinct
+/// instances are independent.
 class Stopwatch {
  public:
   Stopwatch() : start_(Clock::now()) {}

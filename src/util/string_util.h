@@ -19,8 +19,9 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 /// ASCII lower-casing.
 std::string ToLower(std::string_view input);
 
-/// True if `input` starts with `prefix` / ends with `suffix`.
+/// True if `input` starts with `prefix`.
 bool StartsWith(std::string_view input, std::string_view prefix);
+/// True if `input` ends with `suffix`.
 bool EndsWith(std::string_view input, std::string_view suffix);
 
 /// Case-insensitive equality of two ASCII strings.

@@ -1,0 +1,82 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace xplain {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads == 0) num_threads = DefaultNumThreads();
+  num_threads_ = std::max(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+int ThreadPool::DefaultNumThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+void ThreadPool::Shutdown() {
+  std::call_once(shutdown_once_, [this]() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      // Drain the queue before exiting so Shutdown() is graceful: every
+      // future handed out by Submit() completes.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+Status ParallelShards(
+    ThreadPool* pool, size_t n,
+    const std::function<Status(int shard, size_t begin, size_t end)>& fn) {
+  const int shards =
+      pool == nullptr ? 1 : std::max(pool->num_threads(), 1);
+  if (shards <= 1 || n == 0) return fn(0, 0, n);
+
+  // Contiguous ranges: shard s gets rows [s*chunk, ...), the last shard
+  // takes the remainder. Ranges (not strided rows) keep each worker's
+  // accumulation order equal to the sequential order within its range.
+  const size_t chunk = (n + static_cast<size_t>(shards) - 1) /
+                       static_cast<size_t>(shards);
+  std::vector<std::future<Status>> futures;
+  futures.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    const size_t begin = std::min(static_cast<size_t>(s) * chunk, n);
+    const size_t end = std::min(begin + chunk, n);
+    futures.push_back(
+        pool->Submit([&fn, s, begin, end]() { return fn(s, begin, end); }));
+  }
+  // First error by shard index, so the reported Status does not depend on
+  // scheduling order.
+  Status first_error;
+  for (std::future<Status>& future : futures) {
+    Status st = future.get();
+    if (!st.ok() && first_error.ok()) first_error = std::move(st);
+  }
+  return first_error;
+}
+
+}  // namespace xplain

@@ -1,0 +1,132 @@
+#ifndef XPLAIN_UTIL_THREAD_POOL_H_
+#define XPLAIN_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace xplain {
+
+namespace internal {
+
+/// Tasks submitted to the pool must return Status or Result<T>, so a
+/// failing (or throwing) task always surfaces as an error value instead of
+/// crossing thread boundaries as an exception.
+template <typename T>
+struct IsStatusOrResult : std::false_type {};
+template <>
+struct IsStatusOrResult<Status> : std::true_type {};
+template <typename T>
+struct IsStatusOrResult<Result<T>> : std::true_type {};
+
+}  // namespace internal
+
+/// A fixed-size thread pool executing Status/Result-returning tasks.
+///
+/// Lifecycle: the constructor spawns `num_threads` workers; `Shutdown()`
+/// (or the destructor) stops accepting new work, drains every task already
+/// queued, and joins the workers — pending futures always complete.
+/// Tasks that throw are translated to `Status::Internal`, so exceptions
+/// never propagate across thread boundaries (the repo's error-handling
+/// contract, DESIGN.md §5, is exception-free at API boundaries).
+///
+/// Thread-safety: safe — Submit/Shutdown may be called concurrently from
+/// any thread. Tasks must not Submit to the pool they run on and then
+/// block on the returned future (deadlock risk when all workers wait);
+/// fan-out is driven from the caller, see ParallelShards.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means DefaultNumThreads(). Values
+  /// below zero are clamped to one worker.
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Calls Shutdown(): drains queued work, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// std::thread::hardware_concurrency(), or 1 when unknown.
+  static int DefaultNumThreads();
+
+  int num_threads() const { return num_threads_; }
+
+  /// Stops accepting new tasks, runs everything already queued to
+  /// completion, and joins the workers. Idempotent; safe to call from any
+  /// thread except a pool worker.
+  void Shutdown();
+
+  /// Enqueues `fn` and returns a future for its outcome. `fn` must return
+  /// Status or Result<T>; a thrown exception becomes Status::Internal.
+  /// After Shutdown() the task is not run and the future is immediately
+  /// ready with an Internal error.
+  template <typename Fn>
+  auto Submit(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    static_assert(internal::IsStatusOrResult<R>::value,
+                  "ThreadPool tasks must return Status or Result<T>");
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::move(fn)]() mutable -> R {
+          try {
+            return fn();
+          } catch (const std::exception& e) {
+            return Status::Internal(
+                std::string("uncaught exception in pool task: ") + e.what());
+          } catch (...) {
+            return Status::Internal("uncaught non-standard exception in pool task");
+          }
+        });
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        std::promise<R> rejected;
+        rejected.set_value(R(Status::Internal(
+            "task submitted after ThreadPool::Shutdown")));
+        return rejected.get_future();
+      }
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool shutdown_ = false;                    // guarded by mu_
+  std::once_flag shutdown_once_;
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+};
+
+/// Splits [0, n) into one contiguous range per pool worker and runs
+/// `fn(shard, begin, end)` for each; shard indices are dense in
+/// [0, num_shards). Blocks until every shard finished and returns the
+/// lowest-shard-index error (deterministic error selection), or OK.
+///
+/// With a null `pool`, a single-worker pool, or n == 0, runs fn(0, 0, n)
+/// inline on the calling thread — the exact sequential path.
+///
+/// Thread-safety: safe; `fn` runs concurrently on distinct shards and must
+/// only write shard-local state (e.g. locals[shard]).
+[[nodiscard]] Status ParallelShards(
+    ThreadPool* pool, size_t n,
+    const std::function<Status(int shard, size_t begin, size_t end)>& fn);
+
+}  // namespace xplain
+
+#endif  // XPLAIN_UTIL_THREAD_POOL_H_

@@ -1,0 +1,186 @@
+// Unit tests for util/thread_pool.h: Submit value/error propagation,
+// exception-to-Status translation, graceful shutdown under pending work,
+// submit-after-shutdown rejection, and ParallelShards coverage/error
+// semantics. Run under the tsan preset to validate the locking.
+
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xplain {
+namespace {
+
+TEST(ThreadPoolTest, DefaultNumThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+TEST(ThreadPoolTest, ReportsRequestedThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  ThreadPool clamped(-7);
+  EXPECT_EQ(clamped.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesResultValue) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([]() -> Result<int> { return 41 + 1; });
+  Result<int> result = future.get();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.ValueOrDie(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesStatusError) {
+  ThreadPool pool(2);
+  auto future = pool.Submit(
+      []() -> Status { return Status::InvalidArgument("bad shard"); });
+  Status status = future.get();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("bad shard"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ThrownExceptionBecomesInternalStatus) {
+  ThreadPool pool(2);
+  auto future = pool.Submit(
+      []() -> Status { throw std::runtime_error("boom"); });
+  Status status = future.get();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("boom"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ThrownExceptionInResultTaskBecomesError) {
+  ThreadPool pool(1);
+  auto future = pool.Submit(
+      []() -> Result<int> { throw std::runtime_error("kapow"); });
+  Result<int> result = future.get();
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("kapow"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsPendingWork) {
+  // Queue far more tasks than workers, then shut down immediately: every
+  // queued task must still run (graceful drain) and every future resolve.
+  std::atomic<int> executed{0};
+  std::vector<std::future<Status>> futures;
+  ThreadPool pool(2);
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([&executed]() -> Status {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }));
+  }
+  pool.Shutdown();
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();  // second call must be a no-op, not a double join
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  auto future = pool.Submit([]() -> Status { return Status::OK(); });
+  Status status = future.get();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("Shutdown"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithoutExplicitShutdown) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      // Futures intentionally dropped: destruction must still drain.
+      auto f = pool.Submit([&executed]() -> Status {
+        executed.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      });
+      (void)f;
+    }
+  }
+  EXPECT_EQ(executed.load(), 16);
+}
+
+TEST(ParallelShardsTest, NullPoolRunsInlineAsSingleShard) {
+  std::vector<int> shards;
+  Status status =
+      ParallelShards(nullptr, 10, [&](int shard, size_t begin, size_t end) {
+        shards.push_back(shard);
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 10u);
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(shards, std::vector<int>({0}));
+}
+
+TEST(ParallelShardsTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 1013;  // deliberately not a multiple of the shard count
+  std::vector<std::atomic<int>> hits(n);
+  Status status =
+      ParallelShards(&pool, n, [&](int, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelShardsTest, ShardLocalAccumulatorsSumExactly) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  std::vector<int64_t> locals(pool.num_threads(), 0);
+  Status status =
+      ParallelShards(&pool, n, [&](int shard, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          locals[shard] += static_cast<int64_t>(i);
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(status.ok());
+  const int64_t total = std::accumulate(locals.begin(), locals.end(),
+                                        static_cast<int64_t>(0));
+  EXPECT_EQ(total, static_cast<int64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelShardsTest, ReturnsLowestShardError) {
+  ThreadPool pool(4);
+  Status status =
+      ParallelShards(&pool, 100, [&](int shard, size_t, size_t) -> Status {
+        if (shard >= 1) {
+          return Status::InvalidArgument("shard " + std::to_string(shard));
+        }
+        return Status::OK();
+      });
+  EXPECT_FALSE(status.ok());
+  // Deterministic error selection: the lowest failing shard index wins
+  // regardless of completion order.
+  EXPECT_NE(status.ToString().find("shard 1"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ParallelShardsTest, EmptyRangeRunsInline) {
+  ThreadPool pool(4);
+  int calls = 0;
+  Status status = ParallelShards(&pool, 0, [&](int, size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, end);
+    return Status::OK();
+  });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace xplain

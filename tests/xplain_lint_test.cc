@@ -22,9 +22,11 @@ struct LintRun {
   std::string output;
 };
 
-LintRun RunLint(const fs::path& root) {
+LintRun RunLint(const fs::path& root, const std::string& extra_args = "") {
   const std::string cmd = std::string(XPLAIN_LINT_BINARY) + " --root " +
-                          root.string() + " 2>&1";
+                          root.string() +
+                          (extra_args.empty() ? "" : " " + extra_args) +
+                          " 2>&1";
   FILE* pipe = popen(cmd.c_str(), "r");
   EXPECT_NE(pipe, nullptr) << "failed to run " << cmd;
   std::string output;
@@ -66,6 +68,7 @@ constexpr char kCleanHeader[] =
     "#ifndef XPLAIN_UTIL_CLEAN_H_\n"
     "#define XPLAIN_UTIL_CLEAN_H_\n"
     "namespace xplain {\n"
+    "/// Adds two ints.\n"
     "int Add(int a, int b);\n"
     "}  // namespace xplain\n"
     "#endif  // XPLAIN_UTIL_CLEAN_H_\n";
@@ -225,6 +228,125 @@ TEST_F(XplainLintTest, PatternsInCommentsAndStringsIgnored) {
 TEST_F(XplainLintTest, MissingSrcDirIsUsageError) {
   const LintRun run = RunLint(root_ / "nonexistent");
   EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+// --- doc-comment / thread-safety-doc ---------------------------------------
+
+TEST_F(XplainLintTest, FlagsUndocumentedFunctionInCoreHeader) {
+  WriteFile("src/core/api.h",
+            "#ifndef XPLAIN_CORE_API_H_\n"
+            "#define XPLAIN_CORE_API_H_\n"
+            "namespace xplain {\n"
+            "int Frob(int x);\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_CORE_API_H_\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("doc-comment"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, UndocumentedFunctionOutsideCoreUtilIsFine) {
+  WriteFile("src/relational/api.h",
+            "#ifndef XPLAIN_RELATIONAL_API_H_\n"
+            "#define XPLAIN_RELATIONAL_API_H_\n"
+            "namespace xplain {\n"
+            "int Frob(int x);\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_RELATIONAL_API_H_\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsClassDocMissingThreadSafety) {
+  WriteFile("src/util/widget.h",
+            "#ifndef XPLAIN_UTIL_WIDGET_H_\n"
+            "#define XPLAIN_UTIL_WIDGET_H_\n"
+            "namespace xplain {\n"
+            "/// A widget, documented but silent on concurrency.\n"
+            "class Widget {\n"
+            " public:\n"
+            "  int size() const;\n"
+            "};\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_UTIL_WIDGET_H_\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("thread-safety-doc"), std::string::npos)
+      << run.output;
+}
+
+TEST_F(XplainLintTest, AcceptsDocumentedClassWithThreadSafety) {
+  WriteFile("src/util/widget.h",
+            "#ifndef XPLAIN_UTIL_WIDGET_H_\n"
+            "#define XPLAIN_UTIL_WIDGET_H_\n"
+            "namespace xplain {\n"
+            "/// A widget.\n"
+            "/// Thread-safety: immutable after construction.\n"
+            "class Widget {\n"
+            " public:\n"
+            "  /// The size.\n"
+            "  int size() const;\n"
+            "};\n"
+            "/// Frobs a widget.\n"
+            "int Frob(const Widget& w);\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_UTIL_WIDGET_H_\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, InternalNamespaceExemptFromDocRules) {
+  WriteFile("src/util/traits.h",
+            "#ifndef XPLAIN_UTIL_TRAITS_H_\n"
+            "#define XPLAIN_UTIL_TRAITS_H_\n"
+            "namespace xplain {\n"
+            "namespace internal {\n"
+            "struct Undocumented {};\n"
+            "int Helper(int x);\n"
+            "}  // namespace internal\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_UTIL_TRAITS_H_\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, ForwardDeclarationsNeedNoDoc) {
+  WriteFile("src/core/fwd.h",
+            "#ifndef XPLAIN_CORE_FWD_H_\n"
+            "#define XPLAIN_CORE_FWD_H_\n"
+            "namespace xplain {\n"
+            "class Engine;\n"
+            "struct Options;\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_CORE_FWD_H_\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, RulesFlagFiltersFindings) {
+  // A file with both a no-stdout and a doc-comment violation: filtering to
+  // doc-comment must hide the stdout finding and keep the doc one.
+  WriteFile("src/core/api.h",
+            "#ifndef XPLAIN_CORE_API_H_\n"
+            "#define XPLAIN_CORE_API_H_\n"
+            "namespace xplain {\n"
+            "int Frob(int x);\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_CORE_API_H_\n");
+  WriteFile("src/core/noisy.cc",
+            "#include <iostream>\n"
+            "void Shout() { std::cout << \"hi\"; }\n");
+  const LintRun all = RunLint(root_);
+  EXPECT_EQ(all.exit_code, 1) << all.output;
+  EXPECT_NE(all.output.find("no-stdout"), std::string::npos) << all.output;
+  const LintRun docs = RunLint(root_, "--rules doc-comment,thread-safety-doc");
+  EXPECT_EQ(docs.exit_code, 1) << docs.output;
+  EXPECT_NE(docs.output.find("doc-comment"), std::string::npos) << docs.output;
+  EXPECT_EQ(docs.output.find("no-stdout"), std::string::npos) << docs.output;
+  const LintRun other = RunLint(root_, "--rules no-stdout");
+  EXPECT_EQ(other.exit_code, 1) << other.output;
+  EXPECT_EQ(other.output.find("doc-comment"), std::string::npos)
+      << other.output;
 }
 
 }  // namespace

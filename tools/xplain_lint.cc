@@ -10,11 +10,19 @@
 //   [include-cc]           no #include of .cc files.
 //   [banned-fn]            atoi / strtok / rand are banned (use
 //                          Value::Parse, string_util, datagen/rng.h).
+//   [doc-comment]          headers under src/core/ and src/util/: every
+//                          namespace-scope class/struct/enum definition and
+//                          free function declaration carries a /// summary.
+//   [thread-safety-doc]    class/struct definitions in those headers state
+//                          their thread-safety in the /// block.
 //
 // A line containing "xplain-lint: allow" is exempt from all rules.
 // Exit code: 0 = clean, 1 = findings, 2 = usage/IO error.
 //
-// Usage: xplain_lint [--root DIR]   (DIR defaults to the current directory)
+// Usage: xplain_lint [--root DIR] [--rules R1,R2]
+//   DIR defaults to the current directory; --rules restricts reporting to
+//   the named rules (e.g. --rules doc-comment,thread-safety-doc for the
+//   docs CI job).
 
 #include <algorithm>
 #include <cctype>
@@ -287,16 +295,210 @@ bool HasSuffix(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+bool HasPrefix(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string TrimLeft(const std::string& s) {
+  size_t i = 0;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return s.substr(i);
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) c = static_cast<char>(
+      std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+// --- doc-comment rules -----------------------------------------------------
+//
+// Headers under src/core/ and src/util/ are the library's public surface:
+// every namespace-scope class/struct/enum definition and free function
+// declaration must be introduced by a /// comment, and class definitions
+// must state their thread-safety contract in that block. The scan is
+// token-based: braces opened by a `namespace` statement keep us "at
+// namespace scope"; any other brace (class body, function body) leaves it.
+
+/// True if the raw line immediately above `line` (0-based) is a ///
+/// comment; `block_start` receives the first line of the contiguous ///
+/// block when found.
+bool HasDocAbove(const FileText& text, size_t line, size_t* block_start) {
+  if (line == 0) return false;
+  size_t j = line;
+  while (j > 0 && HasPrefix(TrimLeft(text.raw[j - 1]), "///")) --j;
+  if (j == line) return false;
+  *block_start = j;
+  return true;
+}
+
+/// True if the /// block [block_start, block_end) mentions thread-safety.
+bool DocMentionsThreadSafety(const FileText& text, size_t block_start,
+                             size_t block_end) {
+  for (size_t j = block_start; j < block_end; ++j) {
+    const std::string lower = ToLower(text.raw[j]);
+    if (lower.find("thread-safe") != std::string::npos ||
+        lower.find("thread safe") != std::string::npos ||
+        lower.find("thread-compatible") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Strips a leading `template <...>` (angle-bracket balanced) from a
+/// joined declaration statement.
+std::string StripTemplatePrefix(const std::string& stmt) {
+  std::string s = TrimLeft(stmt);
+  while (HasPrefix(s, "template")) {
+    size_t i = 8;
+    while (i < s.size() && s[i] != '<') ++i;
+    if (i >= s.size()) return s;
+    int angle = 0;
+    for (; i < s.size(); ++i) {
+      if (s[i] == '<') ++angle;
+      if (s[i] == '>' && --angle == 0) {
+        ++i;
+        break;
+      }
+    }
+    s = TrimLeft(s.substr(i));
+  }
+  return s;
+}
+
+void CheckDocComments(const std::string& display, const FileText& text) {
+  // Brace stack entry per open brace: kNamespace for a public namespace,
+  // kInternal for namespace internal/detail (implementation surface, not
+  // checked), kOther for class/function bodies.
+  enum BraceKind { kNamespace, kInternal, kOther };
+  std::vector<BraceKind> ns_brace;
+  bool prev_backslash = false;  // previous raw line ended a macro with '\'
+  size_t i = 0;
+  while (i < text.code.size()) {
+    const std::string trimmed = TrimLeft(text.code[i]);
+    const bool at_ns_scope =
+        std::all_of(ns_brace.begin(), ns_brace.end(),
+                    [](BraceKind b) { return b == kNamespace; });
+    const bool macro_continuation = prev_backslash;
+    prev_backslash = !text.raw[i].empty() && text.raw[i].back() == '\\';
+
+    // Statement-start detection: namespace scope, real code, not a
+    // preprocessor line / closing brace / macro continuation.
+    const bool starts_statement =
+        at_ns_scope && !trimmed.empty() && trimmed[0] != '#' &&
+        trimmed[0] != '}' && !macro_continuation &&
+        !LineIsExempt(text.raw[i]);
+
+    size_t stmt_end = i;  // last line of the statement (inclusive)
+    std::string stmt;
+    if (starts_statement) {
+      // Join lines until the statement ends with ';' or opens a body '{'
+      // (whichever comes first), capped defensively.
+      bool open_brace = false;
+      for (size_t j = i; j < text.code.size() && j < i + 40; ++j) {
+        const std::string& code = text.code[j];
+        stmt += code;
+        stmt += ' ';
+        stmt_end = j;
+        const size_t brace = code.find('{');
+        const size_t semi = code.find(';');
+        if (brace != std::string::npos &&
+            (semi == std::string::npos || brace < semi)) {
+          open_brace = true;
+          break;
+        }
+        if (semi != std::string::npos) break;
+      }
+      const std::string decl = StripTemplatePrefix(stmt);
+      const bool is_class =
+          HasPrefix(decl, "class ") || HasPrefix(decl, "struct ");
+      const bool is_enum = HasPrefix(decl, "enum ");
+      const bool skip = HasPrefix(decl, "namespace") ||
+                        HasPrefix(decl, "using ") ||
+                        HasPrefix(decl, "typedef ") ||
+                        HasPrefix(decl, "extern ") ||
+                        HasPrefix(decl, "static_assert") ||
+                        HasPrefix(decl, "friend ");
+      const bool is_definition = open_brace;
+      const bool is_function =
+          !is_class && !is_enum && !skip &&
+          decl.find('(') != std::string::npos;
+      const size_t line_no = i + 1;
+      if (!skip && ((is_class && is_definition) || (is_enum && is_definition) ||
+                    is_function)) {
+        size_t block_start = 0;
+        if (!HasDocAbove(text, i, &block_start)) {
+          const char* what = is_class ? "class/struct definition"
+                            : is_enum ? "enum definition"
+                                      : "function declaration";
+          Report(display, line_no, "doc-comment",
+                 std::string(what) +
+                     " without a /// summary (public headers under "
+                     "src/core/ and src/util/ document their surface)");
+        } else if (is_class && is_definition &&
+                   !DocMentionsThreadSafety(text, block_start, i)) {
+          Report(display, line_no, "thread-safety-doc",
+                 "class/struct /// block does not state its thread-safety "
+                 "contract (e.g. \"Thread-safety: ...\")");
+        }
+      }
+    }
+
+    // Advance the brace stack over the lines we consumed.
+    for (size_t j = i; j <= stmt_end; ++j) {
+      const std::string& code = text.code[j];
+      // A '{' belongs to a namespace iff the statement fragment before it
+      // on this logical line mentions `namespace`.
+      size_t cursor = 0;
+      std::string fragment;
+      for (size_t pos = 0; pos < code.size(); ++pos) {
+        if (code[pos] == '{') {
+          fragment.append(code, cursor, pos - cursor);
+          BraceKind kind = kOther;
+          if (HasToken(fragment, "namespace")) {
+            kind = HasToken(fragment, "internal") || HasToken(fragment, "detail")
+                       ? kInternal
+                       : kNamespace;
+          }
+          ns_brace.push_back(kind);
+          fragment.clear();
+          cursor = pos + 1;
+        } else if (code[pos] == '}') {
+          fragment.clear();
+          cursor = pos + 1;
+          if (!ns_brace.empty()) ns_brace.pop_back();
+        } else if (code[pos] == ';') {
+          fragment.clear();
+          cursor = pos + 1;
+        }
+      }
+      if (cursor < code.size()) fragment.append(code, cursor);
+    }
+    i = stmt_end + 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root = ".";
+  std::vector<std::string> only_rules;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
+    } else if (arg == "--rules" && i + 1 < argc) {
+      std::string list = argv[++i];
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > start) only_rules.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+      }
     } else if (arg == "--help" || arg == "-h") {
-      std::cerr << "usage: xplain_lint [--root DIR]\n";
+      std::cerr << "usage: xplain_lint [--root DIR] [--rules R1,R2]\n";
       return 0;
     } else {
       std::cerr << "xplain_lint: unknown argument '" << arg << "'\n";
@@ -333,6 +535,20 @@ int main(int argc, char** argv) {
         HasSuffix(display, ".h") || HasSuffix(display, ".hpp");
     if (is_header) CheckHeaderGuard(display, rel, text);
     CheckLines(display, text, is_header);
+    if (is_header && (HasPrefix(display, "src/core/") ||
+                      HasPrefix(display, "src/util/"))) {
+      CheckDocComments(display, text);
+    }
+  }
+
+  if (!only_rules.empty()) {
+    g_findings.erase(
+        std::remove_if(g_findings.begin(), g_findings.end(),
+                       [&](const Finding& f) {
+                         return std::find(only_rules.begin(), only_rules.end(),
+                                          f.rule) == only_rules.end();
+                       }),
+        g_findings.end());
   }
 
   for (const Finding& f : g_findings) {
