@@ -1,12 +1,14 @@
 #ifndef XPLAIN_BENCH_BENCH_UTIL_H_
 #define XPLAIN_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/result.h"
@@ -43,6 +45,39 @@ inline std::string Fmt(double v, int precision = 3) {
   return os.str();
 }
 
+/// Wall-clock samples of one measured configuration: `min_ms` is the least
+/// noisy single sample, `median_ms` the robust central tendency reported as
+/// the headline number (a single sample is both).
+struct BenchTiming {
+  double min_ms = 0.0;
+  double median_ms = 0.0;
+  std::vector<double> samples_ms;
+};
+
+/// Runs `fn` `warmup` times unmeasured (cache/allocator warm-up), then
+/// `iterations` measured times, and returns min/median milliseconds.
+/// CI uses iterations >= 3 so one descheduled run cannot skew a record.
+template <typename Fn>
+BenchTiming MeasureMs(Fn&& fn, int iterations = 3, int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) fn();
+  BenchTiming timing;
+  const int n = std::max(iterations, 1);
+  timing.samples_ms.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Stopwatch watch;
+    fn();
+    timing.samples_ms.push_back(watch.ElapsedSeconds() * 1000.0);
+  }
+  std::vector<double> sorted = timing.samples_ms;
+  std::sort(sorted.begin(), sorted.end());
+  timing.min_ms = sorted.front();
+  const size_t mid = sorted.size() / 2;
+  timing.median_ms = sorted.size() % 2 == 1
+                         ? sorted[mid]
+                         : (sorted[mid - 1] + sorted[mid]) / 2.0;
+  return timing;
+}
+
 /// Machine-readable companion to the printed tables: collects one record
 /// per measured configuration and writes `BENCH_<name>.json` into the
 /// working directory. One object per bench binary:
@@ -65,7 +100,24 @@ class JsonReporter {
   ~JsonReporter() { Write(); }
 
   void Add(const std::string& workload, int threads, double wall_ms) {
-    records_.push_back(Record{workload, threads, wall_ms});
+    records_.push_back(Record{workload, threads, wall_ms, -1.0, -1.0, {}});
+  }
+
+  /// Multi-sample record: wall_ms is the median (headline number), with
+  /// wall_ms_min / wall_ms_median emitted alongside.
+  void AddTiming(const std::string& workload, int threads,
+                 const BenchTiming& timing) {
+    records_.push_back(Record{workload, threads, timing.median_ms,
+                              timing.min_ms, timing.median_ms, {}});
+  }
+
+  /// Record with extra flat stats keys (e.g. QueryStats::ToFlat()) merged
+  /// into the record object; keys must not collide with
+  /// workload/threads/wall_ms.
+  void AddStats(const std::string& workload, int threads, double wall_ms,
+                std::vector<std::pair<std::string, double>> stats) {
+    records_.push_back(
+        Record{workload, threads, wall_ms, -1.0, -1.0, std::move(stats)});
   }
 
   void Write() {
@@ -82,7 +134,15 @@ class JsonReporter {
       const Record& r = records_[i];
       out << (i == 0 ? "" : ",") << "\n    {\"workload\": \""
           << Escape(r.workload) << "\", \"threads\": " << r.threads
-          << ", \"wall_ms\": " << Fmt(r.wall_ms) << "}";
+          << ", \"wall_ms\": " << Fmt(r.wall_ms);
+      if (r.wall_ms_min >= 0.0) {
+        out << ", \"wall_ms_min\": " << Fmt(r.wall_ms_min)
+            << ", \"wall_ms_median\": " << Fmt(r.wall_ms_median);
+      }
+      for (const auto& [key, value] : r.stats) {
+        out << ", \"" << Escape(key) << "\": " << Fmt(value);
+      }
+      out << "}";
     }
     out << "\n  ]\n}\n";
     std::cout << "wrote " << path << " (" << records_.size() << " records)\n";
@@ -93,6 +153,9 @@ class JsonReporter {
     std::string workload;
     int threads;
     double wall_ms;
+    double wall_ms_min;     // < 0: single-sample record, keys omitted
+    double wall_ms_median;  // < 0: single-sample record, keys omitted
+    std::vector<std::pair<std::string, double>> stats;
   };
 
   static std::string Escape(const std::string& s) {

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace xplain {
 
 Result<std::vector<ConjunctivePredicate>> GenerateRangeCandidates(
     const UniversalRelation& universal, ColumnRef column,
     const RangeCandidateOptions& options) {
+  XPLAIN_TRACE_SPAN("candidates.ranges");
   const Database& db = universal.db();
   if (!IsNumeric(db.ColumnType(column))) {
     return Status::InvalidArgument("range candidates need a numeric column; " +
@@ -72,6 +76,7 @@ Result<std::vector<ConjunctivePredicate>> GenerateRangeCandidates(
 std::vector<DnfPredicate> GenerateDisjunctionCandidates(const TableM& table,
                                                         DegreeKind kind,
                                                         size_t top_n) {
+  XPLAIN_TRACE_SPAN("candidates.disjunctions");
   std::vector<RankedExplanation> top =
       TopKExplanations(table, kind, top_n, MinimalityStrategy::kNone);
   std::vector<DnfPredicate> out;
@@ -103,6 +108,9 @@ std::vector<DnfPredicate> GenerateDisjunctionCandidates(const TableM& table,
 Result<std::vector<ScoredCandidate>> ScoreCandidatesExact(
     const InterventionEngine& engine, const UserQuestion& question,
     const std::vector<DnfPredicate>& candidates, DegreeKind kind) {
+  XPLAIN_TRACE_SPAN("candidates.score_exact");
+  XPLAIN_COUNTER_ADD("candidates.scored",
+                     static_cast<int64_t>(candidates.size()));
   std::vector<ScoredCandidate> out;
   out.reserve(candidates.size());
   for (const DnfPredicate& phi : candidates) {

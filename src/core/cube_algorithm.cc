@@ -2,8 +2,18 @@
 
 #include "core/degree.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace xplain {
+
+namespace {
+
+/// Milliseconds elapsed since `start_us` on the trace clock.
+double MsSince(int64_t start_us) {
+  return static_cast<double>(Trace::NowMicros() - start_us) / 1000.0;
+}
+
+}  // namespace
 
 int64_t TableM::FindRow(const Tuple& cell) const {
   for (size_t i = 0; i < coords.size(); ++i) {
@@ -26,11 +36,17 @@ Result<TableM> ComputeTableM(const UniversalRelation& universal,
   table.attributes = attributes;
 
   // Step 1: u_j = q_j(D).
-  table.original_values.reserve(m);
-  for (const AggregateQuery& q : query.subqueries()) {
-    Value v = EvaluateAggregate(universal, q.agg, &q.where);
-    table.original_values.push_back(v.is_null() ? 0.0 : v.AsNumeric());
+  XPLAIN_TRACE_SPAN("tablem.compute");
+  int64_t step_start_us = Trace::NowMicros();
+  {
+    XPLAIN_TRACE_SPAN("tablem.originals");
+    table.original_values.reserve(m);
+    for (const AggregateQuery& q : query.subqueries()) {
+      Value v = EvaluateAggregate(universal, q.agg, &q.where);
+      table.original_values.push_back(v.is_null() ? 0.0 : v.AsNumeric());
+    }
   }
+  table.build_stats.originals_ms = MsSince(step_start_us);
 
   // Step 2: the m cubes. Counting subqueries take the columnar fast path:
   // one dictionary-encoding pass shared by all m cubes, then code-vector
@@ -44,6 +60,9 @@ Result<TableM> ComputeTableM(const UniversalRelation& universal,
   }
   std::vector<DataCube> cubes;
   cubes.reserve(m);
+  table.build_stats.used_column_cache = all_counting;
+  step_start_us = Trace::NowMicros();
+  TraceSpan cubes_span("tablem.cubes");
   if (all_counting) {
     // Cache the grouping attributes, every distinct-counted column, and
     // every filter column, so both the group-by and the WHERE clauses run
@@ -92,12 +111,17 @@ Result<TableM> ComputeTableM(const UniversalRelation& universal,
       cubes.push_back(std::move(cube));
     }
   }
+  cubes_span.End();
+  table.build_stats.cube_build_ms = MsSince(step_start_us);
 
   // Step 3: full outer join.
+  step_start_us = Trace::NowMicros();
+  TraceSpan merge_span("tablem.merge");
   std::vector<const DataCube*> cube_ptrs;
   for (const DataCube& c : cubes) cube_ptrs.push_back(&c);
   XPLAIN_ASSIGN_OR_RETURN(CubeJoinResult joined,
                           FullOuterJoinCubes(cube_ptrs));
+  table.build_stats.rows_before_support = joined.NumRows();
 
   // Optional support pruning.
   std::vector<size_t> kept;
@@ -125,6 +149,9 @@ Result<TableM> ComputeTableM(const UniversalRelation& universal,
       table.subquery_values[j].push_back(joined.values[j][row]);
     }
   }
+  merge_span.End();
+  table.build_stats.merge_ms = MsSince(step_start_us);
+  table.build_stats.rows = table.coords.size();
 
   // Steps 4-5: degree columns. Rows are independent, so shards write
   // disjoint ranges of the preallocated columns; each row's arithmetic is
@@ -135,8 +162,11 @@ Result<TableM> ComputeTableM(const UniversalRelation& universal,
   const size_t rows = table.coords.size();
   table.mu_interv.assign(rows, 0.0);
   table.mu_aggr.assign(rows, 0.0);
+  step_start_us = Trace::NowMicros();
+  TraceSpan degrees_span("tablem.degrees");
   XPLAIN_RETURN_IF_ERROR(ParallelShards(
       options.cube.pool, rows, [&](int, size_t begin, size_t end) {
+        XPLAIN_TRACE_SPAN("tablem.degree_shard");
         std::vector<double> vars(m);
         for (size_t row = begin; row < end; ++row) {
           for (int j = 0; j < m; ++j) {
@@ -151,6 +181,8 @@ Result<TableM> ComputeTableM(const UniversalRelation& universal,
         }
         return Status::OK();
       }));
+  degrees_span.End();
+  table.build_stats.degree_ms = MsSince(step_start_us);
   return table;
 }
 

@@ -11,6 +11,27 @@
 
 namespace xplain {
 
+/// Wall-clock / size breakdown of one ComputeTableM call. Always collected
+/// (the cost is a handful of monotonic-clock reads per call); the engine
+/// copies it into QueryStats when ExplainOptions::collect_stats is set.
+/// Thread-safety: plain data, externally synchronized.
+struct TableMStats {
+  /// Step 1: evaluating u_j = q_j(D).
+  double originals_ms = 0.0;
+  /// Step 2: building the m data cubes (columnar or generic path).
+  double cube_build_ms = 0.0;
+  /// Step 3: full outer join of the cubes + support pruning.
+  double merge_ms = 0.0;
+  /// Steps 4-5: the mu_interv / mu_aggr degree columns.
+  double degree_ms = 0.0;
+  /// Joined rows before support pruning.
+  size_t rows_before_support = 0;
+  /// Rows of the final table M.
+  size_t rows = 0;
+  /// True when the dictionary-encoded columnar cube path was taken.
+  bool used_column_cache = false;
+};
+
 /// The materialized table M of Algorithm 1: one row per candidate
 /// explanation (cube cell over the candidate attributes A'), carrying the
 /// per-subquery cube values v_j(phi) = q_j(D_phi) and the two degree
@@ -30,6 +51,8 @@ struct TableM {
   std::vector<double> mu_interv;
   /// mu_aggr(phi) = aggr_sign * E(v_1, ..., v_m).
   std::vector<double> mu_aggr;
+  /// How long each build step took (see TableMStats).
+  TableMStats build_stats;
 
   size_t NumRows() const { return coords.size(); }
   Explanation ExplanationAt(size_t row) const {

@@ -1,12 +1,60 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <sstream>
 
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace xplain {
+
+namespace {
+
+/// Milliseconds elapsed since `start_us` on the trace clock.
+double PhaseMs(int64_t start_us) {
+  return static_cast<double>(Trace::NowMicros() - start_us) / 1000.0;
+}
+
+double DeltaOf(const std::map<std::string, double>& deltas,
+               const std::string& name) {
+  auto it = deltas.find(name);
+  return it == deltas.end() ? 0.0 : it->second;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, double>> QueryStats::ToFlat() const {
+  std::vector<std::pair<std::string, double>> out = {
+      {"total_ms", total_ms},
+      {"semijoin_ms", semijoin_ms},
+      {"cube_build_ms", cube_build_ms},
+      {"merge_ms", merge_ms},
+      {"degree_ms", degree_ms},
+      {"topk_ms", topk_ms},
+      {"exact_rescore_ms", exact_rescore_ms},
+      {"table_rows", static_cast<double>(table_rows)},
+      {"fixpoint_runs", static_cast<double>(fixpoint_runs)},
+      {"fixpoint_rounds", static_cast<double>(fixpoint_rounds)},
+      {"fixpoint_deleted_tuples",
+       static_cast<double>(fixpoint_deleted_tuples)},
+  };
+  return out;
+}
+
+std::string QueryStats::ToString() const {
+  std::ostringstream os;
+  os << "QueryStats:\n";
+  for (const auto& [key, value] : ToFlat()) {
+    os << "  " << key << " = " << value << "\n";
+  }
+  for (const auto& [name, delta] : counter_deltas) {
+    os << "  counter " << name << " += " << delta << "\n";
+  }
+  return os.str();
+}
 
 std::string ExplainReport::ToString(const Database& db) const {
   std::ostringstream os;
@@ -60,6 +108,44 @@ Result<ExplainReport> ExplainEngine::Explain(
 Result<ExplainReport> ExplainEngine::ExplainResolved(
     const UserQuestion& question, const std::vector<ColumnRef>& attributes,
     const ExplainOptions& options) const {
+  XPLAIN_TRACE_SPAN("engine.explain");
+  const int64_t explain_start_us = Trace::NowMicros();
+  std::vector<std::pair<std::string, double>> counters_before;
+  if (options.collect_stats) {
+    counters_before = MetricsRegistry::Global().CounterSnapshot();
+  }
+  // Fills report.stats from the phase timers plus the per-call counter
+  // deltas (semijoin time and fixpoint work are nested inside other phases,
+  // so they are accounted by accumulation, not by an enclosing timer).
+  auto finalize_stats = [&](ExplainReport& report) {
+    if (!options.collect_stats) return;
+    report.stats_collected = true;
+    QueryStats& stats = report.stats;
+    stats.total_ms = PhaseMs(explain_start_us);
+    stats.cube_build_ms = report.table.build_stats.cube_build_ms;
+    stats.merge_ms = report.table.build_stats.merge_ms;
+    stats.degree_ms = report.table.build_stats.degree_ms;
+    stats.table_rows = report.table.NumRows();
+    std::map<std::string, double> deltas;
+    for (const auto& [name, value] :
+         MetricsRegistry::Global().CounterSnapshot()) {
+      deltas[name] = value;
+    }
+    for (const auto& [name, value] : counters_before) {
+      deltas[name] -= value;
+    }
+    for (const auto& [name, delta] : deltas) {
+      if (delta != 0.0) stats.counter_deltas.emplace_back(name, delta);
+    }
+    stats.semijoin_ms = DeltaOf(deltas, "semijoin.micros") / 1000.0;
+    stats.fixpoint_runs =
+        static_cast<int64_t>(DeltaOf(deltas, "fixpoint.runs"));
+    stats.fixpoint_rounds =
+        static_cast<int64_t>(DeltaOf(deltas, "fixpoint.rounds"));
+    stats.fixpoint_deleted_tuples =
+        static_cast<int64_t>(DeltaOf(deltas, "fixpoint.deleted_tuples"));
+  };
+
   ExplainReport report;
   report.original_value = question.query.EvaluateOnUniversal(*universal_);
   report.additivity = CheckQueryAdditivity(*universal_, question.query);
@@ -95,9 +181,13 @@ Result<ExplainReport> ExplainEngine::ExplainResolved(
   const bool need_exact = options.degree == DegreeKind::kIntervention &&
                           !report.cell_additivity.additive;
   if (!need_exact) {
+    const int64_t topk_start_us = Trace::NowMicros();
+    XPLAIN_TRACE_SPAN("engine.topk");
     report.explanations =
         TopKExplanations(report.table, options.degree, options.top_k,
                          options.minimality, workers.get());
+    report.stats.topk_ms = PhaseMs(topk_start_us);
+    finalize_stats(report);
     return report;
   }
 
@@ -113,18 +203,26 @@ Result<ExplainReport> ExplainEngine::ExplainResolved(
   // rank (and apply minimality) on the exact degrees.
   report.exact_rescored = true;
   size_t pool_size = std::max(options.exact_rescore_pool, options.top_k);
+  const int64_t select_start_us = Trace::NowMicros();
+  TraceSpan select_span("engine.rescore_select");
   std::vector<RankedExplanation> pool = TopKExplanations(
       report.table, DegreeKind::kIntervention, pool_size,
       options.minimality == MinimalityStrategy::kNone
           ? MinimalityStrategy::kNone
           : MinimalityStrategy::kSelfJoin,
       workers.get());
+  select_span.End();
+  report.stats.topk_ms = PhaseMs(select_start_us);
+  const int64_t rescore_start_us = Trace::NowMicros();
+  TraceSpan rescore_span("engine.exact_rescore");
+  rescore_span.set_arg(static_cast<int64_t>(pool.size()));
   // Each candidate's program-P evaluation is independent; shards write
   // disjoint slots of `exact`, so the degrees (and the stable sort below)
   // match the sequential path bit for bit.
   std::vector<double> exact(pool.size(), 0.0);
   XPLAIN_RETURN_IF_ERROR(ParallelShards(
       workers.get(), pool.size(), [&](int, size_t begin, size_t end) {
+        XPLAIN_TRACE_SPAN("engine.rescore_shard");
         for (size_t i = begin; i < end; ++i) {
           XPLAIN_ASSIGN_OR_RETURN(
               exact[i],
@@ -144,6 +242,9 @@ Result<ExplainReport> ExplainEngine::ExplainResolved(
                    });
   if (pool.size() > options.top_k) pool.resize(options.top_k);
   report.explanations = std::move(pool);
+  rescore_span.End();
+  report.stats.exact_rescore_ms = PhaseMs(rescore_start_us);
+  finalize_stats(report);
   return report;
 }
 

@@ -42,6 +42,48 @@ struct ExplainOptions {
   bool exact_rescore_when_not_additive = true;
   size_t exact_rescore_pool = 50;
   CubeOptions cube;
+  /// Attach a QueryStats per-phase breakdown to the report. The phase
+  /// timers are local to the call, but the fixpoint/semijoin figures come
+  /// from process-wide counter deltas, so concurrent Explain calls with
+  /// collect_stats on would contaminate each other's deltas — profile one
+  /// query at a time. Off by default: the disabled cost is zero.
+  bool collect_stats = false;
+};
+
+/// Per-phase breakdown of one Explain call (EXPLAIN-style report),
+/// populated when ExplainOptions::collect_stats is set. All times are
+/// wall-clock milliseconds; semijoin_ms is accumulated across the
+/// semijoin-reduction passes nested inside other phases.
+/// Thread-safety: plain data, externally synchronized.
+struct QueryStats {
+  double total_ms = 0.0;
+  /// Time inside semijoin reduction (MarkDanglingRows), wherever it ran.
+  double semijoin_ms = 0.0;
+  /// Building the m data cubes (TableMStats::cube_build_ms).
+  double cube_build_ms = 0.0;
+  /// Full-outer-joining the cubes + support pruning.
+  double merge_ms = 0.0;
+  /// Degree columns (mu_interv / mu_aggr).
+  double degree_ms = 0.0;
+  /// Top-K selection scan (candidate-pool scan on the exact-rescore path).
+  double topk_ms = 0.0;
+  /// Exact program-P rescoring, when it ran.
+  double exact_rescore_ms = 0.0;
+  /// Rows of table M after support pruning.
+  size_t table_rows = 0;
+  /// Program P executions / progressing rounds / deleted tuples during
+  /// this call (counter deltas).
+  int64_t fixpoint_runs = 0;
+  int64_t fixpoint_rounds = 0;
+  int64_t fixpoint_deleted_tuples = 0;
+  /// Every process-wide counter that moved during this call, by delta.
+  std::vector<std::pair<std::string, double>> counter_deltas;
+
+  /// Flat key -> value view (the per-phase keys merged into BENCH JSON:
+  /// semijoin_ms, cube_build_ms, merge_ms, topk_ms, ...).
+  std::vector<std::pair<std::string, double>> ToFlat() const;
+  /// Human-readable EXPLAIN-style rendering.
+  std::string ToString() const;
 };
 
 /// The outcome of one Explain call.
@@ -59,6 +101,10 @@ struct ExplainReport {
   bool exact_rescored = false;
   /// The materialized table M (kept for inspection / follow-up top-K runs).
   TableM table;
+  /// Per-phase breakdown; meaningful only when stats_collected.
+  QueryStats stats;
+  /// True when ExplainOptions::collect_stats populated `stats`.
+  bool stats_collected = false;
 
   /// Pretty-prints the ranked explanations.
   std::string ToString(const Database& db) const;

@@ -2,6 +2,10 @@
 
 #include <limits>
 
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace xplain {
 
 namespace {
@@ -122,6 +126,7 @@ size_t InterventionEngine::ApplySemijoinReductionPairwise(
 template <typename Predicate>
 Result<InterventionResult> InterventionEngine::ComputeImpl(
     const Predicate& phi, const InterventionOptions& options) const {
+  XPLAIN_TRACE_SPAN("fixpoint.compute");
   const Database& database = db();
   const int k = database.num_relations();
   const size_t n = universal_->NumRows();
@@ -145,6 +150,9 @@ Result<InterventionResult> InterventionEngine::ComputeImpl(
   }
   result.seed_count = DeltaCount(result.delta);
   result.iterations = 1;
+  XPLAIN_COUNTER_ADD("fixpoint.runs", 1);
+  XPLAIN_COUNTER_ADD("fixpoint.seed_tuples",
+                     static_cast<int64_t>(result.seed_count));
 
   // --- Recursive rounds: simultaneous Rules (ii) + (iii). ---
   const size_t max_iterations = options.max_iterations > 0
@@ -159,6 +167,14 @@ Result<InterventionResult> InterventionEngine::ComputeImpl(
     if (added > 0) {
       result.delta = std::move(next);
       ++result.iterations;
+      XPLAIN_COUNTER_ADD("fixpoint.rounds", 1);
+      XPLAIN_COUNTER_ADD("fixpoint.deleted_tuples",
+                         static_cast<int64_t>(added));
+      // Rate-limited progress line: the fixpoint can run thousands of
+      // rounds on worst-case FK chains, so a plain XPLAIN_LOG would flood.
+      XPLAIN_LOG_EVERY_N(kDebug, 1000)
+          << "program P round " << result.iterations << ": " << added
+          << " tuples deleted this pass";
       continue;
     }
     // Fixpoint of P reached. Check condition 3 of Definition 2.6.

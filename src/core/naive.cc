@@ -1,6 +1,7 @@
 #include "core/naive.h"
 
 #include "core/degree.h"
+#include "util/trace.h"
 
 namespace xplain {
 
@@ -8,6 +9,7 @@ Result<TableM> ComputeTableMNaive(const UniversalRelation& universal,
                                   const UserQuestion& question,
                                   const std::vector<ColumnRef>& attributes,
                                   const NaiveOptions& options) {
+  XPLAIN_TRACE_SPAN("naive.table_m");
   const NumericalQuery& query = question.query;
   const int m = query.num_subqueries();
   const int d = static_cast<int>(attributes.size());

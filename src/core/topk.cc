@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <mutex>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace xplain {
 
 namespace {
@@ -89,6 +92,11 @@ std::vector<RankedExplanation> TopKExplanations(const TableM& table,
                                                 DegreeKind kind, size_t k,
                                                 MinimalityStrategy strategy,
                                                 ThreadPool* pool) {
+  TraceSpan topk_span("topk.scan");
+  topk_span.set_arg(static_cast<int64_t>(table.NumRows()));
+  XPLAIN_COUNTER_ADD("topk.scans", 1);
+  XPLAIN_COUNTER_ADD("topk.rows_considered",
+                     static_cast<int64_t>(table.NumRows()));
   std::vector<RankedExplanation> out;
   const size_t n = table.NumRows();
   if (k == 0) return out;
@@ -132,6 +140,7 @@ std::vector<RankedExplanation> TopKExplanations(const TableM& table,
       // failure here since this API has no error channel.
       Status scan_status = ParallelShards(
           pool, n, [&](int, size_t begin, size_t end) {
+            XPLAIN_TRACE_SPAN("topk.scan_shard");
             std::vector<size_t> local;
             for (size_t row = begin; row < end; ++row) {
               if (NumBound(table.coords[row]) == 0) continue;  // trivial
@@ -163,6 +172,7 @@ std::vector<RankedExplanation> TopKExplanations(const TableM& table,
         std::mutex mu;
         Status scan_status = ParallelShards(
             pool, n, [&](int, size_t begin, size_t end) {
+              XPLAIN_TRACE_SPAN("topk.append_round_shard");
               bool local_found = false;
               size_t local_best = 0;
               for (size_t row = begin; row < end; ++row) {

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace xplain {
 
 Result<DataCube> DataCube::Compute(const UniversalRelation& universal,
@@ -9,6 +12,7 @@ Result<DataCube> DataCube::Compute(const UniversalRelation& universal,
                                    const AggregateSpec& agg,
                                    const DnfPredicate* filter,
                                    const CubeOptions& options) {
+  XPLAIN_TRACE_SPAN("cube.compute");
   const int d = static_cast<int>(attributes.size());
   if (d == 0) {
     return Status::InvalidArgument("cube needs at least one attribute");
@@ -33,6 +37,7 @@ Result<DataCube> DataCube::Compute(const UniversalRelation& universal,
   std::vector<BaseMap> base_locals(static_cast<size_t>(shards));
   XPLAIN_RETURN_IF_ERROR(ParallelShards(
       pool, n, [&](int shard, size_t begin, size_t end) -> Status {
+        XPLAIN_TRACE_SPAN("cube.base_shard");
         BaseMap& local = base_locals[static_cast<size_t>(shard)];
         Tuple coords(d);
         for (size_t u = begin; u < end; ++u) {
@@ -62,6 +67,7 @@ Result<DataCube> DataCube::Compute(const UniversalRelation& universal,
       }));
   // Merge in shard order so the combined map is reproducible for a fixed
   // thread count.
+  TraceSpan base_merge_span("cube.base_merge");
   BaseMap base = std::move(base_locals[0]);
   for (size_t s = 1; s < base_locals.size(); ++s) {
     for (auto& [coords, acc] : base_locals[s]) {
@@ -73,6 +79,9 @@ Result<DataCube> DataCube::Compute(const UniversalRelation& universal,
       }
     }
   }
+  base_merge_span.set_arg(static_cast<int64_t>(base.size()));
+  base_merge_span.End();
+  XPLAIN_COUNTER_ADD("cube.base_cells", static_cast<int64_t>(base.size()));
 
   // Phase 2: roll every base cell up through the 2^d lattice. Sharding is
   // by mask: two distinct masks null out different attribute subsets, so
@@ -83,6 +92,7 @@ Result<DataCube> DataCube::Compute(const UniversalRelation& universal,
   std::vector<RolledMap> rolled_locals(static_cast<size_t>(shards));
   XPLAIN_RETURN_IF_ERROR(ParallelShards(
       pool, num_masks, [&](int shard, size_t mask_begin, size_t mask_end) {
+        XPLAIN_TRACE_SPAN("cube.rollup_shard");
         RolledMap& rolled = rolled_locals[static_cast<size_t>(shard)];
         rolled.reserve(base.size());
         for (const auto& [full_coords, acc] : base) {
@@ -115,6 +125,7 @@ Result<DataCube> DataCube::Compute(const UniversalRelation& universal,
       cube.cells_.emplace(cell, acc.FinishNumeric());
     }
   }
+  XPLAIN_COUNTER_ADD("cube.cells", static_cast<int64_t>(total_cells));
   return cube;
 }
 
@@ -149,6 +160,7 @@ Result<DataCube> DataCube::ComputeCached(const ColumnCache& cache,
                                          int distinct_index,
                                          const RowSet* filter_rows,
                                          const CubeOptions& options) {
+  XPLAIN_TRACE_SPAN("cube.compute_cached");
   const int d = static_cast<int>(attr_indices.size());
   if (d == 0) {
     return Status::InvalidArgument("cube needs at least one attribute");
@@ -234,6 +246,7 @@ Result<DataCube> DataCube::ComputeCached(const ColumnCache& cache,
     std::vector<BaseMap> base_locals(static_cast<size_t>(shards));
     XPLAIN_RETURN_IF_ERROR(ParallelShards(
         pool, n, [&](int shard, size_t begin, size_t end) {
+          XPLAIN_TRACE_SPAN("cube.cached_base_shard");
           BaseMap& local = base_locals[static_cast<size_t>(shard)];
           for (size_t u = begin; u < end; ++u) {
             if (filter_rows != nullptr && !filter_rows->Test(u)) continue;
@@ -246,10 +259,15 @@ Result<DataCube> DataCube::ComputeCached(const ColumnCache& cache,
           }
           return Status::OK();
         }));
+    TraceSpan cached_merge_span("cube.cached_base_merge");
     BaseMap base = std::move(base_locals[0]);
     for (size_t s = 1; s < base_locals.size(); ++s) {
       for (const auto& [key, acc] : base_locals[s]) base[key].Merge(acc);
     }
+    cached_merge_span.set_arg(static_cast<int64_t>(base.size()));
+    cached_merge_span.End();
+    XPLAIN_COUNTER_ADD("cube.cached_base_cells",
+                       static_cast<int64_t>(base.size()));
 
     // Precompute, per mask, the bits to clear and the ALL pattern to set.
     std::vector<uint64_t> clear_bits(num_masks, 0), set_all(num_masks, 0);
@@ -270,6 +288,7 @@ Result<DataCube> DataCube::ComputeCached(const ColumnCache& cache,
     std::vector<BaseMap> rolled_locals(static_cast<size_t>(shards));
     XPLAIN_RETURN_IF_ERROR(ParallelShards(
         pool, num_masks, [&](int shard, size_t mask_begin, size_t mask_end) {
+          XPLAIN_TRACE_SPAN("cube.cached_rollup_shard");
           BaseMap& rolled = rolled_locals[static_cast<size_t>(shard)];
           rolled.reserve(base.size());
           for (const auto& [full_key, acc] : base) {
@@ -302,6 +321,8 @@ Result<DataCube> DataCube::ComputeCached(const ColumnCache& cache,
         cube.cells_.emplace(std::move(cell), finish(acc));
       }
     }
+    XPLAIN_COUNTER_ADD("cube.cached_cells",
+                       static_cast<int64_t>(cube.cells_.size()));
     return cube;
   }
 
@@ -379,6 +400,7 @@ std::string DataCube::ToString(const Database& db, size_t max_cells) const {
 
 Result<CubeJoinResult> FullOuterJoinCubes(
     const std::vector<const DataCube*>& cubes) {
+  TraceSpan span("cube.full_outer_join");
   if (cubes.empty()) {
     return Status::InvalidArgument("no cubes to join");
   }
@@ -419,6 +441,9 @@ Result<CubeJoinResult> FullOuterJoinCubes(
       out.values[j][row_of[coords]] = value;
     }
   }
+  span.set_arg(static_cast<int64_t>(out.coords.size()));
+  XPLAIN_COUNTER_ADD("cube.joined_rows",
+                     static_cast<int64_t>(out.coords.size()));
   return out;
 }
 

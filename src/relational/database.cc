@@ -2,7 +2,9 @@
 
 #include <unordered_set>
 
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace xplain {
 
@@ -154,6 +156,8 @@ Status Database::CheckReferentialIntegrity() const {
 
 size_t MarkDanglingRows(const Database& db, DeltaSet* dangling) {
   XPLAIN_CHECK(dangling->size() == static_cast<size_t>(db.num_relations()));
+  TraceSpan span("semijoin.mark_dangling");
+  const int64_t start_us = Trace::NowMicros();
   size_t total_added = 0;
   bool changed = true;
   while (changed) {
@@ -201,15 +205,25 @@ size_t MarkDanglingRows(const Database& db, DeltaSet* dangling) {
       }
     }
   }
+  // semijoin.micros feeds QueryStats::semijoin_ms: semijoin work is nested
+  // inside other phases (the fixpoint), so it is accounted by accumulation
+  // rather than by an enclosing phase timer.
+  span.set_arg(static_cast<int64_t>(total_added));
+  XPLAIN_COUNTER_ADD("semijoin.passes", 1);
+  XPLAIN_COUNTER_ADD("semijoin.marked_rows",
+                     static_cast<int64_t>(total_added));
+  XPLAIN_COUNTER_ADD("semijoin.micros", Trace::NowMicros() - start_us);
   return total_added;
 }
 
 size_t Database::SemijoinReduce() {
+  XPLAIN_TRACE_SPAN("semijoin.reduce");
   DeltaSet dangling = EmptyDelta();
   size_t removed = MarkDanglingRows(*this, &dangling);
   if (removed > 0) {
     *this = ApplyDelta(dangling);
   }
+  XPLAIN_COUNTER_ADD("semijoin.removed_rows", static_cast<int64_t>(removed));
   return removed;
 }
 

@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "relational/tuple.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace xplain {
 
@@ -32,6 +34,7 @@ Result<UniversalRelation> UniversalRelation::Build(const Database& db) {
 
 Result<UniversalRelation> UniversalRelation::Build(const Database& db,
                                                    const DeltaSet& deleted) {
+  TraceSpan span("universal.build");
   const int k = db.num_relations();
   if (k == 0) {
     return Status::InvalidArgument("cannot build U(D) of an empty database");
@@ -166,6 +169,10 @@ Result<UniversalRelation> UniversalRelation::Build(const Database& db,
   }
 
   universal.rows_ = std::move(current);
+  span.set_arg(static_cast<int64_t>(universal.NumRows()));
+  XPLAIN_COUNTER_ADD("universal.builds", 1);
+  XPLAIN_COUNTER_ADD("universal.rows",
+                     static_cast<int64_t>(universal.NumRows()));
   return universal;
 }
 

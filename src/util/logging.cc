@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "util/metrics.h"
+
 namespace xplain {
 namespace internal {
 
@@ -37,6 +39,13 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
+  // Warnings and errors are counted whether or not the threshold lets them
+  // print, so a silenced bench run still surfaces "log.errors" in stats.
+  if (level_ == LogLevel::kWarning) {
+    XPLAIN_COUNTER_ADD("log.warnings", 1);
+  } else if (level_ == LogLevel::kError || level_ == LogLevel::kFatal) {
+    XPLAIN_COUNTER_ADD("log.errors", 1);
+  }
   if (level_ >= g_threshold || level_ == LogLevel::kFatal) {
     std::cerr << stream_.str() << std::endl;
   }

@@ -1,6 +1,8 @@
 #ifndef XPLAIN_UTIL_LOGGING_H_
 #define XPLAIN_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -54,6 +56,27 @@ void SetLogThreshold(LogLevel level);
 #define XPLAIN_LOG(level)                                               \
   ::xplain::internal::LogMessage(::xplain::internal::LogLevel::level,   \
                                  __FILE__, __LINE__)
+
+/// Like XPLAIN_LOG but emits only every `n`-th execution of this statement
+/// (the 1st, n+1-th, ...), so hot loops -- e.g. the program P fixpoint --
+/// can log without flooding stderr. Each call site keeps its own relaxed
+/// atomic occurrence counter (a static inside a per-expansion lambda), so
+/// the steady-state cost of a suppressed call is one atomic increment.
+///
+/// Expands to a single expression (ternary + voidify, like XPLAIN_CHECK) so
+/// it nests safely inside unbraced if/else.
+#define XPLAIN_LOG_EVERY_N(level, n)                                      \
+  (![](uint64_t xplain_log_every) {                                      \
+    static ::std::atomic<uint64_t> xplain_log_occurrences{0};            \
+    return xplain_log_occurrences.fetch_add(                             \
+               1, ::std::memory_order_relaxed) %                         \
+               xplain_log_every ==                                       \
+           0;                                                            \
+  }((n)))                                                                \
+      ? (void)0                                                          \
+      : ::xplain::internal::LogMessageVoidify() &                        \
+            ::xplain::internal::LogMessage(                              \
+                ::xplain::internal::LogLevel::level, __FILE__, __LINE__)
 
 /// Aborts with a message when `condition` is false. Used for internal
 /// invariants (programming errors), not for data-dependent failures -- those

@@ -1,0 +1,124 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace xplain {
+
+void Histogram::Record(double value) {
+  int bucket = 0;
+  if (value >= 1.0) {
+    double bound = 1.0;
+    bucket = 1;
+    while (bucket < kNumBuckets - 1 && value >= bound * 2.0) {
+      bound *= 2.0;
+      ++bucket;
+    }
+  }
+  buckets_[static_cast<size_t>(bucket)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  double seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const int64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+int64_t Histogram::bucket(int i) const {
+  XPLAIN_DCHECK(i >= 0 && i < kNumBuckets);
+  return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: worker threads (and static destructors elsewhere)
+  // may touch metrics after main() returns.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+bool MetricsRegistry::IsValidName(const std::string& name) {
+  if (name.empty()) return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+           c == '.';
+  });
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  XPLAIN_DCHECK(IsValidName(name)) << "bad metric name: " << name;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  XPLAIN_DCHECK(IsValidName(name)) << "bad metric name: " << name;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  XPLAIN_DCHECK(IsValidName(name)) << "bad metric name: " << name;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot() const {
+  std::vector<std::pair<std::string, double>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(counters_.size() + gauges_.size() + 4 * histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, static_cast<double>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name + ".count",
+                     static_cast<double>(histogram->count()));
+    out.emplace_back(name + ".sum", histogram->sum());
+    out.emplace_back(name + ".mean", histogram->mean());
+    out.emplace_back(name + ".max", histogram->max());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::CounterSnapshot()
+    const {
+  std::vector<std::pair<std::string, double>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, static_cast<double>(counter->value()));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace xplain

@@ -1,0 +1,159 @@
+#ifndef XPLAIN_UTIL_METRICS_H_
+#define XPLAIN_UTIL_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xplain {
+
+/// A monotonically increasing event count (e.g. "fixpoint.rounds").
+/// Thread-safety: safe — mutation is a relaxed atomic add; a concurrent
+/// reader observes some prefix of the increments.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Current count.
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  /// Zeroes the counter (tests/benches only).
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A last-writer-wins instantaneous value (e.g. "threadpool.queue_depth").
+/// Thread-safety: safe — atomic store/load, relaxed ordering.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  /// Most recently set value (0 before the first Set).
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  /// Resets to 0 (tests/benches only).
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A log2-bucketed distribution (e.g. "threadpool.task_us"): bucket 0
+/// counts values < 1, bucket i counts values in [2^(i-1), 2^i), the last
+/// bucket absorbs everything larger. Also tracks count, sum, and max.
+/// Thread-safety: safe — every field is an independent relaxed atomic; a
+/// concurrent reader may see count/sum/buckets disagree by the records in
+/// flight, which is acceptable for monitoring.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 40;
+
+  void Record(double value);
+
+  /// Number of recorded values.
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Sum of recorded values.
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// sum()/count(), or 0 when empty.
+  double mean() const;
+  /// Largest recorded value (0 when empty).
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  /// Count in bucket `i` (see class comment for the bucket boundaries).
+  int64_t bucket(int i) const;
+
+  /// Zeroes the histogram (tests/benches only).
+  void Reset();
+
+ private:
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Process-wide registry of named counters, gauges, and histograms.
+///
+/// Names must match `[a-z0-9_.]+` with dots as hierarchy separators
+/// ("cube.base_cells"); the scheme is enforced statically by the
+/// xplain_lint rule `trace-name` and dynamically by an XPLAIN_DCHECK in
+/// the getters. The same name may be used by only one metric kind.
+///
+/// Thread-safety: safe — lookup takes `mu_`; the returned pointers are
+/// stable for the process lifetime (metrics are never destroyed), so hot
+/// paths cache the pointer in a function-local static (see the
+/// XPLAIN_COUNTER_ADD family below) and then update lock-free.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry instance.
+  static MetricsRegistry& Global();
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  Counter* GetCounter(const std::string& name);
+  /// Returns the gauge registered under `name`, creating it on first use.
+  Gauge* GetGauge(const std::string& name);
+  /// Returns the histogram registered under `name`, creating it on first use.
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Flat name -> value snapshot of every metric, sorted by name.
+  /// Histograms expand to `<name>.count`, `<name>.sum`, `<name>.mean`,
+  /// `<name>.max`.
+  std::vector<std::pair<std::string, double>> Snapshot() const;
+
+  /// Counter-only snapshot (used for per-query deltas, where gauge and
+  /// histogram values are not meaningful differences).
+  std::vector<std::pair<std::string, double>> CounterSnapshot() const;
+
+  /// Zeroes every registered metric. Tests/benches only; concurrent
+  /// updaters may interleave with the reset.
+  void ResetAll();
+
+  /// True iff `name` matches the `[a-z0-9_.]+` naming scheme.
+  static bool IsValidName(const std::string& name);
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;      // guarded by mu_
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;          // guarded by mu_
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;  // guarded by mu_
+};
+
+}  // namespace xplain
+
+/// Adds `delta` to the named process-wide counter. The registry pointer is
+/// resolved once per call site (function-local static), so the steady-state
+/// cost is one relaxed atomic add. `name` must be a string literal matching
+/// [a-z0-9_.]+ (xplain_lint rule trace-name).
+#define XPLAIN_COUNTER_ADD(name, delta)                           \
+  do {                                                            \
+    static ::xplain::Counter* xplain_metrics_counter =            \
+        ::xplain::MetricsRegistry::Global().GetCounter(name);     \
+    xplain_metrics_counter->Increment(delta);                     \
+  } while (false)
+
+/// Sets the named process-wide gauge; same call-site caching and naming
+/// rules as XPLAIN_COUNTER_ADD.
+#define XPLAIN_GAUGE_SET(name, value)                             \
+  do {                                                            \
+    static ::xplain::Gauge* xplain_metrics_gauge =                \
+        ::xplain::MetricsRegistry::Global().GetGauge(name);       \
+    xplain_metrics_gauge->Set(value);                             \
+  } while (false)
+
+/// Records into the named process-wide histogram; same call-site caching
+/// and naming rules as XPLAIN_COUNTER_ADD.
+#define XPLAIN_HISTOGRAM_RECORD(name, value)                      \
+  do {                                                            \
+    static ::xplain::Histogram* xplain_metrics_histogram =        \
+        ::xplain::MetricsRegistry::Global().GetHistogram(name);   \
+    xplain_metrics_histogram->Record(value);                      \
+  } while (false)
+
+#endif  // XPLAIN_UTIL_METRICS_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+#include "util/trace.h"
+
 namespace xplain {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -36,6 +39,7 @@ void ThreadPool::Shutdown() {
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
+    size_t depth_after_pop = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
@@ -44,8 +48,16 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth_after_pop = queue_.size();
     }
+    XPLAIN_GAUGE_SET("threadpool.queue_depth",
+                     static_cast<double>(depth_after_pop));
+    const int64_t task_start_us = Trace::NowMicros();
     task();
+    XPLAIN_HISTOGRAM_RECORD(
+        "threadpool.task_us",
+        static_cast<double>(Trace::NowMicros() - task_start_us));
+    XPLAIN_COUNTER_ADD("threadpool.tasks", 1);
   }
 }
 

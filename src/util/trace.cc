@@ -1,0 +1,123 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace xplain {
+namespace {
+
+/// Events recorded by one thread. The buffer outlives its thread (shared
+/// ownership with the global registry) so Snapshot() after a worker exits
+/// still sees that worker's spans.
+/// Thread-safety: safe — `events` is guarded by `mu`.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // guarded by mu
+  uint32_t tid = 0;
+};
+
+/// Process-wide trace state: the epoch and every thread's buffer.
+/// Thread-safety: safe — `buffers` is guarded by `mu`; `epoch` is set once
+/// before any thread can observe the state.
+struct TraceState {
+  std::chrono::steady_clock::time_point epoch;
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;  // guarded by mu
+  uint32_t next_tid = 0;                               // guarded by mu
+};
+
+TraceState& State() {
+  // Leaked on purpose: thread_local destructors of late-exiting workers may
+  // run after static destruction of an ordinary global.
+  static TraceState* state = [] {
+    auto* s = new TraceState();
+    s->epoch = std::chrono::steady_clock::now();
+    return s;
+  }();
+  return *state;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    b->tid = state.next_tid++;
+    state.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+// Open-span nesting depth of the calling thread; maintained only for spans
+// that were actually recording (constructed while enabled).
+thread_local uint32_t t_open_span_depth = 0;
+
+}  // namespace
+
+std::atomic<bool> Trace::enabled_{false};
+
+uint32_t Trace::EnterSpan() { return t_open_span_depth++; }
+
+void Trace::ExitSpan() {
+  if (t_open_span_depth > 0) --t_open_span_depth;
+}
+
+int64_t Trace::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - State().epoch)
+      .count();
+}
+
+uint32_t Trace::CurrentThreadId() { return LocalBuffer().tid; }
+
+void Trace::Record(const TraceEvent& event) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(event);
+}
+
+void Trace::Clear() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+std::vector<TraceEvent> Trace::Snapshot() {
+  std::vector<TraceEvent> out;
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              // Parents before their children: longer first, then (for
+              // same-microsecond zero-length pairs) shallower first.
+              if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+              return a.depth < b.depth;
+            });
+  return out;
+}
+
+void TraceSpan::Finish() {
+  TraceEvent event;
+  event.name = name_;
+  event.tid = Trace::CurrentThreadId();
+  event.depth = depth_;
+  event.start_us = start_us_;
+  event.dur_us = Trace::NowMicros() - start_us_;
+  event.arg = arg_;
+  event.has_arg = has_arg_;
+  Trace::Record(event);
+  Trace::ExitSpan();
+}
+
+}  // namespace xplain

@@ -1,0 +1,153 @@
+#ifndef XPLAIN_UTIL_TRACE_H_
+#define XPLAIN_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xplain {
+
+/// One completed span. `name` points at a string literal (spans never copy
+/// their names); `tid` is the dense xplain thread id (0 = first thread that
+/// traced); times are microseconds on the trace clock (see Trace::NowMicros).
+/// Thread-safety: plain data, externally synchronized.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint32_t tid = 0;
+  /// Open-span nesting depth on the recording thread at open time (0 =
+  /// outermost). Breaks Snapshot ordering ties when parent and child open
+  /// within the same microsecond.
+  uint32_t depth = 0;
+  int64_t start_us = 0;
+  int64_t dur_us = 0;
+  int64_t arg = 0;
+  bool has_arg = false;
+};
+
+/// Process-wide trace collection: a global on/off switch plus per-thread
+/// event buffers and exporters.
+///
+/// Collection is OFF by default. A TraceSpan constructed while disabled
+/// costs one relaxed atomic load and records nothing, so the engine is
+/// always compiled with its spans in place (no build flag) at near-zero
+/// disabled overhead. When enabled, each completed span is appended to the
+/// recording thread's own buffer under that buffer's private mutex, so
+/// thread-pool workers never serialize against each other — only Snapshot /
+/// Clear / the exporters briefly touch every buffer.
+///
+/// Thread-safety: safe — every static member may be called from any thread
+/// at any time.
+class Trace {
+ public:
+  /// True while span collection is on (relaxed load; see class comment).
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+  /// Turns span collection on.
+  static void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  /// Turns span collection off (already-recorded events are kept).
+  static void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  /// Drops every recorded event; does not change enabled().
+  static void Clear();
+
+  /// Copies every completed span out of all thread buffers, sorted by
+  /// (start_us, longer-duration-first, shallower-depth-first) so enclosing
+  /// spans precede the spans they contain even when parent and child open
+  /// within the same microsecond.
+  static std::vector<TraceEvent> Snapshot();
+
+  /// Serializes Snapshot() in Chrome trace-event JSON ("ph":"X" complete
+  /// events), openable in Perfetto (https://ui.perfetto.dev) or
+  /// chrome://tracing. Declared here, defined in trace_export.cc.
+  static std::string ToChromeJson();
+
+  /// Writes ToChromeJson() to `path` (conventionally `<name>.trace.json`).
+  [[nodiscard]] static Status WriteChromeJson(const std::string& path);
+
+  /// Dense id of the calling thread (assigned on the thread's first trace
+  /// activity; stable for the thread's lifetime).
+  static uint32_t CurrentThreadId();
+
+  /// Microseconds since the trace epoch (process start of the trace
+  /// subsystem); the timebase of TraceEvent timestamps.
+  static int64_t NowMicros();
+
+ private:
+  friend class TraceSpan;
+
+  /// Appends `event` to the calling thread's buffer.
+  static void Record(const TraceEvent& event);
+
+  /// Bumps the calling thread's open-span depth; returns the depth the
+  /// opening span sits at. Balanced by ExitSpan.
+  static uint32_t EnterSpan();
+  static void ExitSpan();
+
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII span covering [construction, destruction). Spans nest naturally —
+/// a span opened inside another span's scope renders as its child in
+/// Perfetto (same tid, contained interval). The name must be a string
+/// literal matching [a-z0-9_.]+ and unique within its translation unit
+/// (xplain_lint rule trace-name).
+///
+/// Thread-safety: each TraceSpan is used by one thread; spans on distinct
+/// threads (e.g. thread-pool workers) record concurrently without
+/// serializing against each other.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (Trace::enabled()) {
+      name_ = name;
+      depth_ = Trace::EnterSpan();
+      start_us_ = Trace::NowMicros();
+    }
+  }
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Closes the span now instead of at scope exit (e.g. when the timed
+  /// region ends mid-scope but its result must stay live). Idempotent.
+  /// Spans on one thread must still close LIFO (innermost first) for the
+  /// depth tie-breaker in Trace::Snapshot to stay meaningful.
+  void End() {
+    if (name_ != nullptr) {
+      Finish();
+      name_ = nullptr;
+    }
+  }
+
+  /// Attaches a numeric payload (e.g. a cell count) emitted with the span;
+  /// the last call wins. No-op when the span was constructed disabled.
+  void set_arg(int64_t value) {
+    arg_ = value;
+    has_arg_ = true;
+  }
+
+ private:
+  void Finish();
+
+  const char* name_ = nullptr;  // nullptr = collection was off at open
+  uint32_t depth_ = 0;
+  int64_t start_us_ = 0;
+  int64_t arg_ = 0;
+  bool has_arg_ = false;
+};
+
+}  // namespace xplain
+
+#define XPLAIN_TRACE_CONCAT2_(a, b) a##b
+#define XPLAIN_TRACE_CONCAT_(a, b) XPLAIN_TRACE_CONCAT2_(a, b)
+
+/// Opens a scoped trace span covering the rest of the enclosing block.
+/// `name` must be a string literal matching [a-z0-9_.]+, unique per
+/// translation unit. Use a named `TraceSpan` object instead when the span
+/// needs set_arg().
+#define XPLAIN_TRACE_SPAN(name)       \
+  ::xplain::TraceSpan XPLAIN_TRACE_CONCAT_(xplain_trace_span_, __LINE__)(name)
+
+#endif  // XPLAIN_UTIL_TRACE_H_

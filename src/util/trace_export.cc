@@ -1,0 +1,50 @@
+// Chrome trace-event JSON exporter for the Trace subsystem. Kept out of
+// trace.cc so the hot recording path does not pull in <fstream>/<sstream>.
+//
+// Format reference: the "Trace Event Format" document; we emit only
+// complete events ("ph":"X") with microsecond timestamps, which both
+// Perfetto (https://ui.perfetto.dev) and chrome://tracing accept.
+
+#include <fstream>
+#include <sstream>
+
+#include "util/trace.h"
+
+namespace xplain {
+
+std::string Trace::ToChromeJson() {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out << ",";
+    first = false;
+    // Span names are [a-z0-9_.]+ literals (lint-enforced), so no JSON
+    // string escaping is needed.
+    out << "{\"name\":\"" << event.name << "\",\"cat\":\"xplain\","
+        << "\"ph\":\"X\",\"ts\":" << event.start_us
+        << ",\"dur\":" << event.dur_us << ",\"pid\":1,\"tid\":" << event.tid;
+    if (event.has_arg) {
+      out << ",\"args\":{\"value\":" << event.arg << "}";
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status Trace::WriteChromeJson(const std::string& path) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open trace output file: " + path);
+  }
+  file << ToChromeJson() << "\n";
+  file.flush();
+  if (!file.good()) {
+    return Status::IoError("failed writing trace output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace xplain

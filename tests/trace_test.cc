@@ -1,0 +1,180 @@
+// Tests for util/trace: RAII span semantics (disabled no-op, End
+// idempotence, set_arg), snapshot ordering for nested spans, thread-id
+// assignment, and the Chrome trace-event JSON exporter (schema substrings
+// + file round trip). Trace state is process-global, so each test starts
+// from Clear() via the fixture.
+
+#include "util/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace xplain {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::Disable();
+    Trace::Clear();
+  }
+  void TearDown() override {
+    Trace::Disable();
+    Trace::Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(Trace::enabled());
+  {
+    XPLAIN_TRACE_SPAN("test.disabled_span");
+    TraceSpan named("test.disabled_named");
+    named.set_arg(7);
+  }
+  EXPECT_TRUE(Trace::Snapshot().empty());
+}
+
+TEST_F(TraceTest, EnabledSpanIsRecordedWithNameAndArg) {
+  Trace::Enable();
+  {
+    TraceSpan span("test.basic_span");
+    span.set_arg(42);
+  }
+  Trace::Disable();
+  std::vector<TraceEvent> events = Trace::Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.basic_span");
+  EXPECT_TRUE(events[0].has_arg);
+  EXPECT_EQ(events[0].arg, 42);
+  EXPECT_GE(events[0].start_us, 0);
+  EXPECT_GE(events[0].dur_us, 0);
+}
+
+TEST_F(TraceTest, EndClosesEarlyAndIsIdempotent) {
+  Trace::Enable();
+  {
+    TraceSpan span("test.end_span");
+    span.End();
+    span.End();  // second End must not record a duplicate
+  }                // destructor must not record either
+  Trace::Disable();
+  EXPECT_EQ(Trace::Snapshot().size(), 1u);
+}
+
+TEST_F(TraceTest, SpanOpenedWhileDisabledStaysSilentAfterEnable) {
+  TraceSpan span("test.straddling_span");
+  Trace::Enable();
+  span.End();
+  Trace::Disable();
+  // The span was constructed disabled, so it must not report a bogus
+  // interval even though collection turned on mid-lifetime.
+  EXPECT_TRUE(Trace::Snapshot().empty());
+}
+
+TEST_F(TraceTest, NestedSpansSortParentFirst) {
+  Trace::Enable();
+  {
+    XPLAIN_TRACE_SPAN("test.outer");
+    { XPLAIN_TRACE_SPAN("test.inner"); }
+  }
+  Trace::Disable();
+  std::vector<TraceEvent> events = Trace::Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "test.outer");
+  EXPECT_STREQ(events[1].name, "test.inner");
+  // Containment: the inner interval lies inside the outer one.
+  EXPECT_LE(events[0].start_us, events[1].start_us);
+  EXPECT_GE(events[0].start_us + events[0].dur_us,
+            events[1].start_us + events[1].dur_us);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST_F(TraceTest, ClearDropsRecordedEvents) {
+  Trace::Enable();
+  { XPLAIN_TRACE_SPAN("test.cleared_span"); }
+  Trace::Disable();
+  ASSERT_EQ(Trace::Snapshot().size(), 1u);
+  Trace::Clear();
+  EXPECT_TRUE(Trace::Snapshot().empty());
+}
+
+TEST_F(TraceTest, NowMicrosIsMonotonic) {
+  const int64_t a = Trace::NowMicros();
+  const int64_t b = Trace::NowMicros();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST_F(TraceTest, ThreadIdsAreStablePerThreadAndDistinctAcrossThreads) {
+  const uint32_t main_a = Trace::CurrentThreadId();
+  const uint32_t main_b = Trace::CurrentThreadId();
+  EXPECT_EQ(main_a, main_b);
+  uint32_t other = main_a;
+  std::thread worker([&other] { other = Trace::CurrentThreadId(); });
+  worker.join();
+  EXPECT_NE(other, main_a);
+}
+
+TEST_F(TraceTest, ChromeJsonHasEnvelopeAndCompleteEvents) {
+  Trace::Enable();
+  {
+    TraceSpan span("test.json_span");
+    span.set_arg(5);
+  }
+  Trace::Disable();
+  const std::string json = Trace::ToChromeJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json;
+  EXPECT_NE(json.find("\"name\":\"test.json_span\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"xplain\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\":{\"value\":5}"), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, ChromeJsonOmitsArgsWhenNoPayload) {
+  Trace::Enable();
+  { XPLAIN_TRACE_SPAN("test.argless_span"); }
+  Trace::Disable();
+  const std::string json = Trace::ToChromeJson();
+  EXPECT_EQ(json.find("\"args\""), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, EmptyTraceStillSerializesValidEnvelope) {
+  EXPECT_EQ(Trace::ToChromeJson(), "{\"traceEvents\":[]}");
+}
+
+TEST_F(TraceTest, WriteChromeJsonRoundTrips) {
+  Trace::Enable();
+  { XPLAIN_TRACE_SPAN("test.file_span"); }
+  Trace::Disable();
+  const std::string path =
+      ::testing::TempDir() + "/xplain_trace_test_roundtrip.trace.json";
+  Status status = Trace::WriteChromeJson(path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), Trace::ToChromeJson() + "\n");
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, WriteChromeJsonToBadPathFails) {
+  Status status =
+      Trace::WriteChromeJson("/nonexistent_dir_xplain/trace.json");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace xplain

@@ -323,6 +323,71 @@ TEST_F(XplainLintTest, ForwardDeclarationsNeedNoDoc) {
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+// --- trace-name -------------------------------------------------------------
+
+TEST_F(XplainLintTest, FlagsInvalidSpanName) {
+  WriteFile("src/util/spans.cc",
+            "void Work() {\n"
+            "  XPLAIN_TRACE_SPAN(\"Cube Merge\");\n"
+            "}\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("trace-name"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("Cube Merge"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsInvalidMetricName) {
+  WriteFile("src/util/counters.cc",
+            "void Work() {\n"
+            "  XPLAIN_COUNTER_ADD(\"cube-cells\", 1);\n"
+            "}\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("trace-name"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsDuplicateSpanNameInOneFile) {
+  WriteFile("src/util/spans.cc",
+            "void A() { XPLAIN_TRACE_SPAN(\"cube.merge\"); }\n"
+            "void B() { XPLAIN_TRACE_SPAN(\"cube.merge\"); }\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("trace-name"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("already used"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, SameSpanNameInDifferentFilesIsFine) {
+  WriteFile("src/util/a.cc", "void A() { XPLAIN_TRACE_SPAN(\"shared.span\"); }\n");
+  WriteFile("src/util/b.cc", "void B() { XPLAIN_TRACE_SPAN(\"shared.span\"); }\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, AcceptsValidTraceNamesIncludingConstructorForm) {
+  WriteFile("src/util/spans.cc",
+            "void Work() {\n"
+            "  TraceSpan merge_span(\"cube.base_merge\");\n"
+            "  XPLAIN_GAUGE_SET(\"threadpool.queue_depth\", 3);\n"
+            "  XPLAIN_HISTOGRAM_RECORD(\n"
+            "      \"threadpool.task_us\", 12);\n"
+            "  merge_span.End();\n"
+            "}\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, MacroDefinitionSitesAreNotTraceNameFindings) {
+  // The macro definitions pass an identifier, not a literal, as the first
+  // argument; the rule must skip them.
+  WriteFile("src/util/mymacros.h",
+            "#ifndef XPLAIN_UTIL_MYMACROS_H_\n"
+            "#define XPLAIN_UTIL_MYMACROS_H_\n"
+            "#define XPLAIN_TRACE_SPAN(name) ::xplain::TraceSpan s(name)\n"
+            "#endif  // XPLAIN_UTIL_MYMACROS_H_\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST_F(XplainLintTest, RulesFlagFiltersFindings) {
   // A file with both a no-stdout and a doc-comment violation: filtering to
   // doc-comment must hide the stdout finding and keep the doc one.

@@ -15,6 +15,11 @@
 //                          free function declaration carries a /// summary.
 //   [thread-safety-doc]    class/struct definitions in those headers state
 //                          their thread-safety in the /// block.
+//   [trace-name]           TraceSpan / XPLAIN_COUNTER_ADD / XPLAIN_GAUGE_SET
+//                          / XPLAIN_HISTOGRAM_RECORD literal names match
+//                          [a-z0-9_.]+ and are unique per translation unit
+//                          (a duplicate is almost always a copy-pasted span
+//                          that renders as one merged row in Perfetto).
 //
 // A line containing "xplain-lint: allow" is exempt from all rules.
 // Exit code: 0 = clean, 1 = findings, 2 = usage/IO error.
@@ -30,6 +35,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fs = std::filesystem;
@@ -479,6 +485,119 @@ void CheckDocComments(const std::string& display, const FileText& text) {
   }
 }
 
+// --- trace-name rule -------------------------------------------------------
+//
+// Observability names (trace.h / metrics.h) form one flat dotted namespace;
+// the emitters never escape them, so the charset is restricted to
+// [a-z0-9_.]+. Uniqueness is per file: a TU reusing a span name almost
+// always means a copy-pasted instrumentation block.
+
+bool IsValidTraceName(const std::string& name) {
+  if (name.empty()) return false;
+  return std::all_of(name.begin(), name.end(), [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+           c == '.';
+  });
+}
+
+// Position of the '(' opening the call `token(...)` at/after `start`
+// (allowing one identifier between token and paren, which matches both
+// `XPLAIN_COUNTER_ADD(` and the `TraceSpan span(` constructor form), or
+// npos. `after` receives the index just past the '('.
+size_t FindCallParen(const std::string& code, const std::string& token,
+                     size_t start, size_t* after) {
+  size_t pos = start;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    size_t end = pos + token.size();
+    if (left_ok && (end >= code.size() || !IsIdentChar(code[end]))) {
+      while (end < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[end]))) {
+        ++end;
+      }
+      // Optional variable name: `TraceSpan merge_span("...")`.
+      while (end < code.size() && IsIdentChar(code[end])) ++end;
+      while (end < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[end]))) {
+        ++end;
+      }
+      if (end < code.size() && code[end] == '(') {
+        *after = end + 1;
+        return end;
+      }
+    }
+    pos += token.size();
+  }
+  return std::string::npos;
+}
+
+void CheckTraceNames(const std::string& display, const FileText& text) {
+  static const char* kNameTakingCalls[] = {
+      "XPLAIN_TRACE_SPAN", "XPLAIN_COUNTER_ADD", "XPLAIN_GAUGE_SET",
+      "XPLAIN_HISTOGRAM_RECORD", "TraceSpan"};
+  std::vector<std::pair<std::string, size_t>> seen;  // name -> first line
+  for (size_t i = 0; i < text.code.size(); ++i) {
+    if (LineIsExempt(text.raw[i])) continue;
+    for (const char* call : kNameTakingCalls) {
+      size_t search = 0;
+      size_t after = 0;
+      while (FindCallParen(text.code[i], call, search, &after) !=
+             std::string::npos) {
+        search = after;
+        // The name must be the first argument: find the opening quote as
+        // the first non-space character, looking ahead a couple of lines
+        // for wrapped calls. A non-literal first argument (e.g. the macro
+        // definition itself, or a constructor taking a variable) is not
+        // this rule's business.
+        size_t line = i;
+        size_t col = after;
+        size_t q1 = std::string::npos;
+        for (int hop = 0; hop < 3 && line < text.code.size(); ++hop) {
+          const std::string& code = text.code[line];
+          while (col < code.size() &&
+                 std::isspace(static_cast<unsigned char>(code[col]))) {
+            ++col;
+          }
+          if (col < code.size()) {
+            if (code[col] == '"') q1 = col;
+            break;
+          }
+          ++line;
+          col = 0;
+        }
+        if (q1 == std::string::npos) continue;
+        const std::string& code = text.code[line];
+        const size_t q2 = code.find('"', q1 + 1);
+        if (q2 == std::string::npos) continue;
+        // Stripped and raw lines are position-aligned (the stripper
+        // preserves length), so the literal text lives at [q1+1, q2) of
+        // the raw line.
+        const std::string name = text.raw[line].substr(q1 + 1, q2 - q1 - 1);
+        const size_t line_no = line + 1;
+        if (!IsValidTraceName(name)) {
+          Report(display, line_no, "trace-name",
+                 "span/metric name \"" + name +
+                     "\" violates the [a-z0-9_.]+ naming scheme");
+          continue;
+        }
+        bool duplicate = false;
+        for (const auto& [prev_name, prev_line] : seen) {
+          if (prev_name == name) {
+            Report(display, line_no, "trace-name",
+                   "span/metric name \"" + name +
+                       "\" already used at line " +
+                       std::to_string(prev_line) +
+                       " in this translation unit (copy-pasted span?)");
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) seen.emplace_back(name, line_no);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -535,6 +654,7 @@ int main(int argc, char** argv) {
         HasSuffix(display, ".h") || HasSuffix(display, ".hpp");
     if (is_header) CheckHeaderGuard(display, rel, text);
     CheckLines(display, text, is_header);
+    CheckTraceNames(display, text);
     if (is_header && (HasPrefix(display, "src/core/") ||
                       HasPrefix(display, "src/util/"))) {
       CheckDocComments(display, text);

@@ -1,0 +1,158 @@
+// xplain_trace: runs a synthetic workload end to end with tracing and
+// per-query stats enabled, writes the Chrome trace-event JSON next to the
+// working directory, and self-validates the emitted file. Exit status is
+// non-zero on any failure, so the smoke run doubles as a ctest entry.
+//
+//   xplain_trace [--workload natality|dblp] [--rows N] [--threads N]
+//                [--out PATH.trace.json]
+//
+// Open the output in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "datagen/dblp.h"
+#include "datagen/natality.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace {
+
+struct TraceToolOptions {
+  std::string workload = "natality";
+  size_t rows = 20000;
+  int threads = 0;  // ExplainOptions meaning: 0 = hardware concurrency
+  std::string out = "xplain.trace.json";
+};
+
+int Fail(const std::string& message) {
+  std::cerr << "xplain_trace: " << message << std::endl;
+  return 1;
+}
+
+bool ParseArgs(const std::vector<std::string>& args, TraceToolOptions* opts) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](std::string* value) {
+      if (i + 1 >= args.size()) return false;
+      *value = args[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--workload") {
+      if (!next(&opts->workload)) return false;
+    } else if (arg == "--rows") {
+      if (!next(&value)) return false;
+      opts->rows = static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (arg == "--threads") {
+      if (!next(&value)) return false;
+      opts->threads = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (arg == "--out") {
+      if (!next(&opts->out)) return false;
+    } else {
+      std::cerr << "xplain_trace: unknown flag " << arg << std::endl;
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Structural sanity check of the Chrome trace-event JSON we just wrote:
+/// non-empty traceEvents, every span name on the [a-z0-9_.]+ scheme, and
+/// the "X" phase fields present. Not a JSON parser — the emitter is ours
+/// and fixed-format, so substring checks are exact enough to catch a
+/// broken exporter.
+int ValidateTrace(const std::vector<xplain::TraceEvent>& events,
+                  const std::string& json) {
+  if (events.empty()) return Fail("no spans were recorded");
+  if (json.find("{\"traceEvents\":[") != 0) {
+    return Fail("trace JSON missing traceEvents envelope");
+  }
+  if (json.find("\"ph\":\"X\"") == std::string::npos) {
+    return Fail("trace JSON has no complete (ph=X) events");
+  }
+  for (const xplain::TraceEvent& event : events) {
+    const std::string name = event.name;
+    if (name.empty() || !xplain::MetricsRegistry::IsValidName(name)) {
+      return Fail("span name violates [a-z0-9_.]+: '" + name + "'");
+    }
+    if (event.dur_us < 0 || event.start_us < 0) {
+      return Fail("span '" + name + "' has a negative timestamp");
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xplain;  // NOLINT
+
+  TraceToolOptions opts;
+  if (!ParseArgs(std::vector<std::string>(argv + 1, argv + argc), &opts)) {
+    return Fail(
+        "usage: xplain_trace [--workload natality|dblp] [--rows N] "
+        "[--threads N] [--out PATH]");
+  }
+
+  Database db;
+  UserQuestion question;
+  std::vector<std::string> attributes;
+  if (opts.workload == "natality") {
+    datagen::NatalityOptions gen;
+    gen.num_rows = opts.rows;
+    auto db_result = datagen::GenerateNatality(gen);
+    if (!db_result.ok()) return Fail(db_result.status().ToString());
+    db = std::move(db_result).ValueOrDie();
+    auto q = datagen::MakeNatalityQRace(db);
+    if (!q.ok()) return Fail(q.status().ToString());
+    question = std::move(q).ValueOrDie();
+    attributes = {"Birth.age", "Birth.tobacco"};
+  } else if (opts.workload == "dblp") {
+    datagen::DblpOptions gen;
+    auto db_result = datagen::GenerateDblp(gen);
+    if (!db_result.ok()) return Fail(db_result.status().ToString());
+    db = std::move(db_result).ValueOrDie();
+    auto q = datagen::MakeDblpBumpQuestion(db);
+    if (!q.ok()) return Fail(q.status().ToString());
+    question = std::move(q).ValueOrDie();
+    attributes = {"Author.dom", "Publication.year"};
+  } else {
+    return Fail("unknown workload '" + opts.workload +
+                "' (expected natality or dblp)");
+  }
+
+  auto engine_result = ExplainEngine::Create(&db);
+  if (!engine_result.ok()) return Fail(engine_result.status().ToString());
+  ExplainEngine engine = std::move(engine_result).ValueOrDie();
+
+  ExplainOptions explain_options;
+  explain_options.collect_stats = true;
+  explain_options.num_threads = opts.threads;
+
+  Trace::Clear();
+  Trace::Enable();
+  auto report_result = engine.Explain(question, attributes, explain_options);
+  Trace::Disable();
+  if (!report_result.ok()) return Fail(report_result.status().ToString());
+  ExplainReport report = std::move(report_result).ValueOrDie();
+
+  std::cout << report.ToString(db);
+  std::cout << report.stats.ToString();
+
+  const std::vector<TraceEvent> events = Trace::Snapshot();
+  const std::string json = Trace::ToChromeJson();
+  int validation = ValidateTrace(events, json);
+  if (validation != 0) return validation;
+
+  Status write_status = Trace::WriteChromeJson(opts.out);
+  if (!write_status.ok()) return Fail(write_status.ToString());
+  std::cout << "wrote " << opts.out << " (" << events.size()
+            << " spans; open in https://ui.perfetto.dev or "
+            << "chrome://tracing)\n";
+  return 0;
+}
