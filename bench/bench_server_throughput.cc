@@ -1,0 +1,136 @@
+// Serving-layer throughput: requests/sec through the full xplaind stack
+// (protocol parse, admission, engine execution, response serialization)
+// over the in-process loopback path, cold (every request computed) vs warm
+// (every request answered from the explanation cache).
+//
+// Emits BENCH_server.json:
+//   {"bench": "server", "records": [
+//     {"workload": "cold", "threads": W, "wall_ms": ...,
+//      "requests": N, "requests_per_sec": ...},
+//     {"workload": "warm", ...}]}
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/dblp.h"
+#include "server/service.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+/// Distinct request lines over the DBLP instance: SIGMOD-vs-PODS ratio
+/// questions with varying year windows, ops, and top_k.
+std::vector<std::string> MakeRequestLines(int count) {
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int year = 1990 + (i % 16);
+    const bool topk = i % 2 == 1;
+    const int top_k = 3 + i % 5;
+    std::string line = "{\"id\":" + std::to_string(i + 1) + ",\"op\":\"";
+    line += topk ? "TOPK" : "EXPLAIN";
+    line +=
+        "\",\"question\":{\"subqueries\":["
+        "{\"name\":\"q1\",\"agg\":\"count(distinct Publication.pubid)\","
+        "\"where\":\"venue = 'SIGMOD' AND year >= " +
+        std::to_string(year) +
+        "\"},"
+        "{\"name\":\"q2\",\"agg\":\"count(distinct Publication.pubid)\","
+        "\"where\":\"venue = 'PODS' AND year >= " +
+        std::to_string(year) +
+        "\"}],\"expr\":\"q1 / (q2 + 1)\",\"direction\":\"high\"},"
+        "\"attrs\":[\"Author.name\",\"Author.inst\"],"
+        "\"options\":{\"top_k\":" +
+        std::to_string(top_k) + "}}";
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+/// Submits every line asynchronously, waits for all responses, and returns
+/// elapsed milliseconds. Exits on any error response (a throughput number
+/// over failed requests would be meaningless).
+double RunPass(xplain::server::XplaindService* service,
+               const std::vector<std::string>& lines) {
+  xplain::Stopwatch watch;
+  std::vector<std::future<std::string>> futures;
+  futures.reserve(lines.size());
+  for (const std::string& line : lines) {
+    futures.push_back(service->SubmitLine(line));
+  }
+  for (std::future<std::string>& f : futures) {
+    const std::string response = f.get();
+    if (response.find("\"ok\":true") == std::string::npos) {
+      std::cerr << "bench error: " << response << std::endl;
+      std::exit(1);
+    }
+  }
+  return watch.ElapsedMillis();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using xplain::bench::Fmt;
+  using xplain::bench::JsonReporter;
+  using xplain::bench::PrintHeader;
+  using xplain::bench::PrintRow;
+  using xplain::bench::Unwrap;
+
+  int requests = 64;
+  double scale = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--requests" && i + 1 < argc) {
+      requests = std::stoi(argv[++i]);
+    } else if (arg == "--scale" && i + 1 < argc) {
+      scale = std::stod(argv[++i]);
+    }
+  }
+
+  xplain::datagen::DblpOptions dblp;
+  dblp.scale = scale;
+  xplain::Database db = Unwrap(xplain::datagen::GenerateDblp(dblp), "dblp");
+
+  xplain::server::ServiceOptions options;
+  options.max_queue_depth = static_cast<size_t>(requests);
+  auto service = Unwrap(
+      xplain::server::XplaindService::Create(std::move(db), options),
+      "service");
+  const int workers = xplain::ThreadPool::DefaultNumThreads();
+
+  const std::vector<std::string> lines = MakeRequestLines(requests);
+
+  JsonReporter json("server");
+  PrintHeader("xplaind throughput (loopback, " + std::to_string(requests) +
+              " requests, " + std::to_string(workers) + " workers)");
+  PrintRow({"pass", "wall_ms", "requests_per_sec"});
+
+  // Cold: empty cache, every request runs the engine.
+  const double cold_ms = RunPass(service.get(), lines);
+  const double cold_rps = 1000.0 * requests / cold_ms;
+  PrintRow({"cold", Fmt(cold_ms), Fmt(cold_rps, 1)});
+  json.AddStats("cold", workers, cold_ms,
+                {{"requests", static_cast<double>(requests)},
+                 {"requests_per_sec", cold_rps}});
+
+  // Warm: identical lines, all served from the explanation cache.
+  const double warm_ms = RunPass(service.get(), lines);
+  const double warm_rps = 1000.0 * requests / warm_ms;
+  PrintRow({"warm", Fmt(warm_ms), Fmt(warm_rps, 1)});
+  json.AddStats("warm", workers, warm_ms,
+                {{"requests", static_cast<double>(requests)},
+                 {"requests_per_sec", warm_rps}});
+
+  const auto stats = service->GetStats();
+  if (stats.cache.hits < requests) {
+    std::cerr << "bench error: warm pass expected " << requests
+              << " cache hits, saw " << stats.cache.hits << std::endl;
+    return 1;
+  }
+  service->Drain();
+  return 0;
+}

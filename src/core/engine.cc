@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <iomanip>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -25,6 +26,19 @@ double DeltaOf(const std::map<std::string, double>& deltas,
 }
 
 }  // namespace
+
+std::string CanonicalOptionsKey(const ExplainOptions& options) {
+  std::ostringstream key;
+  key << "k=" << options.top_k
+      << ";deg=" << DegreeKindToString(options.degree)
+      << ";min=" << MinimalityStrategyToString(options.minimality)
+      << ";sup=" << std::setprecision(17) << options.min_support
+      << ";cube=" << (options.use_cube ? 1 : 0)
+      << ";rescore=" << (options.exact_rescore_when_not_additive ? 1 : 0)
+      << ";pool=" << options.exact_rescore_pool
+      << ";maxattr=" << options.cube.max_attributes;
+  return key.str();
+}
 
 std::vector<std::pair<std::string, double>> QueryStats::ToFlat() const {
   std::vector<std::pair<std::string, double>> out = {

@@ -50,6 +50,14 @@ struct ExplainOptions {
   bool collect_stats = false;
 };
 
+/// Canonical, whitespace-free, injective rendering of every ExplainOptions
+/// field that can change an Explain *result*. num_threads and collect_stats
+/// are deliberately excluded: results are bit-identical across thread
+/// counts (DESIGN.md §6) and stats are not part of the serialized answer.
+/// This is the serving layer's cache-key fragment (DESIGN.md §8).
+/// Thread-safety: safe (pure).
+std::string CanonicalOptionsKey(const ExplainOptions& options);
+
 /// Per-phase breakdown of one Explain call (EXPLAIN-style report),
 /// populated when ExplainOptions::collect_stats is set. All times are
 /// wall-clock milliseconds; semijoin_ms is accumulated across the

@@ -15,6 +15,7 @@ Status Database::AddRelation(Relation relation) {
   }
   relation_index_[name] = static_cast<int>(relations_.size());
   relations_.push_back(std::move(relation));
+  ++version_;
   return Status::OK();
 }
 
@@ -59,6 +60,7 @@ Status Database::AddForeignKey(const ForeignKey& fk) {
   }
   foreign_keys_.push_back(fk);
   resolved_fks_.push_back(std::move(resolved));
+  ++version_;
   return Status::OK();
 }
 
@@ -242,6 +244,9 @@ Database Database::ApplyDelta(const DeltaSet& delta) const {
     Status st = out.AddForeignKey(fk);
     XPLAIN_CHECK(st.ok()) << st.ToString();
   }
+  // The derived instance is one logical mutation (a tuple delta) away from
+  // this one, whatever construction steps built it.
+  out.version_ = version_ + 1;
   return out;
 }
 

@@ -37,7 +37,21 @@ class Database {
 
   int num_relations() const { return static_cast<int>(relations_.size()); }
   const Relation& relation(int i) const { return relations_[i]; }
-  Relation* mutable_relation(int i) { return &relations_[i]; }
+  /// Mutable access to a relation. Handing out the pointer counts as one
+  /// logical mutation: version() bumps on every call (conservative — the
+  /// caller's row edits are invisible to the database).
+  Relation* mutable_relation(int i) {
+    ++version_;
+    return &relations_[i];
+  }
+
+  /// Monotonically increasing mutation counter, the serving layer's
+  /// cache-invalidation hook (DESIGN.md §8). Starts at 0 for an empty
+  /// database and bumps exactly once per logical mutation: AddRelation,
+  /// AddForeignKey, mutable_relation access, and each ApplyDelta /
+  /// row-removing SemijoinReduce (the derived database carries the parent's
+  /// version + 1).
+  uint64_t version() const { return version_; }
   /// Index of the named relation, or NotFound.
   [[nodiscard]] Result<int> RelationIndex(const std::string& name) const;
   /// Convenience: relation by name; CHECK-fails when absent.
@@ -85,6 +99,7 @@ class Database {
   std::unordered_map<std::string, int> relation_index_;
   std::vector<ForeignKey> foreign_keys_;
   std::vector<ResolvedForeignKey> resolved_fks_;
+  uint64_t version_ = 0;
 };
 
 /// Extends `dangling` (aligned with db relations) with every row that cannot

@@ -1,0 +1,109 @@
+#include "server/explain_cache.h"
+
+#include <functional>
+
+#include "util/hash.h"
+#include "util/metrics.h"
+
+namespace xplain {
+namespace server {
+
+namespace {
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ExplainCache::ExplainCache(const ExplainCacheOptions& options) {
+  const size_t num_shards =
+      RoundUpPowerOfTwo(options.num_shards == 0 ? 1 : options.num_shards);
+  shard_mask_ = num_shards - 1;
+  per_shard_budget_ = options.max_bytes / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ExplainCache::Shard* ExplainCache::ShardFor(const std::string& key) {
+  const uint64_t h = Mix64(std::hash<std::string>{}(key));
+  return shards_[h & shard_mask_].get();
+}
+
+std::optional<std::string> ExplainCache::Lookup(const std::string& key) {
+  Shard* shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->index.find(key);
+  if (it == shard->index.end()) {
+    ++shard->misses;
+    XPLAIN_COUNTER_ADD("server.cache.misses", 1);
+    return std::nullopt;
+  }
+  // Move to the front (most recently used).
+  shard->lru.splice(shard->lru.begin(), shard->lru, it->second);
+  ++shard->hits;
+  XPLAIN_COUNTER_ADD("server.cache.hits", 1);
+  return it->second->payload;
+}
+
+void ExplainCache::Insert(const std::string& key, std::string payload) {
+  const size_t entry_bytes = key.size() + payload.size();
+  Shard* shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard->mu);
+  auto it = shard->index.find(key);
+  if (it != shard->index.end()) {
+    shard->bytes -= it->first.size() + it->second->payload.size();
+    shard->lru.erase(it->second);
+    shard->index.erase(it);
+  }
+  if (entry_bytes > per_shard_budget_) {
+    // Larger than the shard's whole budget: caching it would evict
+    // everything for a single entry, so skip.
+    return;
+  }
+  shard->lru.push_front(Entry{key, std::move(payload)});
+  shard->index[key] = shard->lru.begin();
+  shard->bytes += entry_bytes;
+  while (shard->bytes > per_shard_budget_ && !shard->lru.empty()) {
+    const Entry& victim = shard->lru.back();
+    shard->bytes -= victim.key.size() + victim.payload.size();
+    shard->index.erase(victim.key);
+    shard->lru.pop_back();
+    ++shard->evictions;
+    XPLAIN_COUNTER_ADD("server.cache.evictions", 1);
+  }
+}
+
+void ExplainCache::InvalidateAll() {
+  int64_t dropped = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    dropped += static_cast<int64_t>(shard->lru.size());
+    shard->invalidations += static_cast<int64_t>(shard->lru.size());
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+  XPLAIN_COUNTER_ADD("server.cache.invalidated_entries", dropped);
+}
+
+ExplainCache::Stats ExplainCache::GetStats() const {
+  Stats stats;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.invalidations += shard->invalidations;
+    stats.entries += static_cast<int64_t>(shard->lru.size());
+    stats.bytes += static_cast<int64_t>(shard->bytes);
+  }
+  return stats;
+}
+
+}  // namespace server
+}  // namespace xplain

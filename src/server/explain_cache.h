@@ -1,0 +1,97 @@
+#ifndef XPLAIN_SERVER_EXPLAIN_CACHE_H_
+#define XPLAIN_SERVER_EXPLAIN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace xplain {
+namespace server {
+
+/// Sizing knobs for the explanation cache.
+/// Thread-safety: plain data, externally synchronized.
+struct ExplainCacheOptions {
+  /// Number of independent LRU shards; rounded up to a power of two, at
+  /// least 1. More shards = less lock contention, slightly coarser LRU.
+  size_t num_shards = 8;
+  /// Total byte budget across shards (key + payload bytes per entry). Each
+  /// shard enforces max_bytes / num_shards; an entry larger than its
+  /// shard's budget is not cached at all.
+  size_t max_bytes = 64 * 1024 * 1024;
+};
+
+/// A sharded LRU cache from canonical request keys to serialized response
+/// payloads (DESIGN.md §8). Keys embed the database version, and
+/// InvalidateAll() drops every entry when the version bumps, so a stale
+/// answer can never be served. Hit/miss/eviction/invalidation totals feed
+/// the `server.cache.*` process metrics and the per-instance Stats.
+///
+/// Thread-safety: safe — each shard holds its own mutex; Lookup/Insert on
+/// different shards never contend. Stats() and InvalidateAll() visit all
+/// shards without a global lock (counts are a consistent-enough snapshot
+/// for monitoring).
+class ExplainCache {
+ public:
+  explicit ExplainCache(const ExplainCacheOptions& options);
+
+  ExplainCache(const ExplainCache&) = delete;
+  ExplainCache& operator=(const ExplainCache&) = delete;
+
+  /// Returns the payload cached under `key` and marks it most recently
+  /// used, or nullopt on miss. Counts a hit or a miss either way.
+  std::optional<std::string> Lookup(const std::string& key);
+
+  /// Inserts (or replaces) `key` -> `payload`, then evicts
+  /// least-recently-used entries until the shard is back under budget.
+  void Insert(const std::string& key, std::string payload);
+
+  /// Drops every entry in every shard (the database-version-bump hook).
+  void InvalidateAll();
+
+  /// A monitoring snapshot of the whole cache.
+  /// Thread-safety: plain data, externally synchronized.
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    int64_t invalidations = 0;  // entries dropped by InvalidateAll
+    int64_t entries = 0;
+    int64_t bytes = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string payload;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used; evictions pop from the back.
+    std::list<Entry> lru;                                        // guarded by mu
+    std::unordered_map<std::string, std::list<Entry>::iterator>
+        index;                                                   // guarded by mu
+    size_t bytes = 0;                                            // guarded by mu
+    int64_t hits = 0;                                            // guarded by mu
+    int64_t misses = 0;                                          // guarded by mu
+    int64_t evictions = 0;                                       // guarded by mu
+    int64_t invalidations = 0;                                   // guarded by mu
+  };
+
+  Shard* ShardFor(const std::string& key);
+
+  size_t shard_mask_ = 0;
+  size_t per_shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace server
+}  // namespace xplain
+
+#endif  // XPLAIN_SERVER_EXPLAIN_CACHE_H_

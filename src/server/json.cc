@@ -1,0 +1,334 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace xplain {
+namespace server {
+
+namespace {
+constexpr int kMaxDepth = 64;
+}  // namespace
+
+/// Recursive-descent parser over one input buffer. Internal to Parse.
+class JsonParser {
+ public:
+  JsonParser(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Result<JsonValue> Run() {
+    JsonValue value;
+    XPLAIN_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipSpace();
+    if (pos_ != size_) {
+      return Err("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Err(const std::string& message) const {
+    return Status::ParseError("json: " + message + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < size_ &&
+           (data_[pos_] == ' ' || data_[pos_] == '\t' || data_[pos_] == '\n' ||
+            data_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < size_ && data_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    const size_t len = std::strlen(word);
+    if (pos_ + len <= size_ && std::memcmp(data_ + pos_, word, len) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    SkipSpace();
+    if (pos_ >= size_) return Err("unexpected end of input");
+    const char c = data_[pos_];
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '"') {
+      out->kind_ = JsonValue::Kind::kString;
+      return ParseString(&out->string_);
+    }
+    if (ConsumeWord("true")) {
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = true;
+      return Status::OK();
+    }
+    if (ConsumeWord("false")) {
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = false;
+      return Status::OK();
+    }
+    if (ConsumeWord("null")) {
+      out->kind_ = JsonValue::Kind::kNull;
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipSpace();
+      if (pos_ >= size_ || data_[pos_] != '"') {
+        return Err("expected object key string");
+      }
+      std::string key;
+      XPLAIN_RETURN_IF_ERROR(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) return Err("expected ':' after object key");
+      JsonValue member;
+      XPLAIN_RETURN_IF_ERROR(ParseValue(&member, depth + 1));
+      out->object_[std::move(key)] = std::move(member);
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Err("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue item;
+      XPLAIN_RETURN_IF_ERROR(ParseValue(&item, depth + 1));
+      out->array_.push_back(std::move(item));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Err("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // opening '"'
+    out->clear();
+    while (pos_ < size_) {
+      const char c = data_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Err("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= size_) return Err("truncated escape");
+      const char esc = data_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          uint32_t code = 0;
+          XPLAIN_RETURN_IF_ERROR(ParseHex4(&code));
+          // Surrogate pair -> one code point.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 1 < size_ && data_[pos_] == '\\' &&
+                data_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              uint32_t low = 0;
+              XPLAIN_RETURN_IF_ERROR(ParseHex4(&low));
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Err("invalid low surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              return Err("unpaired high surrogate");
+            }
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Err("unpaired low surrogate");
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return Err("unknown escape character");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > size_) return Err("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = data_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value += static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value += static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value += static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Err("bad hex digit in \\u escape");
+      }
+    }
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < size_ && data_[pos_] == '-') ++pos_;
+    while (pos_ < size_ &&
+           (std::isdigit(static_cast<unsigned char>(data_[pos_])) ||
+            data_[pos_] == '.' || data_[pos_] == 'e' || data_[pos_] == 'E' ||
+            data_[pos_] == '+' || data_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start ||
+        (pos_ == start + 1 && data_[start] == '-')) {
+      pos_ = start;
+      return Err("expected a JSON value");
+    }
+    const std::string token(data_ + start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      return Err("malformed number '" + token + "'");
+    }
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = value;
+    return Status::OK();
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  JsonParser parser(text.data(), text.size());
+  return parser.Run();
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* member = Find(key);
+  return member != nullptr && member->is_string() ? member->string_value()
+                                                  : fallback;
+}
+
+double JsonValue::GetNumber(const std::string& key, double fallback) const {
+  const JsonValue* member = Find(key);
+  return member != nullptr && member->is_number() ? member->number_value()
+                                                  : fallback;
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue* member = Find(key);
+  return member != nullptr && member->is_bool() ? member->bool_value()
+                                                : fallback;
+}
+
+void AppendJsonString(const std::string& value, std::string* out) {
+  out->push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    *out += "null";
+    return;
+  }
+  char buf[40];
+  // Shortest representation that round-trips a double.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  double reparsed = 0.0;
+  for (int precision = 1; precision <= 16; ++precision) {
+    char candidate[40];
+    std::snprintf(candidate, sizeof(candidate), "%.*g", precision, value);
+    std::sscanf(candidate, "%lf", &reparsed);
+    if (reparsed == value) {
+      *out += candidate;
+      return;
+    }
+  }
+  *out += buf;
+}
+
+}  // namespace server
+}  // namespace xplain

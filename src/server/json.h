@@ -1,0 +1,82 @@
+#ifndef XPLAIN_SERVER_JSON_H_
+#define XPLAIN_SERVER_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace xplain {
+namespace server {
+
+/// A parsed JSON value: null, bool, number (double), string, array, or
+/// object. Object members keep insertion-independent deterministic order
+/// (std::map). The parser is defensive — depth-capped, no exceptions, no
+/// crashes on malformed input — because it fronts the network protocol.
+///
+/// Thread-safety: immutable after Parse; const access is safe, mutation is
+/// externally synchronized.
+class JsonValue {
+ public:
+  /// The JSON type tags.
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  /// Parses `text` as one JSON value (trailing garbage is an error).
+  /// Nesting beyond 64 levels, bad escapes, and truncated input all return
+  /// ParseError — never a crash.
+  [[nodiscard]] static Result<JsonValue> Parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return array_; }
+  const std::map<std::string, JsonValue>& object_items() const {
+    return object_;
+  }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Typed member accessors with defaults: the protocol's tolerant-read
+  /// style (absent or wrongly-typed members fall back to `fallback`).
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  double GetNumber(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Appends a JSON string literal (quotes included, control characters and
+/// quotes escaped) to `out`.
+void AppendJsonString(const std::string& value, std::string* out);
+
+/// Appends a shortest-round-trip rendering of `value` ("%.17g", with
+/// non-finite values serialized as null — JSON has no NaN/Inf).
+void AppendJsonNumber(double value, std::string* out);
+
+}  // namespace server
+}  // namespace xplain
+
+#endif  // XPLAIN_SERVER_JSON_H_

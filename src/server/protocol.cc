@@ -1,0 +1,304 @@
+#include "server/protocol.h"
+
+#include <cmath>
+
+#include "relational/parser.h"
+#include "server/json.h"
+#include "util/string_util.h"
+
+namespace xplain {
+namespace server {
+
+namespace {
+
+Result<RequestOp> ParseOp(const std::string& text) {
+  if (EqualsIgnoreCase(text, "explain")) return RequestOp::kExplain;
+  if (EqualsIgnoreCase(text, "topk")) return RequestOp::kTopK;
+  if (EqualsIgnoreCase(text, "stats")) return RequestOp::kStats;
+  if (EqualsIgnoreCase(text, "drain")) return RequestOp::kDrain;
+  return Status::InvalidArgument(
+      "unknown op '" + text + "' (expected EXPLAIN, TOPK, STATS or DRAIN)");
+}
+
+Result<size_t> ParseNonNegative(const JsonValue& object, const char* key,
+                                size_t fallback) {
+  const JsonValue* member = object.Find(key);
+  if (member == nullptr) return fallback;
+  if (!member->is_number() || member->number_value() < 0 ||
+      member->number_value() != std::floor(member->number_value())) {
+    return Status::InvalidArgument(std::string("options.") + key +
+                                   " must be a non-negative integer");
+  }
+  return static_cast<size_t>(member->number_value());
+}
+
+Status ParseOptions(const JsonValue& object, ExplainOptions* options) {
+  XPLAIN_ASSIGN_OR_RETURN(options->top_k,
+                          ParseNonNegative(object, "top_k", options->top_k));
+  const std::string degree = ToLower(object.GetString("degree", "interv"));
+  if (degree == "interv" || degree == "intervention") {
+    options->degree = DegreeKind::kIntervention;
+  } else if (degree == "aggr" || degree == "aggravation") {
+    options->degree = DegreeKind::kAggravation;
+  } else if (degree == "hybrid") {
+    options->degree = DegreeKind::kHybrid;
+  } else {
+    return Status::InvalidArgument(
+        "options.degree must be interv, aggr or hybrid");
+  }
+  const std::string minimality =
+      ToLower(object.GetString("minimality", "append"));
+  if (minimality == "none") {
+    options->minimality = MinimalityStrategy::kNone;
+  } else if (minimality == "selfjoin") {
+    options->minimality = MinimalityStrategy::kSelfJoin;
+  } else if (minimality == "append") {
+    options->minimality = MinimalityStrategy::kAppend;
+  } else {
+    return Status::InvalidArgument(
+        "options.minimality must be none, selfjoin or append");
+  }
+  const JsonValue* support = object.Find("min_support");
+  if (support != nullptr) {
+    if (!support->is_number() || support->number_value() < 0) {
+      return Status::InvalidArgument(
+          "options.min_support must be a non-negative number");
+    }
+    options->min_support = support->number_value();
+  }
+  options->use_cube = object.GetBool("use_cube", options->use_cube);
+  options->exact_rescore_when_not_additive = object.GetBool(
+      "exact_rescore", options->exact_rescore_when_not_additive);
+  XPLAIN_ASSIGN_OR_RETURN(
+      options->exact_rescore_pool,
+      ParseNonNegative(object, "exact_rescore_pool",
+                       options->exact_rescore_pool));
+  const JsonValue* threads = object.Find("num_threads");
+  if (threads != nullptr) {
+    if (!threads->is_number() || threads->number_value() < 0 ||
+        threads->number_value() != std::floor(threads->number_value())) {
+      return Status::InvalidArgument(
+          "options.num_threads must be a non-negative integer");
+    }
+    options->num_threads = static_cast<int>(threads->number_value());
+  }
+  return Status::OK();
+}
+
+/// Injective field framing for cache keys: "<length>:<text>;".
+void AppendKeyField(const std::string& text, std::string* out) {
+  *out += std::to_string(text.size());
+  *out += ':';
+  *out += text;
+  *out += ';';
+}
+
+void AppendExplanations(const Database& db,
+                        const std::vector<RankedExplanation>& explanations,
+                        std::string* out) {
+  *out += "\"explanations\":[";
+  for (size_t i = 0; i < explanations.size(); ++i) {
+    const RankedExplanation& ranked = explanations[i];
+    if (i > 0) out->push_back(',');
+    *out += "{\"rank\":";
+    *out += std::to_string(i + 1);
+    *out += ",\"predicate\":";
+    AppendJsonString(ranked.explanation.predicate().ToString(db), out);
+    *out += ",\"degree\":";
+    AppendJsonNumber(ranked.degree, out);
+    *out += ",\"m_row\":";
+    *out += std::to_string(ranked.m_row);
+    out->push_back('}');
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+const char* RequestOpToString(RequestOp op) {
+  switch (op) {
+    case RequestOp::kExplain:
+      return "EXPLAIN";
+    case RequestOp::kTopK:
+      return "TOPK";
+    case RequestOp::kStats:
+      return "STATS";
+    case RequestOp::kDrain:
+      return "DRAIN";
+  }
+  return "UNKNOWN";
+}
+
+Result<Request> ParseRequest(const std::string& line) {
+  XPLAIN_ASSIGN_OR_RETURN(JsonValue root, JsonValue::Parse(line));
+  if (!root.is_object()) {
+    return Status::ParseError("request must be a JSON object");
+  }
+  Request request;
+  const JsonValue* id = root.Find("id");
+  if (id != nullptr) {
+    if (!id->is_number() || id->number_value() < 0) {
+      return Status::InvalidArgument("id must be a non-negative number");
+    }
+    request.id = static_cast<uint64_t>(id->number_value());
+  }
+  const JsonValue* op = root.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return Status::InvalidArgument("request is missing the \"op\" member");
+  }
+  XPLAIN_ASSIGN_OR_RETURN(request.op, ParseOp(op->string_value()));
+  // Serving default: one engine thread per request; cross-request
+  // parallelism comes from the service pool (DESIGN.md §8).
+  request.options.num_threads = 1;
+  if (request.op != RequestOp::kExplain && request.op != RequestOp::kTopK) {
+    return request;
+  }
+
+  const JsonValue* question = root.Find("question");
+  if (question == nullptr || !question->is_object()) {
+    return Status::InvalidArgument(
+        "EXPLAIN/TOPK need a \"question\" object");
+  }
+  const JsonValue* subqueries = question->Find("subqueries");
+  if (subqueries == nullptr || !subqueries->is_array() ||
+      subqueries->array_items().empty()) {
+    return Status::InvalidArgument(
+        "question.subqueries must be a non-empty array");
+  }
+  for (const JsonValue& item : subqueries->array_items()) {
+    if (!item.is_object()) {
+      return Status::InvalidArgument("each subquery must be an object");
+    }
+    SubquerySpec spec;
+    spec.name = item.GetString("name", "");
+    spec.agg = item.GetString("agg", "");
+    spec.where = item.GetString("where", "");
+    if (spec.name.empty() || spec.agg.empty()) {
+      return Status::InvalidArgument(
+          "each subquery needs \"name\" and \"agg\" strings");
+    }
+    request.subqueries.push_back(std::move(spec));
+  }
+  request.expr = question->GetString("expr", "");
+  if (request.expr.empty()) {
+    return Status::InvalidArgument("question.expr must be a string");
+  }
+  request.direction = ToLower(question->GetString("direction", "high"));
+  if (request.direction != "high" && request.direction != "low") {
+    return Status::InvalidArgument("question.direction must be high or low");
+  }
+
+  const JsonValue* attrs = root.Find("attrs");
+  if (attrs == nullptr || !attrs->is_array() ||
+      attrs->array_items().empty()) {
+    return Status::InvalidArgument(
+        "EXPLAIN/TOPK need a non-empty \"attrs\" array");
+  }
+  for (const JsonValue& attr : attrs->array_items()) {
+    if (!attr.is_string() || attr.string_value().empty()) {
+      return Status::InvalidArgument("attrs must be non-empty strings");
+    }
+    request.attrs.push_back(attr.string_value());
+  }
+
+  const JsonValue* options = root.Find("options");
+  if (options != nullptr) {
+    if (!options->is_object()) {
+      return Status::InvalidArgument("options must be an object");
+    }
+    XPLAIN_RETURN_IF_ERROR(ParseOptions(*options, &request.options));
+  }
+  return request;
+}
+
+uint64_t ExtractRequestId(const std::string& line) {
+  auto root = JsonValue::Parse(line);
+  if (!root.ok() || !root->is_object()) return 0;
+  const double id = root->GetNumber("id", 0.0);
+  return id > 0 ? static_cast<uint64_t>(id) : 0;
+}
+
+Result<UserQuestion> BuildQuestion(const Database& db,
+                                   const Request& request) {
+  std::vector<AggregateQuery> subqueries;
+  std::vector<std::string> names;
+  for (const SubquerySpec& spec : request.subqueries) {
+    AggregateQuery q;
+    q.name = spec.name;
+    XPLAIN_ASSIGN_OR_RETURN(q.agg, ParseAggregate(db, spec.agg));
+    XPLAIN_ASSIGN_OR_RETURN(q.where, ParseDnfPredicate(db, spec.where));
+    names.push_back(q.name);
+    subqueries.push_back(std::move(q));
+  }
+  XPLAIN_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression(request.expr, names));
+  UserQuestion question;
+  XPLAIN_ASSIGN_OR_RETURN(
+      question.query,
+      NumericalQuery::Create(std::move(subqueries), std::move(expr)));
+  question.direction =
+      request.direction == "low" ? Direction::kLow : Direction::kHigh;
+  return question;
+}
+
+std::string ReportPayload(const Database& db, const ExplainReport& report,
+                          RequestOp op) {
+  std::string out = "\"ok\":true,\"op\":\"";
+  out += RequestOpToString(op);
+  out += "\",";
+  if (op == RequestOp::kExplain) {
+    out += "\"original_value\":";
+    AppendJsonNumber(report.original_value, &out);
+    out += ",\"used_cube\":";
+    out += report.used_cube ? "true" : "false";
+    out += ",\"exact_rescored\":";
+    out += report.exact_rescored ? "true" : "false";
+    out += ",\"additive\":";
+    out += report.additivity.additive ? "true" : "false";
+    out += ",\"cell_additive\":";
+    out += report.cell_additivity.additive ? "true" : "false";
+    out += ",\"candidates\":";
+    out += std::to_string(report.table.NumRows());
+    out += ",";
+  }
+  AppendExplanations(db, report.explanations, &out);
+  return out;
+}
+
+std::string ErrorPayload(const Status& status) {
+  std::string out = "\"ok\":false,\"code\":\"";
+  out += StatusCodeToString(status.code());
+  out += "\",\"error\":";
+  AppendJsonString(status.message(), &out);
+  return out;
+}
+
+std::string MakeResponse(uint64_t id, const std::string& payload) {
+  std::string out = "{\"id\":";
+  out += std::to_string(id);
+  out.push_back(',');
+  out += payload;
+  out.push_back('}');
+  return out;
+}
+
+std::string CanonicalRequestKey(const Request& request) {
+  // EXPLAIN and TOPK share the computation but not the payload, so the op
+  // participates in the key.
+  std::string key;
+  AppendKeyField(RequestOpToString(request.op), &key);
+  for (const SubquerySpec& spec : request.subqueries) {
+    AppendKeyField(spec.name, &key);
+    AppendKeyField(spec.agg, &key);
+    AppendKeyField(spec.where, &key);
+  }
+  AppendKeyField(request.expr, &key);
+  AppendKeyField(request.direction, &key);
+  for (const std::string& attr : request.attrs) {
+    AppendKeyField(attr, &key);
+  }
+  AppendKeyField(CanonicalOptionsKey(request.options), &key);
+  return key;
+}
+
+}  // namespace server
+}  // namespace xplain

@@ -1,0 +1,103 @@
+#ifndef XPLAIN_SERVER_PROTOCOL_H_
+#define XPLAIN_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "relational/database.h"
+#include "relational/query.h"
+#include "util/result.h"
+
+namespace xplain {
+namespace server {
+
+/// The xplaind wire protocol (DESIGN.md §8): newline-delimited JSON, one
+/// request object per line, one response object per line, always in request
+/// order per connection. Every malformed input maps to an error *response*
+/// (a Status payload) — the protocol layer never crashes and never closes
+/// the stream on bad input.
+///
+/// Request grammar (members beyond `id`/`op` are op-specific):
+///
+///   {"id": 7, "op": "EXPLAIN",
+///    "question": {"subqueries": [{"name": "q1",
+///                                 "agg": "count(distinct P.pid)",
+///                                 "where": "venue = 'SIGMOD'"}, ...],
+///                 "expr": "q1 / q2", "direction": "high"|"low"},
+///    "attrs": ["Author.name", "Author.inst"],
+///    "options": {"top_k": 5, "degree": "interv"|"aggr"|"hybrid",
+///                "minimality": "none"|"selfjoin"|"append",
+///                "min_support": 0, "use_cube": true, "num_threads": 1}}
+///
+/// TOPK takes the same members as EXPLAIN (lighter response); STATS and
+/// DRAIN take only `id`. Predicate/aggregate/expression texts reuse the
+/// exact `relational/parser` grammar of the CLI.
+enum class RequestOp { kExplain, kTopK, kStats, kDrain };
+
+/// Wire name of `op` ("EXPLAIN", ...).
+const char* RequestOpToString(RequestOp op);
+
+/// One aggregate subquery, still in text form (parsed against the serving
+/// database later, by BuildQuestion).
+/// Thread-safety: plain data, externally synchronized.
+struct SubquerySpec {
+  std::string name;
+  std::string agg;
+  std::string where;  // empty = TRUE
+};
+
+/// A parsed request line, with question/predicate texts not yet resolved
+/// against a database.
+/// Thread-safety: plain data, externally synchronized.
+struct Request {
+  uint64_t id = 0;
+  RequestOp op = RequestOp::kStats;
+  std::vector<SubquerySpec> subqueries;
+  std::string expr;
+  std::string direction = "high";
+  std::vector<std::string> attrs;
+  ExplainOptions options;  // num_threads defaults to 1 when serving
+};
+
+/// Parses one request line. Structural errors (bad JSON, unknown op,
+/// missing members, bad enum values) surface as ParseError /
+/// InvalidArgument; predicate text is validated later against the serving
+/// database by BuildQuestion.
+[[nodiscard]] Result<Request> ParseRequest(const std::string& line);
+
+/// Best-effort extraction of the numeric "id" member from a (possibly
+/// malformed) request line, so error responses can still echo it. Returns 0
+/// when no id is recoverable.
+uint64_t ExtractRequestId(const std::string& line);
+
+/// Resolves the request's question texts against `db` using
+/// relational/parser (aggregates, DNF predicates, the combining
+/// expression).
+[[nodiscard]] Result<UserQuestion> BuildQuestion(const Database& db,
+                                                 const Request& request);
+
+/// Serializes an ExplainReport as the response payload for `op`: TOPK
+/// carries only the ranked explanations; EXPLAIN adds original_value,
+/// additivity and table statistics. Deterministic byte-for-byte for equal
+/// reports (the loopback tests and the cache rely on this).
+std::string ReportPayload(const Database& db, const ExplainReport& report,
+                          RequestOp op);
+
+/// `"ok":false,"code":"<CodeName>","error":"<message>"`.
+std::string ErrorPayload(const Status& status);
+
+/// Wraps a payload into one response line: `{"id":<id>,<payload>}`.
+std::string MakeResponse(uint64_t id, const std::string& payload);
+
+/// Canonical cache-key text of the request: op class + question texts +
+/// attrs + CanonicalOptionsKey, whitespace-normalized. Two requests with
+/// equal keys produce byte-identical payloads against the same database
+/// version (the version itself is appended by the cache owner).
+std::string CanonicalRequestKey(const Request& request);
+
+}  // namespace server
+}  // namespace xplain
+
+#endif  // XPLAIN_SERVER_PROTOCOL_H_

@@ -1,0 +1,271 @@
+#include "server/service.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace xplain {
+namespace server {
+
+namespace {
+
+/// A future that is already resolved to `value`.
+std::future<std::string> ReadyFuture(std::string value) {
+  std::promise<std::string> promise;
+  promise.set_value(std::move(value));
+  return promise.get_future();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<XplaindService>> XplaindService::Create(
+    Database db, const ServiceOptions& options) {
+  std::unique_ptr<XplaindService> service(
+      new XplaindService(std::move(db), options));
+  XPLAIN_RETURN_IF_ERROR(service->RebuildEngineLocked());
+  return service;
+}
+
+XplaindService::XplaindService(Database db, const ServiceOptions& options)
+    : options_(options), db_(std::move(db)) {
+  const int workers = options_.num_workers == 0
+                          ? ThreadPool::DefaultNumThreads()
+                          : options_.num_workers;
+  admission_capacity_ =
+      static_cast<size_t>(workers < 1 ? 1 : workers) +
+      options_.max_queue_depth;
+  pool_ = std::make_unique<ThreadPool>(workers);
+  if (options_.enable_cache) {
+    cache_ = std::make_unique<ExplainCache>(options_.cache);
+  }
+}
+
+XplaindService::~XplaindService() {
+  Drain();
+  // Workers capture `this`; join them before any member is destroyed.
+  pool_->Shutdown();
+}
+
+Status XplaindService::RebuildEngineLocked() {
+  XPLAIN_ASSIGN_OR_RETURN(ExplainEngine engine, ExplainEngine::Create(&db_));
+  engine_ = std::make_unique<ExplainEngine>(std::move(engine));
+  return Status::OK();
+}
+
+std::string XplaindService::HandleLine(const std::string& line) {
+  return SubmitLine(line).get();
+}
+
+std::future<std::string> XplaindService::SubmitLine(const std::string& line) {
+  XPLAIN_TRACE_SPAN("rpc.submit");
+  XPLAIN_COUNTER_ADD("server.requests", 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++received_;
+  }
+
+  Result<Request> parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    XPLAIN_COUNTER_ADD("server.parse_errors", 1);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++errors_;
+    return ReadyFuture(
+        MakeResponse(ExtractRequestId(line), ErrorPayload(parsed.status())));
+  }
+  const Request& request = *parsed;
+
+  if (request.op == RequestOp::kStats) {
+    XPLAIN_TRACE_SPAN("rpc.stats");
+    return ReadyFuture(MakeResponse(request.id, StatsPayload()));
+  }
+  if (request.op == RequestOp::kDrain) {
+    XPLAIN_TRACE_SPAN("rpc.drain");
+    Drain();
+    return ReadyFuture(MakeResponse(request.id, StatsPayload()));
+  }
+
+  if (draining()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++errors_;
+    return ReadyFuture(MakeResponse(
+        request.id,
+        ErrorPayload(Status::Unavailable("service is draining"))));
+  }
+
+  // Cache lookup happens before admission: hits cost no worker slot. The
+  // database version is part of the key, so a stale entry can never match.
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    cache_key = "v=" + std::to_string(db_version()) + ";" +
+                CanonicalRequestKey(request);
+    std::optional<std::string> hit = cache_->Lookup(cache_key);
+    if (hit.has_value()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++served_;
+      ++cache_hits_;
+      return ReadyFuture(MakeResponse(request.id, *std::move(hit)));
+    }
+  }
+
+  std::string reject_payload;
+  if (!Admit(&reject_payload)) {
+    return ReadyFuture(MakeResponse(request.id, std::move(reject_payload)));
+  }
+
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  std::future<Status> submitted = pool_->Submit(
+      [this, request, cache_key = std::move(cache_key), promise]() {
+        if (options_.execute_hook) options_.execute_hook();
+        bool ok = false;
+        std::string payload = ExecutePayload(request, &ok);
+        if (ok && cache_ != nullptr) {
+          cache_->Insert(cache_key, payload);
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (ok) {
+            ++served_;
+          } else {
+            ++errors_;
+          }
+        }
+        FinishOne();
+        promise->set_value(MakeResponse(request.id, std::move(payload)));
+        return Status::OK();
+      });
+  if (!submitted.valid()) {
+    // Unreachable with a live pool; keep the contract airtight anyway.
+    FinishOne();
+    promise->set_value(MakeResponse(
+        request.id, ErrorPayload(Status::Internal("worker pool rejected"))));
+  }
+  return future;
+}
+
+std::string XplaindService::ExecutePayload(const Request& request, bool* ok) {
+  XPLAIN_TRACE_SPAN("rpc.execute");
+  const int64_t start_us = Trace::NowMicros();
+  *ok = false;
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  std::string payload;
+  Result<UserQuestion> question = BuildQuestion(db_, request);
+  if (!question.ok()) {
+    payload = ErrorPayload(question.status());
+  } else {
+    Result<ExplainReport> report =
+        engine_->Explain(*question, request.attrs, request.options);
+    if (!report.ok()) {
+      payload = ErrorPayload(report.status());
+    } else {
+      TraceSpan serialize_span("rpc.serialize");
+      payload = ReportPayload(db_, *report, request.op);
+      *ok = true;
+    }
+  }
+  XPLAIN_HISTOGRAM_RECORD(
+      "server.request_us",
+      static_cast<double>(Trace::NowMicros() - start_us));
+  return payload;
+}
+
+bool XplaindService::Admit(std::string* reject_payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_ >= admission_capacity_) {
+    ++rejected_;
+    XPLAIN_COUNTER_ADD("server.rejected", 1);
+    *reject_payload = ErrorPayload(Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(admission_capacity_) +
+        " requests pending)"));
+    return false;
+  }
+  ++pending_;
+  PublishInFlight(pending_);
+  return true;
+}
+
+void XplaindService::FinishOne() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --pending_;
+  PublishInFlight(pending_);
+  if (pending_ == 0) idle_cv_.notify_all();
+}
+
+void XplaindService::PublishInFlight(size_t pending) {
+  XPLAIN_GAUGE_SET("server.in_flight", static_cast<int64_t>(pending));
+}
+
+void XplaindService::Drain() {
+  XPLAIN_TRACE_SPAN("rpc.drain_wait");
+  draining_.store(true, std::memory_order_release);
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  // Flush the load gauge now that the service is quiescent.
+  PublishInFlight(pending_);
+  XPLAIN_LOG(kInfo) << "xplaind drained: served=" << served_
+                    << " cache_hits=" << cache_hits_
+                    << " rejected=" << rejected_ << " errors=" << errors_;
+}
+
+XplaindService::Stats XplaindService::GetStats() const {
+  Stats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.received = received_;
+    stats.served = served_;
+    stats.cache_hits = cache_hits_;
+    stats.rejected = rejected_;
+    stats.errors = errors_;
+    stats.in_flight = static_cast<int64_t>(pending_);
+  }
+  stats.db_version = db_version();
+  if (cache_ != nullptr) stats.cache = cache_->GetStats();
+  return stats;
+}
+
+std::string XplaindService::StatsPayload() const {
+  const Stats stats = GetStats();
+  std::string out = "\"ok\":true,\"op\":\"STATS\",";
+  out += "\"db_version\":" + std::to_string(stats.db_version);
+  out += ",\"received\":" + std::to_string(stats.received);
+  out += ",\"served\":" + std::to_string(stats.served);
+  out += ",\"cache_hits\":" + std::to_string(stats.cache_hits);
+  out += ",\"rejected\":" + std::to_string(stats.rejected);
+  out += ",\"errors\":" + std::to_string(stats.errors);
+  out += ",\"in_flight\":" + std::to_string(stats.in_flight);
+  out += ",\"draining\":";
+  out += draining() ? "true" : "false";
+  out += ",\"cache\":{";
+  out += "\"hits\":" + std::to_string(stats.cache.hits);
+  out += ",\"misses\":" + std::to_string(stats.cache.misses);
+  out += ",\"evictions\":" + std::to_string(stats.cache.evictions);
+  out += ",\"invalidations\":" + std::to_string(stats.cache.invalidations);
+  out += ",\"entries\":" + std::to_string(stats.cache.entries);
+  out += ",\"bytes\":" + std::to_string(stats.cache.bytes);
+  out += "}";
+  return out;
+}
+
+Status XplaindService::ApplyDelta(const DeltaSet& delta) {
+  XPLAIN_TRACE_SPAN("rpc.apply_delta");
+  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  Database next = db_.ApplyDelta(delta);
+  // Restore referential integrity: deleting tuples can leave dangling
+  // foreign keys, which the engine refuses to index.
+  next.SemijoinReduce();
+  db_ = std::move(next);
+  XPLAIN_RETURN_IF_ERROR(RebuildEngineLocked());
+  if (cache_ != nullptr) cache_->InvalidateAll();
+  XPLAIN_COUNTER_ADD("server.deltas_applied", 1);
+  return Status::OK();
+}
+
+uint64_t XplaindService::db_version() const {
+  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  return db_.version();
+}
+
+}  // namespace server
+}  // namespace xplain

@@ -1,0 +1,156 @@
+#ifndef XPLAIN_SERVER_SERVICE_H_
+#define XPLAIN_SERVER_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "core/engine.h"
+#include "relational/database.h"
+#include "server/explain_cache.h"
+#include "server/protocol.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace xplain {
+namespace server {
+
+/// Configuration of one xplaind service instance.
+/// Thread-safety: plain data, externally synchronized.
+struct ServiceOptions {
+  /// Worker threads executing EXPLAIN/TOPK requests (the max in-flight
+  /// bound). 0 = ThreadPool::DefaultNumThreads().
+  int num_workers = 0;
+  /// Requests allowed to wait beyond the in-flight ones. Admission rejects
+  /// with kResourceExhausted once num_workers + max_queue_depth requests
+  /// are pending — overload never queues unboundedly (DESIGN.md §8).
+  size_t max_queue_depth = 64;
+  /// Serve repeated requests from the explanation cache.
+  bool enable_cache = true;
+  ExplainCacheOptions cache;
+  /// Test-only hook: when set, every admitted EXPLAIN/TOPK executes it on
+  /// the worker before touching the engine. Lets tests hold workers inside
+  /// the execution phase to make admission decisions deterministic.
+  std::function<void()> execute_hook;
+};
+
+/// The xplaind explanation-serving service: owns a Database and its
+/// ExplainEngine, admits newline-delimited JSON requests (server/protocol),
+/// executes them on a bounded thread pool, and serves repeated requests
+/// from a version-keyed ExplainCache. Transports (loopback, TCP) are thin
+/// shells over SubmitLine/HandleLine.
+///
+/// Lifecycle: Create -> serve -> Drain (stop admitting, finish in-flight,
+/// flush metrics) -> destructor. The destructor drains implicitly.
+///
+/// Thread-safety: safe — SubmitLine/HandleLine/Stats/Drain may be called
+/// concurrently from any number of transport threads. ApplyDelta is the
+/// only mutator and serializes against in-flight requests via an internal
+/// reader/writer lock.
+class XplaindService {
+ public:
+  /// Takes ownership of `db`. Fails when the engine cannot be built
+  /// (broken referential integrity, disconnected FK graph).
+  [[nodiscard]] static Result<std::unique_ptr<XplaindService>> Create(
+      Database db, const ServiceOptions& options = ServiceOptions());
+
+  ~XplaindService();
+
+  XplaindService(const XplaindService&) = delete;
+  XplaindService& operator=(const XplaindService&) = delete;
+
+  /// Fully handles one request line: parse, admit, execute, serialize.
+  /// Blocks the calling (transport) thread until the response is ready and
+  /// never throws — every failure becomes an error-response line.
+  std::string HandleLine(const std::string& line);
+
+  /// Asynchronous form of HandleLine: admission (and cache hits, STATS,
+  /// DRAIN, and rejections) happen synchronously on the caller; engine
+  /// execution runs on the service pool. The future always becomes ready.
+  std::future<std::string> SubmitLine(const std::string& line);
+
+  /// Applies a tuple delta to the owned database (removing dangling rows
+  /// like the paper's D - Delta semantics), bumps the database version,
+  /// invalidates the cache, and rebuilds the engine. Blocks until
+  /// in-flight requests finish; new requests wait for the swap.
+  [[nodiscard]] Status ApplyDelta(const DeltaSet& delta);
+
+  /// Stops admitting EXPLAIN/TOPK requests (they get kUnavailable), waits
+  /// for every in-flight request to finish, and flushes the server gauges.
+  /// Idempotent; safe from any thread, including a transport thread that
+  /// just parsed a DRAIN request.
+  void Drain();
+
+  /// True once Drain() started; transports use it to stop accepting.
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Live counters for STATS payloads and tests.
+  /// Thread-safety: plain data, externally synchronized.
+  struct Stats {
+    int64_t received = 0;       // lines seen
+    int64_t served = 0;         // ok EXPLAIN/TOPK responses (incl. cached)
+    int64_t cache_hits = 0;     // served straight from the cache
+    int64_t rejected = 0;       // kResourceExhausted admissions
+    int64_t errors = 0;         // error responses other than rejections
+    int64_t in_flight = 0;      // admitted, not yet finished
+    uint64_t db_version = 0;
+    ExplainCache::Stats cache;
+  };
+  Stats GetStats() const;
+
+  /// The serving database (stable address; mutated only by ApplyDelta).
+  const Database& db() const { return db_; }
+  uint64_t db_version() const;
+
+ private:
+  explicit XplaindService(Database db, const ServiceOptions& options);
+
+  /// Builds the engine for the current db_. Requires exclusive db access.
+  Status RebuildEngineLocked();
+
+  /// Executes an admitted EXPLAIN/TOPK on the current engine and returns
+  /// the response payload (or an error payload). Runs on a pool worker.
+  /// `*ok` reports whether the payload is a success payload (cacheable).
+  std::string ExecutePayload(const Request& request, bool* ok);
+
+  std::string StatsPayload() const;
+
+  /// True when the request was admitted; false = reject (payload set).
+  bool Admit(std::string* reject_payload);
+  void FinishOne();
+  /// Single definition site for the server.in_flight gauge.
+  static void PublishInFlight(size_t pending);
+
+  ServiceOptions options_;
+  size_t admission_capacity_ = 0;
+
+  Database db_;
+  std::unique_ptr<ExplainEngine> engine_;
+  /// Guards db_/engine_ swaps (ApplyDelta) against in-flight reads.
+  mutable std::shared_mutex db_mu_;
+
+  std::unique_ptr<ExplainCache> cache_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<bool> draining_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;    // signaled when pending_ hits 0
+  size_t pending_ = 0;                 // guarded by mu_ (admitted, unfinished)
+  int64_t received_ = 0;               // guarded by mu_
+  int64_t served_ = 0;                 // guarded by mu_
+  int64_t cache_hits_ = 0;             // guarded by mu_
+  int64_t rejected_ = 0;               // guarded by mu_
+  int64_t errors_ = 0;                 // guarded by mu_
+};
+
+}  // namespace server
+}  // namespace xplain
+
+#endif  // XPLAIN_SERVER_SERVICE_H_

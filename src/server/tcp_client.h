@@ -1,0 +1,48 @@
+#ifndef XPLAIN_SERVER_TCP_CLIENT_H_
+#define XPLAIN_SERVER_TCP_CLIENT_H_
+
+#include <string>
+#include <utility>
+
+#include "util/result.h"
+
+namespace xplain {
+namespace server {
+
+/// A blocking newline-delimited-JSON client for xplaind's TCP transport:
+/// Call sends one request line and reads back one response line. Used by
+/// tools/xplain_client and the TCP integration tests.
+///
+/// Thread-safety: each TcpClient is used by one thread (one in-order
+/// request/response stream per connection); open one client per thread.
+class TcpClient {
+ public:
+  /// Connects to host:port (host is a dotted-quad, e.g. "127.0.0.1").
+  [[nodiscard]] static Result<TcpClient> Connect(const std::string& host,
+                                                 int port);
+
+  ~TcpClient();
+
+  TcpClient(TcpClient&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpClient& operator=(TcpClient&& other) noexcept {
+    std::swap(fd_, other.fd_);
+    return *this;
+  }
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Sends `line` (a newline is appended) and blocks for the response
+  /// line. Fails when the server closes the connection mid-call.
+  [[nodiscard]] Result<std::string> Call(const std::string& line);
+
+ private:
+  explicit TcpClient(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::string buffer_;  // bytes received past the last response line
+};
+
+}  // namespace server
+}  // namespace xplain
+
+#endif  // XPLAIN_SERVER_TCP_CLIENT_H_

@@ -1,0 +1,164 @@
+#include "server/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace xplain {
+namespace server {
+
+namespace {
+
+/// Writes all of `data` to `fd`; false on a broken connection.
+bool WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TcpServer>> TcpServer::Start(
+    XplaindService* service, const TcpServerOptions& options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("null service");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind 127.0.0.1:" +
+                            std::to_string(options.port) + ": " + error);
+  }
+  if (::listen(fd, options.backlog) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen: " + error);
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("getsockname: " + error);
+  }
+  const int port = static_cast<int>(ntohs(bound.sin_port));
+  std::unique_ptr<TcpServer> server(new TcpServer(service, fd, port));
+  server->accept_thread_ =
+      std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  return server;
+}
+
+TcpServer::TcpServer(XplaindService* service, int listen_fd, int port)
+    : service_(service), listen_fd_(listen_fd), port_(port) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+void TcpServer::Stop() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Unblock accept(2) and every blocked read(2).
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    to_join.swap(connection_threads_);
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  ::close(listen_fd_);
+}
+
+void TcpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    XPLAIN_COUNTER_ADD("server.tcp.connections", 1);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // client closed or connection shut down
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      XPLAIN_COUNTER_ADD("server.tcp.lines", 1);
+      std::string response = service_->HandleLine(line);
+      response.push_back('\n');
+      if (!WriteAll(fd, response)) {
+        XPLAIN_LOG(kWarning) << "tcp connection dropped mid-response";
+        ::close(fd);
+        RemoveConnection(fd);
+        return;
+      }
+    }
+  }
+  ::close(fd);
+  RemoveConnection(fd);
+}
+
+void TcpServer::RemoveConnection(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  connection_fds_.erase(
+      std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+      connection_fds_.end());
+}
+
+}  // namespace server
+}  // namespace xplain

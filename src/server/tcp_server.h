@@ -1,0 +1,77 @@
+#ifndef XPLAIN_SERVER_TCP_SERVER_H_
+#define XPLAIN_SERVER_TCP_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/service.h"
+#include "util/result.h"
+
+namespace xplain {
+namespace server {
+
+/// Listener knobs for TcpServer.
+/// Thread-safety: plain data, externally synchronized.
+struct TcpServerOptions {
+  /// TCP port on 127.0.0.1; 0 asks the kernel for an ephemeral port (read
+  /// it back via port()).
+  int port = 0;
+  /// listen(2) backlog.
+  int backlog = 64;
+};
+
+/// A blocking newline-delimited-JSON listener on 127.0.0.1 that forwards
+/// each request line to an XplaindService and writes the response line
+/// back. One OS thread per connection — deliberately simple; the
+/// interesting concurrency lives in the service's admission controller,
+/// not the transport (DESIGN.md §8).
+///
+/// Lifecycle: Start spawns the accept loop; Stop (or the destructor)
+/// closes the listener, shuts down every open connection, and joins all
+/// transport threads. The referenced service must outlive the server.
+///
+/// Thread-safety: safe — port() and Stop() may be called from any thread;
+/// Stop is idempotent.
+class TcpServer {
+ public:
+  /// Binds 127.0.0.1:port, starts listening, and spawns the accept loop.
+  /// Does not take ownership of `service`.
+  [[nodiscard]] static Result<std::unique_ptr<TcpServer>> Start(
+      XplaindService* service, const TcpServerOptions& options);
+
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The bound port (resolves port 0 to the kernel's choice).
+  int port() const { return port_; }
+
+  /// Closes the listener and every open connection, then joins the accept
+  /// and connection threads. Idempotent.
+  void Stop();
+
+ private:
+  TcpServer(XplaindService* service, int listen_fd, int port);
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  void RemoveConnection(int fd);
+
+  XplaindService* service_;
+  int listen_fd_;
+  int port_;
+
+  std::thread accept_thread_;
+  std::mutex mu_;
+  bool stopping_ = false;               // guarded by mu_
+  std::vector<int> connection_fds_;     // guarded by mu_ (open connections)
+  std::vector<std::thread> connection_threads_;  // guarded by mu_
+};
+
+}  // namespace server
+}  // namespace xplain
+
+#endif  // XPLAIN_SERVER_TCP_SERVER_H_

@@ -28,6 +28,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "ConstraintViolation";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

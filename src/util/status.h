@@ -19,6 +19,8 @@ enum class StatusCode : int {
   kParseError = 7,
   kConstraintViolation = 8,
   kIoError = 9,
+  kResourceExhausted = 10,
+  kUnavailable = 11,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -74,6 +76,12 @@ class [[nodiscard]] Status {
   }
   static Status IoError(std::string message) {
     return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   [[nodiscard]] bool ok() const { return state_ == nullptr; }

@@ -109,6 +109,42 @@ TEST(DatabaseTest, EmptyDeltaShape) {
   EXPECT_EQ(DeltaCount(delta), 0u);
 }
 
+TEST(DatabaseVersionTest, FreshDatabaseStartsAtZeroAndBumpsPerMutation) {
+  Database db;
+  EXPECT_EQ(db.version(), 0u);
+  auto schema =
+      RelationSchema::Create("R", {{"id", DataType::kInt64}}, {"id"});
+  XPLAIN_EXPECT_OK(db.AddRelation(Relation(std::move(*schema))));
+  EXPECT_EQ(db.version(), 1u);
+  db.mutable_relation(0)->AppendUnchecked({Value::Int(1)});
+  EXPECT_EQ(db.version(), 2u);
+}
+
+TEST(DatabaseVersionTest, ApplyDeltaBumpsExactlyOnce) {
+  Database db = BuildRunningExample();
+  const uint64_t before = db.version();
+  DeltaSet delta = db.EmptyDelta();
+  delta[0].Set(1);
+  Database out = db.ApplyDelta(delta);
+  // The derived database is one logical mutation past the parent,
+  // regardless of how many internal construction steps built it.
+  EXPECT_EQ(out.version(), before + 1);
+  // The parent is untouched.
+  EXPECT_EQ(db.version(), before);
+}
+
+TEST(DatabaseVersionTest, SemijoinReduceBumpsExactlyOnceWhenRowsDrop) {
+  Database db = BuildRunningExample();
+  db.mutable_relation(2)->AppendUnchecked(
+      {Value::Str("P9"), Value::Int(1999), Value::Str("VLDB")});
+  const uint64_t before = db.version();
+  EXPECT_EQ(db.SemijoinReduce(), 1u);
+  EXPECT_EQ(db.version(), before + 1);
+  // A no-op reduce is not a logical mutation.
+  EXPECT_EQ(db.SemijoinReduce(), 0u);
+  EXPECT_EQ(db.version(), before + 1);
+}
+
 TEST(MarkDanglingRowsTest, FindsNothingOnConsistentDb) {
   Database db = BuildRunningExample();
   DeltaSet dangling = db.EmptyDelta();

@@ -1,0 +1,133 @@
+#include "server/explain_cache.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xplain {
+namespace server {
+namespace {
+
+ExplainCacheOptions SingleShard(size_t max_bytes) {
+  ExplainCacheOptions options;
+  options.num_shards = 1;
+  options.max_bytes = max_bytes;
+  return options;
+}
+
+TEST(ExplainCacheTest, MissThenHit) {
+  ExplainCache cache(SingleShard(1024));
+  EXPECT_FALSE(cache.Lookup("k1").has_value());
+  cache.Insert("k1", "payload-1");
+  auto hit = cache.Lookup("k1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "payload-1");
+  const ExplainCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_GT(stats.bytes, 0);
+}
+
+TEST(ExplainCacheTest, InsertReplacesExistingEntry) {
+  ExplainCache cache(SingleShard(1024));
+  cache.Insert("k", "old");
+  cache.Insert("k", "new");
+  auto hit = cache.Lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "new");
+  EXPECT_EQ(cache.GetStats().entries, 1);
+}
+
+TEST(ExplainCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // Each entry is key (2 bytes) + payload (10 bytes) = 12 bytes; a
+  // 30-byte budget holds two entries.
+  ExplainCache cache(SingleShard(30));
+  cache.Insert("k1", std::string(10, 'a'));
+  cache.Insert("k2", std::string(10, 'b'));
+  // Touch k1 so k2 is the LRU victim.
+  EXPECT_TRUE(cache.Lookup("k1").has_value());
+  cache.Insert("k3", std::string(10, 'c'));
+  EXPECT_TRUE(cache.Lookup("k1").has_value());
+  EXPECT_FALSE(cache.Lookup("k2").has_value());  // evicted
+  EXPECT_TRUE(cache.Lookup("k3").has_value());
+  const ExplainCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2);
+  EXPECT_LE(stats.bytes, 30);
+}
+
+TEST(ExplainCacheTest, OversizedEntryIsNotCached) {
+  ExplainCache cache(SingleShard(16));
+  cache.Insert("big", std::string(100, 'x'));
+  EXPECT_FALSE(cache.Lookup("big").has_value());
+  EXPECT_EQ(cache.GetStats().entries, 0);
+  EXPECT_EQ(cache.GetStats().bytes, 0);
+}
+
+TEST(ExplainCacheTest, InvalidateAllDropsEverything) {
+  ExplainCache cache(SingleShard(1024));
+  cache.Insert("k1", "a");
+  cache.Insert("k2", "b");
+  cache.InvalidateAll();
+  EXPECT_FALSE(cache.Lookup("k1").has_value());
+  EXPECT_FALSE(cache.Lookup("k2").has_value());
+  const ExplainCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.invalidations, 2);
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.bytes, 0);
+}
+
+TEST(ExplainCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  ExplainCacheOptions options;
+  options.num_shards = 3;  // rounds to 4
+  options.max_bytes = 4096;
+  ExplainCache cache(options);
+  // Keys land on different shards but behave like one logical cache.
+  for (int i = 0; i < 32; ++i) {
+    cache.Insert("key" + std::to_string(i), "v" + std::to_string(i));
+  }
+  for (int i = 0; i < 32; ++i) {
+    auto hit = cache.Lookup("key" + std::to_string(i));
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(*hit, "v" + std::to_string(i));
+  }
+  EXPECT_EQ(cache.GetStats().entries, 32);
+}
+
+TEST(ExplainCacheTest, ConcurrentMixedUseIsSafeAndCountsAddUp) {
+  ExplainCache cache(ExplainCacheOptions{});
+  constexpr int kThreads = 8;
+  // Divisible by 3 so every thread performs exactly 2/3 lookups.
+  constexpr int kOpsPerThread = 501;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "key" + std::to_string(i % 50);
+        if ((t + i) % 3 == 0) {
+          cache.Insert(key, "payload" + std::to_string(i));
+        } else {
+          auto hit = cache.Lookup(key);
+          if (hit.has_value()) {
+            EXPECT_EQ(hit->rfind("payload", 0), 0u);
+          }
+        }
+        if (i == kOpsPerThread / 2 && t == 0) cache.InvalidateAll();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const ExplainCache::Stats stats = cache.GetStats();
+  // Every non-insert op counted exactly one hit or miss.
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<int64_t>(kThreads) * kOpsPerThread * 2 / 3);
+  EXPECT_GE(stats.entries, 0);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xplain

@@ -1,0 +1,116 @@
+#include "relational/rowset.h"
+
+#include "gtest/gtest.h"
+
+namespace xplain {
+namespace {
+
+TEST(RowSetTest, StartsEmpty) {
+  RowSet rs(10);
+  EXPECT_EQ(rs.size(), 10u);
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_TRUE(rs.empty());
+  for (size_t i = 0; i < rs.size(); ++i) EXPECT_FALSE(rs.Test(i));
+}
+
+TEST(RowSetTest, SetReportsNewInsertions) {
+  RowSet rs(5);
+  EXPECT_TRUE(rs.Set(3));
+  EXPECT_TRUE(rs.Test(3));
+  EXPECT_EQ(rs.count(), 1u);
+  // Setting an already-set row is a no-op and says so.
+  EXPECT_FALSE(rs.Set(3));
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_FALSE(rs.empty());
+}
+
+TEST(RowSetTest, ClearEmptiesWithoutResizing) {
+  RowSet rs(4);
+  rs.Set(0);
+  rs.Set(2);
+  rs.Clear();
+  EXPECT_EQ(rs.size(), 4u);
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_FALSE(rs.Test(0));
+  EXPECT_FALSE(rs.Test(2));
+}
+
+TEST(RowSetTest, ToRowsIsAscendingAndComplete) {
+  RowSet rs(8);
+  // Insert out of order; iteration order must be ascending positions.
+  rs.Set(5);
+  rs.Set(1);
+  rs.Set(7);
+  rs.Set(1);
+  const std::vector<size_t> rows = rs.ToRows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], 1u);
+  EXPECT_EQ(rows[1], 5u);
+  EXPECT_EQ(rows[2], 7u);
+}
+
+TEST(RowSetTest, UnionWithCountsOnlyNewRows) {
+  RowSet a(6);
+  a.Set(0);
+  a.Set(1);
+  RowSet b(6);
+  b.Set(1);
+  b.Set(4);
+  EXPECT_EQ(a.UnionWith(b), 1u);  // only row 4 is new
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_TRUE(a.Test(0));
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(4));
+  // Union is idempotent.
+  EXPECT_EQ(a.UnionWith(b), 0u);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(RowSetTest, SubsetAndEquality) {
+  RowSet small(5);
+  small.Set(2);
+  RowSet big(5);
+  big.Set(2);
+  big.Set(4);
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  // Every set is a subset of itself, and equality is positional.
+  EXPECT_TRUE(big.IsSubsetOf(big));
+  EXPECT_FALSE(small == big);
+  small.Set(4);
+  EXPECT_TRUE(small == big);
+}
+
+TEST(RowSetTest, EmptySetIsSubsetOfEverything) {
+  RowSet none(3);
+  RowSet some(3);
+  some.Set(0);
+  EXPECT_TRUE(none.IsSubsetOf(some));
+  EXPECT_TRUE(none.IsSubsetOf(none));
+}
+
+TEST(DeltaSetTest, DeltaCountSumsComponents) {
+  DeltaSet delta;
+  delta.emplace_back(4);
+  delta.emplace_back(6);
+  delta[0].Set(1);
+  delta[1].Set(0);
+  delta[1].Set(5);
+  EXPECT_EQ(DeltaCount(delta), 3u);
+}
+
+TEST(DeltaSetTest, DeltaSubsetIsComponentwise) {
+  DeltaSet a;
+  a.emplace_back(4);
+  a.emplace_back(4);
+  DeltaSet b = a;
+  a[0].Set(1);
+  b[0].Set(1);
+  b[1].Set(2);
+  EXPECT_TRUE(DeltaIsSubsetOf(a, b));
+  a[1].Set(3);
+  EXPECT_FALSE(DeltaIsSubsetOf(a, b));
+}
+
+}  // namespace
+}  // namespace xplain

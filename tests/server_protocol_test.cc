@@ -1,0 +1,192 @@
+#include "server/protocol.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "server/json.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace server {
+namespace {
+
+using ::xplain::testing::BuildRunningExample;
+using ::xplain::testing::UnwrapOrDie;
+
+constexpr char kExplainLine[] =
+    R"x({"id":7,"op":"EXPLAIN","question":{"subqueries":[)x"
+    R"x({"name":"q1","agg":"count(distinct Publication.pubid)","where":"venue = 'SIGMOD'"},)x"
+    R"x({"name":"q2","agg":"count(distinct Publication.pubid)","where":"venue = 'PODS'"}],)x"
+    R"x("expr":"q1 / q2","direction":"low"},)x"
+    R"x("attrs":["Author.name","Author.inst"],)x"
+    R"x("options":{"top_k":5,"degree":"aggr","use_cube":false}})x";
+
+TEST(JsonTest, ParsesScalarsStringsAndNesting) {
+  JsonValue v = UnwrapOrDie(JsonValue::Parse(
+      R"x({"a":1.5,"b":"x\nA","c":[true,false,null],"d":{"e":-2}})x"));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.GetNumber("a", 0), 1.5);
+  EXPECT_EQ(v.GetString("b", ""), "x\nA");
+  const JsonValue* c = v.Find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(c->is_array());
+  ASSERT_EQ(c->array_items().size(), 3u);
+  EXPECT_TRUE(c->array_items()[0].bool_value());
+  EXPECT_TRUE(c->array_items()[2].is_null());
+  EXPECT_EQ(v.Find("d")->GetNumber("e", 0), -2.0);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(JsonValue::Parse("{} trailing").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+}
+
+TEST(JsonTest, StringEscaping) {
+  std::string out;
+  AppendJsonString("a\"b\\c\nd\te\x01", &out);
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonTest, NumbersRoundTripShortest) {
+  std::string out;
+  AppendJsonNumber(2.5, &out);
+  EXPECT_EQ(out, "2.5");
+  out.clear();
+  AppendJsonNumber(3.0, &out);
+  EXPECT_EQ(out, "3");
+  out.clear();
+  AppendJsonNumber(1.0 / 3.0, &out);
+  // Must parse back to the exact same double.
+  EXPECT_EQ(std::stod(out), 1.0 / 3.0);
+}
+
+TEST(ProtocolTest, ParsesFullExplainRequest) {
+  Request request = UnwrapOrDie(ParseRequest(kExplainLine));
+  EXPECT_EQ(request.id, 7u);
+  EXPECT_EQ(request.op, RequestOp::kExplain);
+  ASSERT_EQ(request.subqueries.size(), 2u);
+  EXPECT_EQ(request.subqueries[0].name, "q1");
+  EXPECT_EQ(request.subqueries[1].where, "venue = 'PODS'");
+  EXPECT_EQ(request.expr, "q1 / q2");
+  EXPECT_EQ(request.direction, "low");
+  ASSERT_EQ(request.attrs.size(), 2u);
+  EXPECT_EQ(request.attrs[0], "Author.name");
+  EXPECT_EQ(request.options.top_k, 5u);
+  EXPECT_EQ(request.options.degree, DegreeKind::kAggravation);
+  EXPECT_FALSE(request.options.use_cube);
+  // The serving default: one engine thread per request.
+  EXPECT_EQ(request.options.num_threads, 1);
+}
+
+TEST(ProtocolTest, OpIsCaseInsensitiveAndStatsNeedsNoQuestion) {
+  Request stats = UnwrapOrDie(ParseRequest(R"x({"id":1,"op":"stats"})x"));
+  EXPECT_EQ(stats.op, RequestOp::kStats);
+  Request drain = UnwrapOrDie(ParseRequest(R"x({"op":"Drain"})x"));
+  EXPECT_EQ(drain.op, RequestOp::kDrain);
+  EXPECT_EQ(drain.id, 0u);
+}
+
+TEST(ProtocolTest, RejectsStructurallyInvalidRequests) {
+  // Every rejection is a Status, never a crash.
+  EXPECT_FALSE(ParseRequest("not json").ok());
+  EXPECT_FALSE(ParseRequest("[1,2]").ok());
+  EXPECT_FALSE(ParseRequest(R"x({"id":1})x").ok());            // no op
+  EXPECT_FALSE(ParseRequest(R"x({"op":"FROB"})x").ok());       // unknown op
+  EXPECT_FALSE(ParseRequest(R"x({"op":"EXPLAIN"})x").ok());    // no question
+  EXPECT_FALSE(
+      ParseRequest(R"x({"op":"EXPLAIN","question":{"subqueries":[]}})x").ok());
+  EXPECT_FALSE(
+      ParseRequest(
+          R"x({"op":"EXPLAIN","question":{"subqueries":[{"name":"q1",)x"
+          R"x("agg":"count(*)","where":""}],"expr":"q1"}})x")
+          .ok());  // missing attrs
+  EXPECT_FALSE(
+      ParseRequest(
+          R"x({"op":"EXPLAIN","question":{"subqueries":[{"name":"q1",)x"
+          R"x("agg":"count(*)","where":""}],"expr":"q1","direction":"up"},)x"
+          R"x("attrs":["Author.name"]})x")
+          .ok());  // bad direction
+  EXPECT_FALSE(ParseRequest(
+                   R"x({"op":"STATS","id":-3})x")
+                   .ok());  // negative id
+}
+
+TEST(ProtocolTest, RejectsBadOptionValues) {
+  const std::string prefix =
+      R"x({"op":"TOPK","question":{"subqueries":[{"name":"q1",)x"
+      R"x("agg":"count(*)","where":""}],"expr":"q1"},"attrs":["Author.name"],)x";
+  EXPECT_FALSE(ParseRequest(prefix + R"x("options":{"top_k":-1}})x").ok());
+  EXPECT_FALSE(ParseRequest(prefix + R"x("options":{"top_k":1.5}})x").ok());
+  EXPECT_FALSE(
+      ParseRequest(prefix + R"x("options":{"degree":"sideways"}})x").ok());
+  EXPECT_FALSE(
+      ParseRequest(prefix + R"x("options":{"minimality":"max"}})x").ok());
+  EXPECT_FALSE(
+      ParseRequest(prefix + R"x("options":{"min_support":-0.5}})x").ok());
+  EXPECT_FALSE(ParseRequest(prefix + R"x("options":42})x").ok());
+}
+
+TEST(ProtocolTest, ExtractRequestIdIsBestEffort) {
+  EXPECT_EQ(ExtractRequestId(R"x({"id":42,"op":"junk"})x"), 42u);
+  EXPECT_EQ(ExtractRequestId("completely broken {"), 0u);
+  EXPECT_EQ(ExtractRequestId(R"x({"op":"STATS"})x"), 0u);
+}
+
+TEST(ProtocolTest, BuildQuestionResolvesAgainstDatabase) {
+  Database db = BuildRunningExample();
+  Request request = UnwrapOrDie(ParseRequest(kExplainLine));
+  UserQuestion question = UnwrapOrDie(BuildQuestion(db, request));
+  EXPECT_EQ(question.direction, Direction::kLow);
+  // Unknown column in the where clause surfaces as a Status.
+  request.subqueries[0].where = "nosuchcol = 1";
+  EXPECT_FALSE(BuildQuestion(db, request).ok());
+}
+
+TEST(ProtocolTest, ErrorPayloadCarriesCodeAndMessage) {
+  const std::string payload =
+      ErrorPayload(Status::ResourceExhausted("queue full"));
+  EXPECT_EQ(payload,
+            "\"ok\":false,\"code\":\"ResourceExhausted\","
+            "\"error\":\"queue full\"");
+  const std::string response = MakeResponse(9, payload);
+  EXPECT_EQ(response.front(), '{');
+  EXPECT_EQ(response.back(), '}');
+  EXPECT_NE(response.find("\"id\":9"), std::string::npos);
+  // The response is itself valid JSON.
+  EXPECT_TRUE(JsonValue::Parse(response).ok());
+}
+
+TEST(ProtocolTest, CanonicalKeyIsInjectiveAcrossFieldBoundaries) {
+  Request a = UnwrapOrDie(ParseRequest(kExplainLine));
+  Request b = a;
+  EXPECT_EQ(CanonicalRequestKey(a), CanonicalRequestKey(b));
+  // Different op, same computation inputs: different key.
+  b.op = RequestOp::kTopK;
+  EXPECT_NE(CanonicalRequestKey(a), CanonicalRequestKey(b));
+  // Options that change the result change the key.
+  b = a;
+  b.options.top_k = 6;
+  EXPECT_NE(CanonicalRequestKey(a), CanonicalRequestKey(b));
+  b = a;
+  b.options.use_cube = true;
+  EXPECT_NE(CanonicalRequestKey(a), CanonicalRequestKey(b));
+  // num_threads does not affect results (DESIGN.md §6) so it is excluded.
+  b = a;
+  b.options.num_threads = 8;
+  EXPECT_EQ(CanonicalRequestKey(a), CanonicalRequestKey(b));
+  // Field shuffling cannot collide: moving a suffix of one field into the
+  // next field produces a different key thanks to length prefixes.
+  b = a;
+  b.subqueries[0].name = "q1x";
+  Request c = a;
+  c.subqueries[0].agg = "x" + c.subqueries[0].agg;
+  EXPECT_NE(CanonicalRequestKey(b), CanonicalRequestKey(c));
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xplain

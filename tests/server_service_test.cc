@@ -1,0 +1,268 @@
+// End-to-end tests of the xplaind service over the in-process loopback
+// transport (DESIGN.md §8): concurrent byte-identity against direct
+// engine calls, deterministic admission-control overload behavior,
+// graceful drain, and version-keyed cache invalidation.
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "datagen/random_db.h"
+#include "server/loopback.h"
+#include "server/protocol.h"
+#include "server/service.h"
+#include "tests/test_util.h"
+
+namespace xplain {
+namespace server {
+namespace {
+
+using ::xplain::testing::UnwrapOrDie;
+
+Database MakeDb() {
+  datagen::RandomDbOptions options;
+  options.seed = 77;
+  options.schema = datagen::DbTemplate::kDblpLike;
+  options.size = 12;
+  options.domain = 3;
+  return UnwrapOrDie(datagen::GenerateRandomDb(options));
+}
+
+/// One of 16 distinct EXPLAIN/TOPK request lines; `variant` also serves as
+/// the request id so expected responses can be precomputed per variant.
+std::string MakeLine(int variant) {
+  const int x = variant % 3;
+  const bool topk = (variant / 3) % 2 == 1;
+  const size_t top_k = 2 + static_cast<size_t>(variant % 4);
+  std::string line = "{\"id\":" + std::to_string(variant) + ",\"op\":\"";
+  line += topk ? "TOPK" : "EXPLAIN";
+  line +=
+      "\",\"question\":{\"subqueries\":["
+      "{\"name\":\"q1\",\"agg\":\"count(*)\",\"where\":\"\"},"
+      "{\"name\":\"q2\",\"agg\":\"count(*)\",\"where\":\"A.va = " +
+      std::to_string(x) +
+      "\"}],\"expr\":\"q1 - q2\",\"direction\":\"high\"},"
+      "\"attrs\":[\"A.va\",\"P.vp\"],\"options\":{\"top_k\":" +
+      std::to_string(top_k) + "}}";
+  return line;
+}
+
+/// The reference response: the same line evaluated by a direct
+/// ExplainEngine call on `db`, serialized through the same payload code.
+std::string DirectResponse(const Database& db, const ExplainEngine& engine,
+                           const std::string& line) {
+  Request request = UnwrapOrDie(ParseRequest(line));
+  UserQuestion question = UnwrapOrDie(BuildQuestion(db, request));
+  auto report = engine.Explain(question, request.attrs, request.options);
+  if (!report.ok()) {
+    return MakeResponse(request.id, ErrorPayload(report.status()));
+  }
+  return MakeResponse(request.id, ReportPayload(db, *report, request.op));
+}
+
+TEST(XplaindServiceTest, ConcurrentLoopbackMatchesDirectEngineByteForByte) {
+  // Reference: a private copy of the database and a direct engine.
+  Database direct_db = MakeDb();
+  ExplainEngine direct_engine =
+      UnwrapOrDie(ExplainEngine::Create(&direct_db));
+  constexpr int kVariants = 16;
+  std::vector<std::string> expected;
+  expected.reserve(kVariants);
+  for (int v = 0; v < kVariants; ++v) {
+    expected.push_back(DirectResponse(direct_db, direct_engine, MakeLine(v)));
+  }
+
+  ServiceOptions options;
+  options.num_workers = 4;
+  auto service = UnwrapOrDie(XplaindService::Create(MakeDb(), options));
+  LoopbackTransport transport(service.get());
+
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 25;  // 8 x 25 = 200 interleaved calls
+  std::vector<std::vector<std::string>> got(kThreads);
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      got[t].reserve(kRequestsPerThread);
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const int variant = (t * kRequestsPerThread + i) % kVariants;
+        got[t].push_back(transport.Call(MakeLine(variant)));
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kRequestsPerThread; ++i) {
+      const int variant = (t * kRequestsPerThread + i) % kVariants;
+      EXPECT_EQ(got[t][i], expected[variant])
+          << "thread " << t << " request " << i;
+    }
+  }
+
+  XplaindService::Stats stats = service->GetStats();
+  EXPECT_EQ(stats.received, kThreads * kRequestsPerThread);
+  EXPECT_EQ(stats.served, kThreads * kRequestsPerThread);
+  EXPECT_EQ(stats.errors, 0);
+  EXPECT_EQ(stats.rejected, 0);
+
+  // Rerun every variant: all cached now, responses still byte-identical.
+  const int64_t hits_before = stats.cache.hits;
+  for (int v = 0; v < kVariants; ++v) {
+    EXPECT_EQ(transport.Call(MakeLine(v)), expected[v]) << "variant " << v;
+  }
+  stats = service->GetStats();
+  EXPECT_GE(stats.cache.hits, hits_before + kVariants);
+  EXPECT_GT(stats.cache.hits, 0);
+}
+
+TEST(XplaindServiceTest, OverloadRejectsExactlyBeyondCapacity) {
+  // One worker + queue depth 2 = admission capacity 3. The execute hook
+  // holds the worker so admission decisions are fully deterministic.
+  std::promise<void> gate;
+  std::shared_future<void> gate_future = gate.get_future().share();
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 2;
+  options.enable_cache = false;
+  options.execute_hook = [gate_future] { gate_future.wait(); };
+  auto service = UnwrapOrDie(XplaindService::Create(MakeDb(), options));
+
+  constexpr int kBurst = 10;
+  std::vector<std::future<std::string>> futures;
+  futures.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) {
+    futures.push_back(service->SubmitLine(MakeLine(i % 16)));
+  }
+  // Rejections resolve immediately, even while the worker is held.
+  int ready = 0;
+  for (std::future<std::string>& f : futures) {
+    if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      ++ready;
+    }
+  }
+  EXPECT_EQ(ready, kBurst - 3);
+
+  gate.set_value();
+  int ok_count = 0;
+  int rejected_count = 0;
+  for (std::future<std::string>& f : futures) {
+    const std::string response = f.get();  // no request blocks forever
+    if (response.find("\"ok\":true") != std::string::npos) {
+      ++ok_count;
+    } else {
+      EXPECT_NE(response.find("ResourceExhausted"), std::string::npos)
+          << response;
+      ++rejected_count;
+    }
+  }
+  EXPECT_EQ(ok_count, 3);
+  EXPECT_EQ(rejected_count, kBurst - 3);
+
+  const XplaindService::Stats stats = service->GetStats();
+  EXPECT_EQ(stats.served, 3);
+  EXPECT_EQ(stats.rejected, kBurst - 3);
+  EXPECT_EQ(stats.in_flight, 0);
+
+  // A DRAIN request completes cleanly after the storm.
+  const std::string drain = service->HandleLine("{\"id\":99,\"op\":\"DRAIN\"}");
+  EXPECT_NE(drain.find("\"ok\":true"), std::string::npos) << drain;
+  EXPECT_TRUE(service->draining());
+}
+
+TEST(XplaindServiceTest, DrainStopsAdmissionButKeepsStats) {
+  auto service = UnwrapOrDie(XplaindService::Create(MakeDb()));
+  LoopbackTransport transport(service.get());
+  EXPECT_NE(transport.Call(MakeLine(0)).find("\"ok\":true"),
+            std::string::npos);
+  service->Drain();
+  EXPECT_TRUE(service->draining());
+  // New work is refused with Unavailable...
+  const std::string refused = transport.Call(MakeLine(1));
+  EXPECT_NE(refused.find("\"ok\":false"), std::string::npos) << refused;
+  EXPECT_NE(refused.find("Unavailable"), std::string::npos) << refused;
+  // ...but STATS still answers, and reports the drained state.
+  const std::string stats = transport.Call("{\"id\":5,\"op\":\"STATS\"}");
+  EXPECT_NE(stats.find("\"draining\":true"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"served\":1"), std::string::npos) << stats;
+  // Drain is idempotent.
+  service->Drain();
+}
+
+TEST(XplaindServiceTest, MalformedLinesGetErrorResponsesNotCrashes) {
+  auto service = UnwrapOrDie(XplaindService::Create(MakeDb()));
+  const std::string bad_json = service->HandleLine("this is not json");
+  EXPECT_NE(bad_json.find("\"ok\":false"), std::string::npos) << bad_json;
+  EXPECT_NE(bad_json.find("\"id\":0"), std::string::npos) << bad_json;
+  // A parseable id is echoed even when the rest of the request is junk.
+  const std::string bad_op =
+      service->HandleLine("{\"id\":41,\"op\":\"NOPE\"}");
+  EXPECT_NE(bad_op.find("\"id\":41"), std::string::npos) << bad_op;
+  EXPECT_NE(bad_op.find("InvalidArgument"), std::string::npos) << bad_op;
+  // Semantic errors (unknown column) surface as Status payloads too.
+  const std::string bad_attr = service->HandleLine(
+      "{\"id\":42,\"op\":\"EXPLAIN\",\"question\":{\"subqueries\":["
+      "{\"name\":\"q1\",\"agg\":\"count(*)\",\"where\":\"\"}],"
+      "\"expr\":\"q1\"},\"attrs\":[\"No.such\"]}");
+  EXPECT_NE(bad_attr.find("\"ok\":false"), std::string::npos) << bad_attr;
+  EXPECT_NE(bad_attr.find("\"id\":42"), std::string::npos) << bad_attr;
+  const XplaindService::Stats stats = service->GetStats();
+  EXPECT_EQ(stats.errors, 3);
+  EXPECT_EQ(stats.served, 0);
+}
+
+TEST(XplaindServiceTest, ApplyDeltaInvalidatesCacheAndChangesAnswers) {
+  auto service = UnwrapOrDie(XplaindService::Create(MakeDb()));
+  LoopbackTransport transport(service.get());
+  const std::string line = MakeLine(0);
+  const uint64_t version_before = service->db_version();
+
+  const std::string first = transport.Call(line);
+  EXPECT_NE(first.find("\"ok\":true"), std::string::npos) << first;
+  const std::string second = transport.Call(line);
+  EXPECT_EQ(first, second);  // cache hits are byte-identical
+  XplaindService::Stats stats = service->GetStats();
+  EXPECT_EQ(stats.cache_hits, 1);
+
+  // Delete one row of the fact relation C: the database version bumps,
+  // the cache is invalidated, and count(*) answers change.
+  DeltaSet delta = service->db().EmptyDelta();
+  const int c_index = *service->db().RelationIndex("C");
+  delta[static_cast<size_t>(c_index)].Set(0);
+  XPLAIN_EXPECT_OK(service->ApplyDelta(delta));
+  EXPECT_GT(service->db_version(), version_before);
+
+  const std::string third = transport.Call(line);
+  EXPECT_NE(third.find("\"ok\":true"), std::string::npos) << third;
+  EXPECT_NE(third, first);  // recomputed against the mutated database
+
+  // The recomputation matches a direct engine on an identically mutated
+  // database, byte for byte.
+  Database reference = MakeDb();
+  DeltaSet reference_delta = reference.EmptyDelta();
+  reference_delta[static_cast<size_t>(c_index)].Set(0);
+  reference = reference.ApplyDelta(reference_delta);
+  reference.SemijoinReduce();
+  ExplainEngine reference_engine =
+      UnwrapOrDie(ExplainEngine::Create(&reference));
+  EXPECT_EQ(third, DirectResponse(reference, reference_engine, line));
+
+  stats = service->GetStats();
+  EXPECT_EQ(stats.cache_hits, 1);       // the post-delta call was a miss
+  EXPECT_GE(stats.cache.invalidations, 1);
+
+  // Serving the same line again now hits the fresh entry.
+  EXPECT_EQ(transport.Call(line), third);
+  EXPECT_EQ(service->GetStats().cache_hits, 2);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xplain

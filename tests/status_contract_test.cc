@@ -25,9 +25,11 @@ TEST(StatusCodeToStringTest, CoversEveryCode) {
       {StatusCode::kParseError, "ParseError"},
       {StatusCode::kConstraintViolation, "ConstraintViolation"},
       {StatusCode::kIoError, "IoError"},
+      {StatusCode::kResourceExhausted, "ResourceExhausted"},
+      {StatusCode::kUnavailable, "Unavailable"},
   };
   // If a new StatusCode is added this count (and the table) must grow.
-  EXPECT_EQ(expected.size(), 10u);
+  EXPECT_EQ(expected.size(), 12u);
   for (const auto& [code, name] : expected) {
     EXPECT_EQ(StatusCodeToString(code), name)
         << "code=" << static_cast<int>(code);
@@ -51,6 +53,9 @@ TEST(StatusTest, FactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::ConstraintViolation("x").code(),
             StatusCode::kConstraintViolation);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
 }
 
 Status FailIf(bool fail) {

@@ -1,0 +1,68 @@
+#include "util/stopwatch.h"
+
+#include <chrono>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace xplain {
+namespace {
+
+TEST(StopwatchTest, StartsNearZero) {
+  Stopwatch sw;
+  // A fresh stopwatch has essentially no elapsed time; one second of slack
+  // keeps this robust on heavily loaded CI machines.
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch sw;
+  double previous = sw.ElapsedSeconds();
+  for (int i = 0; i < 100; ++i) {
+    const double now = sw.ElapsedSeconds();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+TEST(StopwatchTest, MeasuresASleep) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // sleep_for guarantees *at least* the requested duration.
+  EXPECT_GE(sw.ElapsedMillis(), 20.0);
+}
+
+TEST(StopwatchTest, MillisAndSecondsAgree) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double seconds = sw.ElapsedSeconds();
+  const double millis = sw.ElapsedMillis();
+  // Sampled back to back: millis must be at least 1000x the earlier
+  // seconds sample, and the two stay within a loose factor of each other.
+  EXPECT_GE(millis, seconds * 1000.0);
+  EXPECT_LT(millis, (seconds + 1.0) * 1000.0);
+}
+
+TEST(StopwatchTest, RestartResetsTheOrigin) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double before = sw.ElapsedMillis();
+  sw.Restart();
+  const double after = sw.ElapsedMillis();
+  EXPECT_LT(after, before);
+  EXPECT_GE(after, 0.0);
+}
+
+TEST(StopwatchTest, InstancesAreIndependent) {
+  Stopwatch a;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Stopwatch b;
+  // `a` started earlier, so it has strictly more elapsed time.
+  EXPECT_GT(a.ElapsedSeconds(), b.ElapsedSeconds());
+  a.Restart();
+  EXPECT_LE(a.ElapsedSeconds(), b.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace xplain

@@ -376,6 +376,51 @@ TEST_F(XplainLintTest, AcceptsValidTraceNamesIncludingConstructorForm) {
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+// --- server-trace-prefix ----------------------------------------------------
+
+TEST_F(XplainLintTest, FlagsEngineNamespacedSpanInServerCode) {
+  WriteFile("src/server/handler.cc",
+            "void Handle() {\n"
+            "  XPLAIN_TRACE_SPAN(\"engine.explain\");\n"
+            "}\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("server-trace-prefix"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("engine.explain"), std::string::npos)
+      << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsUnprefixedMetricInServerCode) {
+  WriteFile("src/server/handler.cc",
+            "void Handle() {\n"
+            "  XPLAIN_COUNTER_ADD(\"cache.hits\", 1);\n"
+            "}\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("server-trace-prefix"), std::string::npos)
+      << run.output;
+}
+
+TEST_F(XplainLintTest, AcceptsRpcAndServerPrefixesInServerCode) {
+  WriteFile("src/server/handler.cc",
+            "void Handle() {\n"
+            "  XPLAIN_TRACE_SPAN(\"rpc.execute\");\n"
+            "  XPLAIN_COUNTER_ADD(\"server.cache.hits\", 1);\n"
+            "  TraceSpan drain_span(\"rpc.drain\");\n"
+            "  drain_span.End();\n"
+            "}\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, EngineSpansOutsideServerDirAreNotPrefixChecked) {
+  WriteFile("src/core/work.cc",
+            "void Work() { XPLAIN_TRACE_SPAN(\"engine.explain\"); }\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST_F(XplainLintTest, MacroDefinitionSitesAreNotTraceNameFindings) {
   // The macro definitions pass an identifier, not a literal, as the first
   // argument; the rule must skip them.

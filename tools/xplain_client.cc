@@ -1,0 +1,88 @@
+// xplain_client: send newline-delimited JSON requests to a running
+// xplaind and print the response lines.
+//
+//   echo '{"id":1,"op":"STATS"}' | xplain_client --port 7411
+//   xplain_client --port 7411 --file requests.ndjson --fail-on-error
+//
+// Reads requests from --file (or stdin), writes each response to stdout.
+// With --fail-on-error, exits 1 if any response carries "ok":false — CI
+// smoke tests use this to assert a zero-error run.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "server/tcp_client.h"
+
+namespace {
+
+int Usage(std::ostream& os) {
+  os << "usage: xplain_client --port P [--host H] [--file FILE]\n"
+     << "                     [--fail-on-error]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string file;
+  bool fail_on_error = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::stoi(argv[++i]);
+    } else if (arg == "--file" && i + 1 < argc) {
+      file = argv[++i];
+    } else if (arg == "--fail-on-error") {
+      fail_on_error = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "xplain_client: unknown argument '" << arg << "'\n";
+      return Usage(std::cerr);
+    }
+  }
+  if (port <= 0) {
+    std::cerr << "xplain_client: --port is required\n";
+    return Usage(std::cerr);
+  }
+
+  std::ifstream file_stream;
+  if (!file.empty()) {
+    file_stream.open(file);
+    if (!file_stream) {
+      std::cerr << "xplain_client: cannot read " << file << "\n";
+      return 2;
+    }
+  }
+  std::istream& in = file.empty() ? std::cin : file_stream;
+
+  auto client = xplain::server::TcpClient::Connect(host, port);
+  if (!client.ok()) {
+    std::cerr << "xplain_client: " << client.status().ToString() << "\n";
+    return 1;
+  }
+
+  int errors = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto response = client->Call(line);
+    if (!response.ok()) {
+      std::cerr << "xplain_client: " << response.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << *response << "\n";
+    if (response->find("\"ok\":false") != std::string::npos) ++errors;
+  }
+  if (fail_on_error && errors > 0) {
+    std::cerr << "xplain_client: " << errors << " error response(s)\n";
+    return 1;
+  }
+  return 0;
+}

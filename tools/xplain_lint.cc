@@ -20,6 +20,9 @@
 //                          [a-z0-9_.]+ and are unique per translation unit
 //                          (a duplicate is almost always a copy-pasted span
 //                          that renders as one merged row in Perfetto).
+//   [server-trace-prefix]  span/metric literals in src/server/ live in the
+//                          rpc. or server. namespace, so serving telemetry
+//                          never collides with engine-side names.
 //
 // A line containing "xplain-lint: allow" is exempt from all rules.
 // Exit code: 0 = clean, 1 = findings, 2 = usage/IO error.
@@ -578,6 +581,14 @@ void CheckTraceNames(const std::string& display, const FileText& text) {
           Report(display, line_no, "trace-name",
                  "span/metric name \"" + name +
                      "\" violates the [a-z0-9_.]+ naming scheme");
+          continue;
+        }
+        if (HasPrefix(display, "src/server/") &&
+            !HasPrefix(name, "rpc.") && !HasPrefix(name, "server.")) {
+          Report(display, line_no, "server-trace-prefix",
+                 "span/metric name \"" + name +
+                     "\" in src/server/ must use the rpc. or server. "
+                     "namespace");
           continue;
         }
         bool duplicate = false;
