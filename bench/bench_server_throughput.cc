@@ -1,23 +1,41 @@
 // Serving-layer throughput: requests/sec through the full xplaind stack
-// (protocol parse, admission, engine execution, response serialization)
-// over the in-process loopback path, cold (every request computed) vs warm
-// (every request answered from the explanation cache).
+// (protocol parse, admission, engine execution, response serialization).
+//
+// Two transports are measured:
+//   - loopback: SubmitLine futures in-process, cold (every request
+//     computed) vs warm (every request answered from the cache) — the
+//     historical records, unchanged keys.
+//   - tcp: a real TcpServer with its epoll reactors, driven by N client
+//     threads each pipelining D requests per connection. Per-request
+//     client-side latency goes into a log2 histogram; the records carry
+//     p50/p99 microseconds and the warm multi-connection speedup over a
+//     single non-pipelined connection.
 //
 // Emits BENCH_server.json:
 //   {"bench": "server", "records": [
-//     {"workload": "cold", "threads": W, "wall_ms": ...,
-//      "requests": N, "requests_per_sec": ...},
-//     {"workload": "warm", ...}]}
+//     {"workload": "cold", ...}, {"workload": "warm", ...},
+//     {"workload": "cold_multi", "clients": C, "pipeline": D,
+//      "requests_per_sec": ..., "cold_p50_us": ..., "cold_p99_us": ...},
+//     {"workload": "warm_single_tcp", ...},
+//     {"workload": "warm_multi", ..., "warm_p50_us": ...,
+//      "warm_p99_us": ..., "warm_speedup_vs_single": ...}]}
 
+#include <algorithm>
+#include <deque>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "datagen/dblp.h"
 #include "server/service.h"
+#include "server/tcp_client.h"
+#include "server/tcp_server.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -50,6 +68,43 @@ std::vector<std::string> MakeRequestLines(int count) {
   return lines;
 }
 
+/// Like MakeRequestLines but with a wide year sweep so canonical request
+/// keys stay distinct across clients*requests lines — the TCP cold pass
+/// must not degenerate into cache hits.
+std::vector<std::string> MakeDistinctRequestLines(int count) {
+  std::vector<std::string> lines;
+  lines.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const int year = 1800 + (i % 500);
+    const bool topk = i % 2 == 1;
+    const int top_k = 3 + (i / 500) % 5;
+    std::string line = "{\"id\":" + std::to_string(i + 1) + ",\"op\":\"";
+    line += topk ? "TOPK" : "EXPLAIN";
+    line +=
+        "\",\"question\":{\"subqueries\":["
+        "{\"name\":\"q1\",\"agg\":\"count(distinct Publication.pubid)\","
+        "\"where\":\"venue = 'SIGMOD' AND year >= " +
+        std::to_string(year) +
+        "\"},"
+        "{\"name\":\"q2\",\"agg\":\"count(distinct Publication.pubid)\","
+        "\"where\":\"venue = 'PODS' AND year >= " +
+        std::to_string(year) +
+        "\"}],\"expr\":\"q1 / (q2 + 1)\",\"direction\":\"high\"},"
+        "\"attrs\":[\"Author.name\",\"Author.inst\"],"
+        "\"options\":{\"top_k\":" +
+        std::to_string(top_k) + "}}";
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+void ExitOnErrorResponse(const std::string& response) {
+  if (response.find("\"ok\":true") == std::string::npos) {
+    std::cerr << "bench error: " << response << std::endl;
+    std::exit(1);
+  }
+}
+
 /// Submits every line asynchronously, waits for all responses, and returns
 /// elapsed milliseconds. Exits on any error response (a throughput number
 /// over failed requests would be meaningless).
@@ -62,12 +117,56 @@ double RunPass(xplain::server::XplaindService* service,
     futures.push_back(service->SubmitLine(line));
   }
   for (std::future<std::string>& f : futures) {
-    const std::string response = f.get();
-    if (response.find("\"ok\":true") == std::string::npos) {
-      std::cerr << "bench error: " << response << std::endl;
-      std::exit(1);
-    }
+    ExitOnErrorResponse(f.get());
   }
+  return watch.ElapsedMillis();
+}
+
+/// One client thread: a windowed pipelined request loop over one TCP
+/// connection, recording client-observed per-request latency (send to
+/// response receipt, including pipeline queueing) into `latency_us`.
+void RunClient(int port, const std::vector<std::string>& lines,
+               size_t pipeline, xplain::Histogram* latency_us) {
+  using xplain::server::TcpClient;
+  TcpClient client = xplain::bench::Unwrap(
+      TcpClient::Connect("127.0.0.1", port), "connect");
+  std::deque<int64_t> sent_us;
+  size_t next = 0;
+  size_t done = 0;
+  while (done < lines.size()) {
+    while (next < lines.size() && next - done < pipeline) {
+      sent_us.push_back(xplain::Trace::NowMicros());
+      const xplain::Status sent = client.Send(lines[next]);
+      if (!sent.ok()) {
+        std::cerr << "bench error: " << sent.ToString() << std::endl;
+        std::exit(1);
+      }
+      ++next;
+    }
+    const std::string response =
+        xplain::bench::Unwrap(client.ReadResponse(), "read");
+    ExitOnErrorResponse(response);
+    latency_us->Record(
+        static_cast<double>(xplain::Trace::NowMicros() - sent_us.front()));
+    sent_us.pop_front();
+    ++done;
+  }
+}
+
+/// Runs `clients` concurrent pipelined connections, one slice of `lines`
+/// each, and returns wall milliseconds for the whole fleet.
+double RunTcpPass(int port, const std::vector<std::vector<std::string>>& slices,
+                  size_t pipeline, xplain::Histogram* latency_us) {
+  xplain::Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(slices.size());
+  for (const std::vector<std::string>& slice : slices) {
+    threads.emplace_back(
+        [&slice, port, pipeline, latency_us] {
+          RunClient(port, slice, pipeline, latency_us);
+        });
+  }
+  for (std::thread& thread : threads) thread.join();
   return watch.ElapsedMillis();
 }
 
@@ -75,62 +174,165 @@ double RunPass(xplain::server::XplaindService* service,
 
 int main(int argc, char** argv) {
   using xplain::bench::Fmt;
+  using xplain::bench::HistogramPercentile;
   using xplain::bench::JsonReporter;
   using xplain::bench::PrintHeader;
   using xplain::bench::PrintRow;
   using xplain::bench::Unwrap;
 
+  const int hw = xplain::ThreadPool::DefaultNumThreads();
   int requests = 64;
   double scale = 0.25;
+  int clients = std::min(8, std::max(2, hw));
+  int pipeline = 4;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--requests" && i + 1 < argc) {
       requests = std::stoi(argv[++i]);
     } else if (arg == "--scale" && i + 1 < argc) {
       scale = std::stod(argv[++i]);
+    } else if (arg == "--clients" && i + 1 < argc) {
+      clients = std::max(1, std::stoi(argv[++i]));
+    } else if (arg == "--pipeline" && i + 1 < argc) {
+      pipeline = std::max(1, std::stoi(argv[++i]));
     }
   }
 
+  JsonReporter json("server");
+
+  // ---- loopback: the historical cold/warm records -------------------------
+  {
+    xplain::datagen::DblpOptions dblp;
+    dblp.scale = scale;
+    xplain::Database db =
+        Unwrap(xplain::datagen::GenerateDblp(dblp), "dblp");
+
+    xplain::server::ServiceOptions options;
+    options.max_queue_depth = static_cast<size_t>(requests);
+    auto service = Unwrap(
+        xplain::server::XplaindService::Create(std::move(db), options),
+        "service");
+
+    const std::vector<std::string> lines = MakeRequestLines(requests);
+
+    PrintHeader("xplaind throughput (loopback, " + std::to_string(requests) +
+                " requests, " + std::to_string(hw) + " workers)");
+    PrintRow({"pass", "wall_ms", "requests_per_sec"});
+
+    // Cold: empty cache, every request runs the engine.
+    const double cold_ms = RunPass(service.get(), lines);
+    const double cold_rps = 1000.0 * requests / cold_ms;
+    PrintRow({"cold", Fmt(cold_ms), Fmt(cold_rps, 1)});
+    json.AddStats("cold", hw, cold_ms,
+                  {{"requests", static_cast<double>(requests)},
+                   {"requests_per_sec", cold_rps}});
+
+    // Warm: identical lines, all served from the explanation cache.
+    const double warm_ms = RunPass(service.get(), lines);
+    const double warm_rps = 1000.0 * requests / warm_ms;
+    PrintRow({"warm", Fmt(warm_ms), Fmt(warm_rps, 1)});
+    json.AddStats("warm", hw, warm_ms,
+                  {{"requests", static_cast<double>(requests)},
+                   {"requests_per_sec", warm_rps}});
+
+    const auto stats = service->GetStats();
+    if (stats.cache.hits < requests) {
+      std::cerr << "bench error: warm pass expected " << requests
+                << " cache hits, saw " << stats.cache.hits << std::endl;
+      return 1;
+    }
+    service->Drain();
+  }
+
+  // ---- tcp: multi-client pipelined connections over the reactors ----------
+  // A fresh database and service so loopback passes cannot pre-warm the
+  // cache under the TCP cold numbers.
   xplain::datagen::DblpOptions dblp;
   dblp.scale = scale;
   xplain::Database db = Unwrap(xplain::datagen::GenerateDblp(dblp), "dblp");
 
+  const int total = clients * requests;
   xplain::server::ServiceOptions options;
-  options.max_queue_depth = static_cast<size_t>(requests);
+  options.max_queue_depth = static_cast<size_t>(total) * 2;
   auto service = Unwrap(
       xplain::server::XplaindService::Create(std::move(db), options),
       "service");
-  const int workers = xplain::ThreadPool::DefaultNumThreads();
+  auto server = Unwrap(
+      xplain::server::TcpServer::Start(service.get(),
+                                       xplain::server::TcpServerOptions{}),
+      "server");
 
-  const std::vector<std::string> lines = MakeRequestLines(requests);
+  const std::vector<std::string> all = MakeDistinctRequestLines(total);
+  std::vector<std::vector<std::string>> slices;
+  slices.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    slices.emplace_back(all.begin() + c * requests,
+                        all.begin() + (c + 1) * requests);
+  }
 
-  JsonReporter json("server");
-  PrintHeader("xplaind throughput (loopback, " + std::to_string(requests) +
-              " requests, " + std::to_string(workers) + " workers)");
-  PrintRow({"pass", "wall_ms", "requests_per_sec"});
+  PrintHeader("xplaind throughput (tcp, " + std::to_string(clients) +
+              " clients x " + std::to_string(requests) +
+              " requests, pipeline depth " + std::to_string(pipeline) +
+              ", " + std::to_string(server->num_reactors()) + " reactors)");
+  PrintRow({"pass", "wall_ms", "requests_per_sec", "p50_us", "p99_us"});
 
-  // Cold: empty cache, every request runs the engine.
-  const double cold_ms = RunPass(service.get(), lines);
-  const double cold_rps = 1000.0 * requests / cold_ms;
-  PrintRow({"cold", Fmt(cold_ms), Fmt(cold_rps, 1)});
-  json.AddStats("cold", workers, cold_ms,
+  // Cold multi: distinct requests, every one runs the engine.
+  xplain::Histogram cold_hist;
+  const double cold_multi_ms = RunTcpPass(
+      server->port(), slices, static_cast<size_t>(pipeline), &cold_hist);
+  const double cold_multi_rps = 1000.0 * total / cold_multi_ms;
+  const double cold_p50 = HistogramPercentile(cold_hist, 50.0);
+  const double cold_p99 = HistogramPercentile(cold_hist, 99.0);
+  PrintRow({"cold_multi", Fmt(cold_multi_ms), Fmt(cold_multi_rps, 1),
+            Fmt(cold_p50, 0), Fmt(cold_p99, 0)});
+  json.AddStats("cold_multi", clients, cold_multi_ms,
+                {{"clients", static_cast<double>(clients)},
+                 {"pipeline", static_cast<double>(pipeline)},
+                 {"requests", static_cast<double>(total)},
+                 {"requests_per_sec", cold_multi_rps},
+                 {"cold_p50_us", cold_p50},
+                 {"cold_p99_us", cold_p99}});
+
+  // Warm single: one connection, no pipelining — the pre-reactor
+  // configuration and the denominator of the scaling claim.
+  xplain::Histogram single_hist;
+  const std::vector<std::vector<std::string>> single_slice = {slices[0]};
+  const double warm_single_ms =
+      RunTcpPass(server->port(), single_slice, 1, &single_hist);
+  const double warm_single_rps = 1000.0 * requests / warm_single_ms;
+  PrintRow({"warm_single_tcp", Fmt(warm_single_ms), Fmt(warm_single_rps, 1),
+            Fmt(HistogramPercentile(single_hist, 50.0), 0),
+            Fmt(HistogramPercentile(single_hist, 99.0), 0)});
+  json.AddStats("warm_single_tcp", 1, warm_single_ms,
                 {{"requests", static_cast<double>(requests)},
-                 {"requests_per_sec", cold_rps}});
+                 {"requests_per_sec", warm_single_rps}});
 
-  // Warm: identical lines, all served from the explanation cache.
-  const double warm_ms = RunPass(service.get(), lines);
-  const double warm_rps = 1000.0 * requests / warm_ms;
-  PrintRow({"warm", Fmt(warm_ms), Fmt(warm_rps, 1)});
-  json.AddStats("warm", workers, warm_ms,
-                {{"requests", static_cast<double>(requests)},
-                 {"requests_per_sec", warm_rps}});
+  // Warm multi: every request a cache hit — transport-bound scaling.
+  xplain::Histogram warm_hist;
+  const double warm_multi_ms = RunTcpPass(
+      server->port(), slices, static_cast<size_t>(pipeline), &warm_hist);
+  const double warm_multi_rps = 1000.0 * total / warm_multi_ms;
+  const double warm_p50 = HistogramPercentile(warm_hist, 50.0);
+  const double warm_p99 = HistogramPercentile(warm_hist, 99.0);
+  const double speedup = warm_multi_rps / warm_single_rps;
+  PrintRow({"warm_multi", Fmt(warm_multi_ms), Fmt(warm_multi_rps, 1),
+            Fmt(warm_p50, 0), Fmt(warm_p99, 0)});
+  json.AddStats("warm_multi", clients, warm_multi_ms,
+                {{"clients", static_cast<double>(clients)},
+                 {"pipeline", static_cast<double>(pipeline)},
+                 {"requests", static_cast<double>(total)},
+                 {"requests_per_sec", warm_multi_rps},
+                 {"warm_p50_us", warm_p50},
+                 {"warm_p99_us", warm_p99},
+                 {"warm_speedup_vs_single", speedup}});
 
   const auto stats = service->GetStats();
-  if (stats.cache.hits < requests) {
-    std::cerr << "bench error: warm pass expected " << requests
+  if (stats.cache.hits < total) {
+    std::cerr << "bench error: warm tcp passes expected " << total
               << " cache hits, saw " << stats.cache.hits << std::endl;
     return 1;
   }
+  server->Stop();
   service->Drain();
   return 0;
 }

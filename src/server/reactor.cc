@@ -1,0 +1,459 @@
+#include "server/reactor.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "server/protocol.h"
+#include "server/wire.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace xplain {
+namespace server {
+
+namespace {
+
+/// Bytes read per recv call on the reactor.
+constexpr size_t kReadChunkBytes = 16 * 1024;
+/// Per-connection read budget per wakeup: level-triggered epoll re-arms,
+/// so capping one connection's burst keeps the loop fair under pipelining.
+constexpr size_t kReadBudgetPerWakeup = 256 * 1024;
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+/// Per-connection transport state, owned exclusively by one reactor
+/// thread: the framing decoder, the response sequencer, the buffered
+/// write bytes, and the epoll interest flags.
+struct Connection {
+  Connection(uint64_t id_in, int fd_in, size_t max_line_bytes)
+      : id(id_in), fd(fd_in), decoder(max_line_bytes) {}
+
+  uint64_t id;
+  int fd;
+  LineDecoder decoder;
+  ResponseSequencer sequencer;
+  std::string out;         // response bytes not yet written
+  size_t out_offset = 0;   // consumed prefix of `out`
+  bool want_write = false;   // EPOLLOUT armed
+  bool paused_read = false;  // EPOLLIN dropped for backpressure (or stop)
+  bool read_closed = false;  // peer EOF or read error; flush then close
+  /// Dispatch timestamps keyed by sequence number; feeds the
+  /// server.request_latency_us histogram at delivery.
+  std::unordered_map<uint64_t, int64_t> dispatch_us;
+
+  size_t unwritten_bytes() const { return out.size() - out_offset; }
+};
+
+struct Reactor::Task {
+  enum class Kind { kNewConnection, kResponse, kStop };
+  Kind kind;
+  int fd = -1;           // kNewConnection
+  uint64_t conn_id = 0;  // kResponse
+  uint64_t seq = 0;      // kResponse
+  std::string line;      // kResponse
+};
+
+Result<std::shared_ptr<Reactor>> Reactor::Start(XplaindService* service,
+                                                const ReactorOptions& options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("null service");
+  }
+  std::shared_ptr<Reactor> reactor(new Reactor(service, options));
+  reactor->epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (reactor->epoll_fd_ < 0) {
+    return Status::Internal(std::string("epoll_create1: ") +
+                            std::strerror(errno));
+  }
+  reactor->wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (reactor->wake_fd_ < 0) {
+    return Status::Internal(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = EPOLLIN;
+  event.data.u64 = 0;  // wakeup tag
+  if (::epoll_ctl(reactor->epoll_fd_, EPOLL_CTL_ADD, reactor->wake_fd_,
+                  &event) != 0) {
+    return Status::Internal(std::string("epoll_ctl(wakeup): ") +
+                            std::strerror(errno));
+  }
+  reactor->self_ = reactor;
+  reactor->thread_ = std::thread([raw = reactor.get()] { raw->Loop(); });
+  return reactor;
+}
+
+Reactor::Reactor(XplaindService* service, const ReactorOptions& options)
+    : service_(service), options_(options) {}
+
+Reactor::~Reactor() {
+  RequestStop();
+  Join();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void Reactor::AddConnection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    Task task;
+    task.kind = Task::Kind::kNewConnection;
+    task.fd = fd;
+    tasks_.push_back(std::move(task));
+  }
+  Wake();
+}
+
+void Reactor::PostResponse(uint64_t conn_id, uint64_t seq, std::string line) {
+  if (loop_thread_id_.load(std::memory_order_acquire) ==
+      std::this_thread::get_id()) {
+    // Synchronous completion (cache hit, protocol error, STATS, DRAIN):
+    // deliver without a queue round-trip. Flushing happens when the
+    // enclosing read batch finishes.
+    auto it = conns_.find(conn_id);
+    if (it != conns_.end()) Deliver(it->second.get(), seq, std::move(line));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    Task task;
+    task.kind = Task::Kind::kResponse;
+    task.conn_id = conn_id;
+    task.seq = seq;
+    task.line = std::move(line);
+    tasks_.push_back(std::move(task));
+  }
+  Wake();
+}
+
+void Reactor::RequestStop() {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    if (stop_enqueued_) return;
+    stop_enqueued_ = true;
+    Task task;
+    task.kind = Task::Kind::kStop;
+    tasks_.push_back(std::move(task));
+  }
+  Wake();
+}
+
+void Reactor::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Reactor::Wake() {
+  const uint64_t one = 1;
+  // A full eventfd counter already guarantees a pending wakeup.
+  ssize_t n;
+  do {
+    n = ::write(wake_fd_, &one, sizeof(one));
+  } while (n < 0 && errno == EINTR);
+}
+
+void Reactor::Loop() {
+  loop_thread_id_.store(std::this_thread::get_id(),
+                        std::memory_order_release);
+  std::array<epoll_event, 64> events;
+  bool running = true;
+  while (running) {
+    // While flushing for shutdown, poll with a short timeout so the flush
+    // deadline is honored even if no fd becomes writable.
+    const int timeout_ms = stopping_ ? 20 : -1;
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      XPLAIN_LOG(kError) << "reactor epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == 0) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      Connection* conn = it->second.get();
+      const uint32_t ev = events[i].events;
+      if ((ev & EPOLLIN) != 0) HandleReadable(conn);
+      it = conns_.find(tag);  // HandleReadable may close the connection
+      if (it == conns_.end()) continue;
+      conn = it->second.get();
+      if ((ev & EPOLLOUT) != 0) {
+        if (!FlushWrites(conn)) continue;
+      }
+      if ((ev & (EPOLLERR | EPOLLHUP)) != 0 && (ev & EPOLLIN) == 0) {
+        CloseConnection(tag);
+      }
+    }
+    ProcessTasks();
+    if (stopping_ &&
+        (FullyFlushed() ||
+         std::chrono::steady_clock::now() >= flush_deadline_)) {
+      running = false;
+    }
+  }
+  CloseAll();
+  loop_thread_id_.store(std::thread::id(), std::memory_order_release);
+}
+
+void Reactor::ProcessTasks() {
+  std::vector<Task> batch;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    batch.swap(tasks_);
+  }
+  for (Task& task : batch) {
+    switch (task.kind) {
+      case Task::Kind::kNewConnection:
+        if (stopping_) {
+          ::close(task.fd);
+        } else {
+          RegisterConnection(task.fd);
+        }
+        break;
+      case Task::Kind::kResponse: {
+        auto it = conns_.find(task.conn_id);
+        if (it == conns_.end()) break;  // connection gone; drop
+        Connection* conn = it->second.get();
+        Deliver(conn, task.seq, std::move(task.line));
+        (void)FlushWrites(conn);
+        break;
+      }
+      case Task::Kind::kStop: {
+        stopping_ = true;
+        flush_deadline_ =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(options_.stop_flush_timeout_ms);
+        // Stop reading everywhere; flush what is buffered or still in
+        // flight, then close.
+        std::vector<uint64_t> ids;
+        ids.reserve(conns_.size());
+        for (const auto& [id, conn] : conns_) ids.push_back(id);
+        for (const uint64_t id : ids) {
+          auto it = conns_.find(id);
+          if (it == conns_.end()) continue;
+          Connection* conn = it->second.get();
+          if (!conn->paused_read) {
+            conn->paused_read = true;
+            UpdateInterest(conn);
+          }
+          (void)FlushWrites(conn);
+        }
+        break;
+      }
+    }
+  }
+}
+
+void Reactor::RegisterConnection(int fd) {
+  if (!SetNonBlocking(fd)) {
+    XPLAIN_LOG(kWarning) << "reactor: fcntl(O_NONBLOCK) failed, dropping fd";
+    ::close(fd);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const uint64_t id = next_conn_id_++;
+  auto conn = std::make_unique<Connection>(id, fd, options_.max_line_bytes);
+  epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = EPOLLIN;
+  event.data.u64 = id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    XPLAIN_LOG(kWarning) << "reactor: epoll_ctl(ADD): "
+                         << std::strerror(errno);
+    ::close(fd);
+    return;
+  }
+  conns_.emplace(id, std::move(conn));
+  if (options_.active_connections != nullptr) {
+    PublishActiveConnections(options_.active_connections->fetch_add(
+                                 1, std::memory_order_relaxed) +
+                             1);
+  }
+}
+
+void Reactor::HandleReadable(Connection* conn) {
+  if (stopping_ || conn->paused_read || conn->read_closed) return;
+  char chunk[kReadChunkBytes];
+  size_t read_this_wakeup = 0;
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      conn->read_closed = true;  // reset etc.: flush what we owe, close
+      break;
+    }
+    if (n == 0) {
+      // Peer EOF (possibly a half-close after pipelining requests): stop
+      // reading but still deliver and flush every in-flight response.
+      conn->read_closed = true;
+      break;
+    }
+    read_this_wakeup += static_cast<size_t>(n);
+    std::vector<LineDecoder::Event> lines =
+        conn->decoder.Feed(chunk, static_cast<size_t>(n));
+    for (LineDecoder::Event& event : lines) {
+      DispatchLine(conn, event.oversized, std::move(event.line));
+    }
+    if (conn->unwritten_bytes() > options_.max_write_buffer_bytes) {
+      // Backpressure: the peer is not draining responses; stop reading
+      // until the buffered writes shrink.
+      conn->paused_read = true;
+      UpdateInterest(conn);
+      break;
+    }
+    if (read_this_wakeup >= kReadBudgetPerWakeup) break;
+  }
+  (void)FlushWrites(conn);
+}
+
+void Reactor::DispatchLine(Connection* conn, bool oversized,
+                           std::string line) {
+  XPLAIN_TRACE_SPAN("server.dispatch_line");
+  const uint64_t seq = conn->sequencer.Acquire();
+  if (oversized) {
+    XPLAIN_COUNTER_ADD("server.oversized_lines", 1);
+    Deliver(conn, seq,
+            MakeResponse(ScanRequestIdPrefix(line),
+                         ErrorPayload(Status::InvalidArgument(
+                             "request line exceeds " +
+                             std::to_string(options_.max_line_bytes) +
+                             " bytes"))));
+    return;
+  }
+  XPLAIN_COUNTER_ADD("server.tcp.lines", 1);
+  if (conn->sequencer.in_flight() > 1) {
+    XPLAIN_COUNTER_ADD("server.pipelined_requests_total", 1);
+  }
+  conn->dispatch_us.emplace(seq, Trace::NowMicros());
+  std::shared_ptr<Reactor> self = self_.lock();
+  XPLAIN_DCHECK(self != nullptr);
+  service_->SubmitLineWith(
+      line, [self = std::move(self), conn_id = conn->id,
+             seq](std::string response) {
+        self->PostResponse(conn_id, seq, std::move(response));
+      });
+}
+
+void Reactor::Deliver(Connection* conn, uint64_t seq, std::string line) {
+  auto it = conn->dispatch_us.find(seq);
+  if (it != conn->dispatch_us.end()) {
+    XPLAIN_HISTOGRAM_RECORD(
+        "server.request_latency_us",
+        static_cast<double>(Trace::NowMicros() - it->second));
+    conn->dispatch_us.erase(it);
+  }
+  std::vector<std::string> ready;
+  conn->sequencer.Complete(seq, std::move(line), &ready);
+  for (std::string& response : ready) {
+    conn->out += response;
+    conn->out += '\n';
+  }
+}
+
+bool Reactor::FlushWrites(Connection* conn) {
+  while (conn->out_offset < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_offset,
+               conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          UpdateInterest(conn);
+        }
+        return true;  // EPOLLOUT will resume the flush
+      }
+      XPLAIN_LOG(kWarning) << "tcp connection dropped mid-response";
+      CloseConnection(conn->id);
+      return false;
+    }
+    conn->out_offset += static_cast<size_t>(n);
+  }
+  conn->out.clear();
+  conn->out_offset = 0;
+  if (conn->want_write) {
+    conn->want_write = false;
+    UpdateInterest(conn);
+  }
+  if (conn->paused_read && !stopping_ && !conn->read_closed) {
+    // Backpressure released: the peer drained its responses.
+    conn->paused_read = false;
+    UpdateInterest(conn);
+  }
+  if ((conn->read_closed || stopping_) && conn->sequencer.in_flight() == 0) {
+    CloseConnection(conn->id);
+    return false;
+  }
+  return true;
+}
+
+void Reactor::UpdateInterest(Connection* conn) {
+  epoll_event event;
+  std::memset(&event, 0, sizeof(event));
+  event.events = (conn->paused_read ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+                 (conn->want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  event.data.u64 = conn->id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &event) != 0) {
+    XPLAIN_LOG(kWarning) << "reactor: epoll_ctl(MOD): "
+                         << std::strerror(errno);
+  }
+}
+
+void Reactor::CloseConnection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  const int fd = it->second->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(it);
+  if (options_.active_connections != nullptr) {
+    PublishActiveConnections(options_.active_connections->fetch_sub(
+                                 1, std::memory_order_relaxed) -
+                             1);
+  }
+}
+
+void Reactor::CloseAll() {
+  while (!conns_.empty()) CloseConnection(conns_.begin()->first);
+}
+
+bool Reactor::FullyFlushed() const {
+  for (const auto& [id, conn] : conns_) {
+    if (conn->sequencer.in_flight() != 0 || conn->unwritten_bytes() != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Reactor::PublishActiveConnections(int64_t count) {
+  XPLAIN_GAUGE_SET("server.connections_active", count);
+}
+
+}  // namespace server
+}  // namespace xplain

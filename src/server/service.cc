@@ -9,17 +9,6 @@
 namespace xplain {
 namespace server {
 
-namespace {
-
-/// A future that is already resolved to `value`.
-std::future<std::string> ReadyFuture(std::string value) {
-  std::promise<std::string> promise;
-  promise.set_value(std::move(value));
-  return promise.get_future();
-}
-
-}  // namespace
-
 Result<std::unique_ptr<XplaindService>> XplaindService::Create(
     Database db, const ServiceOptions& options) {
   std::unique_ptr<XplaindService> service(
@@ -59,6 +48,16 @@ std::string XplaindService::HandleLine(const std::string& line) {
 }
 
 std::future<std::string> XplaindService::SubmitLine(const std::string& line) {
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = promise->get_future();
+  SubmitLineWith(line, [promise](std::string response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
+void XplaindService::SubmitLineWith(const std::string& line,
+                                    std::function<void(std::string)> done) {
   XPLAIN_TRACE_SPAN("rpc.submit");
   XPLAIN_COUNTER_ADD("server.requests", 1);
   {
@@ -69,29 +68,37 @@ std::future<std::string> XplaindService::SubmitLine(const std::string& line) {
   Result<Request> parsed = ParseRequest(line);
   if (!parsed.ok()) {
     XPLAIN_COUNTER_ADD("server.parse_errors", 1);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++errors_;
-    return ReadyFuture(
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++errors_;
+    }
+    done(
         MakeResponse(ExtractRequestId(line), ErrorPayload(parsed.status())));
+    return;
   }
   const Request& request = *parsed;
 
   if (request.op == RequestOp::kStats) {
     XPLAIN_TRACE_SPAN("rpc.stats");
-    return ReadyFuture(MakeResponse(request.id, StatsPayload()));
+    done(MakeResponse(request.id, StatsPayload()));
+    return;
   }
   if (request.op == RequestOp::kDrain) {
     XPLAIN_TRACE_SPAN("rpc.drain");
     Drain();
-    return ReadyFuture(MakeResponse(request.id, StatsPayload()));
+    done(MakeResponse(request.id, StatsPayload()));
+    return;
   }
 
   if (draining()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++errors_;
-    return ReadyFuture(MakeResponse(
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++errors_;
+    }
+    done(MakeResponse(
         request.id,
         ErrorPayload(Status::Unavailable("service is draining"))));
+    return;
   }
 
   // Cache lookup happens before admission: hits cost no worker slot. The
@@ -102,22 +109,24 @@ std::future<std::string> XplaindService::SubmitLine(const std::string& line) {
                 CanonicalRequestKey(request);
     std::optional<std::string> hit = cache_->Lookup(cache_key);
     if (hit.has_value()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++served_;
-      ++cache_hits_;
-      return ReadyFuture(MakeResponse(request.id, *std::move(hit)));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++served_;
+        ++cache_hits_;
+      }
+      done(MakeResponse(request.id, *std::move(hit)));
+      return;
     }
   }
 
   std::string reject_payload;
   if (!Admit(&reject_payload)) {
-    return ReadyFuture(MakeResponse(request.id, std::move(reject_payload)));
+    done(MakeResponse(request.id, std::move(reject_payload)));
+    return;
   }
 
-  auto promise = std::make_shared<std::promise<std::string>>();
-  std::future<std::string> future = promise->get_future();
   std::future<Status> submitted = pool_->Submit(
-      [this, request, cache_key = std::move(cache_key), promise]() {
+      [this, request, cache_key = std::move(cache_key), done]() {
         if (options_.execute_hook) options_.execute_hook();
         bool ok = false;
         std::string payload = ExecutePayload(request, &ok);
@@ -133,16 +142,15 @@ std::future<std::string> XplaindService::SubmitLine(const std::string& line) {
           }
         }
         FinishOne();
-        promise->set_value(MakeResponse(request.id, std::move(payload)));
+        done(MakeResponse(request.id, std::move(payload)));
         return Status::OK();
       });
   if (!submitted.valid()) {
     // Unreachable with a live pool; keep the contract airtight anyway.
     FinishOne();
-    promise->set_value(MakeResponse(
+    done(MakeResponse(
         request.id, ErrorPayload(Status::Internal("worker pool rejected"))));
   }
-  return future;
 }
 
 std::string XplaindService::ExecutePayload(const Request& request, bool* ok) {

@@ -75,6 +75,15 @@ class XplaindService {
   /// execution runs on the service pool. The future always becomes ready.
   std::future<std::string> SubmitLine(const std::string& line);
 
+  /// Callback form of SubmitLine for non-blocking transports (the epoll
+  /// reactors): `done` is invoked exactly once with the response line —
+  /// synchronously on the caller for parse errors, cache hits, STATS,
+  /// DRAIN, draining refusals and admission rejections, or on a pool
+  /// worker after execution. `done` must not block; a reactor callback
+  /// only enqueues the response for the owning event loop.
+  void SubmitLineWith(const std::string& line,
+                      std::function<void(std::string)> done);
+
   /// Applies a tuple delta to the owned database (removing dangling rows
   /// like the paper's D - Delta semantics), bumps the database version,
   /// invalidates the cache, and rebuilds the engine. Blocks until

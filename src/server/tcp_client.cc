@@ -1,8 +1,12 @@
 #include "server/tcp_client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -11,7 +15,78 @@
 namespace xplain {
 namespace server {
 
-Result<TcpClient> TcpClient::Connect(const std::string& host, int port) {
+namespace {
+
+Status SetBlocking(int fd, bool blocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return Status::Internal(std::string("fcntl(F_GETFL): ") +
+                            std::strerror(errno));
+  }
+  const int next = blocking ? (flags & ~O_NONBLOCK) : (flags | O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) != 0) {
+    return Status::Internal(std::string("fcntl(F_SETFL): ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// connect(2) with a poll-based deadline so an unreachable or overloaded
+/// server yields kUnavailable instead of hanging for the OS default.
+Status ConnectWithTimeout(int fd, const sockaddr_in& addr, int timeout_ms) {
+  if (timeout_ms <= 0) {
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      return Status::Unavailable(std::string("connect: ") +
+                                 std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  XPLAIN_RETURN_IF_ERROR(SetBlocking(fd, false));
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+    return Status::Unavailable(std::string("connect: ") +
+                               std::strerror(errno));
+  }
+  if (rc != 0) {
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    do {
+      rc = ::poll(&pfd, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+    }
+    if (rc == 0) {
+      return Status::Unavailable("connect timed out after " +
+                                 std::to_string(timeout_ms) + " ms");
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      return Status::Internal(std::string("getsockopt(SO_ERROR): ") +
+                              std::strerror(errno));
+    }
+    if (so_error != 0) {
+      return Status::Unavailable(std::string("connect: ") +
+                                 std::strerror(so_error));
+    }
+  }
+  return SetBlocking(fd, true);
+}
+
+}  // namespace
+
+Result<TcpClient> TcpClient::Connect(const std::string& host, int port,
+                                     const TcpClientOptions& options) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -24,12 +99,23 @@ Result<TcpClient> TcpClient::Connect(const std::string& host, int port) {
     ::close(fd);
     return Status::InvalidArgument("bad IPv4 address '" + host + "'");
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const std::string error = std::strerror(errno);
+  Status connected = ConnectWithTimeout(fd, addr, options.connect_timeout_ms);
+  if (!connected.ok()) {
     ::close(fd);
-    return Status::Internal("connect " + host + ":" + std::to_string(port) +
-                            ": " + error);
+    return connected;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options.recv_timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = options.recv_timeout_ms / 1000;
+    tv.tv_usec =
+        static_cast<suseconds_t>(options.recv_timeout_ms % 1000) * 1000;
+    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+      const std::string error = std::strerror(errno);
+      ::close(fd);
+      return Status::Internal("setsockopt(SO_RCVTIMEO): " + error);
+    }
   }
   return TcpClient(fd);
 }
@@ -38,37 +124,55 @@ TcpClient::~TcpClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<std::string> TcpClient::Call(const std::string& line) {
-  if (fd_ < 0) {
-    return Status::Internal("client is disconnected");
-  }
+Status TcpClient::Send(const std::string& line) {
+  if (fd_ < 0) return Status::Internal("client is disconnected");
   std::string out = line;
   out.push_back('\n');
   size_t sent = 0;
   while (sent < out.size()) {
     const ssize_t n =
         ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return Status::Internal("send: connection closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send: ") +
+                                 std::strerror(errno));
     }
     sent += static_cast<size_t>(n);
   }
+  return Status::OK();
+}
+
+Result<std::string> TcpClient::ReadResponse() {
+  if (fd_ < 0) return Status::Internal("client is disconnected");
   for (;;) {
     const size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
-      std::string response = buffer_.substr(0, newline);
+      std::string line = buffer_.substr(0, newline);
       buffer_.erase(0, newline + 1);
-      return response;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired: retryable, not a protocol failure.
+        return Status::Unavailable("recv timed out waiting for a response");
+      }
+      return Status::Unavailable(std::string("recv: ") +
+                                 std::strerror(errno));
+    }
+    if (n == 0) {
       return Status::Internal("recv: connection closed before a response");
     }
     buffer_.append(chunk, static_cast<size_t>(n));
   }
+}
+
+Result<std::string> TcpClient::Call(const std::string& line) {
+  XPLAIN_RETURN_IF_ERROR(Send(line));
+  return ReadResponse();
 }
 
 }  // namespace server

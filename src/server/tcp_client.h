@@ -9,30 +9,64 @@
 namespace xplain {
 namespace server {
 
-/// A blocking newline-delimited-JSON client for xplaind's TCP transport:
-/// Call sends one request line and reads back one response line. Used by
-/// tools/xplain_client and the TCP integration tests.
+/// Timeout knobs for TcpClient. Timeouts surface as kUnavailable (the
+/// retryable class), never kInternal.
+/// Thread-safety: plain data, externally synchronized.
+struct TcpClientOptions {
+  /// Milliseconds to wait for connect(2); 0 = the OS default (blocking).
+  int connect_timeout_ms = 10000;
+  /// Milliseconds to wait for each recv(2) while reading a response; 0 =
+  /// block indefinitely.
+  int recv_timeout_ms = 0;
+};
+
+/// A blocking newline-delimited-JSON client for xplaind's TCP transport.
+/// Call sends one request line and reads back one response line; the
+/// Send/ReadResponse split supports pipelining — many requests written
+/// before the first response is read, with responses returned in request
+/// order (the server's per-connection ordering guarantee). Used by
+/// tools/xplain_client, the TCP tests, and bench_server_throughput.
+///
+/// All socket calls retry on EINTR. Connect and read timeouts map to
+/// Status::Unavailable so callers can distinguish "server slow or gone"
+/// (retryable) from protocol failures.
 ///
 /// Thread-safety: each TcpClient is used by one thread (one in-order
 /// request/response stream per connection); open one client per thread.
 class TcpClient {
  public:
   /// Connects to host:port (host is a dotted-quad, e.g. "127.0.0.1").
-  [[nodiscard]] static Result<TcpClient> Connect(const std::string& host,
-                                                 int port);
+  /// Times out with kUnavailable after options.connect_timeout_ms.
+  [[nodiscard]] static Result<TcpClient> Connect(
+      const std::string& host, int port,
+      const TcpClientOptions& options = TcpClientOptions());
 
   ~TcpClient();
 
-  TcpClient(TcpClient&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpClient(TcpClient&& other) noexcept
+      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+    other.buffer_.clear();
+  }
   TcpClient& operator=(TcpClient&& other) noexcept {
     std::swap(fd_, other.fd_);
+    std::swap(buffer_, other.buffer_);
     return *this;
   }
   TcpClient(const TcpClient&) = delete;
   TcpClient& operator=(const TcpClient&) = delete;
 
-  /// Sends `line` (a newline is appended) and blocks for the response
-  /// line. Fails when the server closes the connection mid-call.
+  /// Sends `line` (a newline is appended) without waiting for a response.
+  /// Pipelining: any number of Sends may precede the matching
+  /// ReadResponse calls.
+  [[nodiscard]] Status Send(const std::string& line);
+
+  /// Blocks for the next response line, in request order. Fails with
+  /// kUnavailable on a read timeout and kInternal when the server closes
+  /// the connection mid-stream.
+  [[nodiscard]] Result<std::string> ReadResponse();
+
+  /// Send + ReadResponse: one synchronous request/response round trip.
   [[nodiscard]] Result<std::string> Call(const std::string& line);
 
  private:

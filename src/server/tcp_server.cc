@@ -5,36 +5,18 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <string>
 #include <utility>
 
+#include "server/reactor.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 
 namespace xplain {
 namespace server {
-
-namespace {
-
-/// Writes all of `data` to `fd`; false on a broken connection.
-bool WriteAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
 
 Result<std::unique_ptr<TcpServer>> TcpServer::Start(
     XplaindService* service, const TcpServerOptions& options) {
@@ -74,34 +56,57 @@ Result<std::unique_ptr<TcpServer>> TcpServer::Start(
     return Status::Internal("getsockname: " + error);
   }
   const int port = static_cast<int>(ntohs(bound.sin_port));
+
   std::unique_ptr<TcpServer> server(new TcpServer(service, fd, port));
+  const int requested = options.num_reactors > 0
+                            ? options.num_reactors
+                            : ThreadPool::DefaultNumThreads();
+  const int num_reactors = requested < 1 ? 1 : requested;
+  ReactorOptions reactor_options;
+  reactor_options.max_line_bytes = options.max_line_bytes;
+  reactor_options.max_write_buffer_bytes = options.max_write_buffer_bytes;
+  reactor_options.stop_flush_timeout_ms = options.stop_flush_timeout_ms;
+  reactor_options.active_connections = server->active_connections_;
+  server->reactors_.reserve(static_cast<size_t>(num_reactors));
+  for (int i = 0; i < num_reactors; ++i) {
+    Result<std::shared_ptr<Reactor>> reactor =
+        Reactor::Start(service, reactor_options);
+    if (!reactor.ok()) {
+      server->Stop();
+      return reactor.status();
+    }
+    server->reactors_.push_back(*std::move(reactor));
+  }
   server->accept_thread_ =
       std::thread([raw = server.get()] { raw->AcceptLoop(); });
   return server;
 }
 
 TcpServer::TcpServer(XplaindService* service, int listen_fd, int port)
-    : service_(service), listen_fd_(listen_fd), port_(port) {}
+    : service_(service),
+      listen_fd_(listen_fd),
+      port_(port),
+      active_connections_(std::make_shared<std::atomic<int64_t>>(0)) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
 void TcpServer::Stop() {
-  std::vector<std::thread> to_join;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;
     stopping_ = true;
-    // Unblock accept(2) and every blocked read(2).
+    // Unblock accept(2); no new connections reach the reactors after the
+    // acceptor joins.
     ::shutdown(listen_fd_, SHUT_RDWR);
-    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    to_join.swap(connection_threads_);
+  // Reactors flush buffered responses (bounded grace), close their
+  // connections, and exit.
+  for (const std::shared_ptr<Reactor>& reactor : reactors_) {
+    reactor->RequestStop();
   }
-  for (std::thread& t : to_join) {
-    if (t.joinable()) t.join();
+  for (const std::shared_ptr<Reactor>& reactor : reactors_) {
+    reactor->Join();
   }
   ::close(listen_fd_);
 }
@@ -113,51 +118,20 @@ void TcpServer::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // listener shut down
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      ::close(fd);
-      return;
-    }
-    XPLAIN_COUNTER_ADD("server.tcp.connections", 1);
-    connection_fds_.push_back(fd);
-    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
-  }
-}
-
-void TcpServer::ServeConnection(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // client closed or connection shut down
-    buffer.append(chunk, static_cast<size_t>(n));
-    size_t newline;
-    while ((newline = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, newline);
-      buffer.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      XPLAIN_COUNTER_ADD("server.tcp.lines", 1);
-      std::string response = service_->HandleLine(line);
-      response.push_back('\n');
-      if (!WriteAll(fd, response)) {
-        XPLAIN_LOG(kWarning) << "tcp connection dropped mid-response";
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
         ::close(fd);
-        RemoveConnection(fd);
         return;
       }
     }
+    XPLAIN_COUNTER_ADD("server.tcp.connections", 1);
+    XPLAIN_COUNTER_ADD("server.accept_total", 1);
+    // Round-robin accept sharding: each connection is owned by exactly one
+    // reactor for its whole lifetime.
+    reactors_[next_reactor_]->AddConnection(fd);
+    next_reactor_ = (next_reactor_ + 1) % reactors_.size();
   }
-  ::close(fd);
-  RemoveConnection(fd);
-}
-
-void TcpServer::RemoveConnection(int fd) {
-  std::lock_guard<std::mutex> lock(mu_);
-  connection_fds_.erase(
-      std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
-      connection_fds_.end());
 }
 
 }  // namespace server

@@ -1,6 +1,8 @@
 #ifndef XPLAIN_SERVER_TCP_SERVER_H_
 #define XPLAIN_SERVER_TCP_SERVER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -12,7 +14,9 @@
 namespace xplain {
 namespace server {
 
-/// Listener knobs for TcpServer.
+class Reactor;
+
+/// Transport knobs for TcpServer.
 /// Thread-safety: plain data, externally synchronized.
 struct TcpServerOptions {
   /// TCP port on 127.0.0.1; 0 asks the kernel for an ephemeral port (read
@@ -20,24 +24,37 @@ struct TcpServerOptions {
   int port = 0;
   /// listen(2) backlog.
   int backlog = 64;
+  /// Epoll event-loop threads sharing the connection load; 0 = hardware
+  /// concurrency. Accepted connections are sharded round-robin.
+  int num_reactors = 0;
+  /// Request lines longer than this get an ok:false response (the
+  /// connection survives).
+  size_t max_line_bytes = 1 << 20;
+  /// Per-connection buffered-write budget before the reactor applies read
+  /// backpressure (stops reading until the peer drains responses).
+  size_t max_write_buffer_bytes = 4 << 20;
+  /// Grace period for flushing buffered responses on Stop.
+  int stop_flush_timeout_ms = 5000;
 };
 
-/// A blocking newline-delimited-JSON listener on 127.0.0.1 that forwards
-/// each request line to an XplaindService and writes the response line
-/// back. One OS thread per connection — deliberately simple; the
-/// interesting concurrency lives in the service's admission controller,
-/// not the transport (DESIGN.md §8).
+/// A non-blocking newline-delimited-JSON listener on 127.0.0.1: one accept
+/// thread shards incoming connections round-robin across N epoll reactor
+/// threads (server/reactor.h), each running a per-connection read/write
+/// state machine that frames pipelined NDJSON requests, dispatches them to
+/// the XplaindService without ever blocking on the engine, and writes
+/// responses back in request order per connection (DESIGN.md §8).
 ///
-/// Lifecycle: Start spawns the accept loop; Stop (or the destructor)
-/// closes the listener, shuts down every open connection, and joins all
+/// Lifecycle: Start binds, listens, and spawns the acceptor + reactors;
+/// Stop (or the destructor) closes the listener, flushes buffered
+/// responses (bounded grace), closes every connection, and joins all
 /// transport threads. The referenced service must outlive the server.
 ///
 /// Thread-safety: safe — port() and Stop() may be called from any thread;
 /// Stop is idempotent.
 class TcpServer {
  public:
-  /// Binds 127.0.0.1:port, starts listening, and spawns the accept loop.
-  /// Does not take ownership of `service`.
+  /// Binds 127.0.0.1:port, starts listening, and spawns the acceptor and
+  /// reactor threads. Does not take ownership of `service`.
   [[nodiscard]] static Result<std::unique_ptr<TcpServer>> Start(
       XplaindService* service, const TcpServerOptions& options);
 
@@ -49,26 +66,36 @@ class TcpServer {
   /// The bound port (resolves port 0 to the kernel's choice).
   int port() const { return port_; }
 
-  /// Closes the listener and every open connection, then joins the accept
-  /// and connection threads. Idempotent.
+  /// Number of reactor threads actually running.
+  int num_reactors() const { return static_cast<int>(reactors_.size()); }
+
+  /// Open connections across all reactors (also published as the
+  /// server.connections_active gauge).
+  int64_t active_connections() const {
+    return active_connections_->load(std::memory_order_relaxed);
+  }
+
+  /// Closes the listener, drains buffered responses (bounded by
+  /// stop_flush_timeout_ms), closes every open connection, and joins the
+  /// acceptor and reactor threads. Idempotent.
   void Stop();
 
  private:
   TcpServer(XplaindService* service, int listen_fd, int port);
 
   void AcceptLoop();
-  void ServeConnection(int fd);
-  void RemoveConnection(int fd);
 
   XplaindService* service_;
   int listen_fd_;
   int port_;
 
+  std::shared_ptr<std::atomic<int64_t>> active_connections_;
+  std::vector<std::shared_ptr<Reactor>> reactors_;
+  size_t next_reactor_ = 0;  // acceptor thread only (round-robin shard)
+
   std::thread accept_thread_;
   std::mutex mu_;
-  bool stopping_ = false;               // guarded by mu_
-  std::vector<int> connection_fds_;     // guarded by mu_ (open connections)
-  std::vector<std::thread> connection_threads_;  // guarded by mu_
+  bool stopping_ = false;  // guarded by mu_
 };
 
 }  // namespace server

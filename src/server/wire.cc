@@ -1,0 +1,99 @@
+#include "server/wire.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace xplain {
+namespace server {
+
+std::vector<LineDecoder::Event> LineDecoder::Feed(const char* data, size_t n) {
+  std::vector<Event> events;
+  size_t i = 0;
+  while (i < n) {
+    const char* newline =
+        static_cast<const char*>(std::memchr(data + i, '\n', n - i));
+    if (discarding_) {
+      // Dropping the tail of an already-rejected oversized line.
+      if (newline == nullptr) return events;
+      i = static_cast<size_t>(newline - data) + 1;
+      discarding_ = false;
+      continue;
+    }
+    if (newline == nullptr) {
+      buffer_.append(data + i, n - i);
+      if (buffer_.size() > max_line_bytes_) {
+        Event event;
+        event.oversized = true;
+        event.line = buffer_.substr(0, kOversizePrefixBytes);
+        events.push_back(std::move(event));
+        buffer_.clear();
+        buffer_.shrink_to_fit();
+        discarding_ = true;
+      }
+      return events;
+    }
+    const size_t newline_pos = static_cast<size_t>(newline - data);
+    buffer_.append(data + i, newline_pos - i);
+    i = newline_pos + 1;
+    if (buffer_.size() > max_line_bytes_) {
+      // The terminator arrived, so framing is already intact: reject the
+      // line without entering discard mode.
+      Event event;
+      event.oversized = true;
+      event.line = buffer_.substr(0, kOversizePrefixBytes);
+      events.push_back(std::move(event));
+      buffer_.clear();
+      buffer_.shrink_to_fit();
+      continue;
+    }
+    if (!buffer_.empty() && buffer_.back() == '\r') buffer_.pop_back();
+    if (!buffer_.empty()) {
+      Event event;
+      event.line = std::move(buffer_);
+      events.push_back(std::move(event));
+    }
+    buffer_.clear();
+  }
+  return events;
+}
+
+void ResponseSequencer::Complete(uint64_t seq, std::string line,
+                                 std::vector<std::string>* ready) {
+  XPLAIN_DCHECK(seq < next_acquire_) << "Complete for unacquired seq " << seq;
+  XPLAIN_DCHECK(seq >= next_release_) << "Complete for released seq " << seq;
+  completed_.emplace(seq, std::move(line));
+  while (!completed_.empty() && completed_.begin()->first == next_release_) {
+    ready->push_back(std::move(completed_.begin()->second));
+    completed_.erase(completed_.begin());
+    ++next_release_;
+  }
+}
+
+uint64_t ScanRequestIdPrefix(const std::string& prefix) {
+  const size_t key = prefix.find("\"id\"");
+  if (key == std::string::npos) return 0;
+  size_t i = key + 4;
+  while (i < prefix.size() &&
+         (prefix[i] == ' ' || prefix[i] == '\t')) {
+    ++i;
+  }
+  if (i >= prefix.size() || prefix[i] != ':') return 0;
+  ++i;
+  while (i < prefix.size() &&
+         (prefix[i] == ' ' || prefix[i] == '\t')) {
+    ++i;
+  }
+  uint64_t id = 0;
+  bool any = false;
+  while (i < prefix.size() && prefix[i] >= '0' && prefix[i] <= '9') {
+    id = id * 10 + static_cast<uint64_t>(prefix[i] - '0');
+    any = true;
+    ++i;
+  }
+  return any ? id : 0;
+}
+
+}  // namespace server
+}  // namespace xplain

@@ -1,0 +1,103 @@
+#ifndef XPLAIN_SERVER_WIRE_H_
+#define XPLAIN_SERVER_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xplain {
+namespace server {
+
+/// The read half of a connection's wire state machine: splits an arbitrary
+/// byte stream into NDJSON request lines. Bytes may arrive in any
+/// fragmentation (down to one byte per Feed) and a single Feed may complete
+/// many pipelined lines. Framing rules match the pre-reactor transport
+/// byte for byte: '\n' terminates a line, a trailing '\r' is stripped, and
+/// empty lines are swallowed (no event, no response).
+///
+/// Budget enforcement: a line longer than `max_line_bytes` produces an
+/// `oversized` event carrying a prefix of the offending line (enough to
+/// recover the request id) instead of the line itself. When the newline has
+/// not been seen yet, the decoder drops input until the next '\n' and then
+/// resumes normal framing — the connection stays usable, only the one
+/// request is rejected.
+///
+/// Thread-safety: externally synchronized — owned and driven by a single
+/// reactor thread per connection.
+class LineDecoder {
+ public:
+  /// Bytes of an oversized line retained for request-id recovery.
+  static constexpr size_t kOversizePrefixBytes = 256;
+
+  explicit LineDecoder(size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// One decoded request: either a complete line, or an oversize rejection
+  /// carrying only the line's prefix.
+  /// Thread-safety: plain data, externally synchronized.
+  struct Event {
+    bool oversized = false;
+    std::string line;  // complete line; only a prefix when oversized
+  };
+
+  /// Appends `n` bytes and returns every event they complete, in arrival
+  /// order.
+  std::vector<Event> Feed(const char* data, size_t n);
+
+  /// Bytes buffered for a not-yet-terminated line.
+  size_t buffered_bytes() const { return buffer_.size(); }
+
+  /// True while dropping the tail of an oversized line (until '\n').
+  bool discarding() const { return discarding_; }
+
+ private:
+  size_t max_line_bytes_;
+  std::string buffer_;
+  bool discarding_ = false;
+};
+
+/// The write half of a connection's wire state machine: restores request
+/// order over responses that complete out of order on the worker pool.
+/// Each request line acquires the next sequence number at dispatch;
+/// Complete() releases responses strictly in acquisition order, holding
+/// any response whose predecessors are still in flight. This implements
+/// the protocol guarantee that responses come back in request order per
+/// connection even under deep pipelining.
+///
+/// Thread-safety: externally synchronized — owned and driven by a single
+/// reactor thread per connection.
+class ResponseSequencer {
+ public:
+  /// Allocates the sequence number for the next dispatched request.
+  uint64_t Acquire() { return next_acquire_++; }
+
+  /// Records the response line for `seq` and appends to `ready` every line
+  /// now releasable in order (possibly none, possibly several).
+  void Complete(uint64_t seq, std::string line,
+                std::vector<std::string>* ready);
+
+  /// Sequence numbers acquired but not yet released in order. Zero means
+  /// every dispatched request has had its response handed back in order —
+  /// the condition the drain flush waits on.
+  size_t in_flight() const {
+    return static_cast<size_t>(next_acquire_ - next_release_);
+  }
+
+ private:
+  uint64_t next_acquire_ = 0;
+  uint64_t next_release_ = 0;
+  std::map<uint64_t, std::string> completed_;  // out-of-order completions
+};
+
+/// Best-effort request-id recovery from the truncated prefix of an
+/// oversized line (protocol.h's ExtractRequestId needs complete JSON):
+/// scans for the first `"id"` key and parses its unsigned integer value.
+/// Returns 0 when the prefix holds no parseable id.
+uint64_t ScanRequestIdPrefix(const std::string& prefix);
+
+}  // namespace server
+}  // namespace xplain
+
+#endif  // XPLAIN_SERVER_WIRE_H_

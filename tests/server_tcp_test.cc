@@ -1,6 +1,15 @@
 // TCP transport tests: a real listener on an ephemeral 127.0.0.1 port,
-// exercised with the blocking TcpClient used by tools/xplain_client.
+// exercised with the blocking TcpClient used by tools/xplain_client and
+// with raw sockets for byte-level fragmentation of the wire protocol.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +40,34 @@ constexpr char kExplainLine[] =
     "{\"id\":3,\"op\":\"EXPLAIN\",\"question\":{\"subqueries\":["
     "{\"name\":\"q1\",\"agg\":\"count(*)\",\"where\":\"\"}],"
     "\"expr\":\"q1\",\"direction\":\"high\"},\"attrs\":[\"A.va\"]}";
+
+/// Raw loopback socket for byte-level control over wire fragmentation.
+int RawConnect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  return fd;
+}
+
+std::string ReadLineFrom(int fd) {
+  std::string line;
+  char c;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n <= 0) {
+      ADD_FAILURE() << "connection closed after " << line.size() << " bytes";
+      return line;
+    }
+    if (c == '\n') return line;
+    line.push_back(c);
+  }
+}
 
 class TcpServerTest : public ::testing::Test {
  protected:
@@ -87,6 +124,112 @@ TEST_F(TcpServerTest, ManyConcurrentConnections) {
   const XplaindService::Stats stats = service_->GetStats();
   EXPECT_GE(stats.received, kClients * kCallsPerClient);
   EXPECT_EQ(stats.errors, 0);
+}
+
+TEST_F(TcpServerTest, ReassemblesRequestFedOneByteAtATime) {
+  const std::string expected = service_->HandleLine(kExplainLine);
+  const int fd = RawConnect(server_->port());
+  const std::string wire = std::string(kExplainLine) + "\n";
+  // Worst-case fragmentation: every read the reactor sees is one byte.
+  for (char c : wire) {
+    ASSERT_EQ(::send(fd, &c, 1, 0), 1);
+  }
+  EXPECT_EQ(ReadLineFrom(fd), expected);
+  ::close(fd);
+}
+
+TEST_F(TcpServerTest, PipelinedRequestsAnswerInRequestOrder) {
+  const std::string expected_explain = service_->HandleLine(kExplainLine);
+  const int fd = RawConnect(server_->port());
+  // One write carrying two pipelined requests. The EXPLAIN runs on the
+  // worker pool while STATS completes synchronously on the reactor — the
+  // response order must still match the request order.
+  const std::string wire =
+      std::string(kExplainLine) + "\n{\"id\":9,\"op\":\"STATS\"}\n";
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+  const std::string first = ReadLineFrom(fd);
+  const std::string second = ReadLineFrom(fd);
+  EXPECT_EQ(first, expected_explain);
+  EXPECT_NE(second.find("\"id\":9"), std::string::npos) << second;
+  EXPECT_NE(second.find("\"op\":\"STATS\""), std::string::npos) << second;
+  ::close(fd);
+}
+
+TEST(TcpServerWireTest, OversizedLineIsRejectedWithoutKillingConnections) {
+  auto service = UnwrapOrDie(XplaindService::Create(MakeDb()));
+  TcpServerOptions options;
+  options.max_line_bytes = 1024;
+  auto server = UnwrapOrDie(TcpServer::Start(service.get(), options));
+
+  TcpClient bystander =
+      UnwrapOrDie(TcpClient::Connect("127.0.0.1", server->port()));
+  TcpClient offender =
+      UnwrapOrDie(TcpClient::Connect("127.0.0.1", server->port()));
+
+  // The request id sits inside the retained prefix, so the ok:false
+  // response still correlates with the request.
+  std::string huge = "{\"id\":42,\"op\":\"EXPLAIN\",\"pad\":\"";
+  huge.append(5000, 'x');
+  huge += "\"}";
+  const std::string rejected = UnwrapOrDie(offender.Call(huge));
+  EXPECT_NE(rejected.find("\"ok\":false"), std::string::npos) << rejected;
+  EXPECT_NE(rejected.find("\"id\":42"), std::string::npos) << rejected;
+  EXPECT_NE(rejected.find("exceeds"), std::string::npos) << rejected;
+
+  // The offending connection survives and frames the next request cleanly.
+  const std::string after =
+      UnwrapOrDie(offender.Call("{\"id\":43,\"op\":\"STATS\"}"));
+  EXPECT_NE(after.find("\"ok\":true"), std::string::npos) << after;
+  // Other connections never noticed.
+  const std::string other =
+      UnwrapOrDie(bystander.Call("{\"id\":44,\"op\":\"STATS\"}"));
+  EXPECT_NE(other.find("\"ok\":true"), std::string::npos) << other;
+}
+
+TEST(TcpServerWireTest, DrainFlushesBufferedResponsesInOrder) {
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool released = false;
+
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.execute_hook = [&] {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return released; });
+  };
+  auto service = UnwrapOrDie(XplaindService::Create(MakeDb(), options));
+  auto server =
+      UnwrapOrDie(TcpServer::Start(service.get(), TcpServerOptions{}));
+
+  TcpClient client =
+      UnwrapOrDie(TcpClient::Connect("127.0.0.1", server->port()));
+  // The EXPLAIN is admitted and its worker parks inside the execute hook.
+  ASSERT_TRUE(client.Send(kExplainLine).ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service->GetStats().in_flight != 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "EXPLAIN was never admitted";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Pipeline a DRAIN behind it: the reactor blocks in Drain() until the
+  // worker finishes, then must flush both buffered responses in request
+  // order before the drain response.
+  ASSERT_TRUE(client.Send("{\"id\":5,\"op\":\"DRAIN\"}").ok());
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    released = true;
+  }
+  gate_cv.notify_all();
+
+  const std::string explain = UnwrapOrDie(client.ReadResponse());
+  EXPECT_NE(explain.find("\"id\":3"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("\"ok\":true"), std::string::npos) << explain;
+  const std::string drained = UnwrapOrDie(client.ReadResponse());
+  EXPECT_NE(drained.find("\"id\":5"), std::string::npos) << drained;
+  EXPECT_NE(drained.find("\"draining\":true"), std::string::npos) << drained;
+  EXPECT_TRUE(service->draining());
 }
 
 TEST_F(TcpServerTest, StopUnblocksOpenConnections) {

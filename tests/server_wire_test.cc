@@ -1,0 +1,160 @@
+// Wire state-machine tests: NDJSON framing under arbitrary fragmentation
+// and in-order response release under out-of-order completion
+// (server/wire.h, driven by the epoll reactors).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/wire.h"
+
+namespace xplain {
+namespace server {
+namespace {
+
+std::vector<LineDecoder::Event> FeedString(LineDecoder* decoder,
+                                           const std::string& bytes) {
+  return decoder->Feed(bytes.data(), bytes.size());
+}
+
+TEST(LineDecoderTest, SplitsCompleteLines) {
+  LineDecoder decoder(1024);
+  const auto events = FeedString(&decoder, "alpha\nbeta\n");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_FALSE(events[0].oversized);
+  EXPECT_EQ(events[0].line, "alpha");
+  EXPECT_EQ(events[1].line, "beta");
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(LineDecoderTest, ReassemblesOneBytePerFeed) {
+  LineDecoder decoder(1024);
+  const std::string line = "{\"id\":7,\"op\":\"STATS\"}\n";
+  std::vector<LineDecoder::Event> events;
+  for (char c : line) {
+    auto batch = decoder.Feed(&c, 1);
+    events.insert(events.end(), batch.begin(), batch.end());
+  }
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].line, "{\"id\":7,\"op\":\"STATS\"}");
+}
+
+TEST(LineDecoderTest, StripsCarriageReturnAndSwallowsEmptyLines) {
+  LineDecoder decoder(1024);
+  const auto events = FeedString(&decoder, "one\r\n\n\r\ntwo\n");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].line, "one");
+  EXPECT_EQ(events[1].line, "two");
+}
+
+TEST(LineDecoderTest, BuffersPartialLineAcrossFeeds) {
+  LineDecoder decoder(1024);
+  EXPECT_TRUE(FeedString(&decoder, "par").empty());
+  EXPECT_EQ(decoder.buffered_bytes(), 3u);
+  const auto events = FeedString(&decoder, "tial\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].line, "partial");
+}
+
+TEST(LineDecoderTest, OversizedLineWithNewlineRejectsJustThatLine) {
+  LineDecoder decoder(8);
+  const auto events = FeedString(&decoder, "waytoolongline\nok\n");
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].oversized);
+  EXPECT_EQ(events[0].line.substr(0, 8), "waytoolo");
+  EXPECT_FALSE(events[1].oversized);
+  EXPECT_EQ(events[1].line, "ok");
+  EXPECT_FALSE(decoder.discarding());
+}
+
+TEST(LineDecoderTest, OversizedLineMidStreamDiscardsUntilNewline) {
+  LineDecoder decoder(8);
+  // The budget is blown before any newline arrives: one oversized event,
+  // then discard mode until the line terminator.
+  auto events = FeedString(&decoder, "0123456789abcdef");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].oversized);
+  EXPECT_TRUE(decoder.discarding());
+  // More tail bytes of the same line produce no further events.
+  EXPECT_TRUE(FeedString(&decoder, "more-of-the-same").empty());
+  // After the newline the decoder resumes normal framing.
+  events = FeedString(&decoder, "tail\nnext\n");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].oversized);
+  EXPECT_EQ(events[0].line, "next");
+  EXPECT_FALSE(decoder.discarding());
+}
+
+TEST(LineDecoderTest, OversizedEventKeepsBoundedPrefix) {
+  LineDecoder decoder(4);
+  const std::string huge(LineDecoder::kOversizePrefixBytes + 500, 'x');
+  const auto events = FeedString(&decoder, huge);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].oversized);
+  EXPECT_LE(events[0].line.size(), LineDecoder::kOversizePrefixBytes);
+}
+
+TEST(ResponseSequencerTest, ReleasesInOrderWhenCompletedInOrder) {
+  ResponseSequencer sequencer;
+  const uint64_t a = sequencer.Acquire();
+  const uint64_t b = sequencer.Acquire();
+  std::vector<std::string> ready;
+  sequencer.Complete(a, "ra", &ready);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], "ra");
+  sequencer.Complete(b, "rb", &ready);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(ready[1], "rb");
+  EXPECT_EQ(sequencer.in_flight(), 0u);
+}
+
+TEST(ResponseSequencerTest, HoldsOutOfOrderCompletionsUntilPredecessors) {
+  ResponseSequencer sequencer;
+  const uint64_t a = sequencer.Acquire();
+  const uint64_t b = sequencer.Acquire();
+  const uint64_t c = sequencer.Acquire();
+  std::vector<std::string> ready;
+  sequencer.Complete(c, "rc", &ready);
+  EXPECT_TRUE(ready.empty());
+  sequencer.Complete(b, "rb", &ready);
+  EXPECT_TRUE(ready.empty());
+  EXPECT_EQ(sequencer.in_flight(), 3u);
+  // Completing the head releases the whole run, in request order.
+  sequencer.Complete(a, "ra", &ready);
+  ASSERT_EQ(ready.size(), 3u);
+  EXPECT_EQ(ready[0], "ra");
+  EXPECT_EQ(ready[1], "rb");
+  EXPECT_EQ(ready[2], "rc");
+  EXPECT_EQ(sequencer.in_flight(), 0u);
+}
+
+TEST(ResponseSequencerTest, TracksInFlightAcrossInterleavedAcquires) {
+  ResponseSequencer sequencer;
+  std::vector<std::string> ready;
+  const uint64_t a = sequencer.Acquire();
+  EXPECT_EQ(sequencer.in_flight(), 1u);
+  sequencer.Complete(a, "ra", &ready);
+  EXPECT_EQ(sequencer.in_flight(), 0u);
+  const uint64_t b = sequencer.Acquire();
+  const uint64_t c = sequencer.Acquire();
+  EXPECT_EQ(sequencer.in_flight(), 2u);
+  sequencer.Complete(c, "rc", &ready);
+  EXPECT_EQ(sequencer.in_flight(), 2u);  // head still outstanding
+  sequencer.Complete(b, "rb", &ready);
+  EXPECT_EQ(sequencer.in_flight(), 0u);
+  ASSERT_EQ(ready.size(), 3u);
+  EXPECT_EQ(ready[2], "rc");
+}
+
+TEST(ScanRequestIdPrefixTest, RecoversIdFromTruncatedJson) {
+  EXPECT_EQ(ScanRequestIdPrefix("{\"id\":42,\"op\":\"EXPL"), 42u);
+  EXPECT_EQ(ScanRequestIdPrefix("{ \"id\" : 7 , \"op"), 7u);
+  EXPECT_EQ(ScanRequestIdPrefix("{\"op\":\"EXPLAIN\""), 0u);
+  EXPECT_EQ(ScanRequestIdPrefix("{\"id\":\"not-a-number\""), 0u);
+  EXPECT_EQ(ScanRequestIdPrefix(""), 0u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xplain

@@ -3,10 +3,13 @@
 //
 //   echo '{"id":1,"op":"STATS"}' | xplain_client --port 7411
 //   xplain_client --port 7411 --file requests.ndjson --fail-on-error
+//   xplain_client --port 7411 --file requests.ndjson --pipeline 4
 //
 // Reads requests from --file (or stdin), writes each response to stdout.
-// With --fail-on-error, exits 1 if any response carries "ok":false — CI
-// smoke tests use this to assert a zero-error run.
+// With --pipeline D, up to D requests are in flight on the connection at
+// once; responses still print in request order (the server's per-connection
+// ordering guarantee). With --fail-on-error, exits 1 if any response
+// carries "ok":false — CI smoke tests use this to assert a zero-error run.
 
 #include <fstream>
 #include <iostream>
@@ -18,7 +21,7 @@ namespace {
 
 int Usage(std::ostream& os) {
   os << "usage: xplain_client --port P [--host H] [--file FILE]\n"
-     << "                     [--fail-on-error]\n";
+     << "                     [--pipeline D] [--fail-on-error]\n";
   return 2;
 }
 
@@ -28,6 +31,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
   std::string file;
+  int pipeline = 1;
   bool fail_on_error = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -37,6 +41,8 @@ int main(int argc, char** argv) {
       port = std::stoi(argv[++i]);
     } else if (arg == "--file" && i + 1 < argc) {
       file = argv[++i];
+    } else if (arg == "--pipeline" && i + 1 < argc) {
+      pipeline = std::stoi(argv[++i]);
     } else if (arg == "--fail-on-error") {
       fail_on_error = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -51,6 +57,7 @@ int main(int argc, char** argv) {
     std::cerr << "xplain_client: --port is required\n";
     return Usage(std::cerr);
   }
+  if (pipeline < 1) pipeline = 1;
 
   std::ifstream file_stream;
   if (!file.empty()) {
@@ -69,16 +76,38 @@ int main(int argc, char** argv) {
   }
 
   int errors = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    auto response = client->Call(line);
+  int outstanding = 0;
+  bool input_done = false;
+  // Windowed pipelined loop: keep up to `pipeline` requests in flight,
+  // then drain the remaining responses once input runs out.
+  auto read_one = [&]() -> bool {
+    auto response = client->ReadResponse();
     if (!response.ok()) {
       std::cerr << "xplain_client: " << response.status().ToString() << "\n";
-      return 1;
+      return false;
     }
     std::cout << *response << "\n";
     if (response->find("\"ok\":false") != std::string::npos) ++errors;
+    --outstanding;
+    return true;
+  };
+  while (!input_done) {
+    std::string line;
+    if (!std::getline(in, line)) {
+      input_done = true;
+      break;
+    }
+    if (line.empty()) continue;
+    const xplain::Status sent = client->Send(line);
+    if (!sent.ok()) {
+      std::cerr << "xplain_client: " << sent.ToString() << "\n";
+      return 1;
+    }
+    ++outstanding;
+    if (outstanding >= pipeline && !read_one()) return 1;
+  }
+  while (outstanding > 0) {
+    if (!read_one()) return 1;
   }
   if (fail_on_error && errors > 0) {
     std::cerr << "xplain_client: " << errors << " error response(s)\n";

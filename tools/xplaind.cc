@@ -31,13 +31,14 @@ void HandleSignal(int) { g_interrupted.store(true); }
 
 int Usage(std::ostream& os) {
   os << "usage: xplaind (--db DIR | --gen dblp) [--scale S] [--port P]\n"
-     << "               [--workers N] [--queue N] [--no-cache]\n"
+     << "               [--workers N] [--queue N] [--reactors N] [--no-cache]\n"
      << "  --db DIR      serve a directory-stored database (schema.ddl+CSV)\n"
      << "  --gen dblp    serve the synthetic DBLP instance instead\n"
      << "  --scale S     generator scale factor (default 1.0)\n"
      << "  --port P      TCP port on 127.0.0.1; 0 = ephemeral (default)\n"
      << "  --workers N   engine worker threads (default: hardware)\n"
      << "  --queue N     admission queue depth beyond workers (default 64)\n"
+     << "  --reactors N  epoll event-loop threads (default: hardware)\n"
      << "  --no-cache    disable the explanation cache\n";
   return 2;
 }
@@ -65,6 +66,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--queue" && i + 1 < argc) {
       service_options.max_queue_depth =
           static_cast<size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--reactors" && i + 1 < argc) {
+      tcp.num_reactors = std::stoi(argv[++i]);
     } else if (arg == "--no-cache") {
       service_options.enable_cache = false;
     } else if (arg == "--help" || arg == "-h") {
