@@ -1,9 +1,9 @@
 #include "core/topk.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/trace.h"
 
 namespace xplain {
@@ -134,7 +134,7 @@ std::vector<RankedExplanation> TopKExplanations(const TableM& table,
       // Sharded scan (domination tests included), merging each shard's
       // local top-k into the shared heap behind `mu`.
       std::vector<size_t> best;
-      std::mutex mu;
+      Mutex mu;  // function-local leaf lock: unranked by design
       // The shard body is infallible; a non-OK status could only come from
       // a translated exception (e.g. bad_alloc), which is a CHECK-level
       // failure here since this API has no error channel.
@@ -150,7 +150,7 @@ std::vector<RankedExplanation> TopKExplanations(const TableM& table,
               }
               heap_offer(local, row);
             }
-            std::lock_guard<std::mutex> lock(mu);
+            MutexLock lock(&mu);
             for (size_t row : local) heap_offer(best, row);
             return Status::OK();
           });
@@ -169,7 +169,7 @@ std::vector<RankedExplanation> TopKExplanations(const TableM& table,
         // which the total order makes unique.
         bool found = false;
         size_t best = 0;
-        std::mutex mu;
+        Mutex mu;  // function-local leaf lock: unranked by design
         Status scan_status = ParallelShards(
             pool, n, [&](int, size_t begin, size_t end) {
               XPLAIN_TRACE_SPAN("topk.append_round_shard");
@@ -195,7 +195,7 @@ std::vector<RankedExplanation> TopKExplanations(const TableM& table,
                 }
               }
               if (!local_found) return Status::OK();
-              std::lock_guard<std::mutex> lock(mu);
+              MutexLock lock(&mu);
               if (!found || RankBefore(table, kind, local_best, best)) {
                 best = local_best;
                 found = true;

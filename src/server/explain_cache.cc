@@ -36,7 +36,7 @@ ExplainCache::Shard* ExplainCache::ShardFor(const std::string& key) {
 
 std::optional<std::string> ExplainCache::Lookup(const std::string& key) {
   Shard* shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(&shard->mu);
   auto it = shard->index.find(key);
   if (it == shard->index.end()) {
     ++shard->misses;
@@ -53,7 +53,7 @@ std::optional<std::string> ExplainCache::Lookup(const std::string& key) {
 void ExplainCache::Insert(const std::string& key, std::string payload) {
   const size_t entry_bytes = key.size() + payload.size();
   Shard* shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard->mu);
+  MutexLock lock(&shard->mu);
   auto it = shard->index.find(key);
   if (it != shard->index.end()) {
     shard->bytes -= it->first.size() + it->second->payload.size();
@@ -68,6 +68,10 @@ void ExplainCache::Insert(const std::string& key, std::string payload) {
   shard->lru.push_front(Entry{key, std::move(payload)});
   shard->index[key] = shard->lru.begin();
   shard->bytes += entry_bytes;
+  EvictToBudget(shard);
+}
+
+void ExplainCache::EvictToBudget(Shard* shard) {
   while (shard->bytes > per_shard_budget_ && !shard->lru.empty()) {
     const Entry& victim = shard->lru.back();
     shard->bytes -= victim.key.size() + victim.payload.size();
@@ -81,7 +85,7 @@ void ExplainCache::Insert(const std::string& key, std::string payload) {
 void ExplainCache::InvalidateAll() {
   int64_t dropped = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     dropped += static_cast<int64_t>(shard->lru.size());
     shard->invalidations += static_cast<int64_t>(shard->lru.size());
     shard->lru.clear();
@@ -94,7 +98,7 @@ void ExplainCache::InvalidateAll() {
 ExplainCache::Stats ExplainCache::GetStats() const {
   Stats stats;
   for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.evictions += shard->evictions;

@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace xplain {
 namespace server {
@@ -72,19 +74,23 @@ class ExplainCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu{kMutexRankCacheShard};
     /// Front = most recently used; evictions pop from the back.
-    std::list<Entry> lru;                                        // guarded by mu
-    std::unordered_map<std::string, std::list<Entry>::iterator>
-        index;                                                   // guarded by mu
-    size_t bytes = 0;                                            // guarded by mu
-    int64_t hits = 0;                                            // guarded by mu
-    int64_t misses = 0;                                          // guarded by mu
-    int64_t evictions = 0;                                       // guarded by mu
-    int64_t invalidations = 0;                                   // guarded by mu
+    std::list<Entry> lru XPLAIN_GUARDED_BY(mu);
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        XPLAIN_GUARDED_BY(mu);
+    size_t bytes XPLAIN_GUARDED_BY(mu) = 0;
+    int64_t hits XPLAIN_GUARDED_BY(mu) = 0;
+    int64_t misses XPLAIN_GUARDED_BY(mu) = 0;
+    int64_t evictions XPLAIN_GUARDED_BY(mu) = 0;
+    int64_t invalidations XPLAIN_GUARDED_BY(mu) = 0;
   };
 
   Shard* ShardFor(const std::string& key);
+
+  /// Evicts least-recently-used entries until `shard` is back under its
+  /// byte budget.
+  void EvictToBudget(Shard* shard) XPLAIN_REQUIRES(shard->mu);
 
   size_t shard_mask_ = 0;
   size_t per_shard_budget_ = 0;

@@ -110,7 +110,7 @@ Reactor::~Reactor() {
 
 void Reactor::AddConnection(int fd) {
   {
-    std::lock_guard<std::mutex> lock(tasks_mu_);
+    MutexLock lock(&tasks_mu_);
     Task task;
     task.kind = Task::Kind::kNewConnection;
     task.fd = fd;
@@ -120,6 +120,8 @@ void Reactor::AddConnection(int fd) {
 }
 
 void Reactor::PostResponse(uint64_t conn_id, uint64_t seq, std::string line) {
+  // ordering: acquire — pairs with the release store in Loop(), so a match
+  // proves the caller IS the loop thread and may touch conns_ directly.
   if (loop_thread_id_.load(std::memory_order_acquire) ==
       std::this_thread::get_id()) {
     // Synchronous completion (cache hit, protocol error, STATS, DRAIN):
@@ -130,7 +132,7 @@ void Reactor::PostResponse(uint64_t conn_id, uint64_t seq, std::string line) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(tasks_mu_);
+    MutexLock lock(&tasks_mu_);
     Task task;
     task.kind = Task::Kind::kResponse;
     task.conn_id = conn_id;
@@ -143,7 +145,7 @@ void Reactor::PostResponse(uint64_t conn_id, uint64_t seq, std::string line) {
 
 void Reactor::RequestStop() {
   {
-    std::lock_guard<std::mutex> lock(tasks_mu_);
+    MutexLock lock(&tasks_mu_);
     if (stop_enqueued_) return;
     stop_enqueued_ = true;
     Task task;
@@ -167,6 +169,8 @@ void Reactor::Wake() {
 }
 
 void Reactor::Loop() {
+  // ordering: release — publishes the loop thread's identity (and every
+  // prior initialization) to PostResponse's acquire load.
   loop_thread_id_.store(std::this_thread::get_id(),
                         std::memory_order_release);
   std::array<epoll_event, 64> events;
@@ -214,13 +218,15 @@ void Reactor::Loop() {
     }
   }
   CloseAll();
+  // ordering: release — un-publishes the id so a recycled OS thread id can
+  // never make a worker believe it runs on a live loop thread.
   loop_thread_id_.store(std::thread::id(), std::memory_order_release);
 }
 
 void Reactor::ProcessTasks() {
   std::vector<Task> batch;
   {
-    std::lock_guard<std::mutex> lock(tasks_mu_);
+    MutexLock lock(&tasks_mu_);
     batch.swap(tasks_);
   }
   for (Task& task : batch) {

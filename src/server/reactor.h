@@ -5,14 +5,15 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "server/service.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace xplain {
 namespace server {
@@ -75,18 +76,19 @@ class Reactor {
 
   /// Transfers ownership of a connected, not-yet-registered socket to this
   /// reactor. The fd is made non-blocking by the loop thread.
-  void AddConnection(int fd);
+  void AddConnection(int fd) XPLAIN_EXCLUDES(tasks_mu_);
 
   /// Delivers the response line for request `seq` on connection `conn_id`.
   /// Called by service workers (queued + wakeup) or inline on the loop
   /// thread (direct delivery). Responses for closed connections are
   /// dropped.
-  void PostResponse(uint64_t conn_id, uint64_t seq, std::string line);
+  void PostResponse(uint64_t conn_id, uint64_t seq, std::string line)
+      XPLAIN_EXCLUDES(tasks_mu_);
 
   /// Begins shutdown: the loop stops reading, flushes buffered responses
   /// (bounded by stop_flush_timeout_ms), closes every connection, and
   /// exits. Idempotent; returns without waiting — use Join().
-  void RequestStop();
+  void RequestStop() XPLAIN_EXCLUDES(tasks_mu_);
 
   /// Joins the loop thread (idempotent).
   void Join();
@@ -131,11 +133,11 @@ class Reactor {
   /// Self reference handed to worker callbacks (set by Start).
   std::weak_ptr<Reactor> self_;
 
-  std::mutex tasks_mu_;
-  std::vector<Task> tasks_;     // guarded by tasks_mu_
-  bool stop_enqueued_ = false;  // guarded by tasks_mu_
+  Mutex tasks_mu_{kMutexRankReactor};
+  std::vector<Task> tasks_ XPLAIN_GUARDED_BY(tasks_mu_);
+  bool stop_enqueued_ XPLAIN_GUARDED_BY(tasks_mu_) = false;
 
-  // --- loop-thread state (no locking) ---------------------------------
+  // --- loop-thread state (touched only by the loop thread; no lock) ---
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
   uint64_t next_conn_id_ = 1;  // 0 is the wakeup fd's epoll tag
   bool stopping_ = false;

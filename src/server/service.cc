@@ -13,7 +13,10 @@ Result<std::unique_ptr<XplaindService>> XplaindService::Create(
     Database db, const ServiceOptions& options) {
   std::unique_ptr<XplaindService> service(
       new XplaindService(std::move(db), options));
-  XPLAIN_RETURN_IF_ERROR(service->RebuildEngineLocked());
+  {
+    WriterMutexLock lock(&service->db_mu_);
+    XPLAIN_RETURN_IF_ERROR(service->RebuildEngineLocked());
+  }
   return service;
 }
 
@@ -61,7 +64,7 @@ void XplaindService::SubmitLineWith(const std::string& line,
   XPLAIN_TRACE_SPAN("rpc.submit");
   XPLAIN_COUNTER_ADD("server.requests", 1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++received_;
   }
 
@@ -69,7 +72,7 @@ void XplaindService::SubmitLineWith(const std::string& line,
   if (!parsed.ok()) {
     XPLAIN_COUNTER_ADD("server.parse_errors", 1);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++errors_;
     }
     done(
@@ -92,7 +95,7 @@ void XplaindService::SubmitLineWith(const std::string& line,
 
   if (draining()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       ++errors_;
     }
     done(MakeResponse(
@@ -110,7 +113,7 @@ void XplaindService::SubmitLineWith(const std::string& line,
     std::optional<std::string> hit = cache_->Lookup(cache_key);
     if (hit.has_value()) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(&mu_);
         ++served_;
         ++cache_hits_;
       }
@@ -134,7 +137,7 @@ void XplaindService::SubmitLineWith(const std::string& line,
           cache_->Insert(cache_key, payload);
         }
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(&mu_);
           if (ok) {
             ++served_;
           } else {
@@ -157,7 +160,7 @@ std::string XplaindService::ExecutePayload(const Request& request, bool* ok) {
   XPLAIN_TRACE_SPAN("rpc.execute");
   const int64_t start_us = Trace::NowMicros();
   *ok = false;
-  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  ReaderMutexLock lock(&db_mu_);
   std::string payload;
   Result<UserQuestion> question = BuildQuestion(db_, request);
   if (!question.ok()) {
@@ -180,7 +183,7 @@ std::string XplaindService::ExecutePayload(const Request& request, bool* ok) {
 }
 
 bool XplaindService::Admit(std::string* reject_payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (pending_ >= admission_capacity_) {
     ++rejected_;
     XPLAIN_COUNTER_ADD("server.rejected", 1);
@@ -195,10 +198,10 @@ bool XplaindService::Admit(std::string* reject_payload) {
 }
 
 void XplaindService::FinishOne() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   --pending_;
   PublishInFlight(pending_);
-  if (pending_ == 0) idle_cv_.notify_all();
+  if (pending_ == 0) idle_cv_.SignalAll();
 }
 
 void XplaindService::PublishInFlight(size_t pending) {
@@ -207,9 +210,11 @@ void XplaindService::PublishInFlight(size_t pending) {
 
 void XplaindService::Drain() {
   XPLAIN_TRACE_SPAN("rpc.drain_wait");
+  // ordering: release — publishes every pre-drain write to transports that
+  // acquire-load draining() and observe true.
   draining_.store(true, std::memory_order_release);
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(&mu_);
+  while (pending_ != 0) idle_cv_.Wait(&mu_);
   // Flush the load gauge now that the service is quiescent.
   PublishInFlight(pending_);
   XPLAIN_LOG(kInfo) << "xplaind drained: served=" << served_
@@ -220,7 +225,7 @@ void XplaindService::Drain() {
 XplaindService::Stats XplaindService::GetStats() const {
   Stats stats;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats.received = received_;
     stats.served = served_;
     stats.cache_hits = cache_hits_;
@@ -258,7 +263,7 @@ std::string XplaindService::StatsPayload() const {
 
 Status XplaindService::ApplyDelta(const DeltaSet& delta) {
   XPLAIN_TRACE_SPAN("rpc.apply_delta");
-  std::unique_lock<std::shared_mutex> lock(db_mu_);
+  WriterMutexLock lock(&db_mu_);
   Database next = db_.ApplyDelta(delta);
   // Restore referential integrity: deleting tuples can leave dangling
   // foreign keys, which the engine refuses to index.
@@ -271,7 +276,7 @@ Status XplaindService::ApplyDelta(const DeltaSet& delta) {
 }
 
 uint64_t XplaindService::db_version() const {
-  std::shared_lock<std::shared_mutex> lock(db_mu_);
+  ReaderMutexLock lock(&db_mu_);
   return db_.version();
 }
 

@@ -2,20 +2,19 @@
 #define XPLAIN_SERVER_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 
 #include "core/engine.h"
 #include "relational/database.h"
 #include "server/explain_cache.h"
 #include "server/protocol.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace xplain {
@@ -97,6 +96,9 @@ class XplaindService {
   void Drain();
 
   /// True once Drain() started; transports use it to stop accepting.
+  /// ordering: acquire — pairs with the release store in Drain() so a
+  /// transport that observes true also observes every write Drain() made
+  /// before flipping the flag.
   bool draining() const { return draining_.load(std::memory_order_acquire); }
 
   /// Live counters for STATS payloads and tests.
@@ -114,14 +116,17 @@ class XplaindService {
   Stats GetStats() const;
 
   /// The serving database (stable address; mutated only by ApplyDelta).
-  const Database& db() const { return db_; }
+  const Database& db() const {
+    ReaderMutexLock lock(&db_mu_);
+    return db_;
+  }
   uint64_t db_version() const;
 
  private:
   explicit XplaindService(Database db, const ServiceOptions& options);
 
   /// Builds the engine for the current db_. Requires exclusive db access.
-  Status RebuildEngineLocked();
+  Status RebuildEngineLocked() XPLAIN_REQUIRES(db_mu_);
 
   /// Executes an admitted EXPLAIN/TOPK on the current engine and returns
   /// the response payload (or an error payload). Runs on a pool worker.
@@ -139,24 +144,26 @@ class XplaindService {
   ServiceOptions options_;
   size_t admission_capacity_ = 0;
 
-  Database db_;
-  std::unique_ptr<ExplainEngine> engine_;
   /// Guards db_/engine_ swaps (ApplyDelta) against in-flight reads.
-  mutable std::shared_mutex db_mu_;
+  mutable SharedMutex db_mu_;
+  Database db_ XPLAIN_GUARDED_BY(db_mu_);
+  std::unique_ptr<ExplainEngine> engine_ XPLAIN_GUARDED_BY(db_mu_)
+      XPLAIN_PT_GUARDED_BY(db_mu_);
 
   std::unique_ptr<ExplainCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
 
   std::atomic<bool> draining_{false};
 
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;    // signaled when pending_ hits 0
-  size_t pending_ = 0;                 // guarded by mu_ (admitted, unfinished)
-  int64_t received_ = 0;               // guarded by mu_
-  int64_t served_ = 0;                 // guarded by mu_
-  int64_t cache_hits_ = 0;             // guarded by mu_
-  int64_t rejected_ = 0;               // guarded by mu_
-  int64_t errors_ = 0;                 // guarded by mu_
+  mutable Mutex mu_{kMutexRankService};
+  CondVar idle_cv_;  // signaled when pending_ hits 0
+  /// Admitted, unfinished requests.
+  size_t pending_ XPLAIN_GUARDED_BY(mu_) = 0;
+  int64_t received_ XPLAIN_GUARDED_BY(mu_) = 0;
+  int64_t served_ XPLAIN_GUARDED_BY(mu_) = 0;
+  int64_t cache_hits_ XPLAIN_GUARDED_BY(mu_) = 0;
+  int64_t rejected_ XPLAIN_GUARDED_BY(mu_) = 0;
+  int64_t errors_ XPLAIN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace server

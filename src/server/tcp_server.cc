@@ -92,7 +92,7 @@ TcpServer::~TcpServer() { Stop(); }
 
 void TcpServer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stopping_) return;
     stopping_ = true;
     // Unblock accept(2); no new connections reach the reactors after the
@@ -119,7 +119,7 @@ void TcpServer::AcceptLoop() {
       return;  // listener shut down
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (stopping_) {
         ::close(fd);
         return;

@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "server/service.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace xplain {
 namespace server {
@@ -94,8 +95,8 @@ class TcpServer {
   size_t next_reactor_ = 0;  // acceptor thread only (round-robin shard)
 
   std::thread accept_thread_;
-  std::mutex mu_;
-  bool stopping_ = false;  // guarded by mu_
+  Mutex mu_;
+  bool stopping_ XPLAIN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace server

@@ -1,5 +1,6 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
@@ -10,7 +11,9 @@ namespace internal {
 
 namespace {
 
-LogLevel g_threshold = LogLevel::kInfo;
+// Relaxed: the threshold is an independent filter knob — no other data is
+// published through it, so no ordering is needed.
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -30,8 +33,12 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel GetLogThreshold() { return g_threshold; }
-void SetLogThreshold(LogLevel level) { g_threshold = level; }
+LogLevel GetLogThreshold() {
+  return g_threshold.load(std::memory_order_relaxed);
+}
+void SetLogThreshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
@@ -46,7 +53,8 @@ LogMessage::~LogMessage() {
   } else if (level_ == LogLevel::kError || level_ == LogLevel::kFatal) {
     XPLAIN_COUNTER_ADD("log.errors", 1);
   }
-  if (level_ >= g_threshold || level_ == LogLevel::kFatal) {
+  if (level_ >= g_threshold.load(std::memory_order_relaxed) ||
+      level_ == LogLevel::kFatal) {
     std::cerr << stream_.str() << std::endl;
   }
   if (level_ == LogLevel::kFatal) {

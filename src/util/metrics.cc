@@ -60,7 +60,7 @@ bool MetricsRegistry::IsValidName(const std::string& name) {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   XPLAIN_DCHECK(IsValidName(name)) << "bad metric name: " << name;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
@@ -68,7 +68,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   XPLAIN_DCHECK(IsValidName(name)) << "bad metric name: " << name;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -76,7 +76,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   XPLAIN_DCHECK(IsValidName(name)) << "bad metric name: " << name;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -84,7 +84,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot() const {
   std::vector<std::pair<std::string, double>> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   out.reserve(counters_.size() + gauges_.size() + 4 * histograms_.size());
   for (const auto& [name, counter] : counters_) {
     out.emplace_back(name, static_cast<double>(counter->value()));
@@ -106,7 +106,7 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::Snapshot() const {
 std::vector<std::pair<std::string, double>> MetricsRegistry::CounterSnapshot()
     const {
   std::vector<std::pair<std::string, double>> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   out.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     out.emplace_back(name, static_cast<double>(counter->value()));
@@ -115,7 +115,7 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::CounterSnapshot()
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [name, counter] : counters_) counter->Reset();
   for (const auto& [name, gauge] : gauges_) gauge->Reset();
   for (const auto& [name, histogram] : histograms_) histogram->Reset();

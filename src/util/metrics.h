@@ -6,10 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace xplain {
 
@@ -119,10 +121,13 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;      // guarded by mu_
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;          // guarded by mu_
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;  // guarded by mu_
+  mutable Mutex mu_{kMutexRankMetrics};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      XPLAIN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      XPLAIN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      XPLAIN_GUARDED_BY(mu_);
 };
 
 }  // namespace xplain

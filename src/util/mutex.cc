@@ -1,0 +1,53 @@
+#include "util/mutex.h"
+
+#ifndef NDEBUG
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+#endif
+
+namespace xplain {
+namespace internal {
+
+#ifndef NDEBUG
+
+namespace {
+
+// Ranks of every ranked mutex the calling thread currently holds, in
+// acquisition order. Unranked mutexes are never recorded, so they neither
+// constrain nor are constrained by the documented lock order.
+thread_local std::vector<int> t_held_ranks;
+
+}  // namespace
+
+void CheckAndPushMutexRank(int rank) {
+  if (rank == kMutexRankUnranked) return;
+  for (int held : t_held_ranks) {
+    XPLAIN_CHECK(rank > held)
+        << "lock rank inversion: acquiring mutex of rank " << rank
+        << " while holding mutex of rank " << held
+        << " (locks must be taken in strictly increasing rank order; see "
+           "DESIGN.md \"Lock discipline\")";
+  }
+  t_held_ranks.push_back(rank);
+}
+
+void PopMutexRank(int rank) {
+  if (rank == kMutexRankUnranked) return;
+  auto it = std::find(t_held_ranks.rbegin(), t_held_ranks.rend(), rank);
+  XPLAIN_CHECK(it != t_held_ranks.rend())
+      << "releasing mutex of rank " << rank
+      << " that this thread does not hold";
+  t_held_ranks.erase(std::next(it).base());
+}
+
+#else  // NDEBUG: rank checking compiles away entirely.
+
+void CheckAndPushMutexRank(int) {}
+void PopMutexRank(int) {}
+
+#endif
+
+}  // namespace internal
+}  // namespace xplain

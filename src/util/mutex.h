@@ -1,0 +1,226 @@
+#ifndef XPLAIN_UTIL_MUTEX_H_
+#define XPLAIN_UTIL_MUTEX_H_
+
+#include <condition_variable>  // xplain-lint: allow
+#include <mutex>               // xplain-lint: allow
+#include <shared_mutex>        // xplain-lint: allow
+
+#include "util/thread_annotations.h"
+
+namespace xplain {
+
+/// Sentinel rank for mutexes that opt out of lock-order checking.
+inline constexpr int kMutexRankUnranked = -1;
+/// Documented lock-acquisition order (DESIGN.md §6, "Lock discipline"):
+/// service admission state is taken first, then a cache shard, then a
+/// reactor task queue, then the metrics registry; trace state/buffers sit
+/// past metrics and nest state-before-buffer. A thread may only acquire a
+/// ranked mutex whose rank is strictly greater than every ranked mutex it
+/// already holds — debug builds abort on violation.
+inline constexpr int kMutexRankService = 10;
+inline constexpr int kMutexRankThreadPool = 15;
+inline constexpr int kMutexRankCacheShard = 20;
+inline constexpr int kMutexRankReactor = 30;
+inline constexpr int kMutexRankMetrics = 40;
+inline constexpr int kMutexRankTraceState = 50;
+inline constexpr int kMutexRankTraceBuffer = 60;
+
+namespace internal {
+
+/// Debug-only per-thread lock-rank bookkeeping (no-ops under NDEBUG).
+/// `CheckAndPushMutexRank` aborts via XPLAIN_CHECK when `rank` is
+/// lower-or-equal to any rank the calling thread already holds.
+/// Thread-safety: safe — state is thread_local.
+void CheckAndPushMutexRank(int rank);
+/// Removes the most recent occurrence of `rank` from the calling thread's
+/// held-rank stack.
+void PopMutexRank(int rank);
+
+}  // namespace internal
+
+/// A mutex capability: the annotated replacement for `std::mutex` (which
+/// the xplain_lint rule `raw-mutex` bans in src/). Members protected by a
+/// Mutex declare it with XPLAIN_GUARDED_BY; methods that must be called
+/// with it held declare XPLAIN_REQUIRES. The optional construction-time
+/// rank enforces the documented lock order at runtime in debug builds
+/// (see kMutexRankService above); clang's -Wthread-safety enforces the
+/// guarded-by/requires contracts at compile time.
+///
+/// Thread-safety: safe — this class IS the synchronization primitive.
+class XPLAIN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  /// A ranked mutex: debug builds abort when it is acquired while the
+  /// calling thread holds any ranked mutex of greater-or-equal rank.
+  explicit Mutex(int rank) : rank_(rank) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Blocks until the mutex is held by the calling thread.
+  void Lock() XPLAIN_ACQUIRE() {
+    internal::CheckAndPushMutexRank(rank_);
+    mu_.lock();
+  }
+
+  /// Releases the mutex (which the calling thread must hold).
+  void Unlock() XPLAIN_RELEASE() {
+    mu_.unlock();
+    internal::PopMutexRank(rank_);
+  }
+
+  /// Acquires the mutex iff it returns true; never blocks.
+  bool TryLock() XPLAIN_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    internal::CheckAndPushMutexRank(rank_);
+    return true;
+  }
+
+  int rank() const { return rank_; }
+
+ private:
+  friend class CondVar;
+
+  std::mutex mu_;  // xplain-lint: allow
+  const int rank_ = kMutexRankUnranked;
+};
+
+/// Tag selecting MutexLock's adopting constructor.
+/// Thread-safety: stateless; safe.
+struct AdoptLockTag {};
+/// Pass as MutexLock's second argument to adopt an already-held Mutex.
+inline constexpr AdoptLockTag kAdoptLock{};
+
+/// Scoped holder of a Mutex: acquires at construction (or adopts a lock
+/// the caller already took with Mutex::Lock) and releases at destruction;
+/// `Unlock()` releases early, e.g. before a blocking call. The annotated
+/// replacement for `std::lock_guard` / `std::unique_lock` (banned by the
+/// `raw-mutex` lint rule).
+///
+/// Thread-safety: each MutexLock is used by one thread (it is the proof
+/// that this thread holds the mutex).
+class XPLAIN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) XPLAIN_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+
+  /// Adopts `mu`, which the calling thread must already hold; the lock is
+  /// released at scope exit exactly as if this MutexLock had taken it.
+  MutexLock(Mutex* mu, AdoptLockTag) XPLAIN_REQUIRES(mu) : mu_(mu) {}
+
+  ~MutexLock() XPLAIN_RELEASE() {
+    if (owned_) mu_->Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases the mutex before scope exit (at most once).
+  void Unlock() XPLAIN_RELEASE() {
+    owned_ = false;
+    mu_->Unlock();
+  }
+
+ private:
+  Mutex* const mu_;
+  bool owned_ = true;
+};
+
+/// A condition variable paired with xplain::Mutex. Wait requires the
+/// mutex held (enforced by clang's analysis) and atomically releases it
+/// while blocked — including the debug lock-rank bookkeeping, so a rank
+/// inversion introduced by re-acquiring after a wait is still caught.
+///
+/// Thread-safety: safe — Wait/Signal/SignalAll may be called from any
+/// thread (Wait with the paired mutex held).
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu` and blocks until notified (spurious wakeups
+  /// possible — always wait in a predicate loop); re-acquires `*mu` before
+  /// returning.
+  void Wait(Mutex* mu) XPLAIN_REQUIRES(mu) {
+    internal::PopMutexRank(mu->rank_);
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);  // xplain-lint: allow
+    cv_.wait(lock);
+    lock.release();
+    internal::CheckAndPushMutexRank(mu->rank_);
+  }
+
+  /// Wakes one waiter.
+  void Signal() { cv_.notify_one(); }
+
+  /// Wakes every waiter.
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // xplain-lint: allow
+};
+
+/// A reader/writer capability: the annotated replacement for
+/// `std::shared_mutex`. Writers use Lock/Unlock (or WriterMutexLock),
+/// readers use ReaderLock/ReaderUnlock (or ReaderMutexLock); guarded
+/// members may be read under either mode and written only under the
+/// exclusive one. Not rank-checked (the repo's only SharedMutex is a leaf
+/// lock).
+///
+/// Thread-safety: safe — this class IS the synchronization primitive.
+class XPLAIN_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  /// Blocks until the calling thread holds the mutex exclusively.
+  void Lock() XPLAIN_ACQUIRE() { mu_.lock(); }
+  /// Releases exclusive ownership.
+  void Unlock() XPLAIN_RELEASE() { mu_.unlock(); }
+  /// Blocks until the calling thread holds the mutex shared.
+  void ReaderLock() XPLAIN_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  /// Releases shared ownership.
+  void ReaderUnlock() XPLAIN_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;  // xplain-lint: allow
+};
+
+/// Scoped shared (reader) holder of a SharedMutex.
+/// Thread-safety: each ReaderMutexLock is used by one thread.
+class XPLAIN_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) XPLAIN_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderMutexLock() XPLAIN_RELEASE() { mu_->ReaderUnlock(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Scoped exclusive (writer) holder of a SharedMutex.
+/// Thread-safety: each WriterMutexLock is used by one thread.
+class XPLAIN_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) XPLAIN_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() XPLAIN_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_UTIL_MUTEX_H_

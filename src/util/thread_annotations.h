@@ -1,0 +1,102 @@
+#ifndef XPLAIN_UTIL_THREAD_ANNOTATIONS_H_
+#define XPLAIN_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros (Abseil-style).
+//
+// These annotations let clang prove the repo's locking discipline at
+// compile time: every mutex-guarded member declares its capability
+// (XPLAIN_GUARDED_BY), every must-hold-the-lock method declares its
+// contract (XPLAIN_REQUIRES), and the `clang-tsa` CMake preset turns any
+// violation — an unguarded read, a missing REQUIRES, a double acquire —
+// into a build error via -Werror=thread-safety (see DESIGN.md §6, "Lock
+// discipline"). On GCC (and on clang without the attribute) every macro
+// expands to nothing, so the annotations are zero-cost and the default
+// build is byte-identical.
+//
+// Use these through the capability wrappers in util/mutex.h
+// (xplain::Mutex / MutexLock / SharedMutex / CondVar); raw std::mutex is
+// banned in src/ by the xplain_lint rule `raw-mutex`.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define XPLAIN_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef XPLAIN_THREAD_ANNOTATION_
+#define XPLAIN_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a capability ("mutex", "shared_mutex", ...).
+#define XPLAIN_CAPABILITY(x) XPLAIN_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires a capability at construction and
+/// releases it at destruction (MutexLock and friends).
+#define XPLAIN_SCOPED_CAPABILITY XPLAIN_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated member may only be read/written while holding `x`.
+#define XPLAIN_GUARDED_BY(x) XPLAIN_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The annotated pointer may be read freely, but the data it points to may
+/// only be touched while holding `x`.
+#define XPLAIN_PT_GUARDED_BY(x) XPLAIN_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The annotated capability must be acquired before `...` (documentation
+/// for the analysis; complements the runtime lock-rank checks).
+#define XPLAIN_ACQUIRED_BEFORE(...) \
+  XPLAIN_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// The annotated capability must be acquired after `...`.
+#define XPLAIN_ACQUIRED_AFTER(...) \
+  XPLAIN_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the listed capabilities exclusively (they are not
+/// acquired or released by the function).
+#define XPLAIN_REQUIRES(...) \
+  XPLAIN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the listed capabilities at least shared.
+#define XPLAIN_REQUIRES_SHARED(...) \
+  XPLAIN_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities exclusively and does not
+/// release them before returning.
+#define XPLAIN_ACQUIRE(...) \
+  XPLAIN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Shared-mode XPLAIN_ACQUIRE.
+#define XPLAIN_ACQUIRE_SHARED(...) \
+  XPLAIN_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (held exclusively, or —
+/// with no argument, on a scoped capability — whatever the object holds).
+#define XPLAIN_RELEASE(...) \
+  XPLAIN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Shared-mode XPLAIN_RELEASE.
+#define XPLAIN_RELEASE_SHARED(...) \
+  XPLAIN_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `b`.
+#define XPLAIN_TRY_ACQUIRE(b, ...) \
+  XPLAIN_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (anti-deadlock contract
+/// for functions that acquire them internally).
+#define XPLAIN_EXCLUDES(...) \
+  XPLAIN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts at analysis level that the calling context holds the
+/// capability (for code reached only with the lock held, e.g. callbacks).
+#define XPLAIN_ASSERT_CAPABILITY(x) \
+  XPLAIN_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define XPLAIN_RETURN_CAPABILITY(x) XPLAIN_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Turns the analysis off for one function — a last resort for code the
+/// analysis cannot follow (e.g. lock/unlock split across functions).
+/// Every use must carry a comment explaining why it is sound.
+#define XPLAIN_NO_THREAD_SAFETY_ANALYSIS \
+  XPLAIN_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // XPLAIN_UTIL_THREAD_ANNOTATIONS_H_

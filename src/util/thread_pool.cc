@@ -1,8 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <mutex>  // xplain-lint: allow (std::call_once only)
 
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/trace.h"
 
 namespace xplain {
@@ -26,10 +28,10 @@ int ThreadPool::DefaultNumThreads() {
 void ThreadPool::Shutdown() {
   std::call_once(shutdown_once_, [this]() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       shutdown_ = true;
     }
-    cv_.notify_all();
+    cv_.SignalAll();
     for (std::thread& worker : workers_) {
       if (worker.joinable()) worker.join();
     }
@@ -41,8 +43,8 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     size_t depth_after_pop = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(&mu_);
       // Drain the queue before exiting so Shutdown() is graceful: every
       // future handed out by Submit() completes.
       if (queue_.empty()) return;

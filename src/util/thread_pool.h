@@ -1,19 +1,20 @@
 #ifndef XPLAIN_UTIL_THREAD_POOL_H_
 #define XPLAIN_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
+#include <mutex>  // xplain-lint: allow (std::once_flag only)
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace xplain {
 
@@ -88,7 +89,7 @@ class ThreadPool {
         });
     std::future<R> future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (shutdown_) {
         std::promise<R> rejected;
         rejected.set_value(R(Status::Internal(
@@ -97,17 +98,17 @@ class ThreadPool {
       }
       queue_.emplace_back([task]() { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.Signal();
     return future;
   }
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
-  bool shutdown_ = false;                    // guarded by mu_
+  Mutex mu_{kMutexRankThreadPool};
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ XPLAIN_GUARDED_BY(mu_);
+  bool shutdown_ XPLAIN_GUARDED_BY(mu_) = false;
   std::once_flag shutdown_once_;
   int num_threads_ = 1;
   std::vector<std::thread> workers_;

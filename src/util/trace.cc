@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace xplain {
 namespace {
@@ -13,19 +15,20 @@ namespace {
 /// still sees that worker's spans.
 /// Thread-safety: safe — `events` is guarded by `mu`.
 struct ThreadBuffer {
-  std::mutex mu;
-  std::vector<TraceEvent> events;  // guarded by mu
+  Mutex mu{kMutexRankTraceBuffer};
+  std::vector<TraceEvent> events XPLAIN_GUARDED_BY(mu);
   uint32_t tid = 0;
 };
 
 /// Process-wide trace state: the epoch and every thread's buffer.
 /// Thread-safety: safe — `buffers` is guarded by `mu`; `epoch` is set once
-/// before any thread can observe the state.
+/// before any thread can observe the state. Clear/Snapshot nest buffer
+/// locks inside `mu` (rank kMutexRankTraceState < kMutexRankTraceBuffer).
 struct TraceState {
   std::chrono::steady_clock::time_point epoch;
-  std::mutex mu;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;  // guarded by mu
-  uint32_t next_tid = 0;                               // guarded by mu
+  Mutex mu{kMutexRankTraceState};
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers XPLAIN_GUARDED_BY(mu);
+  uint32_t next_tid XPLAIN_GUARDED_BY(mu) = 0;
 };
 
 TraceState& State() {
@@ -43,7 +46,7 @@ ThreadBuffer& LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
     auto b = std::make_shared<ThreadBuffer>();
     TraceState& state = State();
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(&state.mu);
     b->tid = state.next_tid++;
     state.buffers.push_back(b);
     return b;
@@ -75,15 +78,15 @@ uint32_t Trace::CurrentThreadId() { return LocalBuffer().tid; }
 
 void Trace::Record(const TraceEvent& event) {
   ThreadBuffer& buffer = LocalBuffer();
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(&buffer.mu);
   buffer.events.push_back(event);
 }
 
 void Trace::Clear() {
   TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   for (const auto& buffer : state.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     buffer->events.clear();
   }
 }
@@ -91,9 +94,9 @@ void Trace::Clear() {
 std::vector<TraceEvent> Trace::Snapshot() {
   std::vector<TraceEvent> out;
   TraceState& state = State();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   for (const auto& buffer : state.buffers) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(&buffer->mu);
     out.insert(out.end(), buffer->events.begin(), buffer->events.end());
   }
   std::sort(out.begin(), out.end(),

@@ -1,0 +1,28 @@
+// Compile-fail fixture: acquiring a mutex that is already held must trip
+// -Werror=thread-safety under Clang (self-deadlock on a non-recursive lock).
+//
+// Expected diagnostic: acquiring mutex 'mu_' that is already held
+
+#include "util/mutex.h"
+
+namespace {
+
+class Widget {
+ public:
+  void Poke() {
+    xplain::MutexLock outer(&mu_);
+    // BUG under test: re-acquires mu_ while outer still holds it.
+    xplain::MutexLock inner(&mu_);
+  }
+
+ private:
+  xplain::Mutex mu_;
+};
+
+}  // namespace
+
+int main() {
+  Widget widget;
+  widget.Poke();
+  return 0;
+}

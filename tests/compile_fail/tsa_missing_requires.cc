@@ -1,0 +1,30 @@
+// Compile-fail fixture: calling a XPLAIN_REQUIRES(mu_) method without
+// holding the mutex must trip -Werror=thread-safety under Clang.
+//
+// Expected diagnostic:
+//   calling function 'IncrementLocked' requires holding mutex 'mu_'
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG under test: the lock-requiring helper is called with no lock held.
+  void Increment() { IncrementLocked(); }
+
+ private:
+  void IncrementLocked() XPLAIN_REQUIRES(mu_) { ++value_; }
+
+  xplain::Mutex mu_;
+  int value_ XPLAIN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

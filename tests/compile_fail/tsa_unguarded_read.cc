@@ -1,0 +1,32 @@
+// Compile-fail fixture: reading a XPLAIN_GUARDED_BY member without holding
+// its mutex must trip -Werror=thread-safety under Clang.
+//
+// Expected diagnostic: reading variable 'value_' requires holding mutex 'mu_'
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    xplain::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  // BUG under test: reads value_ with no lock held.
+  int Peek() const { return value_; }
+
+ private:
+  mutable xplain::Mutex mu_;
+  int value_ XPLAIN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Peek();
+}

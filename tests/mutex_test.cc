@@ -1,0 +1,218 @@
+// Tests for util/mutex.h: the annotated capability wrappers (Mutex /
+// MutexLock / CondVar / SharedMutex) and the debug-only lock-rank
+// checking. Runs in the TSan CI suite — the CondVar and SharedMutex tests
+// exercise real cross-thread handoffs.
+
+#include "util/mutex.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xplain {
+namespace {
+
+// TryLock from another thread while held (try_lock by the owning thread
+// itself is UB for a non-recursive mutex).
+bool TryLockElsewhere(Mutex* mu) {
+  bool acquired = false;
+  std::thread probe([&]() {
+    if (mu->TryLock()) {
+      acquired = true;
+      mu->Unlock();
+    }
+  });
+  probe.join();
+  return acquired;
+}
+
+TEST(MutexTest, LockUnlockAndTryLock) {
+  Mutex mu;
+  mu.Lock();
+  EXPECT_FALSE(TryLockElsewhere(&mu));  // held: a contender must not get it
+  mu.Unlock();
+  EXPECT_TRUE(TryLockElsewhere(&mu));
+}
+
+TEST(MutexTest, MutexLockProtectsCounter) {
+  Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 1000; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter, 4000);
+}
+
+TEST(MutexTest, MutexLockAdoptionReleasesAtScopeExit) {
+  Mutex mu;
+  mu.Lock();
+  {
+    MutexLock lock(&mu, kAdoptLock);  // adopts; does not re-acquire
+  }
+  // The adopted lock released at scope exit, so a contender can take it.
+  EXPECT_TRUE(TryLockElsewhere(&mu));
+}
+
+TEST(MutexTest, MutexLockEarlyUnlock) {
+  Mutex mu;
+  {
+    MutexLock lock(&mu);
+    lock.Unlock();  // release before scope exit (e.g. ahead of a blocking call)
+    EXPECT_TRUE(TryLockElsewhere(&mu));
+  }  // destructor must not double-release
+  EXPECT_TRUE(TryLockElsewhere(&mu));
+}
+
+TEST(CondVarTest, WaitNotifyHandsOffAcrossThreads) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  bool consumed = false;
+
+  std::thread consumer([&]() {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    consumed = true;
+    cv.Signal();
+  });
+
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.Signal();
+  {
+    MutexLock lock(&mu);
+    while (!consumed) cv.Wait(&mu);
+  }
+  consumer.join();
+  EXPECT_TRUE(consumed);
+}
+
+TEST(CondVarTest, SignalAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int woke = 0;
+  std::vector<std::thread> waiters;
+  for (int t = 0; t < 4; ++t) {
+    waiters.emplace_back([&]() {
+      MutexLock lock(&mu);
+      while (!go) cv.Wait(&mu);
+      ++woke;
+    });
+  }
+  {
+    MutexLock lock(&mu);
+    go = true;
+  }
+  cv.SignalAll();
+  for (std::thread& waiter : waiters) waiter.join();
+  EXPECT_EQ(woke, 4);
+}
+
+TEST(SharedMutexTest, ConcurrentReadersExclusiveWriter) {
+  SharedMutex mu;
+  int value = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 500; ++i) {
+        WriterMutexLock lock(&mu);
+        ++value;
+      }
+    });
+  }
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&]() {
+      int last = 0;
+      for (int i = 0; i < 500; ++i) {
+        ReaderMutexLock lock(&mu);
+        EXPECT_GE(value, last);  // monotone under the writer lock
+        last = value;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(value, 1000);
+}
+
+TEST(MutexRankTest, AscendingRanksAreAccepted) {
+  Mutex service(kMutexRankService);
+  Mutex shard(kMutexRankCacheShard);
+  Mutex metrics(kMutexRankMetrics);
+  MutexLock a(&service);
+  MutexLock b(&shard);
+  MutexLock c(&metrics);  // service < shard < metrics: the documented order
+}
+
+TEST(MutexRankTest, UnrankedMutexIgnoresOrdering) {
+  Mutex ranked(kMutexRankMetrics);
+  Mutex unranked;
+  MutexLock a(&ranked);
+  MutexLock b(&unranked);  // unranked never participates in rank checks
+}
+
+TEST(MutexRankDeathTest, InversionAbortsInDebug) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "lock-rank checking compiles away under NDEBUG";
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex outer(kMutexRankReactor);
+        Mutex inner(kMutexRankService);
+        MutexLock a(&outer);
+        MutexLock b(&inner);  // service (10) while holding reactor (30)
+      },
+      "lock rank inversion: acquiring mutex of rank 10 while holding mutex "
+      "of rank 30");
+#endif
+}
+
+TEST(MutexRankDeathTest, EqualRankAlsoAborts) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "lock-rank checking compiles away under NDEBUG";
+#else
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a(kMutexRankCacheShard);
+        Mutex b(kMutexRankCacheShard);
+        MutexLock la(&a);
+        MutexLock lb(&b);  // equal rank: no two shard locks may nest
+      },
+      "lock rank inversion");
+#endif
+}
+
+TEST(MutexRankTest, CondVarWaitRestoresRankBookkeeping) {
+  // Wait() pops the rank while blocked and re-pushes on wake; afterwards
+  // acquiring a higher rank must still succeed (bookkeeping balanced).
+  Mutex mu(kMutexRankService);
+  CondVar cv;
+  bool ready = false;
+  std::thread signaler([&]() {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.Signal();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    Mutex higher(kMutexRankMetrics);
+    MutexLock nested(&higher);
+  }
+  signaler.join();
+}
+
+}  // namespace
+}  // namespace xplain

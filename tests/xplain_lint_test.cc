@@ -459,4 +459,177 @@ TEST_F(XplainLintTest, RulesFlagFiltersFindings) {
       << other.output;
 }
 
+TEST_F(XplainLintTest, UnknownRuleNameIsUsageError) {
+  // A typo in --rules must be a hard error (exit 2) that lists the valid
+  // rules, not a filter that silently discards every finding: CI once
+  // invoked "--rules doc-commment" and went green on a dirty tree.
+  WriteFile("src/util/noisy.cc",
+            "#include <iostream>\n"
+            "void Shout() { std::cout << \"hi\"; }\n");
+  const LintRun run = RunLint(root_, "--rules doc-commment");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+  EXPECT_NE(run.output.find("unknown rule 'doc-commment'"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("no-stdout"), std::string::npos)
+      << run.output;  // the valid-rule list is printed
+  // One bad name poisons the whole invocation even when mixed with valid
+  // ones — partial filtering would still hide findings.
+  const LintRun mixed = RunLint(root_, "--rules no-stdout,doc-commment");
+  EXPECT_EQ(mixed.exit_code, 2) << mixed.output;
+}
+
+TEST_F(XplainLintTest, FlagsRawMutexOutsideMutexHeader) {
+  WriteFile("src/util/locky.h",
+            "#ifndef XPLAIN_UTIL_LOCKY_H_\n"
+            "#define XPLAIN_UTIL_LOCKY_H_\n"
+            "#include <mutex>\n"
+            "namespace xplain {\n"
+            "/// A thing.\n"
+            "/// Thread-safety: safe.\n"
+            "class Locky {\n"
+            " private:\n"
+            "  std::mutex mu_;\n"
+            "};\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_UTIL_LOCKY_H_\n");
+  WriteFile("src/util/locky.cc",
+            "#include \"util/locky.h\"\n"
+            "namespace xplain {\n"
+            "void Touch(std::mutex* mu) { std::lock_guard<std::mutex> l(*mu); }\n"
+            "}  // namespace xplain\n");
+  const LintRun run = RunLint(root_, "--rules raw-mutex");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("raw-mutex"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("locky.h:9"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("locky.cc:3"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, MutexWrapperFileMayUseRawPrimitives) {
+  // util/mutex.{h,cc} are the single sanctioned home of the raw
+  // primitives; a std::condition_variable there is not a finding.
+  WriteFile("src/util/mutex.h",
+            "#ifndef XPLAIN_UTIL_MUTEX_H_\n"
+            "#define XPLAIN_UTIL_MUTEX_H_\n"
+            "#include <mutex>\n"
+            "namespace xplain {\n"
+            "/// Wrapper.\n"
+            "/// Thread-safety: safe.\n"
+            "class Mutex {\n"
+            " private:\n"
+            "  std::mutex mu_;\n"
+            "  std::condition_variable cv_;\n"
+            "};\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_UTIL_MUTEX_H_\n");
+  const LintRun run = RunLint(root_, "--rules raw-mutex");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, AllowCommentExemptsRawMutex) {
+  WriteFile("src/util/special.cc",
+            "#include <mutex>\n"
+            "namespace xplain {\n"
+            "std::mutex g_mu;  // xplain-lint: allow\n"
+            "}  // namespace xplain\n");
+  const LintRun run = RunLint(root_, "--rules raw-mutex");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsGuardedByCommentWithoutAnnotation) {
+  WriteFile("src/server/state.h",
+            "#ifndef XPLAIN_SERVER_STATE_H_\n"
+            "#define XPLAIN_SERVER_STATE_H_\n"
+            "#include \"util/mutex.h\"\n"
+            "namespace xplain {\n"
+            "class State {\n"
+            " private:\n"
+            "  Mutex mu_;\n"
+            "  int count_ = 0;  // guarded by mu_\n"
+            "};\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_SERVER_STATE_H_\n");
+  const LintRun run = RunLint(root_, "--rules guarded-by");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("guarded-by"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("state.h:8"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, GuardedByCommentAboveDeclarationIsAlsoFlagged) {
+  WriteFile("src/server/state.h",
+            "#ifndef XPLAIN_SERVER_STATE_H_\n"
+            "#define XPLAIN_SERVER_STATE_H_\n"
+            "namespace xplain {\n"
+            "class State {\n"
+            " private:\n"
+            "  // All counters below are guarded by mu_.\n"
+            "  int count_ = 0;\n"
+            "};\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_SERVER_STATE_H_\n");
+  const LintRun run = RunLint(root_, "--rules guarded-by");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("state.h:7"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, AnnotatedGuardedMemberIsClean) {
+  WriteFile("src/server/state.h",
+            "#ifndef XPLAIN_SERVER_STATE_H_\n"
+            "#define XPLAIN_SERVER_STATE_H_\n"
+            "#include \"util/mutex.h\"\n"
+            "#include \"util/thread_annotations.h\"\n"
+            "namespace xplain {\n"
+            "class State {\n"
+            " private:\n"
+            "  Mutex mu_;  // guarded by nothing, it IS the lock\n"
+            "  int count_ XPLAIN_GUARDED_BY(mu_) = 0;  // guarded by mu_\n"
+            "};\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_SERVER_STATE_H_\n");
+  const LintRun run = RunLint(root_, "--rules guarded-by");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsMutableMemberOfThreadSafeClass) {
+  WriteFile("src/core/cachey.h",
+            "#ifndef XPLAIN_CORE_CACHEY_H_\n"
+            "#define XPLAIN_CORE_CACHEY_H_\n"
+            "namespace xplain {\n"
+            "/// A memoizing widget.\n"
+            "/// Thread-safety: safe.\n"
+            "class Cachey {\n"
+            " private:\n"
+            "  mutable int memo_ = 0;\n"
+            "};\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_CORE_CACHEY_H_\n");
+  const LintRun run = RunLint(root_, "--rules guarded-by");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("guarded-by"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("cachey.h:8"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, MutableMutexAndAtomicsAreNotGuardedByFindings) {
+  // Synchronization primitives are the capability, not guarded data; a
+  // doc block mentioning "guarded by" as prose (///) is narrative too.
+  WriteFile("src/core/cachey.h",
+            "#ifndef XPLAIN_CORE_CACHEY_H_\n"
+            "#define XPLAIN_CORE_CACHEY_H_\n"
+            "#include <atomic>\n"
+            "#include \"util/mutex.h\"\n"
+            "#include \"util/thread_annotations.h\"\n"
+            "namespace xplain {\n"
+            "/// A memoizing widget.\n"
+            "/// Thread-safety: safe — `memo_` is guarded by `mu_`.\n"
+            "class Cachey {\n"
+            " private:\n"
+            "  mutable Mutex mu_;\n"
+            "  mutable std::atomic<int> hits_{0};\n"
+            "  mutable int memo_ XPLAIN_GUARDED_BY(mu_) = 0;\n"
+            "};\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_CORE_CACHEY_H_\n");
+  const LintRun run = RunLint(root_, "--rules guarded-by");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 }  // namespace

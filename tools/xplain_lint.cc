@@ -23,6 +23,16 @@
 //   [server-trace-prefix]  span/metric literals in src/server/ live in the
 //                          rpc. or server. namespace, so serving telemetry
 //                          never collides with engine-side names.
+//   [raw-mutex]            std::mutex / std::lock_guard / std::unique_lock
+//                          and friends are banned in src/ outside
+//                          util/mutex.{h,cc}; use the annotated capability
+//                          wrappers (xplain::Mutex/MutexLock/CondVar) so
+//                          clang Thread Safety Analysis sees every lock.
+//   [guarded-by]           a member declared next to a comment naming a
+//                          mutex ("guarded by mu"), or a mutable member of
+//                          a class whose /// block says "Thread-safe",
+//                          must carry XPLAIN_GUARDED_BY (or an explicit
+//                          allow) — prose invariants must be annotations.
 //
 // A line containing "xplain-lint: allow" is exempt from all rules.
 // Exit code: 0 = clean, 1 = findings, 2 = usage/IO error.
@@ -30,7 +40,8 @@
 // Usage: xplain_lint [--root DIR] [--rules R1,R2]
 //   DIR defaults to the current directory; --rules restricts reporting to
 //   the named rules (e.g. --rules doc-comment,thread-safety-doc for the
-//   docs CI job).
+//   docs CI job). Unknown rule names are a usage error (exit 2) — a typo
+//   must not silently turn the lint green.
 
 #include <algorithm>
 #include <cctype>
@@ -265,6 +276,25 @@ void CheckLines(const std::string& display, const FileText& text,
                std::string(fn) +
                    "() is banned (use Value::Parse / string_util / "
                    "datagen/rng.h)");
+      }
+    }
+
+    // [raw-mutex] — only util/mutex.{h,cc} may touch the raw primitives;
+    // everything else goes through the annotated capability wrappers so
+    // clang Thread Safety Analysis sees every acquire/release.
+    if (display != "src/util/mutex.h" && display != "src/util/mutex.cc") {
+      for (const char* primitive :
+           {"std::mutex", "std::shared_mutex", "std::recursive_mutex",
+            "std::timed_mutex", "std::lock_guard", "std::unique_lock",
+            "std::shared_lock", "std::scoped_lock", "std::condition_variable",
+            "std::condition_variable_any"}) {
+        if (HasToken(code, primitive)) {
+          Report(display, line_no, "raw-mutex",
+                 std::string(primitive) +
+                     " in library code; use xplain::Mutex / MutexLock / "
+                     "CondVar from util/mutex.h (annotated for clang "
+                     "Thread Safety Analysis)");
+        }
       }
     }
 
@@ -609,9 +639,112 @@ void CheckTraceNames(const std::string& display, const FileText& text) {
   }
 }
 
+// --- guarded-by rule -------------------------------------------------------
+//
+// A locking invariant written as prose is invisible to clang's analysis.
+// Two patterns promote it to a checked annotation:
+//   (a) a plain comment saying "guarded by ..." next to a member
+//       declaration — the declaration must carry XPLAIN_GUARDED_BY /
+//       XPLAIN_PT_GUARDED_BY (/// doc blocks are narrative, not flagged);
+//   (b) a `mutable` member of a class whose /// block claims it is
+//       thread-safe — mutability inside a thread-safe class implies
+//       internal synchronization the analysis should know about.
+// Synchronization primitives themselves (Mutex, CondVar, atomics) are
+// exempt: they are the capability, not data guarded by one.
+
+bool DeclIsSyncPrimitive(const std::string& code) {
+  return HasToken(code, "Mutex") || HasToken(code, "SharedMutex") ||
+         HasToken(code, "CondVar") || code.find("atomic") != std::string::npos ||
+         HasToken(code, "once_flag");
+}
+
+bool DeclHasGuardAnnotation(const std::string& code) {
+  return code.find("XPLAIN_GUARDED_BY") != std::string::npos ||
+         code.find("XPLAIN_PT_GUARDED_BY") != std::string::npos;
+}
+
+void CheckGuardedBy(const std::string& display, const FileText& text) {
+  for (size_t i = 0; i < text.code.size(); ++i) {
+    if (LineIsExempt(text.raw[i])) continue;
+    const std::string raw_lower = ToLower(text.raw[i]);
+    // (a) comment names a guarding mutex
+    if (raw_lower.find("guarded by") != std::string::npos &&
+        !HasPrefix(TrimLeft(text.raw[i]), "///") &&
+        !DeclHasGuardAnnotation(text.code[i])) {
+      // The annotated declaration is this line (trailing comment) or the
+      // first code line within the next 3 (comment-above form).
+      size_t decl = std::string::npos;
+      for (size_t j = i; j < text.code.size() && j <= i + 3; ++j) {
+        const std::string trimmed = TrimLeft(text.code[j]);
+        if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '}') continue;
+        decl = j;
+        break;
+      }
+      if (decl != std::string::npos && text.depth_at_start[decl] > 0 &&
+          !LineIsExempt(text.raw[decl]) &&
+          !DeclHasGuardAnnotation(text.code[decl]) &&
+          !DeclIsSyncPrimitive(text.code[decl])) {
+        Report(display, decl + 1, "guarded-by",
+               "member documented as mutex-guarded lacks XPLAIN_GUARDED_BY "
+               "(prose invariants must be annotations clang can check)");
+      }
+    }
+    // (b) mutable member of a /// "Thread-safe" class
+    const std::string trimmed = TrimLeft(text.code[i]);
+    if ((HasPrefix(trimmed, "class ") || HasPrefix(trimmed, "struct ")) &&
+        text.code[i].find(';') == std::string::npos) {
+      size_t block_start = 0;
+      if (!HasDocAbove(text, i, &block_start)) continue;
+      bool claims_safe = false;
+      for (size_t j = block_start; j < i; ++j) {
+        if (ToLower(text.raw[j]).find("thread-safe") != std::string::npos) {
+          claims_safe = true;
+          break;
+        }
+      }
+      if (!claims_safe) continue;
+      // Scan the class body: members sit one level deeper than the class.
+      const int class_depth = text.depth_at_start[i];
+      for (size_t j = i + 1; j < text.code.size(); ++j) {
+        if (j > i + 1 && text.depth_at_start[j] <= class_depth) {
+          break;  // end of class body
+        }
+        if (text.depth_at_start[j] != class_depth + 1) continue;
+        const std::string member = TrimLeft(text.code[j]);
+        if (!HasPrefix(member, "mutable ")) continue;
+        if (LineIsExempt(text.raw[j]) || DeclHasGuardAnnotation(text.code[j]) ||
+            DeclIsSyncPrimitive(text.code[j])) {
+          continue;
+        }
+        // Wrapped declarations put the annotation on a later line; accept
+        // it anywhere before the terminating ';'.
+        bool annotated = false;
+        for (size_t k = j; k < text.code.size() && k <= j + 3; ++k) {
+          if (DeclHasGuardAnnotation(text.code[k])) annotated = true;
+          if (text.code[k].find(';') != std::string::npos) break;
+        }
+        if (annotated) continue;
+        Report(display, j + 1, "guarded-by",
+               "mutable member of a class documented \"Thread-safe\" lacks "
+               "XPLAIN_GUARDED_BY (internal synchronization must be visible "
+               "to clang's analysis)");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Every rule the linter can emit. --rules names are validated against
+  // this list: a typo that matches nothing must be a hard error, not a
+  // filter that silently discards every finding (and turns CI green).
+  static const char* kKnownRules[] = {
+      "valueordie-unchecked", "no-stdout",         "header-guard",
+      "include-cc",           "banned-fn",         "doc-comment",
+      "thread-safety-doc",    "trace-name",        "server-trace-prefix",
+      "raw-mutex",            "guarded-by"};
+
   fs::path root = ".";
   std::vector<std::string> only_rules;
   for (int i = 1; i < argc; ++i) {
@@ -626,6 +759,19 @@ int main(int argc, char** argv) {
         if (comma == std::string::npos) comma = list.size();
         if (comma > start) only_rules.push_back(list.substr(start, comma - start));
         start = comma + 1;
+      }
+      for (const std::string& rule : only_rules) {
+        const bool known =
+            std::find_if(std::begin(kKnownRules), std::end(kKnownRules),
+                         [&](const char* r) { return rule == r; }) !=
+            std::end(kKnownRules);
+        if (!known) {
+          std::cerr << "xplain_lint: unknown rule '" << rule
+                    << "'; valid rules:";
+          for (const char* r : kKnownRules) std::cerr << " " << r;
+          std::cerr << "\n";
+          return 2;
+        }
       }
     } else if (arg == "--help" || arg == "-h") {
       std::cerr << "usage: xplain_lint [--root DIR] [--rules R1,R2]\n";
@@ -666,6 +812,7 @@ int main(int argc, char** argv) {
     if (is_header) CheckHeaderGuard(display, rel, text);
     CheckLines(display, text, is_header);
     CheckTraceNames(display, text);
+    CheckGuardedBy(display, text);
     if (is_header && (HasPrefix(display, "src/core/") ||
                       HasPrefix(display, "src/util/"))) {
       CheckDocComments(display, text);
