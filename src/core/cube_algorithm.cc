@@ -58,7 +58,11 @@ Result<TableM> ComputeTableM(const UniversalRelation& universal,
       all_counting = false;
     }
   }
-  std::vector<DataCube> cubes;
+  // Cubes are held by shared_ptr so rows can come either from the
+  // maintained workspace (shared across calls) or a fresh computation.
+  const Database& db = universal.db();
+  CubeWorkspace* workspace = options.workspace;
+  std::vector<std::shared_ptr<const DataCube>> cubes;
   cubes.reserve(m);
   table.build_stats.used_column_cache = all_counting;
   step_start_us = Trace::NowMicros();
@@ -84,12 +88,29 @@ Result<TableM> ComputeTableM(const UniversalRelation& universal,
         }
       }
     }
-    ColumnCache cache = ColumnCache::Build(universal, cached_columns);
+    std::shared_ptr<const ColumnCache> cache_ptr =
+        workspace ? workspace->LookupColumns(cached_columns) : nullptr;
+    if (cache_ptr == nullptr) {
+      ColumnCache built = ColumnCache::Build(universal, cached_columns);
+      cache_ptr = workspace
+                      ? workspace->InsertColumns(cached_columns,
+                                                 std::move(built))
+                      : std::make_shared<const ColumnCache>(std::move(built));
+    }
+    const ColumnCache& cache = *cache_ptr;
     std::vector<int> attr_indices;
     for (size_t i = 0; i < attributes.size(); ++i) {
       attr_indices.push_back(static_cast<int>(i));
     }
     for (const AggregateQuery& q : query.subqueries()) {
+      if (workspace != nullptr) {
+        std::shared_ptr<const DataCube> hit =
+            workspace->LookupCube(db, q, attributes);
+        if (hit != nullptr) {
+          cubes.push_back(std::move(hit));
+          continue;
+        }
+      }
       XPLAIN_ASSIGN_OR_RETURN(CodedFilter filter,
                               CodedFilter::Compile(cache, q.where));
       RowSet filter_rows = filter.EvalAllRows(cache);
@@ -101,14 +122,59 @@ Result<TableM> ComputeTableM(const UniversalRelation& universal,
           DataCube::ComputeCached(cache, attr_indices, q.agg.kind,
                                   distinct_index, &filter_rows,
                                   options.cube));
-      cubes.push_back(std::move(cube));
+      if (workspace != nullptr &&
+          CubeWorkspace::CubeIsMaintainable(db, q.agg)) {
+        // The cell-liveness sidecar: COUNT(*) over the same filter/attrs.
+        DataCube::CellMap counts;
+        if (q.agg.kind == AggregateKind::kCountStar) {
+          counts = cube.cells();
+        } else {
+          XPLAIN_ASSIGN_OR_RETURN(
+              DataCube count_cube,
+              DataCube::ComputeCached(cache, attr_indices,
+                                      AggregateKind::kCountStar, -1,
+                                      &filter_rows, options.cube));
+          counts = std::move(*count_cube.mutable_cells());
+        }
+        cubes.push_back(workspace->InsertCube(db, q, attributes,
+                                              std::move(cube),
+                                              std::move(counts)));
+      } else {
+        cubes.push_back(std::make_shared<const DataCube>(std::move(cube)));
+      }
     }
   } else {
     for (const AggregateQuery& q : query.subqueries()) {
+      if (workspace != nullptr) {
+        std::shared_ptr<const DataCube> hit =
+            workspace->LookupCube(db, q, attributes);
+        if (hit != nullptr) {
+          cubes.push_back(std::move(hit));
+          continue;
+        }
+      }
       XPLAIN_ASSIGN_OR_RETURN(
           DataCube cube, DataCube::Compute(universal, attributes, q.agg,
                                            &q.where, options.cube));
-      cubes.push_back(std::move(cube));
+      if (workspace != nullptr &&
+          CubeWorkspace::CubeIsMaintainable(db, q.agg)) {
+        DataCube::CellMap counts;
+        if (q.agg.kind == AggregateKind::kCountStar) {
+          counts = cube.cells();
+        } else {
+          XPLAIN_ASSIGN_OR_RETURN(
+              DataCube count_cube,
+              DataCube::Compute(universal, attributes,
+                                AggregateSpec::CountStar(), &q.where,
+                                options.cube));
+          counts = std::move(*count_cube.mutable_cells());
+        }
+        cubes.push_back(workspace->InsertCube(db, q, attributes,
+                                              std::move(cube),
+                                              std::move(counts)));
+      } else {
+        cubes.push_back(std::make_shared<const DataCube>(std::move(cube)));
+      }
     }
   }
   cubes_span.End();
@@ -118,7 +184,7 @@ Result<TableM> ComputeTableM(const UniversalRelation& universal,
   step_start_us = Trace::NowMicros();
   TraceSpan merge_span("tablem.merge");
   std::vector<const DataCube*> cube_ptrs;
-  for (const DataCube& c : cubes) cube_ptrs.push_back(&c);
+  for (const auto& c : cubes) cube_ptrs.push_back(c.get());
   XPLAIN_ASSIGN_OR_RETURN(CubeJoinResult joined,
                           FullOuterJoinCubes(cube_ptrs));
   table.build_stats.rows_before_support = joined.NumRows();

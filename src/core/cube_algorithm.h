@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cube_workspace.h"
 #include "core/explanation.h"
 #include "relational/cube.h"
 #include "relational/query.h"
@@ -75,6 +76,12 @@ struct TableMOptions {
   /// COUNT(*) or COUNT(DISTINCT) (bit-identical results; see
   /// bench_ablation_cube for the speedup).
   bool use_column_cache = true;
+  /// Optional store of incrementally-maintained cubes and column caches
+  /// shared across calls (DESIGN.md §10). When set, per-subquery cubes are
+  /// looked up before computing and maintainable fresh results are
+  /// retained. nullptr computes everything from scratch (identical
+  /// results).
+  CubeWorkspace* workspace = nullptr;
 };
 
 /// Algorithm 1 (paper Section 4.2): computes the cubes C_1..C_m for the

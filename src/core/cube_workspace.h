@@ -1,0 +1,173 @@
+#ifndef XPLAIN_CORE_CUBE_WORKSPACE_H_
+#define XPLAIN_CORE_CUBE_WORKSPACE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/cube.h"
+#include "relational/query.h"
+#include "util/mutex.h"
+
+namespace xplain {
+
+/// Canonical, injective key for a maintained cube: aggregate + filter +
+/// grouping attributes, length-prefix framed so no field concatenation
+/// collides. Thread-safety: safe (pure).
+std::string CanonicalCubeKey(const Database& db, const AggregateQuery& query,
+                             const std::vector<ColumnRef>& attributes);
+
+/// Canonical key for a maintained ColumnCache (the cached column list).
+/// Thread-safety: safe (pure).
+std::string CanonicalColumnsKey(const std::vector<ColumnRef>& columns);
+
+/// Counters snapshot of one CubeWorkspace (see GetStats).
+/// Thread-safety: plain data, externally synchronized.
+struct CubeWorkspaceStats {
+  int64_t cube_hits = 0;
+  int64_t cube_misses = 0;
+  int64_t column_hits = 0;
+  int64_t column_misses = 0;
+  int64_t cells_patched = 0;
+  int64_t cells_recomputed = 0;
+  size_t cube_entries = 0;
+  size_t column_entries = 0;
+};
+
+/// A store of incrementally-maintained DataCubes and ColumnCaches keyed by
+/// (aggregate, filter, attributes) / column list, shared across Explain
+/// calls of one ExplainEngine (DESIGN.md §10).
+///
+/// Cubes are retained only when their aggregate admits exact subtraction
+/// maintenance (CubeIsMaintainable): COUNT(*)/SUM(int64) subtract cleanly;
+/// MIN/MAX(numeric)/COUNT(DISTINCT)/AVG(int64) are retained with a count
+/// sidecar and fall back to targeted per-cell recomputation when a removal
+/// may have changed the cell (extremum death / any non-null removal).
+/// SUM/AVG over double columns are never retained — floating-point
+/// subtraction is not exact, and byte-identical results are a contract.
+///
+/// Delta protocol: BeginDelta freezes inserts; PlanDelta (still under the
+/// owner's read lock, against the pre-delta universal relation) computes a
+/// pure-data Patch; CommitDelta (under the owner's exclusive lock) applies
+/// the patch as map updates and unfreezes. AbortDelta unfreezes without
+/// applying.
+///
+/// Thread-safety: safe — lookups/inserts lock an internal mutex
+/// (kMutexRankCubeWorkspace); CommitDelta additionally requires that no
+/// concurrent reader holds a cube pointer (the serving layer guarantees
+/// this with its database writer lock).
+class CubeWorkspace {
+ public:
+  /// Bounds on retained entries; inserts past the cap are skipped (the
+  /// workspace is an optimization, never a correctness dependency).
+  struct Limits {
+    size_t max_cubes = 64;
+    size_t max_column_caches = 8;
+  };
+
+  /// A planned maintenance update for the whole workspace: per-entry cell
+  /// overwrites and erasures, ready to commit as pure map operations.
+  /// Thread-safety: plain data, externally synchronized.
+  struct Patch {
+    struct EntryPatch {
+      std::string key;
+      /// coord -> new aggregate value (absent coords keep their value).
+      std::vector<std::pair<Tuple, double>> value_updates;
+      /// coord -> new contributing-row count.
+      std::vector<std::pair<Tuple, double>> count_updates;
+      /// Cells whose contributing-row count reached zero.
+      std::vector<Tuple> erasures;
+    };
+    std::vector<EntryPatch> entries;
+    int64_t cells_patched = 0;
+    int64_t cells_recomputed = 0;
+  };
+
+  CubeWorkspace() = default;
+  /// A workspace with custom retention bounds.
+  explicit CubeWorkspace(Limits limits) : limits_(limits) {}
+
+  CubeWorkspace(const CubeWorkspace&) = delete;
+  CubeWorkspace& operator=(const CubeWorkspace&) = delete;
+
+  /// True when `agg`'s cube can be maintained under tuple deletion with
+  /// byte-identical results (see class comment for the per-kind rule).
+  static bool CubeIsMaintainable(const Database& db, const AggregateSpec& agg);
+
+  /// The maintained cube for (query, attributes), or nullptr. The pointer
+  /// stays valid while the caller's read lock excludes CommitDelta.
+  std::shared_ptr<const DataCube> LookupCube(
+      const Database& db, const AggregateQuery& query,
+      const std::vector<ColumnRef>& attributes) const;
+
+  /// Offers a freshly computed cube (plus its COUNT(*) sidecar over the
+  /// same filter — cell liveness) for retention. Skipped without effect
+  /// when frozen, at capacity, already present, or not maintainable; in
+  /// every case returns `cube` wrapped in a shared_ptr for the caller to
+  /// keep using.
+  std::shared_ptr<const DataCube> InsertCube(
+      const Database& db, const AggregateQuery& query,
+      const std::vector<ColumnRef>& attributes, DataCube cube,
+      DataCube::CellMap counts);
+
+  /// The maintained ColumnCache for `columns`, or nullptr.
+  std::shared_ptr<const ColumnCache> LookupColumns(
+      const std::vector<ColumnRef>& columns) const;
+
+  /// Offers a freshly built ColumnCache for retention (same skip rules as
+  /// InsertCube); returns it shared either way.
+  std::shared_ptr<const ColumnCache> InsertColumns(
+      const std::vector<ColumnRef>& columns, ColumnCache cache);
+
+  /// Freezes inserts for the duration of a delta (lookups stay open).
+  void BeginDelta();
+
+  /// Computes the maintenance patch for a delta described by `remap`,
+  /// evaluated against `old_universal` (the pre-delta state the retained
+  /// entries currently reflect). Read-only; call between BeginDelta and
+  /// CommitDelta, with the owner's read lock held.
+  Patch PlanDelta(const UniversalRelation& old_universal,
+                  const UniversalRemap& remap) const;
+
+  /// Applies `patch` and remaps every retained ColumnCache onto the
+  /// surviving rows, then unfreezes inserts. Caller must hold exclusive
+  /// access over every reader that could hold a cube/cache pointer.
+  void CommitDelta(Patch&& patch, const UniversalRemap& remap);
+
+  /// Unfreezes inserts without applying anything (failed/abandoned delta).
+  void AbortDelta();
+
+  /// Drops every retained entry (legacy full-rebuild path).
+  void Clear();
+
+  /// Point-in-time counters and sizes.
+  CubeWorkspaceStats GetStats() const;
+
+ private:
+  struct CubeEntry {
+    AggregateQuery query;
+    std::vector<ColumnRef> attributes;
+    std::shared_ptr<DataCube> cube;
+    /// coord -> number of filter-passing input rows (COUNT(*) over the
+    /// same filter/attrs); a cell dies exactly when this reaches zero.
+    DataCube::CellMap counts;
+  };
+
+  Limits limits_;
+  mutable Mutex mu_{kMutexRankCubeWorkspace};
+  std::unordered_map<std::string, CubeEntry> cubes_ XPLAIN_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::shared_ptr<ColumnCache>> columns_
+      XPLAIN_GUARDED_BY(mu_);
+  bool frozen_ XPLAIN_GUARDED_BY(mu_) = false;
+  mutable int64_t cube_hits_ XPLAIN_GUARDED_BY(mu_) = 0;
+  mutable int64_t cube_misses_ XPLAIN_GUARDED_BY(mu_) = 0;
+  mutable int64_t column_hits_ XPLAIN_GUARDED_BY(mu_) = 0;
+  mutable int64_t column_misses_ XPLAIN_GUARDED_BY(mu_) = 0;
+  int64_t cells_patched_ XPLAIN_GUARDED_BY(mu_) = 0;
+  int64_t cells_recomputed_ XPLAIN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace xplain
+
+#endif  // XPLAIN_CORE_CUBE_WORKSPACE_H_

@@ -97,8 +97,54 @@ Result<ExplainEngine> ExplainEngine::Create(const Database* db) {
       std::make_unique<UniversalRelation>(std::move(universal));
   engine.intervention_ =
       std::make_unique<InterventionEngine>(engine.universal_.get());
+  engine.workspace_ = std::make_unique<CubeWorkspace>();
+  engine.unique_core_.resize(db->num_relations());
+  for (int r = 0; r < db->num_relations(); ++r) {
+    engine.unique_core_[r] =
+        RelationIsUniqueCore(*engine.universal_, r) ? 1 : 0;
+  }
   return engine;
 }
+
+EngineDeltaPlan ExplainEngine::PlanDelta(const DeltaSet& delta) const {
+  XPLAIN_TRACE_SPAN("engine.plan_delta");
+  workspace_->BeginDelta();
+  EngineDeltaPlan plan;
+  plan.db_plan = db_->PlanDelta(delta);
+  plan.rows_removed = plan.db_plan.rows_removed;
+  plan.remap = universal_->PlanRemap(plan.db_plan);
+  plan.workspace_patch = workspace_->PlanDelta(*universal_, plan.remap);
+  // Unique-core bits over the post-delta universal rows: a relation is a
+  // unique core iff no compacted base row appears in two surviving
+  // universal rows. Deletions can only flip bits false -> true.
+  const int k = db_->num_relations();
+  plan.new_unique_core.assign(static_cast<size_t>(k), 1);
+  const size_t new_rows = k == 0 ? 0 : plan.remap.rows.size() / k;
+  for (int r = 0; r < k; ++r) {
+    std::vector<uint8_t> seen(db_->relation(r).NumRows(), 0);
+    for (size_t u = 0; u < new_rows; ++u) {
+      uint32_t base = plan.remap.rows[u * k + r];
+      if (seen[base]) {
+        plan.new_unique_core[r] = 0;
+        break;
+      }
+      seen[base] = 1;
+    }
+  }
+  plan.signature_changed = plan.new_unique_core != unique_core_;
+  return plan;
+}
+
+void ExplainEngine::CommitDelta(EngineDeltaPlan&& plan) {
+  XPLAIN_TRACE_SPAN("engine.commit_delta");
+  workspace_->CommitDelta(std::move(plan.workspace_patch), plan.remap);
+  universal_->AdoptRows(std::move(plan.remap));
+  intervention_ = std::make_unique<InterventionEngine>(universal_.get());
+  unique_core_ = std::move(plan.new_unique_core);
+  XPLAIN_COUNTER_ADD("engine.delta_commits", 1);
+}
+
+void ExplainEngine::AbortDelta() { workspace_->AbortDelta(); }
 
 Result<std::vector<ColumnRef>> ExplainEngine::ResolveAttributes(
     const std::vector<std::string>& names) const {
@@ -181,6 +227,7 @@ Result<ExplainReport> ExplainEngine::ExplainResolved(
     table_options.cube = options.cube;
     table_options.cube.pool = workers.get();
     table_options.min_support = options.min_support;
+    table_options.workspace = workspace_.get();
     XPLAIN_ASSIGN_OR_RETURN(
         report.table,
         ComputeTableM(*universal_, question, attributes, table_options));

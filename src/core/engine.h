@@ -7,6 +7,7 @@
 
 #include "core/additivity.h"
 #include "core/cube_algorithm.h"
+#include "core/cube_workspace.h"
 #include "core/degree.h"
 #include "core/intervention.h"
 #include "core/naive.h"
@@ -118,6 +119,26 @@ struct ExplainReport {
   std::string ToString(const Database& db) const;
 };
 
+/// The precomputed full effect of one delta on an ExplainEngine and its
+/// database: the base-relation compaction plan, the universal-row remap,
+/// the cube-workspace patch, and the post-delta unique-core signature.
+/// Produced by ExplainEngine::PlanDelta (read-only, concurrent with
+/// Explain calls) and consumed by ExplainEngine::CommitDelta (exclusive).
+/// Thread-safety: plain data, externally synchronized.
+struct EngineDeltaPlan {
+  DeltaPlan db_plan;
+  UniversalRemap remap;
+  CubeWorkspace::Patch workspace_patch;
+  /// Per-relation RelationIsUniqueCore bits over the post-delta U(D).
+  std::vector<uint8_t> new_unique_core;
+  /// True when any unique-core bit flips — additivity verdicts (pure
+  /// functions of schema, FK kinds, and these bits) may change, so cached
+  /// explanations keyed on them are stale (DESIGN.md §10).
+  bool signature_changed = false;
+  /// Base rows removed (delta closed over dangling rows).
+  size_t rows_removed = 0;
+};
+
 /// Facade tying the pieces together: builds U(D) once, checks
 /// intervention-additivity, runs Algorithm 1 (or the naive baseline), and
 /// ranks candidate explanations with the requested minimality strategy.
@@ -126,9 +147,12 @@ struct ExplainReport {
 /// call.
 ///
 /// Thread-safety: safe after construction — Explain only reads the
-/// engine, the database, and U(D), so concurrent Explain calls (each with
-/// their own options) are allowed. The `db` passed to Create must not be
-/// mutated while the engine exists.
+/// engine, the database, and U(D) (the cube workspace synchronizes
+/// itself), so concurrent Explain calls (each with their own options) are
+/// allowed. The `db` passed to Create must not be mutated while the
+/// engine exists, except through the PlanDelta →
+/// Database::ApplyDeltaPlan → CommitDelta sequence, whose commit steps
+/// require exclusion of all Explain calls.
 class ExplainEngine {
  public:
   /// `db` must outlive the engine. Fails if referential integrity does not
@@ -155,12 +179,44 @@ class ExplainEngine {
       const UserQuestion& question, const std::vector<ColumnRef>& attributes,
       const ExplainOptions& options = ExplainOptions()) const;
 
+  /// Computes the full incremental effect of `delta` without mutating
+  /// anything: closes the delta, derives the U(D) remap and the workspace
+  /// patch, and recomputes the unique-core signature over the post-delta
+  /// rows. Freezes workspace inserts until CommitDelta or AbortDelta.
+  /// Safe to call while concurrent Explain calls are running (the caller
+  /// typically holds a read lock on the database).
+  EngineDeltaPlan PlanDelta(const DeltaSet& delta) const;
+
+  /// Installs a plan: patches the cube workspace, adopts the remapped
+  /// U(D) rows, rebuilds the intervention engine over them, and swaps the
+  /// unique-core signature. Call with exclusive access, after
+  /// Database::ApplyDeltaPlan(plan.db_plan) has compacted the base
+  /// relations. Unfreezes workspace inserts.
+  void CommitDelta(EngineDeltaPlan&& plan);
+
+  /// Abandons a plan made by PlanDelta: unfreezes workspace inserts and
+  /// changes nothing else. The database must not have been mutated.
+  void AbortDelta();
+
+  /// Per-relation RelationIsUniqueCore bits for the current U(D) — the
+  /// pure inputs (besides the immutable schema and FK kinds) of every
+  /// additivity verdict, used by the serving layer to decide whether
+  /// cached verdict-dependent results survive a delta.
+  const std::vector<uint8_t>& unique_core_signature() const {
+    return unique_core_;
+  }
+
+  /// The engine's maintained cube/column-cache store.
+  const CubeWorkspace& workspace() const { return *workspace_; }
+
  private:
   ExplainEngine() = default;
 
   const Database* db_ = nullptr;
   std::unique_ptr<UniversalRelation> universal_;
   std::unique_ptr<InterventionEngine> intervention_;
+  std::unique_ptr<CubeWorkspace> workspace_;
+  std::vector<uint8_t> unique_core_;
 };
 
 }  // namespace xplain

@@ -22,11 +22,13 @@ enum class AggregateKind {
   kAvg,
 };
 
+/// Wire/display name of `kind` ("count(*)", "sum", ...).
 const char* AggregateKindToString(AggregateKind kind);
 
 /// An aggregate over the universal relation, e.g. COUNT(DISTINCT
 /// Publication.pubid) or SUM(Order.amount). `column` is unused for
 /// COUNT(*).
+/// Thread-safety: plain data, externally synchronized.
 struct AggregateSpec {
   AggregateKind kind = AggregateKind::kCountStar;
   ColumnRef column;
@@ -45,6 +47,7 @@ struct AggregateSpec {
 
 /// Mergeable running state of one aggregate. Supports the cube's two-phase
 /// (base cells, then lattice rollup) evaluation.
+/// Thread-safety: unsafe — one accumulator per thread, merge after.
 class AggregateAccumulator {
  public:
   explicit AggregateAccumulator(AggregateKind kind) : kind_(kind) {}

@@ -34,6 +34,17 @@ ColumnCache ColumnCache::Build(const UniversalRelation& universal,
   return cache;
 }
 
+void ColumnCache::ApplyRemap(const std::vector<uint32_t>& surviving_universal) {
+  for (std::vector<uint32_t>& codes : codes_) {
+    std::vector<uint32_t> next(surviving_universal.size());
+    for (size_t i = 0; i < surviving_universal.size(); ++i) {
+      next[i] = codes[surviving_universal[i]];
+    }
+    codes.swap(next);
+  }
+  num_rows_ = surviving_universal.size();
+}
+
 int ColumnCache::FindColumn(const ColumnRef& column) const {
   for (size_t c = 0; c < columns_.size(); ++c) {
     if (columns_[c] == column) return static_cast<int>(c);

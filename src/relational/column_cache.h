@@ -19,16 +19,34 @@ namespace xplain {
 /// per-column dictionary, after which group-by keys are cheap integer
 /// vectors. (The same columnar trick backs the ablation benchmark
 /// bench_ablation_cube.)
+///
+/// Thread-safety: thread-compatible — concurrent const access is safe;
+/// ApplyRemap requires exclusive access.
 class ColumnCache {
  public:
-  /// Materializes `columns` of `universal`.
+  /// Materializes `columns` of `universal`. Codes are assigned in first-
+  /// appearance base-row order; dictionaries are per-column, deduplicated,
+  /// and bijective with the values present in the base relation.
   static ColumnCache Build(const UniversalRelation& universal,
                            const std::vector<ColumnRef>& columns);
 
+  /// The universal relation the codes index into.
   const UniversalRelation& universal() const { return *universal_; }
+  /// The cached columns, in cache order.
   const std::vector<ColumnRef>& columns() const { return columns_; }
+  /// Number of cached columns.
   int num_columns() const { return static_cast<int>(columns_.size()); }
+  /// Number of encoded rows (equals universal().NumRows() at Build /
+  /// ApplyRemap time).
   size_t NumRows() const { return num_rows_; }
+
+  /// Shrinks the cache to the surviving universal rows after a delta:
+  /// gathers each column's code array over `surviving_universal` (old row
+  /// indices, ascending — see UniversalRemap). Dictionaries are kept
+  /// as-is, so they may become supersets of the live values; every
+  /// consumer keys by code or decodes per live row, which is unaffected.
+  /// Requires exclusive access.
+  void ApplyRemap(const std::vector<uint32_t>& surviving_universal);
 
   /// Dictionary code of column `col` in universal row `row`.
   uint32_t Code(size_t row, int col) const {
@@ -40,6 +58,8 @@ class ColumnCache {
     return dictionaries_[col][code];
   }
 
+  /// Number of codes in column `col`'s dictionary. Also used as the
+  /// reserved "ALL" sentinel code for rolled-up cube coordinates.
   size_t DictionarySize(int col) const { return dictionaries_[col].size(); }
 
   /// Index of `column` within the cache, or -1.
@@ -62,6 +82,7 @@ RowSet EvaluateFilterBitmap(const UniversalRelation& universal,
 /// per-dictionary-code match table, so row evaluation is a handful of
 /// array lookups instead of Value comparisons. Requires every atom's
 /// column to be cached.
+/// Thread-safety: safe after Compile — Eval only reads.
 class CodedFilter {
  public:
   [[nodiscard]] static Result<CodedFilter> Compile(const ColumnCache& cache,

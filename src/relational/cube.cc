@@ -366,6 +366,14 @@ Result<DataCube> DataCube::ComputeCached(const ColumnCache& cache,
   return cube;
 }
 
+DataCube DataCube::FromCells(std::vector<ColumnRef> attributes,
+                             CellMap cells) {
+  DataCube cube;
+  cube.attributes_ = std::move(attributes);
+  cube.cells_ = std::move(cells);
+  return cube;
+}
+
 double DataCube::CellValue(const Tuple& coords) const {
   auto it = cells_.find(coords);
   return it == cells_.end() ? 0.0 : it->second;

@@ -61,11 +61,25 @@ class DataCube {
       AggregateKind kind, int distinct_index, const RowSet* filter_rows,
       const CubeOptions& options = CubeOptions());
 
+  /// Rewraps an existing cell map as a DataCube without recomputation —
+  /// the adoption point for incrementally maintained cubes
+  /// (DESIGN.md §10). The caller vouches that `cells` equals what
+  /// Compute would produce for `attributes` over the current database.
+  static DataCube FromCells(std::vector<ColumnRef> attributes,
+                            std::unordered_map<Tuple, double, TupleHash,
+                                               TupleEq> cells);
+
+  /// The cube's grouping attributes, in coordinate order.
   const std::vector<ColumnRef>& attributes() const { return attributes_; }
+  /// Number of materialized (non-empty) cells across the whole lattice.
   size_t NumCells() const { return cells_.size(); }
 
   using CellMap = std::unordered_map<Tuple, double, TupleHash, TupleEq>;
+  /// All materialized cells, keyed by coordinate tuple (NULL = ALL).
   const CellMap& cells() const { return cells_; }
+  /// Mutable cell access for incremental maintenance; mutating breaks the
+  /// immutability guarantee, so callers must hold exclusive access.
+  CellMap* mutable_cells() { return &cells_; }
 
   /// Aggregate value of the cell at `coords`; 0 when the cell is absent
   /// (no input row matched).
@@ -74,6 +88,7 @@ class DataCube {
   /// The grand-total (all-NULL) cell value.
   double GrandTotal() const;
 
+  /// Multi-line rendering of up to `max_cells` cells.
   std::string ToString(const Database& db, size_t max_cells = 20) const;
 
  private:

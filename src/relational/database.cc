@@ -220,13 +220,44 @@ size_t MarkDanglingRows(const Database& db, DeltaSet* dangling) {
 
 size_t Database::SemijoinReduce() {
   XPLAIN_TRACE_SPAN("semijoin.reduce");
-  DeltaSet dangling = EmptyDelta();
-  size_t removed = MarkDanglingRows(*this, &dangling);
-  if (removed > 0) {
-    *this = ApplyDelta(dangling);
-  }
+  size_t removed = ApplyDeltaPlan(PlanDelta(EmptyDelta()));
   XPLAIN_COUNTER_ADD("semijoin.removed_rows", static_cast<int64_t>(removed));
   return removed;
+}
+
+DeltaPlan Database::PlanDelta(const DeltaSet& delta) const {
+  XPLAIN_CHECK(delta.size() == static_cast<size_t>(num_relations()));
+  XPLAIN_TRACE_SPAN("delta.plan");
+  DeltaPlan plan;
+  plan.removed = delta;
+  MarkDanglingRows(*this, &plan.removed);
+  plan.row_remap.resize(num_relations());
+  for (int r = 0; r < num_relations(); ++r) {
+    const RowSet& gone = plan.removed[r];
+    if (gone.empty()) continue;  // identity remap, relation untouched
+    plan.touched.push_back(r);
+    plan.rows_removed += gone.count();
+    std::vector<uint32_t>& remap = plan.row_remap[r];
+    remap.resize(relations_[r].NumRows());
+    uint32_t next = 0;
+    for (size_t i = 0; i < remap.size(); ++i) {
+      remap[i] = gone.Test(i) ? DeltaPlan::kNoRow : next++;
+    }
+  }
+  return plan;
+}
+
+size_t Database::ApplyDeltaPlan(const DeltaPlan& plan) {
+  XPLAIN_CHECK(plan.removed.size() == static_cast<size_t>(num_relations()));
+  if (plan.rows_removed == 0) return 0;
+  XPLAIN_TRACE_SPAN("delta.apply_in_place");
+  for (int r : plan.touched) {
+    size_t removed = relations_[r].CompactRows(plan.removed[r]);
+    XPLAIN_CHECK(removed == plan.removed[r].count())
+        << "stale DeltaPlan applied to relation " << relations_[r].name();
+  }
+  ++version_;
+  return plan.rows_removed;
 }
 
 Database Database::ApplyDelta(const DeltaSet& delta) const {

@@ -10,6 +10,7 @@
 namespace xplain {
 
 /// A parsed schema description: relation schemas plus foreign keys.
+/// Thread-safety: plain data, externally synchronized.
 struct SchemaSpec {
   std::vector<RelationSchema> relations;
   std::vector<ForeignKey> foreign_keys;

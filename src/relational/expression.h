@@ -11,6 +11,7 @@ class Expression;
 using ExprPtr = std::shared_ptr<const Expression>;
 
 /// Evaluation knobs for numerical expressions.
+/// Thread-safety: plain data, externally synchronized.
 struct EvalOptions {
   /// Guard against division by (near-)zero: denominators with magnitude
   /// below epsilon are clamped to +-epsilon. The paper (Section 5.1.1) adds
@@ -20,6 +21,7 @@ struct EvalOptions {
 
 /// Arithmetic expression E(q_1, ..., q_m) over aggregate-query results
 /// (paper Eq. 1). Supports +, -, *, /, pow, and unary neg/log/exp/sqrt/abs.
+/// Thread-safety: immutable after construction (shared via ExprPtr).
 class Expression {
  public:
   enum class Kind { kConstant, kVariable, kUnary, kBinary };

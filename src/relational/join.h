@@ -11,6 +11,7 @@
 namespace xplain {
 
 /// Equi-join key description: positions in the left and right relations.
+/// Thread-safety: plain data, externally synchronized.
 struct JoinKeys {
   std::vector<int> left_attrs;
   std::vector<int> right_attrs;

@@ -15,7 +15,9 @@ namespace xplain {
 /// {=, <, <=, >, >=}; we additionally support <>).
 enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
+/// Display/parser token of `op` ("=", "<>", "<", ...).
 const char* CompareOpToString(CompareOp op);
+/// Inverse of CompareOpToString; rejects unknown tokens.
 [[nodiscard]] Result<CompareOp> CompareOpFromString(const std::string& token);
 
 /// SQL three-valued comparison collapsed to bool: any comparison against
@@ -23,6 +25,7 @@ const char* CompareOpToString(CompareOp op);
 bool EvalCompare(const Value& lhs, CompareOp op, const Value& rhs);
 
 /// An atomic predicate [R_i.A op c] (paper Def. 2.3).
+/// Thread-safety: plain data, externally synchronized.
 struct AtomicPredicate {
   ColumnRef column;
   CompareOp op = CompareOp::kEq;
@@ -41,6 +44,8 @@ struct AtomicPredicate {
 };
 
 /// A conjunction of atomic predicates; the empty conjunction is TRUE.
+/// Thread-safety: safe once built — every method is const; build-up
+/// (AddAtom) is externally synchronized.
 class ConjunctivePredicate {
  public:
   ConjunctivePredicate() = default;
@@ -85,6 +90,7 @@ class ConjunctivePredicate {
 ///
 /// The empty disjunction is FALSE; a disjunction containing an empty
 /// conjunction is TRUE.
+/// Thread-safety: immutable after construction.
 class DnfPredicate {
  public:
   /// FALSE (no disjuncts).

@@ -13,6 +13,7 @@
 namespace xplain {
 
 /// One aggregate subquery q_j: `select agg(...) from U(D) where <pred>`.
+/// Thread-safety: plain data, externally synchronized.
 struct AggregateQuery {
   std::string name;  // display name, e.g. "q1"
   AggregateSpec agg;
@@ -25,6 +26,7 @@ struct AggregateQuery {
 
 /// A numerical query Q = E(q_1, ..., q_m) (paper Eq. 1): an arithmetic
 /// expression over aggregate subqueries evaluated on the universal relation.
+/// Thread-safety: safe once built — evaluation methods are const.
 class NumericalQuery {
  public:
   NumericalQuery() = default;
@@ -66,9 +68,11 @@ class NumericalQuery {
 /// The direction in which the user finds Q surprising (paper Def. 2.1).
 enum class Direction { kHigh, kLow };
 
+/// Display name of `dir` ("high"/"low").
 const char* DirectionToString(Direction dir);
 
 /// A user question (Q, dir): "why is Q so high/low?" (paper Def. 2.1).
+/// Thread-safety: plain data, externally synchronized.
 struct UserQuestion {
   NumericalQuery query;
   Direction direction = Direction::kHigh;

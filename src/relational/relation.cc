@@ -48,6 +48,19 @@ Status Relation::CheckPrimaryKeyUnique() const {
   return Status::OK();
 }
 
+size_t Relation::CompactRows(const RowSet& remove) {
+  if (remove.empty()) return 0;
+  size_t write = 0;
+  for (size_t read = 0; read < rows_.size(); ++read) {
+    if (remove.Test(read)) continue;
+    if (write != read) rows_[write] = std::move(rows_[read]);
+    ++write;
+  }
+  size_t removed = rows_.size() - write;
+  rows_.resize(write);
+  return removed;
+}
+
 std::string Relation::ToString(size_t max_rows) const {
   std::string out = name() + ": " + std::to_string(rows_.size()) + " rows";
   size_t shown = std::min(max_rows, rows_.size());

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "relational/rowset.h"
 #include "relational/schema.h"
 #include "relational/tuple.h"
 #include "util/result.h"
@@ -13,9 +14,13 @@ namespace xplain {
 
 /// An in-memory relation instance: a schema plus a row store.
 ///
-/// Rows have stable positions (no in-place deletion); deletions are
-/// represented externally with RowSet masks, and compaction happens only
-/// when a new Relation/Database is materialized.
+/// Rows have stable positions between mutations; deletions are represented
+/// externally with RowSet masks, and compaction happens either when a new
+/// Relation/Database is materialized or in place via CompactRows (which
+/// renumbers rows — see DeltaPlan::row_remap for the old->new map).
+///
+/// Thread-safety: thread-compatible — concurrent const access is safe;
+/// mutations require exclusive access.
 class Relation {
  public:
   Relation() = default;
@@ -48,6 +53,13 @@ class Relation {
   /// Verifies that no two rows share a primary key.
   [[nodiscard]] Status CheckPrimaryKeyUnique() const;
 
+  /// Stable in-place compaction: removes every row whose index is set in
+  /// `remove`, preserving the relative order of survivors. Tuples are
+  /// moved, not copied, so cost is O(NumRows()) pointer steals regardless
+  /// of row width. Returns the number of rows removed. Invalidates row
+  /// indices held elsewhere (see DeltaPlan::row_remap).
+  size_t CompactRows(const RowSet& remove);
+
   /// "name: N rows" plus at most `max_rows` row renderings.
   std::string ToString(size_t max_rows = 10) const;
 
@@ -58,6 +70,7 @@ class Relation {
 
 /// A hash index from composite column values to the row positions holding
 /// them. Built over a chosen column subset of one relation.
+/// Thread-safety: safe after Build — lookups only read.
 class HashIndex {
  public:
   HashIndex() = default;

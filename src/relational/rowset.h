@@ -13,6 +13,7 @@ namespace xplain {
 ///
 /// Used both for interventions (Delta_i, the rows to delete from R_i) and
 /// for liveness masks during semijoin reduction.
+/// Thread-safety: unsafe — external synchronization for mutation.
 class RowSet {
  public:
   RowSet() = default;

@@ -11,12 +11,14 @@
 namespace xplain {
 
 /// One attribute (column) of a relation.
+/// Thread-safety: plain data, externally synchronized.
 struct AttributeDef {
   std::string name;
   DataType type = DataType::kString;
 };
 
 /// Schema of one relation: name, typed attributes, primary key.
+/// Thread-safety: immutable after Create.
 class RelationSchema {
  public:
   RelationSchema() = default;
@@ -60,11 +62,13 @@ class RelationSchema {
 /// necessary for the collection; e.g. each author is necessary for a paper).
 enum class ForeignKeyKind { kStandard, kBackAndForth };
 
+/// Display name of `kind` ("standard"/"back-and-forth").
 const char* ForeignKeyKindToString(ForeignKeyKind kind);
 
 /// A (possibly composite) foreign key constraint
 /// `child.child_attrs -> parent.parent_attrs` where parent_attrs must be the
 /// parent's primary key.
+/// Thread-safety: plain data, externally synchronized.
 struct ForeignKey {
   std::string child_relation;
   std::vector<std::string> child_attrs;
@@ -78,6 +82,7 @@ struct ForeignKey {
 
 /// A column identified by position: relation index in the database and
 /// attribute index in that relation.
+/// Thread-safety: plain data, externally synchronized.
 struct ColumnRef {
   int relation = -1;
   int attribute = -1;

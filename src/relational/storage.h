@@ -8,6 +8,8 @@
 
 namespace xplain {
 
+/// Knobs for loading a database from DDL + CSV files.
+/// Thread-safety: plain data, externally synchronized.
 struct LoadOptions {
   /// Verify every foreign key after loading.
   bool check_integrity = true;

@@ -18,7 +18,8 @@ std::string TupleToString(const Tuple& tuple);
 /// Projects `tuple` onto the given attribute positions, in order.
 Tuple ProjectTuple(const Tuple& tuple, const std::vector<int>& columns);
 
-/// Hash / equality functors so Tuple can key unordered containers.
+/// Hash functor so Tuple can key unordered containers.
+/// Thread-safety: stateless.
 struct TupleHash {
   size_t operator()(const Tuple& t) const {
     size_t seed = t.size();
@@ -27,6 +28,8 @@ struct TupleHash {
   }
 };
 
+/// Equality functor paired with TupleHash (Value::Equals per position).
+/// Thread-safety: stateless.
 struct TupleEq {
   bool operator()(const Tuple& a, const Tuple& b) const {
     if (a.size() != b.size()) return false;
@@ -40,6 +43,8 @@ struct TupleEq {
 /// Lexicographic total order on tuples (by Value::Compare).
 int CompareTuples(const Tuple& a, const Tuple& b);
 
+/// Ordering functor over CompareTuples, for sorted containers.
+/// Thread-safety: stateless.
 struct TupleLess {
   bool operator()(const Tuple& a, const Tuple& b) const {
     return CompareTuples(a, b) < 0;

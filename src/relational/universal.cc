@@ -196,6 +196,43 @@ std::vector<std::string> UniversalRelation::ColumnNames() const {
   return names;
 }
 
+UniversalRemap UniversalRelation::PlanRemap(const DeltaPlan& plan) const {
+  TraceSpan span("universal.plan_remap");
+  UniversalRemap remap;
+  const size_t n = NumRows();
+  const int k = num_relations_;
+  remap.rows.reserve(rows_.size());
+  remap.surviving_universal.reserve(n);
+  // A universal row survives iff every base component survives. Because
+  // Build enumerates join matches in ascending base-row order, the
+  // surviving subsequence (renumbered through the plan) is byte-identical
+  // to a fresh Build over the compacted database.
+  for (size_t u = 0; u < n; ++u) {
+    const uint32_t* row = &rows_[u * k];
+    bool survives = true;
+    for (int r = 0; r < k; ++r) {
+      if (plan.MapRow(r, row[r]) == DeltaPlan::kNoRow) {
+        survives = false;
+        break;
+      }
+    }
+    if (!survives) {
+      remap.removed_universal.push_back(static_cast<uint32_t>(u));
+      continue;
+    }
+    remap.surviving_universal.push_back(static_cast<uint32_t>(u));
+    for (int r = 0; r < k; ++r) {
+      remap.rows.push_back(plan.MapRow(r, row[r]));
+    }
+  }
+  span.set_arg(static_cast<int64_t>(remap.removed_universal.size()));
+  XPLAIN_COUNTER_ADD("universal.remaps", 1);
+  XPLAIN_COUNTER_ADD(
+      "universal.removed_rows",
+      static_cast<int64_t>(remap.removed_universal.size()));
+  return remap;
+}
+
 DeltaSet UniversalRelation::SupportSets(const RowSet* live) const {
   DeltaSet support = db_->EmptyDelta();
   const size_t n = NumRows();

@@ -11,6 +11,24 @@
 
 namespace xplain {
 
+/// The surviving-row map from an old universal relation to the universal
+/// relation of the database after a DeltaPlan is applied. Because U is
+/// monotone in its base rows and Build enumerates matches in ascending base
+/// row order, U(D - delta) is exactly the subsequence of old U rows whose
+/// base tuples all survive — so maintenance is a linear remap, not a
+/// re-join (DESIGN.md §10).
+/// Thread-safety: plain data, externally synchronized.
+struct UniversalRemap {
+  /// The new flattened row store (base indices renumbered through the
+  /// plan's row_remap), ready for AdoptRows.
+  std::vector<uint32_t> rows;
+  /// Old universal row indices that die with the delta, ascending.
+  std::vector<uint32_t> removed_universal;
+  /// Old universal row indices that survive, ascending; new row i was old
+  /// row surviving_universal[i].
+  std::vector<uint32_t> surviving_universal;
+};
+
 /// The universal relation U(D) = R_1 ⋈ ... ⋈ R_k joined on all foreign key
 /// constraints (paper Section 2).
 ///
@@ -22,6 +40,9 @@ namespace xplain {
 /// database to have a single relation); the join is assembled along a BFS
 /// spanning tree of FK edges, and any non-tree FK edges are applied as
 /// post-filters (handles cyclic FK graphs over an acyclic schema).
+///
+/// Thread-safety: thread-compatible — concurrent const access is safe;
+/// AdoptRows requires exclusive access.
 class UniversalRelation {
  public:
   /// Builds U(D) over all rows of `db`.
@@ -59,6 +80,18 @@ class UniversalRelation {
   /// universal rows with live->Test(u) true are considered.
   DeltaSet SupportSets(const RowSet* live = nullptr) const;
 
+  /// Computes, without modifying this relation, the universal-row effect of
+  /// `plan` (which must target db() at its current state): which universal
+  /// rows die, which survive, and the renumbered row store equal to what
+  /// Build would produce on the compacted database. O(NumRows * k).
+  UniversalRemap PlanRemap(const DeltaPlan& plan) const;
+
+  /// Installs remap.rows as the new row store. Call exactly once, after
+  /// Database::ApplyDeltaPlan has compacted the base relations the remap
+  /// was renumbered against. Requires exclusive access.
+  void AdoptRows(UniversalRemap&& remap) { rows_ = std::move(remap.rows); }
+
+  /// Multi-line rendering of up to `max_rows` materialized rows.
   std::string ToString(size_t max_rows = 10) const;
 
  private:

@@ -19,6 +19,7 @@ namespace xplain {
 /// lexicographically. (Three-valued SQL comparison semantics for predicates
 /// are implemented in predicate.cc on top of this, where any comparison
 /// against NULL is false.)
+/// Thread-safety: immutable after construction (assignment is external).
 class Value {
  public:
   /// Constructs NULL.
@@ -94,6 +95,8 @@ class Value {
 }  // namespace xplain
 
 namespace std {
+/// Standard hash specialization delegating to Value::Hash.
+/// Thread-safety: stateless.
 template <>
 struct hash<xplain::Value> {
   size_t operator()(const xplain::Value& v) const { return v.Hash(); }

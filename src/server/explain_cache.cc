@@ -1,9 +1,12 @@
 #include "server/explain_cache.h"
 
 #include <functional>
+#include <unordered_set>
+#include <utility>
 
 #include "util/hash.h"
 #include "util/metrics.h"
+#include "util/string_util.h"
 
 namespace xplain {
 namespace server {
@@ -50,11 +53,16 @@ std::optional<std::string> ExplainCache::Lookup(const std::string& key) {
   return it->second->payload;
 }
 
-void ExplainCache::Insert(const std::string& key, std::string payload) {
-  const size_t entry_bytes = key.size() + payload.size();
-  Shard* shard = ShardFor(key);
+void ExplainCache::Insert(const std::string& key, std::string payload,
+                          std::shared_ptr<const CacheReadSet> read_set) {
+  InsertEntry(Entry{key, std::move(payload), std::move(read_set)});
+}
+
+void ExplainCache::InsertEntry(Entry&& entry) {
+  const size_t entry_bytes = entry.key.size() + entry.payload.size();
+  Shard* shard = ShardFor(entry.key);
   MutexLock lock(&shard->mu);
-  auto it = shard->index.find(key);
+  auto it = shard->index.find(entry.key);
   if (it != shard->index.end()) {
     shard->bytes -= it->first.size() + it->second->payload.size();
     shard->lru.erase(it->second);
@@ -65,8 +73,8 @@ void ExplainCache::Insert(const std::string& key, std::string payload) {
     // everything for a single entry, so skip.
     return;
   }
-  shard->lru.push_front(Entry{key, std::move(payload)});
-  shard->index[key] = shard->lru.begin();
+  shard->lru.push_front(std::move(entry));
+  shard->index[shard->lru.front().key] = shard->lru.begin();
   shard->bytes += entry_bytes;
   EvictToBudget(shard);
 }
@@ -86,13 +94,77 @@ void ExplainCache::InvalidateAll() {
   int64_t dropped = 0;
   for (const std::unique_ptr<Shard>& shard : shards_) {
     MutexLock lock(&shard->mu);
-    dropped += static_cast<int64_t>(shard->lru.size());
-    shard->invalidations += static_cast<int64_t>(shard->lru.size());
+    const int64_t n = static_cast<int64_t>(shard->lru.size());
+    dropped += n;
+    shard->invalidations += n;
+    shard->full_invalidations += n;
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0;
   }
   XPLAIN_COUNTER_ADD("server.cache.invalidated_entries", dropped);
+  XPLAIN_COUNTER_ADD("server.cache.full_invalidations", dropped);
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<const CacheReadSet>>>
+ExplainCache::SnapshotReadSets() const {
+  std::vector<std::pair<std::string, std::shared_ptr<const CacheReadSet>>>
+      out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    for (const Entry& entry : shard->lru) {
+      out.emplace_back(entry.key, entry.read_set);
+    }
+  }
+  return out;
+}
+
+void ExplainCache::RetargetVersion(
+    const std::string& old_prefix, const std::string& new_prefix,
+    const std::vector<std::string>& keep_keys) {
+  const std::unordered_set<std::string> keep(keep_keys.begin(),
+                                             keep_keys.end());
+  // Pass 1: extract everything, one shard lock at a time. Entries move
+  // across shards when re-keyed (the shard is a hash of the key), and
+  // shard mutexes share a rank, so no two may be held at once.
+  std::vector<Entry> survivors;
+  int64_t dropped_touched = 0;
+  int64_t dropped_total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    for (Entry& entry : shard->lru) {
+      if (!StartsWith(entry.key, old_prefix)) {
+        // A foreign-version entry is already unreachable: drop it.
+        ++dropped_total;
+        ++shard->invalidations;
+        continue;
+      }
+      if (keep.count(entry.key) == 0) {
+        ++dropped_touched;
+        ++dropped_total;
+        ++shard->invalidations;
+        ++shard->targeted_invalidations;
+        continue;
+      }
+      entry.key = new_prefix + entry.key.substr(old_prefix.size());
+      ++shard->rekeyed;
+      survivors.push_back(std::move(entry));
+    }
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+  // Pass 2: reinsert the survivors under their new-version keys via the
+  // normal per-shard path. LRU order within a shard is only approximately
+  // preserved, which monitoring tolerates.
+  int64_t rekeyed = 0;
+  for (Entry& entry : survivors) {
+    ++rekeyed;
+    InsertEntry(std::move(entry));
+  }
+  (void)dropped_total;  // per-shard invalidations stats already count it
+  XPLAIN_COUNTER_ADD("server.cache.targeted_invalidations", dropped_touched);
+  XPLAIN_COUNTER_ADD("server.cache.rekeyed_entries", rekeyed);
 }
 
 ExplainCache::Stats ExplainCache::GetStats() const {
@@ -103,6 +175,9 @@ ExplainCache::Stats ExplainCache::GetStats() const {
     stats.misses += shard->misses;
     stats.evictions += shard->evictions;
     stats.invalidations += shard->invalidations;
+    stats.full_invalidations += shard->full_invalidations;
+    stats.targeted_invalidations += shard->targeted_invalidations;
+    stats.rekeyed += shard->rekeyed;
     stats.entries += static_cast<int64_t>(shard->lru.size());
     stats.bytes += static_cast<int64_t>(shard->bytes);
   }

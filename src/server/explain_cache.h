@@ -9,11 +9,30 @@
 #include <unordered_map>
 #include <vector>
 
+#include "relational/predicate.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
 namespace xplain {
 namespace server {
+
+/// What a cached explanation actually read from the database, recorded at
+/// insert time so a delta can invalidate only the entries whose inputs
+/// changed (DESIGN.md §10). An entry's cube cells are functions of the
+/// universal rows satisfying its subquery filters, so the read set is the
+/// filter list: a removed universal row satisfying any filter may change
+/// the payload (including its grand total). `conservative` marks payloads
+/// with inputs beyond the filters — exact-rescored answers (program P ran
+/// over the whole database), EXPLAIN payloads (the "candidates" field
+/// counts every table-M cell), support-pruned answers, non-intervention
+/// rankings, and lists serving any degree at or below the no-change
+/// degree sign(dir) * Q(D) (a deleted cell sits exactly at that floor and
+/// can pad such a list) — such entries are dropped on every delta.
+/// Thread-safety: immutable after construction; share freely.
+struct CacheReadSet {
+  std::vector<DnfPredicate> filters;
+  bool conservative = false;
+};
 
 /// Sizing knobs for the explanation cache.
 /// Thread-safety: plain data, externally synchronized.
@@ -28,15 +47,20 @@ struct ExplainCacheOptions {
 };
 
 /// A sharded LRU cache from canonical request keys to serialized response
-/// payloads (DESIGN.md §8). Keys embed the database version, and
-/// InvalidateAll() drops every entry when the version bumps, so a stale
-/// answer can never be served. Hit/miss/eviction/invalidation totals feed
-/// the `server.cache.*` process metrics and the per-instance Stats.
+/// payloads (DESIGN.md §8). Keys embed the database version ("v=N;"
+/// prefix), so a stale answer can never be served. A version bump either
+/// drops everything (InvalidateAll) or, on the incremental delta path,
+/// re-keys the entries whose read sets were untouched to the new version
+/// and drops only the rest (RetargetVersion, DESIGN.md §10).
+/// Hit/miss/eviction/invalidation totals feed the `server.cache.*`
+/// process metrics and the per-instance Stats.
 ///
 /// Thread-safety: safe — each shard holds its own mutex; Lookup/Insert on
-/// different shards never contend. Stats() and InvalidateAll() visit all
-/// shards without a global lock (counts are a consistent-enough snapshot
-/// for monitoring).
+/// different shards never contend. Stats(), InvalidateAll(),
+/// SnapshotReadSets(), and RetargetVersion() visit all shards without a
+/// global lock (counts are a consistent-enough snapshot for monitoring;
+/// retargeting is atomic per shard, and the serving layer serializes
+/// retargets against each other with its delta mutex).
 class ExplainCache {
  public:
   explicit ExplainCache(const ExplainCacheOptions& options);
@@ -50,10 +74,36 @@ class ExplainCache {
 
   /// Inserts (or replaces) `key` -> `payload`, then evicts
   /// least-recently-used entries until the shard is back under budget.
-  void Insert(const std::string& key, std::string payload);
+  /// `read_set` (may be null) records what the payload read so
+  /// RetargetVersion can decide whether the entry survives a delta; a
+  /// null read set is treated as conservative (dropped on every delta).
+  void Insert(const std::string& key, std::string payload,
+              std::shared_ptr<const CacheReadSet> read_set = nullptr);
 
-  /// Drops every entry in every shard (the database-version-bump hook).
+  /// Drops every entry in every shard (the database-version-bump hook for
+  /// non-incremental deltas and engine rebuilds). Counts the dropped
+  /// entries as full invalidations.
   void InvalidateAll();
+
+  /// A (key, read set) snapshot of every current entry, for the serving
+  /// layer's delta planner to probe against the removed rows. The read-set
+  /// pointers stay valid after the entries are dropped or re-keyed.
+  std::vector<std::pair<std::string, std::shared_ptr<const CacheReadSet>>>
+  SnapshotReadSets() const;
+
+  /// The incremental-delta version bump: every entry whose key starts with
+  /// `old_prefix` and is in `keep_keys` (the keys the delta planner probed
+  /// and proved untouched by the delta) is re-keyed to `new_prefix` +
+  /// suffix and kept; every other entry is dropped — probed-and-touched
+  /// entries and entries inserted after the probe snapshot count as
+  /// targeted invalidations (the keep list is a whitelist precisely so
+  /// racing inserts cannot leak across versions), foreign-prefix entries
+  /// as plain invalidations. Runs in two passes (extract per shard, then
+  /// reinsert) because re-keying moves entries across shards and shard
+  /// mutexes share a rank.
+  void RetargetVersion(const std::string& old_prefix,
+                       const std::string& new_prefix,
+                       const std::vector<std::string>& keep_keys);
 
   /// A monitoring snapshot of the whole cache.
   /// Thread-safety: plain data, externally synchronized.
@@ -61,7 +111,17 @@ class ExplainCache {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;
-    int64_t invalidations = 0;  // entries dropped by InvalidateAll
+    /// Total entries dropped by any invalidation (full + targeted +
+    /// unreachable-prefix drops during retargeting).
+    int64_t invalidations = 0;
+    /// Entries dropped by InvalidateAll (full wipes).
+    int64_t full_invalidations = 0;
+    /// Entries dropped by RetargetVersion because a delta touched their
+    /// read set.
+    int64_t targeted_invalidations = 0;
+    /// Entries that survived a RetargetVersion and were re-keyed to the
+    /// new database version.
+    int64_t rekeyed = 0;
     int64_t entries = 0;
     int64_t bytes = 0;
   };
@@ -71,6 +131,7 @@ class ExplainCache {
   struct Entry {
     std::string key;
     std::string payload;
+    std::shared_ptr<const CacheReadSet> read_set;
   };
 
   struct Shard {
@@ -84,9 +145,15 @@ class ExplainCache {
     int64_t misses XPLAIN_GUARDED_BY(mu) = 0;
     int64_t evictions XPLAIN_GUARDED_BY(mu) = 0;
     int64_t invalidations XPLAIN_GUARDED_BY(mu) = 0;
+    int64_t full_invalidations XPLAIN_GUARDED_BY(mu) = 0;
+    int64_t targeted_invalidations XPLAIN_GUARDED_BY(mu) = 0;
+    int64_t rekeyed XPLAIN_GUARDED_BY(mu) = 0;
   };
 
   Shard* ShardFor(const std::string& key);
+
+  /// The shared body of Insert and the RetargetVersion reinsert pass.
+  void InsertEntry(Entry&& entry);
 
   /// Evicts least-recently-used entries until `shard` is back under its
   /// byte budget.

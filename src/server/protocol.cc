@@ -16,8 +16,10 @@ Result<RequestOp> ParseOp(const std::string& text) {
   if (EqualsIgnoreCase(text, "topk")) return RequestOp::kTopK;
   if (EqualsIgnoreCase(text, "stats")) return RequestOp::kStats;
   if (EqualsIgnoreCase(text, "drain")) return RequestOp::kDrain;
+  if (EqualsIgnoreCase(text, "delta")) return RequestOp::kDelta;
   return Status::InvalidArgument(
-      "unknown op '" + text + "' (expected EXPLAIN, TOPK, STATS or DRAIN)");
+      "unknown op '" + text +
+      "' (expected EXPLAIN, TOPK, STATS, DRAIN or DELTA)");
 }
 
 Result<size_t> ParseNonNegative(const JsonValue& object, const char* key,
@@ -106,8 +108,9 @@ void AppendExplanations(const Database& db,
     AppendJsonString(ranked.explanation.predicate().ToString(db), out);
     *out += ",\"degree\":";
     AppendJsonNumber(ranked.degree, out);
-    *out += ",\"m_row\":";
-    *out += std::to_string(ranked.m_row);
+    // Deliberately no table-M row index here: it is an internal position
+    // that shifts whenever a delta erases unrelated cells, which would
+    // break the cache's survival contract (DESIGN.md §10).
     out->push_back('}');
   }
   out->push_back(']');
@@ -125,6 +128,8 @@ const char* RequestOpToString(RequestOp op) {
       return "STATS";
     case RequestOp::kDrain:
       return "DRAIN";
+    case RequestOp::kDelta:
+      return "DELTA";
   }
   return "UNKNOWN";
 }
@@ -150,6 +155,34 @@ Result<Request> ParseRequest(const std::string& line) {
   // Serving default: one engine thread per request; cross-request
   // parallelism comes from the service pool (DESIGN.md §8).
   request.options.num_threads = 1;
+  if (request.op == RequestOp::kDelta) {
+    request.delta_relation = root.GetString("relation", "");
+    if (request.delta_relation.empty()) {
+      return Status::InvalidArgument(
+          "DELTA needs a \"relation\" string");
+    }
+    const JsonValue* rows = root.Find("rows");
+    if (rows != nullptr) {
+      if (!rows->is_array()) {
+        return Status::InvalidArgument("DELTA rows must be an array");
+      }
+      for (const JsonValue& row : rows->array_items()) {
+        if (!row.is_number() || row.number_value() < 0 ||
+            row.number_value() != std::floor(row.number_value())) {
+          return Status::InvalidArgument(
+              "DELTA rows must be non-negative integers");
+        }
+        request.delta_rows.push_back(
+            static_cast<uint64_t>(row.number_value()));
+      }
+    }
+    request.delta_where = root.GetString("where", "");
+    if (rows == nullptr && request.delta_where.empty()) {
+      return Status::InvalidArgument(
+          "DELTA needs \"rows\" and/or \"where\"");
+    }
+    return request;
+  }
   if (request.op != RequestOp::kExplain && request.op != RequestOp::kTopK) {
     return request;
   }
@@ -238,6 +271,43 @@ Result<UserQuestion> BuildQuestion(const Database& db,
   question.direction =
       request.direction == "low" ? Direction::kLow : Direction::kHigh;
   return question;
+}
+
+Result<DeltaSet> BuildDelta(const Database& db, const Request& request) {
+  XPLAIN_ASSIGN_OR_RETURN(int rel, db.RelationIndex(request.delta_relation));
+  DeltaSet delta = db.EmptyDelta();
+  const size_t num_rows = db.relation(rel).NumRows();
+  for (uint64_t row : request.delta_rows) {
+    if (row >= num_rows) {
+      return Status::InvalidArgument(
+          "DELTA row " + std::to_string(row) + " out of range (" +
+          request.delta_relation + " has " + std::to_string(num_rows) +
+          " rows)");
+    }
+    delta[rel].Set(static_cast<size_t>(row));
+  }
+  if (!request.delta_where.empty()) {
+    XPLAIN_ASSIGN_OR_RETURN(DnfPredicate where,
+                            ParseDnfPredicate(db, request.delta_where));
+    for (const ConjunctivePredicate& disjunct : where.disjuncts()) {
+      for (const AtomicPredicate& atom : disjunct.atoms()) {
+        if (atom.column.relation != rel) {
+          return Status::InvalidArgument(
+              "DELTA where may only reference columns of " +
+              request.delta_relation);
+        }
+      }
+    }
+    for (size_t row = 0; row < num_rows; ++row) {
+      for (const ConjunctivePredicate& disjunct : where.disjuncts()) {
+        if (disjunct.EvalOnRelation(db, rel, row)) {
+          delta[rel].Set(row);
+          break;
+        }
+      }
+    }
+  }
+  return delta;
 }
 
 std::string ReportPayload(const Database& db, const ExplainReport& report,

@@ -34,7 +34,19 @@ namespace server {
 /// TOPK takes the same members as EXPLAIN (lighter response); STATS and
 /// DRAIN take only `id`. Predicate/aggregate/expression texts reuse the
 /// exact `relational/parser` grammar of the CLI.
-enum class RequestOp { kExplain, kTopK, kStats, kDrain };
+///
+/// DELTA removes tuples (the paper's D - Delta semantics; dangling rows
+/// go too) and is handled synchronously on the transport thread:
+///
+///   {"id": 9, "op": "DELTA", "relation": "Birth",
+///    "rows": [0, 17, 23]}            — explicit row positions, and/or
+///   {"id": 9, "op": "DELTA", "relation": "Birth",
+///    "where": "race = 'White'"}      — all rows matching a predicate
+///                                      over that relation's columns
+///
+/// The response echoes `removed` (base rows deleted, closure included)
+/// and the post-delta `db_version`.
+enum class RequestOp { kExplain, kTopK, kStats, kDrain, kDelta };
 
 /// Wire name of `op` ("EXPLAIN", ...).
 const char* RequestOpToString(RequestOp op);
@@ -59,6 +71,11 @@ struct Request {
   std::string direction = "high";
   std::vector<std::string> attrs;
   ExplainOptions options;  // num_threads defaults to 1 when serving
+  /// DELTA members: the target relation, explicit row positions, and/or a
+  /// predicate text selecting rows to delete (parsed by BuildDelta).
+  std::string delta_relation;
+  std::vector<uint64_t> delta_rows;
+  std::string delta_where;
 };
 
 /// Parses one request line. Structural errors (bad JSON, unknown op,
@@ -77,6 +94,13 @@ uint64_t ExtractRequestId(const std::string& line);
 /// expression).
 [[nodiscard]] Result<UserQuestion> BuildQuestion(const Database& db,
                                                  const Request& request);
+
+/// Resolves a DELTA request against `db`: validates the relation name and
+/// row positions, parses `delta_where` (every atom must reference the
+/// target relation), and returns the full-shape DeltaSet marking every
+/// selected row. Closure over dangling rows happens later, in ApplyDelta.
+[[nodiscard]] Result<DeltaSet> BuildDelta(const Database& db,
+                                          const Request& request);
 
 /// Serializes an ExplainReport as the response payload for `op`: TOPK
 /// carries only the ranked explanations; EXPLAIN adds original_value,

@@ -104,6 +104,13 @@ void XplaindService::SubmitLineWith(const std::string& line,
     return;
   }
 
+  if (request.op == RequestOp::kDelta) {
+    // Synchronous on the transport thread, like DRAIN: a delta is a
+    // serialized mutation, not pool work.
+    done(MakeResponse(request.id, DeltaPayload(request)));
+    return;
+  }
+
   // Cache lookup happens before admission: hits cost no worker slot. The
   // database version is part of the key, so a stale entry can never match.
   std::string cache_key;
@@ -132,9 +139,10 @@ void XplaindService::SubmitLineWith(const std::string& line,
       [this, request, cache_key = std::move(cache_key), done]() {
         if (options_.execute_hook) options_.execute_hook();
         bool ok = false;
-        std::string payload = ExecutePayload(request, &ok);
+        std::shared_ptr<const CacheReadSet> read_set;
+        std::string payload = ExecutePayload(request, &ok, &read_set);
         if (ok && cache_ != nullptr) {
-          cache_->Insert(cache_key, payload);
+          cache_->Insert(cache_key, payload, std::move(read_set));
         }
         {
           MutexLock lock(&mu_);
@@ -156,7 +164,9 @@ void XplaindService::SubmitLineWith(const std::string& line,
   }
 }
 
-std::string XplaindService::ExecutePayload(const Request& request, bool* ok) {
+std::string XplaindService::ExecutePayload(
+    const Request& request, bool* ok,
+    std::shared_ptr<const CacheReadSet>* read_set) {
   XPLAIN_TRACE_SPAN("rpc.execute");
   const int64_t start_us = Trace::NowMicros();
   *ok = false;
@@ -174,6 +184,41 @@ std::string XplaindService::ExecutePayload(const Request& request, bool* ok) {
       TraceSpan serialize_span("rpc.serialize");
       payload = ReportPayload(db_, *report, request.op);
       *ok = true;
+      if (read_set != nullptr) {
+        // What the answer read: the subquery filters (cube cells and
+        // q_j(D) totals are functions of the rows satisfying them). The
+        // payload is a pure function of those rows only when every part
+        // of it is — which excludes:
+        //   - EXPLAIN payloads: "candidates" counts every table-M cell,
+        //     and a deletion can erase a cell no filter ever read;
+        //   - exact-rescored answers: program P ran over every row;
+        //   - min_support > 0: support prunes on whole-cell row counts;
+        //   - non-intervention rankings (aggravation of an all-zero cell
+        //     is expression-dependent, e.g. 0/0);
+        //   - any served degree at or below the no-change degree
+        //     sign(dir) * Q(D): a deletion can only erase cells whose
+        //     every filter-contribution is zero, and such a cell's
+        //     intervention degree is exactly the no-change degree — so
+        //     an erased cell can sit in (or pad) the served list iff
+        //     some listed degree is <= that floor.
+        // Anything impure is marked conservative: it depends on every
+        // row and cannot survive any delta (DESIGN.md §10).
+        auto rs = std::make_shared<CacheReadSet>();
+        for (const AggregateQuery& q : question->query.subqueries()) {
+          rs->filters.push_back(q.where);
+        }
+        bool pure = request.op == RequestOp::kTopK &&
+                    !report->exact_rescored &&
+                    request.options.degree == DegreeKind::kIntervention &&
+                    request.options.min_support <= 0.0;
+        const double no_change = InterventionSign(question->direction) *
+                                 report->original_value;
+        for (const RankedExplanation& ranked : report->explanations) {
+          pure = pure && ranked.degree > no_change;
+        }
+        rs->conservative = !pure;
+        *read_set = std::move(rs);
+      }
     }
   }
   XPLAIN_HISTOGRAM_RECORD(
@@ -255,24 +300,165 @@ std::string XplaindService::StatsPayload() const {
   out += ",\"misses\":" + std::to_string(stats.cache.misses);
   out += ",\"evictions\":" + std::to_string(stats.cache.evictions);
   out += ",\"invalidations\":" + std::to_string(stats.cache.invalidations);
+  out += ",\"full_invalidations\":" +
+         std::to_string(stats.cache.full_invalidations);
+  out += ",\"targeted_invalidations\":" +
+         std::to_string(stats.cache.targeted_invalidations);
+  out += ",\"rekeyed\":" + std::to_string(stats.cache.rekeyed);
   out += ",\"entries\":" + std::to_string(stats.cache.entries);
   out += ",\"bytes\":" + std::to_string(stats.cache.bytes);
   out += "}";
   return out;
 }
 
-Status XplaindService::ApplyDelta(const DeltaSet& delta) {
-  XPLAIN_TRACE_SPAN("rpc.apply_delta");
-  WriterMutexLock lock(&db_mu_);
-  Database next = db_.ApplyDelta(delta);
-  // Restore referential integrity: deleting tuples can leave dangling
-  // foreign keys, which the engine refuses to index.
-  next.SemijoinReduce();
-  db_ = std::move(next);
-  XPLAIN_RETURN_IF_ERROR(RebuildEngineLocked());
-  if (cache_ != nullptr) cache_->InvalidateAll();
+namespace {
+
+/// The single emission site of the per-process delta counter (every
+/// ApplyDelta outcome short of an error funnels through here).
+Status CountDeltaApplied() {
   XPLAIN_COUNTER_ADD("server.deltas_applied", 1);
   return Status::OK();
+}
+
+}  // namespace
+
+Status XplaindService::ApplyDelta(const DeltaSet& delta) {
+  // Deltas serialize against each other; requests do NOT wait here — they
+  // contend only on db_mu_, which ApplyDeltaLocked holds exclusively just
+  // for the final swap.
+  MutexLock delta_lock(&delta_mu_);
+  return ApplyDeltaLocked(delta);
+}
+
+Status XplaindService::ApplyDeltaLocked(const DeltaSet& delta) {
+  XPLAIN_TRACE_SPAN("rpc.apply_delta");
+
+  if (!options_.incremental_deltas) {
+    // Legacy rebuild path: full copy + engine rebuild + cache wipe, all
+    // under the writer lock. Closing the delta *before* the copy keeps the
+    // bump-once contract — ApplyDelta and the follow-up SemijoinReduce
+    // used to bump the version twice per delta (DESIGN.md §10).
+    WriterMutexLock lock(&db_mu_);
+    DeltaSet closed = delta;
+    MarkDanglingRows(db_, &closed);
+    db_ = db_.ApplyDelta(closed);
+    XPLAIN_RETURN_IF_ERROR(RebuildEngineLocked());
+    if (cache_ != nullptr) cache_->InvalidateAll();
+    return CountDeltaApplied();
+  }
+
+  // Phase A (read-only, concurrent with requests): close the delta, remap
+  // U(D), patch the cube workspace, recompute the unique-core signature.
+  EngineDeltaPlan plan;
+  uint64_t old_version = 0;
+  {
+    ReaderMutexLock lock(&db_mu_);
+    plan = engine_->PlanDelta(delta);
+    old_version = db_.version();
+  }
+  if (options_.delta_plan_hook) options_.delta_plan_hook();
+
+  if (plan.rows_removed == 0) {
+    // Empty delta (possibly after closure): nothing changes, no version
+    // bump, cache untouched.
+    ReaderMutexLock lock(&db_mu_);
+    engine_->AbortDelta();
+    return CountDeltaApplied();
+  }
+
+  // Probe which cached entries the removed rows can affect, against the
+  // OLD U(D) (still live under the reader lock). An entry survives the
+  // version bump iff no removed universal row satisfies any of its
+  // subquery filters — then neither its cube cells nor its q_j(D) grand
+  // totals changed. A flipped unique-core signature can change additivity
+  // verdicts, which every entry depends on, so that forces a full wipe.
+  bool full_wipe = plan.signature_changed;
+  std::vector<std::string> keep;
+  const std::string old_prefix = "v=" + std::to_string(old_version) + ";";
+  if (cache_ != nullptr && !full_wipe) {
+    const auto snapshot = cache_->SnapshotReadSets();
+    ReaderMutexLock lock(&db_mu_);
+    const UniversalRelation& universal = engine_->universal();
+    const std::vector<uint32_t>& removed = plan.remap.removed_universal;
+    if (snapshot.size() * removed.size() > options_.max_targeted_probe) {
+      full_wipe = true;
+    } else {
+      for (const auto& [key, read_set] : snapshot) {
+        if (key.compare(0, old_prefix.size(), old_prefix) != 0) continue;
+        if (read_set == nullptr || read_set->conservative) continue;
+        bool touched = false;
+        for (uint32_t u : removed) {
+          for (const DnfPredicate& filter : read_set->filters) {
+            if (filter.EvalUniversal(universal, u)) {
+              touched = true;
+              break;
+            }
+          }
+          if (touched) break;
+        }
+        if (!touched) keep.push_back(key);
+      }
+    }
+  }
+
+  // Phase B (exclusive, pointer/state swaps only): compact the base
+  // relations in place (one version bump), install the precomputed patch.
+  uint64_t new_version = 0;
+  {
+    WriterMutexLock lock(&db_mu_);
+    db_.ApplyDeltaPlan(plan.db_plan);
+    new_version = db_.version();
+    engine_->CommitDelta(std::move(plan));
+  }
+
+  if (cache_ != nullptr) {
+    if (full_wipe) {
+      cache_->InvalidateAll();
+    } else {
+      cache_->RetargetVersion(
+          old_prefix, "v=" + std::to_string(new_version) + ";", keep);
+    }
+  }
+  return CountDeltaApplied();
+}
+
+std::string XplaindService::DeltaPayload(const Request& request) {
+  XPLAIN_TRACE_SPAN("rpc.delta");
+  // Build and apply under one delta lock so the row positions resolved by
+  // BuildDelta cannot be shifted by a concurrent delta before they apply.
+  MutexLock delta_lock(&delta_mu_);
+  size_t rows_before = 0;
+  Result<DeltaSet> delta = [&]() -> Result<DeltaSet> {
+    ReaderMutexLock lock(&db_mu_);
+    for (int r = 0; r < db_.num_relations(); ++r) {
+      rows_before += db_.relation(r).NumRows();
+    }
+    return BuildDelta(db_, request);
+  }();
+  if (!delta.ok()) {
+    MutexLock lock(&mu_);
+    ++errors_;
+    return ErrorPayload(delta.status());
+  }
+  Status applied = ApplyDeltaLocked(*delta);
+  if (!applied.ok()) {
+    MutexLock lock(&mu_);
+    ++errors_;
+    return ErrorPayload(applied);
+  }
+  size_t rows_after = 0;
+  uint64_t version = 0;
+  {
+    ReaderMutexLock lock(&db_mu_);
+    for (int r = 0; r < db_.num_relations(); ++r) {
+      rows_after += db_.relation(r).NumRows();
+    }
+    version = db_.version();
+  }
+  std::string out = "\"ok\":true,\"op\":\"DELTA\",\"removed\":";
+  out += std::to_string(rows_before - rows_after);
+  out += ",\"db_version\":" + std::to_string(version);
+  return out;
 }
 
 uint64_t XplaindService::db_version() const {

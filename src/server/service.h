@@ -33,10 +33,24 @@ struct ServiceOptions {
   /// Serve repeated requests from the explanation cache.
   bool enable_cache = true;
   ExplainCacheOptions cache;
+  /// ApplyDelta maintains the engine in place: plan under a reader lock
+  /// (concurrent EXPLAINs keep running), then swap under a short writer
+  /// lock, then re-key the cache entries the delta did not touch
+  /// (DESIGN.md §10). false = the legacy path: full database copy, engine
+  /// rebuild, and cache wipe, all under the writer lock.
+  bool incremental_deltas = true;
+  /// Probe budget for targeted cache invalidation: when cache entries x
+  /// removed universal rows exceeds this, ApplyDelta gives up on probing
+  /// read sets and wipes the cache instead (still incremental otherwise).
+  size_t max_targeted_probe = 1u << 20;
   /// Test-only hook: when set, every admitted EXPLAIN/TOPK executes it on
   /// the worker before touching the engine. Lets tests hold workers inside
   /// the execution phase to make admission decisions deterministic.
   std::function<void()> execute_hook;
+  /// Test-only hook: runs between ApplyDelta's read-only planning phase
+  /// and its exclusive commit phase. Lets tests prove reads make progress
+  /// while a delta is being planned, and widen the commit race window.
+  std::function<void()> delta_plan_hook;
 };
 
 /// The xplaind explanation-serving service: owns a Database and its
@@ -84,9 +98,14 @@ class XplaindService {
                       std::function<void(std::string)> done);
 
   /// Applies a tuple delta to the owned database (removing dangling rows
-  /// like the paper's D - Delta semantics), bumps the database version,
-  /// invalidates the cache, and rebuilds the engine. Blocks until
-  /// in-flight requests finish; new requests wait for the swap.
+  /// like the paper's D - Delta semantics). On the default incremental
+  /// path (ServiceOptions::incremental_deltas) the expensive planning —
+  /// delta closure, U(D) remap, cube patches, read-set probing — runs
+  /// under a *reader* lock so concurrent requests keep executing; only the
+  /// final pointer/state swap excludes readers. The database version bumps
+  /// exactly once per delta that removes rows, and not at all for an empty
+  /// delta; cache entries whose read sets the delta did not touch survive
+  /// under the new version. Deltas serialize against each other.
   [[nodiscard]] Status ApplyDelta(const DeltaSet& delta);
 
   /// Stops admitting EXPLAIN/TOPK requests (they get kUnavailable), waits
@@ -128,10 +147,23 @@ class XplaindService {
   /// Builds the engine for the current db_. Requires exclusive db access.
   Status RebuildEngineLocked() XPLAIN_REQUIRES(db_mu_);
 
+  /// The body of ApplyDelta, for callers already holding delta_mu_ (the
+  /// DELTA request handler builds and applies under one lock so row
+  /// positions cannot go stale in between).
+  Status ApplyDeltaLocked(const DeltaSet& delta) XPLAIN_REQUIRES(delta_mu_);
+
   /// Executes an admitted EXPLAIN/TOPK on the current engine and returns
   /// the response payload (or an error payload). Runs on a pool worker.
-  /// `*ok` reports whether the payload is a success payload (cacheable).
-  std::string ExecutePayload(const Request& request, bool* ok);
+  /// `*ok` reports whether the payload is a success payload (cacheable);
+  /// on success `*read_set` (if non-null) receives what the computation
+  /// read, for targeted cache invalidation.
+  std::string ExecutePayload(const Request& request, bool* ok,
+                             std::shared_ptr<const CacheReadSet>* read_set);
+
+  /// Handles a DELTA request synchronously on the transport thread:
+  /// resolves the delta spec against the serving database, applies it, and
+  /// returns the response payload.
+  std::string DeltaPayload(const Request& request);
 
   std::string StatsPayload() const;
 
@@ -143,6 +175,12 @@ class XplaindService {
 
   ServiceOptions options_;
   size_t admission_capacity_ = 0;
+
+  /// Serializes whole ApplyDelta calls against each other, so a plan made
+  /// under the reader lock can never be invalidated by a concurrent delta
+  /// before its commit. Outermost in the lock order (rank
+  /// kMutexRankDeltaApply); db_mu_ is always acquired after it.
+  mutable Mutex delta_mu_{kMutexRankDeltaApply};
 
   /// Guards db_/engine_ swaps (ApplyDelta) against in-flight reads.
   mutable SharedMutex db_mu_;

@@ -12,14 +12,18 @@ namespace xplain {
 /// Sentinel rank for mutexes that opt out of lock-order checking.
 inline constexpr int kMutexRankUnranked = -1;
 /// Documented lock-acquisition order (DESIGN.md §6, "Lock discipline"):
-/// service admission state is taken first, then a cache shard, then a
-/// reactor task queue, then the metrics registry; trace state/buffers sit
-/// past metrics and nest state-before-buffer. A thread may only acquire a
-/// ranked mutex whose rank is strictly greater than every ranked mutex it
-/// already holds — debug builds abort on violation.
+/// the delta-apply serialization lock is outermost (it is held across the
+/// whole two-phase ApplyDelta, which reads service and cache state), then
+/// service admission state, then a cache shard, then the cube workspace,
+/// then a reactor task queue, then the metrics registry; trace
+/// state/buffers sit past metrics and nest state-before-buffer. A thread
+/// may only acquire a ranked mutex whose rank is strictly greater than
+/// every ranked mutex it already holds — debug builds abort on violation.
+inline constexpr int kMutexRankDeltaApply = 5;
 inline constexpr int kMutexRankService = 10;
 inline constexpr int kMutexRankThreadPool = 15;
 inline constexpr int kMutexRankCacheShard = 20;
+inline constexpr int kMutexRankCubeWorkspace = 25;
 inline constexpr int kMutexRankReactor = 30;
 inline constexpr int kMutexRankMetrics = 40;
 inline constexpr int kMutexRankTraceState = 50;
@@ -164,8 +168,9 @@ class CondVar {
 /// `std::shared_mutex`. Writers use Lock/Unlock (or WriterMutexLock),
 /// readers use ReaderLock/ReaderUnlock (or ReaderMutexLock); guarded
 /// members may be read under either mode and written only under the
-/// exclusive one. Not rank-checked (the repo's only SharedMutex is a leaf
-/// lock).
+/// exclusive one. Not rank-checked; the serving layer's database
+/// SharedMutex is ordered after kMutexRankDeltaApply by convention
+/// (delta_mu_ is always taken first) and otherwise used as a leaf.
 ///
 /// Thread-safety: safe — this class IS the synchronization primitive.
 class XPLAIN_CAPABILITY("shared_mutex") SharedMutex {

@@ -245,7 +245,7 @@ TEST_F(XplainLintTest, FlagsUndocumentedFunctionInCoreHeader) {
   EXPECT_NE(run.output.find("doc-comment"), std::string::npos) << run.output;
 }
 
-TEST_F(XplainLintTest, UndocumentedFunctionOutsideCoreUtilIsFine) {
+TEST_F(XplainLintTest, FlagsUndocumentedFunctionInRelationalHeader) {
   WriteFile("src/relational/api.h",
             "#ifndef XPLAIN_RELATIONAL_API_H_\n"
             "#define XPLAIN_RELATIONAL_API_H_\n"
@@ -253,6 +253,21 @@ TEST_F(XplainLintTest, UndocumentedFunctionOutsideCoreUtilIsFine) {
             "int Frob(int x);\n"
             "}  // namespace xplain\n"
             "#endif  // XPLAIN_RELATIONAL_API_H_\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("doc-comment"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, UndocumentedFunctionOutsideDocumentedSurfaceIsFine) {
+  // src/core/, src/relational/ and src/util/ must document their public
+  // surface; other directories (here src/datagen/) are exempt.
+  WriteFile("src/datagen/api.h",
+            "#ifndef XPLAIN_DATAGEN_API_H_\n"
+            "#define XPLAIN_DATAGEN_API_H_\n"
+            "namespace xplain {\n"
+            "int Frob(int x);\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_DATAGEN_API_H_\n");
   const LintRun run = RunLint(root_);
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }

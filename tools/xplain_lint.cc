@@ -10,7 +10,8 @@
 //   [include-cc]           no #include of .cc files.
 //   [banned-fn]            atoi / strtok / rand are banned (use
 //                          Value::Parse, string_util, datagen/rng.h).
-//   [doc-comment]          headers under src/core/ and src/util/: every
+//   [doc-comment]          headers under src/core/, src/relational/ and
+//                          src/util/: every
 //                          namespace-scope class/struct/enum definition and
 //                          free function declaration carries a /// summary.
 //   [thread-safety-doc]    class/struct definitions in those headers state
@@ -352,7 +353,8 @@ std::string ToLower(std::string s) {
 
 // --- doc-comment rules -----------------------------------------------------
 //
-// Headers under src/core/ and src/util/ are the library's public surface:
+// Headers under src/core/, src/relational/ and src/util/ are the
+// library's public surface:
 // every namespace-scope class/struct/enum definition and free function
 // declaration must be introduced by a /// comment, and class definitions
 // must state their thread-safety contract in that block. The scan is
@@ -474,7 +476,8 @@ void CheckDocComments(const std::string& display, const FileText& text) {
           Report(display, line_no, "doc-comment",
                  std::string(what) +
                      " without a /// summary (public headers under "
-                     "src/core/ and src/util/ document their surface)");
+                     "src/core/, src/relational/ and src/util/ document "
+                     "their surface)");
         } else if (is_class && is_definition &&
                    !DocMentionsThreadSafety(text, block_start, i)) {
           Report(display, line_no, "thread-safety-doc",
@@ -814,6 +817,7 @@ int main(int argc, char** argv) {
     CheckTraceNames(display, text);
     CheckGuardedBy(display, text);
     if (is_header && (HasPrefix(display, "src/core/") ||
+                      HasPrefix(display, "src/relational/") ||
                       HasPrefix(display, "src/util/"))) {
       CheckDocComments(display, text);
     }

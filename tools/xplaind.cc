@@ -32,6 +32,7 @@ void HandleSignal(int) { g_interrupted.store(true); }
 int Usage(std::ostream& os) {
   os << "usage: xplaind (--db DIR | --gen dblp) [--scale S] [--port P]\n"
      << "               [--workers N] [--queue N] [--reactors N] [--no-cache]\n"
+     << "               [--legacy-deltas]\n"
      << "  --db DIR      serve a directory-stored database (schema.ddl+CSV)\n"
      << "  --gen dblp    serve the synthetic DBLP instance instead\n"
      << "  --scale S     generator scale factor (default 1.0)\n"
@@ -39,7 +40,9 @@ int Usage(std::ostream& os) {
      << "  --workers N   engine worker threads (default: hardware)\n"
      << "  --queue N     admission queue depth beyond workers (default 64)\n"
      << "  --reactors N  epoll event-loop threads (default: hardware)\n"
-     << "  --no-cache    disable the explanation cache\n";
+     << "  --no-cache    disable the explanation cache\n"
+     << "  --legacy-deltas  DELTA rebuilds the engine and wipes the cache\n"
+     << "                   instead of incremental maintenance (DESIGN.md §10)\n";
   return 2;
 }
 
@@ -70,6 +73,8 @@ int main(int argc, char** argv) {
       tcp.num_reactors = std::stoi(argv[++i]);
     } else if (arg == "--no-cache") {
       service_options.enable_cache = false;
+    } else if (arg == "--legacy-deltas") {
+      service_options.incremental_deltas = false;
     } else if (arg == "--help" || arg == "-h") {
       Usage(std::cout);
       return 0;
