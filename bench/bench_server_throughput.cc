@@ -18,7 +18,14 @@
 //      "requests_per_sec": ..., "cold_p50_us": ..., "cold_p99_us": ...},
 //     {"workload": "warm_single_tcp", ...},
 //     {"workload": "warm_multi", ..., "warm_p50_us": ...,
-//      "warm_p99_us": ..., "warm_speedup_vs_single": ...}]}
+//      "warm_p99_us": ..., "warm_speedup_vs_single": ...},
+//     {"workload": "warm_observed", ..., "trace_sample_period": 100,
+//      "overhead_pct_vs_warm_multi": ...}]}
+//
+// warm_observed repeats warm_multi with the request-scoped observability
+// plane fully enabled (flight recorder, 1% trace sampling, armed
+// slow-query threshold; DESIGN.md §12) and reports the warm-path overhead
+// percentage — the budget is <= 5%.
 
 #include <algorithm>
 #include <deque>
@@ -334,5 +341,60 @@ int main(int argc, char** argv) {
   }
   server->Stop();
   service->Drain();
+
+  // ---- observability overhead: recorder on + 1% trace sampling ------------
+  // A fresh service with the observability plane fully enabled (flight
+  // recorder is always on; sampling one request in 100; slow-query
+  // threshold armed) against the same warm workload, to bound the
+  // warm-path cost of DESIGN.md §12 relative to warm_multi above.
+  {
+    xplain::datagen::DblpOptions obs_dblp;
+    obs_dblp.scale = scale;
+    xplain::Database obs_db =
+        Unwrap(xplain::datagen::GenerateDblp(obs_dblp), "dblp");
+    xplain::server::ServiceOptions obs_options;
+    obs_options.max_queue_depth = static_cast<size_t>(total) * 2;
+    obs_options.trace_sample_period = 100;
+    obs_options.slow_query_us = 1000000;  // high: log nothing, arm the check
+    auto obs_service = Unwrap(xplain::server::XplaindService::Create(
+                                  std::move(obs_db), obs_options),
+                              "service");
+    auto obs_server = Unwrap(
+        xplain::server::TcpServer::Start(obs_service.get(),
+                                         xplain::server::TcpServerOptions{}),
+        "server");
+
+    // Unmeasured cold pass to fill the cache, then the measured warm pass.
+    xplain::Histogram obs_fill_hist;
+    RunTcpPass(obs_server->port(), slices, static_cast<size_t>(pipeline),
+               &obs_fill_hist);
+    xplain::Histogram obs_hist;
+    const double obs_ms = RunTcpPass(obs_server->port(), slices,
+                                     static_cast<size_t>(pipeline), &obs_hist);
+    const double obs_rps = 1000.0 * total / obs_ms;
+    const double obs_p50 = HistogramPercentile(obs_hist, 50.0);
+    const double obs_p99 = HistogramPercentile(obs_hist, 99.0);
+    const double overhead_pct = (obs_ms / warm_multi_ms - 1.0) * 100.0;
+    PrintRow({"warm_observed", Fmt(obs_ms), Fmt(obs_rps, 1), Fmt(obs_p50, 0),
+              Fmt(obs_p99, 0)});
+    json.AddStats("warm_observed", clients, obs_ms,
+                  {{"clients", static_cast<double>(clients)},
+                   {"pipeline", static_cast<double>(pipeline)},
+                   {"requests", static_cast<double>(total)},
+                   {"requests_per_sec", obs_rps},
+                   {"warm_p50_us", obs_p50},
+                   {"warm_p99_us", obs_p99},
+                   {"trace_sample_period", 100.0},
+                   {"overhead_pct_vs_warm_multi", overhead_pct}});
+
+    const auto obs_stats = obs_service->GetStats();
+    if (obs_stats.cache.hits < total) {
+      std::cerr << "bench error: observed warm pass expected " << total
+                << " cache hits, saw " << obs_stats.cache.hits << std::endl;
+      return 1;
+    }
+    obs_server->Stop();
+    obs_service->Drain();
+  }
   return 0;
 }

@@ -47,36 +47,10 @@ inline std::string Fmt(double v, int precision = 3) {
   return os.str();
 }
 
-/// Estimates the `p`-th percentile (0..100) of a log2-bucketed Histogram
-/// (util/metrics.h): walks the cumulative bucket counts to the bucket
-/// holding the target rank, then interpolates linearly inside that
-/// bucket's value range — bucket 0 covers [0,1), bucket i covers
-/// [2^(i-1), 2^i). The upper bound is clamped to the histogram's observed
-/// max, so the open-ended last bucket cannot inflate the estimate.
-/// Returns 0 for an empty histogram. Shared by the latency benches
-/// (p50/p99 keys in BENCH_*.json) and unit-tested in bench_util_test.
-inline double HistogramPercentile(const Histogram& h, double p) {
-  const int64_t count = h.count();
-  if (count <= 0) return 0.0;
-  p = std::min(std::max(p, 0.0), 100.0);
-  const double rank = p / 100.0 * static_cast<double>(count);
-  int64_t cumulative = 0;
-  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
-    const int64_t in_bucket = h.bucket(i);
-    if (in_bucket == 0) continue;
-    if (static_cast<double>(cumulative + in_bucket) >= rank) {
-      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
-      double hi = i == 0 ? 1.0 : std::ldexp(1.0, i);
-      if (h.max() >= lo && h.max() < hi) hi = h.max();
-      const double fraction =
-          (rank - static_cast<double>(cumulative)) /
-          static_cast<double>(in_bucket);
-      return lo + (hi - lo) * std::min(std::max(fraction, 0.0), 1.0);
-    }
-    cumulative += in_bucket;
-  }
-  return h.max();
-}
+/// The percentile estimator now lives in util/metrics (the server's STATS
+/// payload computes p50/p99 with it too); benches keep addressing it as
+/// bench::HistogramPercentile.
+using ::xplain::HistogramPercentile;
 
 /// Wall-clock samples of one measured configuration: `min_ms` is the least
 /// noisy single sample, `median_ms` the robust central tendency reported as

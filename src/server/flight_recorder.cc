@@ -1,0 +1,141 @@
+#include "server/flight_recorder.h"
+
+#include <utility>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace xplain {
+namespace server {
+
+namespace {
+
+/// Ring append shared by the main and pinned rings: fill to `capacity`,
+/// then overwrite at `*next` (oldest-first, since writes go in seq order).
+void RingAppend(const FlightRecord& record, size_t capacity,
+                std::vector<FlightRecord>* ring, size_t* next) {
+  if (ring->size() < capacity) {
+    ring->push_back(record);
+    return;
+  }
+  if (*next >= ring->size()) *next = 0;
+  (*ring)[*next] = record;
+  ++*next;
+}
+
+/// Copies a ring out in record (seq) order: the overwrite cursor points at
+/// the oldest element once the ring has wrapped.
+std::vector<FlightRecord> RingInOrder(const std::vector<FlightRecord>& ring,
+                                      size_t capacity, size_t next) {
+  std::vector<FlightRecord> out;
+  out.reserve(ring.size());
+  if (ring.size() < capacity) {
+    out = ring;
+    return out;
+  }
+  for (size_t i = 0; i < ring.size(); ++i) {
+    out.push_back(ring[(next + i) % ring.size()]);
+  }
+  return out;
+}
+
+void AppendRecordJson(const FlightRecord& r, std::string* out) {
+  *out += "{\"seq\":" + std::to_string(r.seq);
+  *out += ",\"id\":" + std::to_string(r.request_id);
+  *out += ",\"trace\":\"" + TraceIdToHex(r.trace_id) + "\"";
+  *out += ",\"op\":\"";
+  *out += RequestOpToString(r.op);
+  *out += "\",\"db_version\":" + std::to_string(r.db_version);
+  *out += ",\"cache\":\"";
+  *out += CacheOutcomeToString(r.cache);
+  *out += "\",\"code\":\"";
+  *out += StatusCodeToString(r.code);
+  *out += "\",\"start_us\":" + std::to_string(r.start_us);
+  *out += ",\"queue_us\":" + std::to_string(r.queue_us);
+  *out += ",\"execute_us\":" + std::to_string(r.execute_us);
+  *out += ",\"flush_us\":" + std::to_string(r.flush_us);
+  *out += ",\"bytes\":" + std::to_string(r.bytes);
+  *out += ",\"pinned\":";
+  *out += r.pinned ? "true" : "false";
+  *out += "}";
+}
+
+void AppendRecordArray(const std::vector<FlightRecord>& records,
+                       std::string* out) {
+  out->push_back('[');
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendRecordJson(records[i], out);
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+const char* CacheOutcomeToString(FlightRecord::CacheOutcome outcome) {
+  switch (outcome) {
+    case FlightRecord::CacheOutcome::kHit:
+      return "hit";
+    case FlightRecord::CacheOutcome::kMiss:
+      return "miss";
+    case FlightRecord::CacheOutcome::kBypass:
+      return "bypass";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity, int64_t slow_query_us)
+    : capacity_(capacity < 1 ? 1 : capacity), slow_query_us_(slow_query_us) {
+  MutexLock lock(&mu_);
+  ring_.reserve(capacity_);
+  pinned_.reserve(kPinnedCapacity);
+}
+
+bool FlightRecorder::Record(FlightRecord record) {
+  // Counters first: the metrics mutex (rank 40) must not be taken while
+  // the recorder lock (rank 35) is held, and the first XPLAIN_COUNTER_ADD
+  // per call site locks the registry to resolve its pointer.
+  XPLAIN_COUNTER_ADD("server.flight.recorded", 1);
+  const int64_t total_us = record.queue_us + record.execute_us +
+                           record.flush_us;
+  const bool slow = slow_query_us_ >= 0 && total_us >= slow_query_us_;
+  record.pinned = slow;
+  if (slow) XPLAIN_COUNTER_ADD("server.flight.slow", 1);
+  MutexLock lock(&mu_);
+  record.seq = next_seq_++;
+  if (slow) {
+    ++slow_;
+    RingAppend(record, kPinnedCapacity, &pinned_, &pinned_next_);
+  }
+  RingAppend(record, capacity_, &ring_, &ring_next_);
+  return slow;
+}
+
+FlightRecorder::Dump FlightRecorder::Snapshot() const {
+  Dump dump;
+  MutexLock lock(&mu_);
+  dump.records = RingInOrder(ring_, capacity_, ring_next_);
+  dump.pinned = RingInOrder(pinned_, kPinnedCapacity, pinned_next_);
+  dump.total_recorded = next_seq_;
+  dump.overwritten = next_seq_ - ring_.size();
+  dump.slow = slow_;
+  return dump;
+}
+
+std::string FlightRecorder::DumpPayload() const {
+  const Dump dump = Snapshot();
+  std::string out = "\"ok\":true,\"op\":\"FLIGHT\"";
+  out += ",\"capacity\":" + std::to_string(capacity_);
+  out += ",\"slow_query_us\":" + std::to_string(slow_query_us_);
+  out += ",\"total_recorded\":" + std::to_string(dump.total_recorded);
+  out += ",\"overwritten\":" + std::to_string(dump.overwritten);
+  out += ",\"slow\":" + std::to_string(dump.slow);
+  out += ",\"records\":";
+  AppendRecordArray(dump.records, &out);
+  out += ",\"pinned\":";
+  AppendRecordArray(dump.pinned, &out);
+  return out;
+}
+
+}  // namespace server
+}  // namespace xplain

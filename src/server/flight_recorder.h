@@ -1,0 +1,116 @@
+#ifndef XPLAIN_SERVER_FLIGHT_RECORDER_H_
+#define XPLAIN_SERVER_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace xplain {
+namespace server {
+
+/// One completed request as the flight recorder remembers it: identity
+/// (wire id + trace id), what ran (op, db version, cache outcome), where
+/// the time went (queue wait / execute / flush, µs), and how it ended
+/// (status code, response bytes). `seq` is the recorder-assigned global
+/// sequence number (increasing in record order); `start_us` is the
+/// trace-clock timestamp of dispatch.
+/// Thread-safety: plain data, externally synchronized.
+struct FlightRecord {
+  /// How the explanation cache participated in the request.
+  enum class CacheOutcome : uint8_t {
+    kHit,     // served straight from the cache
+    kMiss,    // executed, result (if ok) inserted
+    kBypass,  // cache disabled, or the op is uncacheable (DELTA)
+  };
+
+  uint64_t seq = 0;
+  uint64_t request_id = 0;
+  uint64_t trace_id = 0;  // 0 = request was not sampled
+  RequestOp op = RequestOp::kExplain;
+  uint64_t db_version = 0;
+  CacheOutcome cache = CacheOutcome::kBypass;
+  StatusCode code = StatusCode::kOk;
+  int64_t start_us = 0;
+  int64_t queue_us = 0;    // admission -> worker pickup (0 for sync paths)
+  int64_t execute_us = 0;  // engine / delta-apply time
+  int64_t flush_us = 0;    // response handoff to the transport
+  uint64_t bytes = 0;      // response line size
+  bool pinned = false;     // crossed the slow-query threshold
+};
+
+/// Wire name of `outcome` ("hit", "miss", "bypass").
+const char* CacheOutcomeToString(FlightRecord::CacheOutcome outcome);
+
+/// The always-on flight recorder: a fixed-capacity ring of the most
+/// recent FlightRecords plus a smaller pinned ring of slow-query
+/// offenders. Recording is one short critical section (no allocation, no
+/// callouts) so the warm path stays near-free; the slow-query log line is
+/// emitted outside the lock.
+///
+/// Overwrite semantics: once `capacity` records exist, each new record
+/// replaces the oldest — Snapshot always returns the last `capacity`
+/// records in record (seq) order. Records at or above the slow-query
+/// threshold are *also* copied into the pinned ring (capacity
+/// kPinnedCapacity, same overwrite rule), so a burst of fast traffic
+/// cannot evict the evidence of a tail-latency event.
+///
+/// Thread-safety: safe — all state is guarded by `mu_`
+/// (kMutexRankFlightRecorder; may be acquired while service or reactor
+/// locks are held, and acquires nothing itself).
+class FlightRecorder {
+ public:
+  static constexpr size_t kPinnedCapacity = 32;
+
+  /// `capacity` is clamped to >= 1. `slow_query_us` < 0 disables pinning
+  /// and slow-query logging.
+  FlightRecorder(size_t capacity, int64_t slow_query_us);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends one record (assigning its `seq`), pinning it when
+  /// queue+execute+flush reaches the slow-query threshold. Returns true
+  /// iff the record was slow — the caller owns logging, so the recorder
+  /// never holds its lock across a callout.
+  bool Record(FlightRecord record);
+
+  /// A consistent copy of the recorder: `records` and `pinned` in record
+  /// order (oldest first), plus lifetime totals.
+  struct Dump {
+    std::vector<FlightRecord> records;
+    std::vector<FlightRecord> pinned;
+    uint64_t total_recorded = 0;
+    uint64_t overwritten = 0;  // records lost to ring overwrite
+    uint64_t slow = 0;         // records that crossed the threshold
+  };
+  Dump Snapshot() const;
+
+  /// JSON object payload of Snapshot() for the FLIGHT wire op (without
+  /// the enclosing response envelope).
+  std::string DumpPayload() const;
+
+  size_t capacity() const { return capacity_; }
+  int64_t slow_query_us() const { return slow_query_us_; }
+
+ private:
+  const size_t capacity_;
+  const int64_t slow_query_us_;
+
+  mutable Mutex mu_{kMutexRankFlightRecorder};
+  std::vector<FlightRecord> ring_ XPLAIN_GUARDED_BY(mu_);
+  size_t ring_next_ XPLAIN_GUARDED_BY(mu_) = 0;
+  std::vector<FlightRecord> pinned_ XPLAIN_GUARDED_BY(mu_);
+  size_t pinned_next_ XPLAIN_GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ XPLAIN_GUARDED_BY(mu_) = 0;
+  uint64_t slow_ XPLAIN_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace server
+}  // namespace xplain
+
+#endif  // XPLAIN_SERVER_FLIGHT_RECORDER_H_

@@ -5,6 +5,7 @@
 #include "relational/parser.h"
 #include "server/json.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace xplain {
 namespace server {
@@ -17,9 +18,38 @@ Result<RequestOp> ParseOp(const std::string& text) {
   if (EqualsIgnoreCase(text, "stats")) return RequestOp::kStats;
   if (EqualsIgnoreCase(text, "drain")) return RequestOp::kDrain;
   if (EqualsIgnoreCase(text, "delta")) return RequestOp::kDelta;
+  if (EqualsIgnoreCase(text, "metrics")) return RequestOp::kMetrics;
+  if (EqualsIgnoreCase(text, "flight")) return RequestOp::kFlight;
   return Status::InvalidArgument(
       "unknown op '" + text +
-      "' (expected EXPLAIN, TOPK, STATS, DRAIN or DELTA)");
+      "' (expected EXPLAIN, TOPK, STATS, DRAIN, DELTA, METRICS or FLIGHT)");
+}
+
+/// Parses the optional request "trace" member into the request's trace
+/// fields (see the protocol.h grammar).
+Status ParseTraceMember(const JsonValue& root, Request* request) {
+  const JsonValue* trace = root.Find("trace");
+  if (trace == nullptr) return Status::OK();
+  if (!trace->is_object()) {
+    return Status::InvalidArgument("trace must be an object");
+  }
+  request->has_trace = true;
+  const JsonValue* id = trace->Find("id");
+  if (id != nullptr) {
+    if (!id->is_string() ||
+        !ParseTraceIdHex(id->string_value(), &request->trace_id)) {
+      return Status::InvalidArgument(
+          "trace.id must be a 1..16 hex digit string");
+    }
+  }
+  const JsonValue* sampled = trace->Find("sampled");
+  if (sampled != nullptr) {
+    if (!sampled->is_bool()) {
+      return Status::InvalidArgument("trace.sampled must be a boolean");
+    }
+    request->trace_sampled = sampled->bool_value();
+  }
+  return Status::OK();
 }
 
 Result<size_t> ParseNonNegative(const JsonValue& object, const char* key,
@@ -130,6 +160,10 @@ const char* RequestOpToString(RequestOp op) {
       return "DRAIN";
     case RequestOp::kDelta:
       return "DELTA";
+    case RequestOp::kMetrics:
+      return "METRICS";
+    case RequestOp::kFlight:
+      return "FLIGHT";
   }
   return "UNKNOWN";
 }
@@ -152,6 +186,7 @@ Result<Request> ParseRequest(const std::string& line) {
     return Status::InvalidArgument("request is missing the \"op\" member");
   }
   XPLAIN_ASSIGN_OR_RETURN(request.op, ParseOp(op->string_value()));
+  XPLAIN_RETURN_IF_ERROR(ParseTraceMember(root, &request));
   // Serving default: one engine thread per request; cross-request
   // parallelism comes from the service pool (DESIGN.md §8).
   request.options.num_threads = 1;

@@ -46,7 +46,33 @@ namespace server {
 ///
 /// The response echoes `removed` (base rows deleted, closure included)
 /// and the post-delta `db_version`.
-enum class RequestOp { kExplain, kTopK, kStats, kDrain, kDelta };
+///
+/// METRICS and FLIGHT are the observability ops (DESIGN.md §12), both
+/// taking only `id` and handled synchronously like STATS. METRICS returns
+/// the whole metrics registry as Prometheus text exposition in the
+/// `exposition` string member (scrapers unescape the JSON string; see
+/// `xplain_client --metrics`). FLIGHT dumps the flight recorder: the last
+/// N per-request records plus the pinned slow-query ring.
+///
+/// Every request may carry an optional `trace` member for request-scoped
+/// tracing (DESIGN.md §12):
+///
+///   {"id": 7, "op": "TOPK", ...,
+///    "trace": {"id": "a1f", "sampled": true}}
+///
+/// `trace.id` is 1..16 hex digits (omitted or "0" = the server assigns
+/// one); `trace.sampled` defaults to true when the member is present.
+/// The trace member never participates in the cache key — it is
+/// per-request metadata, not part of the question.
+enum class RequestOp {
+  kExplain,
+  kTopK,
+  kStats,
+  kDrain,
+  kDelta,
+  kMetrics,
+  kFlight
+};
 
 /// Wire name of `op` ("EXPLAIN", ...).
 const char* RequestOpToString(RequestOp op);
@@ -76,6 +102,13 @@ struct Request {
   std::string delta_relation;
   std::vector<uint64_t> delta_rows;
   std::string delta_where;
+  /// Wire trace context: `has_trace` is true iff the line carried a
+  /// "trace" member. `trace_id` 0 means the server assigns one;
+  /// `trace_sampled` is the client's sampling decision (default true when
+  /// the member is present). Deliberately not part of CanonicalRequestKey.
+  bool has_trace = false;
+  uint64_t trace_id = 0;
+  bool trace_sampled = true;
 };
 
 /// Parses one request line. Structural errors (bad JSON, unknown op,

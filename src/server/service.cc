@@ -2,12 +2,56 @@
 
 #include <utility>
 
+#include "server/json.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
 namespace xplain {
 namespace server {
+
+namespace {
+
+/// Per-thread trace buffer cap a sampling daemon runs under: always-on
+/// sampling must not grow memory without bound (DESIGN.md §12).
+constexpr size_t kSamplingEventCap = 1u << 16;
+
+/// Server-side end-to-end latency histogram of `op` (dispatch to response
+/// handoff, cache hits and errors included), or nullptr for the meta ops.
+/// Pointers resolve once; steady-state cost is one relaxed record.
+Histogram* PerOpLatencyHistogram(RequestOp op) {
+  static Histogram* explain_us =
+      MetricsRegistry::Global().GetHistogram("server.op.explain_us");
+  static Histogram* topk_us =
+      MetricsRegistry::Global().GetHistogram("server.op.topk_us");
+  static Histogram* delta_us =
+      MetricsRegistry::Global().GetHistogram("server.op.delta_us");
+  switch (op) {
+    case RequestOp::kExplain:
+      return explain_us;
+    case RequestOp::kTopK:
+      return topk_us;
+    case RequestOp::kDelta:
+      return delta_us;
+    default:
+      return nullptr;
+  }
+}
+
+/// One `"<op>":{"count":N,"p50_us":X,"p99_us":Y}` member of the STATS
+/// latency object, from the process-wide per-op histogram.
+void AppendOpLatency(const char* key, const Histogram& h, std::string* out) {
+  *out += "\"";
+  *out += key;
+  *out += "\":{\"count\":" + std::to_string(h.count());
+  *out += ",\"p50_us\":";
+  AppendJsonNumber(HistogramPercentile(h, 50.0), out);
+  *out += ",\"p99_us\":";
+  AppendJsonNumber(HistogramPercentile(h, 99.0), out);
+  *out += "}";
+}
+
+}  // namespace
 
 Result<std::unique_ptr<XplaindService>> XplaindService::Create(
     Database db, const ServiceOptions& options) {
@@ -31,6 +75,14 @@ XplaindService::XplaindService(Database db, const ServiceOptions& options)
   pool_ = std::make_unique<ThreadPool>(workers);
   if (options_.enable_cache) {
     cache_ = std::make_unique<ExplainCache>(options_.cache);
+  }
+  flight_ = std::make_unique<FlightRecorder>(options_.flight_capacity,
+                                             options_.slow_query_us);
+  if (options_.trace_sample_period > 0) {
+    // Sampling implies collection: bound the per-thread buffers so an
+    // always-sampling daemon runs in fixed trace memory.
+    Trace::SetPerThreadEventCap(kSamplingEventCap);
+    Trace::Enable();
   }
 }
 
@@ -61,7 +113,9 @@ std::future<std::string> XplaindService::SubmitLine(const std::string& line) {
 
 void XplaindService::SubmitLineWith(const std::string& line,
                                     std::function<void(std::string)> done) {
-  XPLAIN_TRACE_SPAN("rpc.submit");
+  // Dispatch timestamp: feeds both the flight record and (when sampled)
+  // the rpc.dispatch span, so it is read unconditionally.
+  const int64_t arrive_us = Trace::NowMicros();
   XPLAIN_COUNTER_ADD("server.requests", 1);
   {
     MutexLock lock(&mu_);
@@ -81,9 +135,35 @@ void XplaindService::SubmitLineWith(const std::string& line,
   }
   const Request& request = *parsed;
 
+  // From here on every span (and the worker's, which re-installs the same
+  // context) carries the request's trace identity — or records nothing
+  // when the request is unsampled.
+  const TraceContext trace_context = ResolveTrace(request);
+  TraceContextScope trace_scope(trace_context);
+  Trace::RecordManual("rpc.dispatch", arrive_us, Trace::NowMicros());
+
+  // The flight-record skeleton of the counted ops (EXPLAIN/TOPK/DELTA);
+  // meta ops below return before touching it, so FLIGHT polling can never
+  // flood the ring it is inspecting.
+  FlightRecord record;
+  record.request_id = request.id;
+  record.trace_id = trace_context.sampled ? trace_context.trace_id : 0;
+  record.op = request.op;
+  record.start_us = arrive_us;
+
   if (request.op == RequestOp::kStats) {
     XPLAIN_TRACE_SPAN("rpc.stats");
     done(MakeResponse(request.id, StatsPayload()));
+    return;
+  }
+  if (request.op == RequestOp::kMetrics) {
+    XPLAIN_TRACE_SPAN("rpc.metrics");
+    done(MakeResponse(request.id, MetricsPayload()));
+    return;
+  }
+  if (request.op == RequestOp::kFlight) {
+    XPLAIN_TRACE_SPAN("rpc.flight");
+    done(MakeResponse(request.id, flight_->DumpPayload()));
     return;
   }
   if (request.op == RequestOp::kDrain) {
@@ -93,21 +173,29 @@ void XplaindService::SubmitLineWith(const std::string& line,
     return;
   }
 
+  record.db_version = db_version();
+
   if (draining()) {
     {
       MutexLock lock(&mu_);
       ++errors_;
     }
-    done(MakeResponse(
-        request.id,
-        ErrorPayload(Status::Unavailable("service is draining"))));
+    const Status unavailable = Status::Unavailable("service is draining");
+    record.code = unavailable.code();
+    CompleteRequest(std::move(record), done,
+                    MakeResponse(request.id, ErrorPayload(unavailable)));
     return;
   }
 
   if (request.op == RequestOp::kDelta) {
     // Synchronous on the transport thread, like DRAIN: a delta is a
     // serialized mutation, not pool work.
-    done(MakeResponse(request.id, DeltaPayload(request)));
+    const int64_t execute_start_us = Trace::NowMicros();
+    std::string payload = DeltaPayload(request, &record.code);
+    record.execute_us = Trace::NowMicros() - execute_start_us;
+    record.db_version = db_version();
+    CompleteRequest(std::move(record), done,
+                    MakeResponse(request.id, std::move(payload)));
     return;
   }
 
@@ -115,6 +203,8 @@ void XplaindService::SubmitLineWith(const std::string& line,
   // database version is part of the key, so a stale entry can never match.
   std::string cache_key;
   if (cache_ != nullptr) {
+    TraceSpan probe_span("rpc.cache_probe");
+    record.cache = FlightRecord::CacheOutcome::kMiss;
     cache_key = "v=" + std::to_string(db_version()) + ";" +
                 CanonicalRequestKey(request);
     std::optional<std::string> hit = cache_->Lookup(cache_key);
@@ -124,23 +214,35 @@ void XplaindService::SubmitLineWith(const std::string& line,
         ++served_;
         ++cache_hits_;
       }
-      done(MakeResponse(request.id, *std::move(hit)));
+      probe_span.End();
+      record.cache = FlightRecord::CacheOutcome::kHit;
+      CompleteRequest(std::move(record), done,
+                      MakeResponse(request.id, *std::move(hit)));
       return;
     }
   }
 
   std::string reject_payload;
   if (!Admit(&reject_payload)) {
-    done(MakeResponse(request.id, std::move(reject_payload)));
+    record.code = StatusCode::kResourceExhausted;
+    CompleteRequest(std::move(record), done,
+                    MakeResponse(request.id, std::move(reject_payload)));
     return;
   }
 
+  const int64_t admit_us = Trace::NowMicros();
   std::future<Status> submitted = pool_->Submit(
-      [this, request, cache_key = std::move(cache_key), done]() {
+      [this, request, cache_key = std::move(cache_key), done, trace_context,
+       record, admit_us]() mutable {
+        TraceContextScope trace_scope(trace_context);
+        const int64_t execute_start_us = Trace::NowMicros();
+        record.queue_us = execute_start_us - admit_us;
+        Trace::RecordManual("rpc.queue_wait", admit_us, execute_start_us);
         if (options_.execute_hook) options_.execute_hook();
         bool ok = false;
         std::shared_ptr<const CacheReadSet> read_set;
-        std::string payload = ExecutePayload(request, &ok, &read_set);
+        std::string payload =
+            ExecutePayload(request, &ok, &record.code, &read_set);
         if (ok && cache_ != nullptr) {
           cache_->Insert(cache_key, payload, std::move(read_set));
         }
@@ -152,8 +254,14 @@ void XplaindService::SubmitLineWith(const std::string& line,
             ++errors_;
           }
         }
+        record.execute_us = Trace::NowMicros() - execute_start_us;
+        // Completion precedes FinishOne so a Drain() that observed this
+        // request as pending only returns once its response was handed
+        // off and its flight record landed — a drain-time FLIGHT dump is
+        // exact, never missing a just-finished request.
+        CompleteRequest(std::move(record), done,
+                        MakeResponse(request.id, std::move(payload)));
         FinishOne();
-        done(MakeResponse(request.id, std::move(payload)));
         return Status::OK();
       });
   if (!submitted.valid()) {
@@ -164,21 +272,73 @@ void XplaindService::SubmitLineWith(const std::string& line,
   }
 }
 
+TraceContext XplaindService::ResolveTrace(const Request& request) {
+  TraceContext context;
+  if (request.has_trace) {
+    context.sampled = request.trace_sampled;
+    context.trace_id = request.trace_id;
+    if (context.sampled && context.trace_id == 0) {
+      context.trace_id = Trace::NextTraceId();
+    }
+    return context;
+  }
+  if (options_.trace_sample_period > 0) {
+    const uint64_t tick =
+        sample_counter_.fetch_add(1, std::memory_order_relaxed);
+    context.sampled = tick % options_.trace_sample_period == 0;
+    if (context.sampled) context.trace_id = Trace::NextTraceId();
+    return context;
+  }
+  // No wire context and no sampling: the default context (process-global
+  // recording whenever tracing is enabled — the pre-serving behavior).
+  return context;
+}
+
+void XplaindService::CompleteRequest(
+    FlightRecord record, const std::function<void(std::string)>& done,
+    std::string response) {
+  record.bytes = response.size();
+  const int64_t flush_start_us = Trace::NowMicros();
+  {
+    TraceSpan flush_span("rpc.flush");
+    done(std::move(response));
+  }
+  const int64_t end_us = Trace::NowMicros();
+  record.flush_us = end_us - flush_start_us;
+  if (Histogram* latency = PerOpLatencyHistogram(record.op)) {
+    latency->Record(static_cast<double>(end_us - record.start_us));
+  }
+  if (flight_->Record(record)) {
+    XPLAIN_LOG(kWarning) << "slow query: op=" << RequestOpToString(record.op)
+                         << " id=" << record.request_id
+                         << " trace=" << TraceIdToHex(record.trace_id)
+                         << " code=" << StatusCodeToString(record.code)
+                         << " cache=" << CacheOutcomeToString(record.cache)
+                         << " queue_us=" << record.queue_us
+                         << " execute_us=" << record.execute_us
+                         << " flush_us=" << record.flush_us
+                         << " bytes=" << record.bytes;
+  }
+}
+
 std::string XplaindService::ExecutePayload(
-    const Request& request, bool* ok,
+    const Request& request, bool* ok, StatusCode* code,
     std::shared_ptr<const CacheReadSet>* read_set) {
   XPLAIN_TRACE_SPAN("rpc.execute");
   const int64_t start_us = Trace::NowMicros();
   *ok = false;
+  *code = StatusCode::kOk;
   ReaderMutexLock lock(&db_mu_);
   std::string payload;
   Result<UserQuestion> question = BuildQuestion(db_, request);
   if (!question.ok()) {
+    *code = question.status().code();
     payload = ErrorPayload(question.status());
   } else {
     Result<ExplainReport> report =
         engine_->Explain(*question, request.attrs, request.options);
     if (!report.ok()) {
+      *code = report.status().code();
       payload = ErrorPayload(report.status());
     } else {
       TraceSpan serialize_span("rpc.serialize");
@@ -308,6 +468,24 @@ std::string XplaindService::StatsPayload() const {
   out += ",\"entries\":" + std::to_string(stats.cache.entries);
   out += ",\"bytes\":" + std::to_string(stats.cache.bytes);
   out += "}";
+  // Server-side per-op latency, derived from the process-wide log2
+  // histograms (dispatch to response handoff; cache hits included).
+  out += ",\"latency\":{";
+  AppendOpLatency("explain", *PerOpLatencyHistogram(RequestOp::kExplain),
+                  &out);
+  out += ",";
+  AppendOpLatency("topk", *PerOpLatencyHistogram(RequestOp::kTopK), &out);
+  out += ",";
+  AppendOpLatency("delta", *PerOpLatencyHistogram(RequestOp::kDelta), &out);
+  out += "}";
+  return out;
+}
+
+std::string XplaindService::MetricsPayload() const {
+  std::string out =
+      "\"ok\":true,\"op\":\"METRICS\","
+      "\"content_type\":\"text/plain; version=0.0.4\",\"exposition\":";
+  AppendJsonString(MetricsRegistry::Global().PrometheusText(), &out);
   return out;
 }
 
@@ -422,8 +600,10 @@ Status XplaindService::ApplyDeltaLocked(const DeltaSet& delta) {
   return CountDeltaApplied();
 }
 
-std::string XplaindService::DeltaPayload(const Request& request) {
+std::string XplaindService::DeltaPayload(const Request& request,
+                                         StatusCode* code) {
   XPLAIN_TRACE_SPAN("rpc.delta");
+  *code = StatusCode::kOk;
   // Build and apply under one delta lock so the row positions resolved by
   // BuildDelta cannot be shifted by a concurrent delta before they apply.
   MutexLock delta_lock(&delta_mu_);
@@ -438,12 +618,14 @@ std::string XplaindService::DeltaPayload(const Request& request) {
   if (!delta.ok()) {
     MutexLock lock(&mu_);
     ++errors_;
+    *code = delta.status().code();
     return ErrorPayload(delta.status());
   }
   Status applied = ApplyDeltaLocked(*delta);
   if (!applied.ok()) {
     MutexLock lock(&mu_);
     ++errors_;
+    *code = applied.code();
     return ErrorPayload(applied);
   }
   size_t rows_after = 0;

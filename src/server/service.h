@@ -11,11 +11,13 @@
 #include "core/engine.h"
 #include "relational/database.h"
 #include "server/explain_cache.h"
+#include "server/flight_recorder.h"
 #include "server/protocol.h"
 #include "util/mutex.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace xplain {
 namespace server {
@@ -43,6 +45,18 @@ struct ServiceOptions {
   /// removed universal rows exceeds this, ApplyDelta gives up on probing
   /// read sets and wipes the cache instead (still incremental otherwise).
   size_t max_targeted_probe = 1u << 20;
+  /// Request-scoped trace sampling: sample one of every N EXPLAIN / TOPK
+  /// / DELTA requests that did not bring their own wire trace context
+  /// (1 = every request, 0 = off). When > 0 the service enables process
+  /// trace collection and caps the per-thread buffers (ring overwrite), so
+  /// a long-running daemon can sample forever in bounded memory
+  /// (DESIGN.md §12).
+  uint64_t trace_sample_period = 0;
+  /// Flight-recorder ring capacity (per-request records; clamped >= 1).
+  size_t flight_capacity = 256;
+  /// Slow-query threshold on queue+execute+flush time: offenders are
+  /// logged and pinned in the flight recorder. < 0 disables (default).
+  int64_t slow_query_us = -1;
   /// Test-only hook: when set, every admitted EXPLAIN/TOPK executes it on
   /// the worker before touching the engine. Lets tests hold workers inside
   /// the execution phase to make admission decisions deterministic.
@@ -134,6 +148,10 @@ class XplaindService {
   };
   Stats GetStats() const;
 
+  /// The always-on per-request flight recorder (FLIGHT op, slow-query
+  /// pinning; DESIGN.md §12). Stable address for the service lifetime.
+  const FlightRecorder& flight_recorder() const { return *flight_; }
+
   /// The serving database (stable address; mutated only by ApplyDelta).
   const Database& db() const {
     ReaderMutexLock lock(&db_mu_);
@@ -155,17 +173,38 @@ class XplaindService {
   /// Executes an admitted EXPLAIN/TOPK on the current engine and returns
   /// the response payload (or an error payload). Runs on a pool worker.
   /// `*ok` reports whether the payload is a success payload (cacheable);
-  /// on success `*read_set` (if non-null) receives what the computation
+  /// `*code` receives the payload's status code (kOk on success); on
+  /// success `*read_set` (if non-null) receives what the computation
   /// read, for targeted cache invalidation.
   std::string ExecutePayload(const Request& request, bool* ok,
+                             StatusCode* code,
                              std::shared_ptr<const CacheReadSet>* read_set);
 
   /// Handles a DELTA request synchronously on the transport thread:
   /// resolves the delta spec against the serving database, applies it, and
-  /// returns the response payload.
-  std::string DeltaPayload(const Request& request);
+  /// returns the response payload. `*code` receives the outcome code.
+  std::string DeltaPayload(const Request& request, StatusCode* code);
 
   std::string StatsPayload() const;
+  std::string MetricsPayload() const;
+
+  /// Decides the request's trace identity: a wire-supplied context wins;
+  /// otherwise the sampling period picks (and ids) one of every N
+  /// requests; otherwise the default context (process-global tracing
+  /// semantics). Called once per request, before any request span opens.
+  TraceContext ResolveTrace(const Request& request);
+
+  /// Completes one counted request (EXPLAIN/TOPK/DELTA, any outcome):
+  /// times the response handoff as the rpc.flush span, invokes `done`
+  /// exactly once, records the per-op latency histogram, and appends the
+  /// flight record — logging it when it crossed the slow-query threshold.
+  /// Runs under the request's TraceContextScope on whichever thread
+  /// finished the request. `record` arrives with identity, cache outcome,
+  /// code and queue/execute times filled in; flush_us/bytes/seq are
+  /// assigned here.
+  void CompleteRequest(FlightRecord record,
+                       const std::function<void(std::string)>& done,
+                       std::string response);
 
   /// True when the request was admitted; false = reject (payload set).
   bool Admit(std::string* reject_payload);
@@ -190,8 +229,12 @@ class XplaindService {
 
   std::unique_ptr<ExplainCache> cache_;
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<FlightRecorder> flight_;
 
   std::atomic<bool> draining_{false};
+  /// Round-robin sampling clock for trace_sample_period (relaxed: exact
+  /// one-in-N spacing under contention is not required, only the rate).
+  std::atomic<uint64_t> sample_counter_{0};
 
   mutable Mutex mu_{kMutexRankService};
   CondVar idle_cv_;  // signaled when pending_ hits 0

@@ -1,6 +1,8 @@
 #include "util/metrics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 
 #include "util/logging.h"
 
@@ -41,6 +43,29 @@ void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   max_.store(0.0, std::memory_order_relaxed);
+}
+
+double HistogramPercentile(const Histogram& h, double p) {
+  const int64_t count = h.count();
+  if (count <= 0) return 0.0;
+  p = std::min(std::max(p, 0.0), 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    const int64_t in_bucket = h.bucket(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+      double hi = i == 0 ? 1.0 : std::ldexp(1.0, i);
+      if (h.max() >= lo && h.max() < hi) hi = h.max();
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(std::max(fraction, 0.0), 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return h.max();
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -112,6 +137,64 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::CounterSnapshot()
     out.emplace_back(name, static_cast<double>(counter->value()));
   }
   return out;  // std::map iteration is already name-sorted
+}
+
+namespace {
+
+/// "server.request_us" -> "xplain_server_request_us". Registry names are
+/// already [a-z0-9_.]+ (IsValidName), so dots-to-underscores lands inside
+/// the Prometheus metric-name charset [a-zA-Z0-9_:].
+std::string PrometheusName(const std::string& name) {
+  std::string out = "xplain_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out.push_back(c == '.' ? '_' : c);
+  return out;
+}
+
+/// Shortest-round-trip sample value; Prometheus accepts any Go-parsable
+/// float. Integral values print without an exponent or trailing zeros.
+std::string PrometheusValue(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::abs(value) < 9.007199254740992e15) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::string out;
+  MutexLock lock(&mu_);
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + PrometheusValue(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    int64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
+      cumulative += histogram->bucket(i);
+      // Bucket 0 holds [0,1) and bucket i holds [2^(i-1), 2^i), so the
+      // upper bound of bucket i is 2^i (and of bucket 0 is 1 == 2^0).
+      out += prom + "_bucket{le=\"" + std::to_string(int64_t{1} << i) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    cumulative += histogram->bucket(Histogram::kNumBuckets - 1);
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += prom + "_sum " + PrometheusValue(histogram->sum()) + "\n";
+    out += prom + "_count " + std::to_string(histogram->count()) + "\n";
+  }
+  return out;
 }
 
 void MetricsRegistry::ResetAll() {

@@ -79,6 +79,16 @@ class Histogram {
   std::atomic<double> max_{0.0};
 };
 
+/// Estimates the `p`-th percentile (0..100) of a log2-bucketed Histogram:
+/// walks the cumulative bucket counts to the bucket holding the target
+/// rank, then interpolates linearly inside that bucket's value range —
+/// bucket 0 covers [0,1), bucket i covers [2^(i-1), 2^i). The upper bound
+/// is clamped to the histogram's observed max, so the open-ended last
+/// bucket cannot inflate the estimate. Returns 0 for an empty histogram.
+/// Shared by the latency benches (p50/p99 keys in BENCH_*.json) and the
+/// server's STATS latency payload.
+double HistogramPercentile(const Histogram& h, double p);
+
 /// Process-wide registry of named counters, gauges, and histograms.
 ///
 /// Names must match `[a-z0-9_.]+` with dots as hierarchy separators
@@ -110,6 +120,18 @@ class MetricsRegistry {
   /// Counter-only snapshot (used for per-query deltas, where gauge and
   /// histogram values are not meaningful differences).
   std::vector<std::pair<std::string, double>> CounterSnapshot() const;
+
+  /// Prometheus text-exposition (format version 0.0.4) of the whole
+  /// registry: counters, then gauges, then histograms, name-sorted within
+  /// each kind. Dots in registry names become underscores
+  /// and every family gains an `xplain_` prefix ("server.request_us" ->
+  /// "xplain_server_request_us"). Counters and gauges emit one sample
+  /// each; histograms emit the full log2 bucket ladder as *cumulative*
+  /// `_bucket{le="2^i"}` samples (monotone by construction) closed by
+  /// `le="+Inf"`, plus `_sum` and `_count`. Concurrent recorders may make
+  /// `_count` and the +Inf bucket disagree by the records in flight;
+  /// quiesced they are equal.
+  std::string PrometheusText() const;
 
   /// Zeroes every registered metric. Tests/benches only; concurrent
   /// updaters may interleave with the reset.

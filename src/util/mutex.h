@@ -15,16 +15,20 @@ inline constexpr int kMutexRankUnranked = -1;
 /// the delta-apply serialization lock is outermost (it is held across the
 /// whole two-phase ApplyDelta, which reads service and cache state), then
 /// service admission state, then a cache shard, then the cube workspace,
-/// then a reactor task queue, then the metrics registry; trace
-/// state/buffers sit past metrics and nest state-before-buffer. A thread
-/// may only acquire a ranked mutex whose rank is strictly greater than
-/// every ranked mutex it already holds — debug builds abort on violation.
+/// then a reactor task queue, then the flight recorder's ring (it is
+/// appended to at request completion, possibly while a reactor or service
+/// lock is held, and never calls out while locked), then the metrics
+/// registry; trace state/buffers sit past metrics and nest
+/// state-before-buffer. A thread may only acquire a ranked mutex whose
+/// rank is strictly greater than every ranked mutex it already holds —
+/// debug builds abort on violation.
 inline constexpr int kMutexRankDeltaApply = 5;
 inline constexpr int kMutexRankService = 10;
 inline constexpr int kMutexRankThreadPool = 15;
 inline constexpr int kMutexRankCacheShard = 20;
 inline constexpr int kMutexRankCubeWorkspace = 25;
 inline constexpr int kMutexRankReactor = 30;
+inline constexpr int kMutexRankFlightRecorder = 35;
 inline constexpr int kMutexRankMetrics = 40;
 inline constexpr int kMutexRankTraceState = 50;
 inline constexpr int kMutexRankTraceBuffer = 60;

@@ -12,11 +12,14 @@ namespace {
 
 /// Events recorded by one thread. The buffer outlives its thread (shared
 /// ownership with the global registry) so Snapshot() after a worker exits
-/// still sees that worker's spans.
-/// Thread-safety: safe — `events` is guarded by `mu`.
+/// still sees that worker's spans. When a per-thread cap is set the vector
+/// becomes a ring: `next` is the overwrite cursor once size reaches the
+/// cap (Snapshot sorts by start time, so the unrolled order is irrelevant).
+/// Thread-safety: safe — `events`/`next` are guarded by `mu`.
 struct ThreadBuffer {
   Mutex mu{kMutexRankTraceBuffer};
   std::vector<TraceEvent> events XPLAIN_GUARDED_BY(mu);
+  size_t next XPLAIN_GUARDED_BY(mu) = 0;
   uint32_t tid = 0;
 };
 
@@ -58,6 +61,16 @@ ThreadBuffer& LocalBuffer() {
 // that were actually recording (constructed while enabled).
 thread_local uint32_t t_open_span_depth = 0;
 
+// The calling thread's installed request context (see TraceContextScope).
+// Default {0, true}: no request context, process-global recording allowed.
+thread_local TraceContext t_context;
+
+// Per-thread buffer cap (0 = unbounded); read on every Record.
+std::atomic<size_t> g_per_thread_event_cap{0};
+
+// Process-unique trace-id allocator; 0 stays reserved for "no context".
+std::atomic<uint64_t> g_next_trace_id{1};
+
 }  // namespace
 
 std::atomic<bool> Trace::enabled_{false};
@@ -76,10 +89,54 @@ int64_t Trace::NowMicros() {
 
 uint32_t Trace::CurrentThreadId() { return LocalBuffer().tid; }
 
+TraceContext Trace::CurrentContext() { return t_context; }
+
+TraceContext Trace::ExchangeContext(TraceContext context) {
+  const TraceContext previous = t_context;
+  t_context = context;
+  return previous;
+}
+
+bool Trace::BeginSpanContext(uint64_t* trace_id) {
+  if (!t_context.sampled) return false;
+  *trace_id = t_context.trace_id;
+  return true;
+}
+
+uint64_t Trace::NextTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Trace::SetPerThreadEventCap(size_t cap) {
+  g_per_thread_event_cap.store(cap, std::memory_order_relaxed);
+}
+
+void Trace::RecordManual(const char* name, int64_t start_us,
+                         int64_t end_us) {
+  if (!enabled() || !t_context.sampled) return;
+  TraceEvent event;
+  event.name = name;
+  event.tid = CurrentThreadId();
+  event.depth = t_open_span_depth;
+  event.start_us = start_us;
+  event.dur_us = end_us >= start_us ? end_us - start_us : 0;
+  event.trace_id = t_context.trace_id;
+  Record(event);
+}
+
 void Trace::Record(const TraceEvent& event) {
+  const size_t cap = g_per_thread_event_cap.load(std::memory_order_relaxed);
   ThreadBuffer& buffer = LocalBuffer();
   MutexLock lock(&buffer.mu);
-  buffer.events.push_back(event);
+  if (cap == 0 || buffer.events.size() < cap) {
+    buffer.events.push_back(event);
+    return;
+  }
+  // Ring overwrite: the cap may have shrunk since the buffer grew, so
+  // clamp the cursor to the live size rather than the cap.
+  if (buffer.next >= buffer.events.size()) buffer.next = 0;
+  buffer.events[buffer.next] = event;
+  ++buffer.next;
 }
 
 void Trace::Clear() {
@@ -88,6 +145,7 @@ void Trace::Clear() {
   for (const auto& buffer : state.buffers) {
     MutexLock buffer_lock(&buffer->mu);
     buffer->events.clear();
+    buffer->next = 0;
   }
 }
 
@@ -110,6 +168,41 @@ std::vector<TraceEvent> Trace::Snapshot() {
   return out;
 }
 
+std::string TraceIdToHex(uint64_t id) {
+  static const char* kDigits = "0123456789abcdef";
+  if (id == 0) return "0";
+  char buf[16];
+  int n = 0;
+  while (id != 0) {
+    buf[n++] = kDigits[id & 0xF];
+    id >>= 4;
+  }
+  std::string out;
+  out.reserve(static_cast<size_t>(n));
+  while (n > 0) out.push_back(buf[--n]);
+  return out;
+}
+
+bool ParseTraceIdHex(const std::string& text, uint64_t* id) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *id = value;
+  return true;
+}
+
 void TraceSpan::Finish() {
   TraceEvent event;
   event.name = name_;
@@ -118,6 +211,7 @@ void TraceSpan::Finish() {
   event.start_us = start_us_;
   event.dur_us = Trace::NowMicros() - start_us_;
   event.arg = arg_;
+  event.trace_id = trace_id_;
   event.has_arg = has_arg_;
   Trace::Record(event);
   Trace::ExitSpan();

@@ -24,7 +24,24 @@ struct TraceEvent {
   int64_t start_us = 0;
   int64_t dur_us = 0;
   int64_t arg = 0;
+  /// Request-scoped trace id the span was recorded under (0 = process
+  /// global, i.e. no TraceContextScope was installed). Spans of one
+  /// sampled request share one nonzero id across threads, which is what
+  /// lets the exporter/xplain_trace reassemble the request's span tree.
+  uint64_t trace_id = 0;
   bool has_arg = false;
+};
+
+/// The request-scoped trace identity a thread records spans under. The
+/// default state ({0, true}) means "no request context": spans record as
+/// process-global whenever tracing is enabled. An installed context with
+/// sampled == false suppresses recording entirely (the cheap path for the
+/// unsampled 99% when the server samples at 1%); sampled == true tags
+/// every span with trace_id.
+/// Thread-safety: plain data, externally synchronized.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  bool sampled = true;
 };
 
 /// Process-wide trace collection: a global on/off switch plus per-thread
@@ -73,8 +90,41 @@ class Trace {
   /// subsystem); the timebase of TraceEvent timestamps.
   static int64_t NowMicros();
 
+  /// The calling thread's current request context (default when none is
+  /// installed). Install with TraceContextScope.
+  static TraceContext CurrentContext();
+
+  /// Allocates a process-unique nonzero trace id (a plain counter; wire
+  /// clients may instead supply their own ids).
+  static uint64_t NextTraceId();
+
+  /// Records an already-measured span [start_us, end_us) under the calling
+  /// thread's current context, at the thread's current nesting depth. For
+  /// intervals that cannot be an RAII scope — e.g. a queue wait measured
+  /// on the worker after the fact. No-op when recording is off or the
+  /// installed context is unsampled.
+  static void RecordManual(const char* name, int64_t start_us,
+                           int64_t end_us);
+
+  /// Caps every per-thread buffer at `cap` events; once full, new events
+  /// overwrite the oldest (ring semantics, Snapshot still sorts by time).
+  /// 0 = unbounded (the default; tests/tools snapshot promptly). Long
+  /// running daemons set a cap so always-enabled sampling cannot grow
+  /// memory without bound.
+  static void SetPerThreadEventCap(size_t cap);
+
  private:
   friend class TraceSpan;
+  friend class TraceContextScope;
+
+  /// Span-open gate: false when recording is suppressed (the installed
+  /// context is unsampled); otherwise stores the context's trace id (0 =
+  /// process-global) and returns true. Callers check enabled() first.
+  static bool BeginSpanContext(uint64_t* trace_id);
+
+  /// Installs `context`, returning the previous one (TraceContextScope's
+  /// save/restore).
+  static TraceContext ExchangeContext(TraceContext context);
 
   /// Appends `event` to the calling thread's buffer.
   static void Record(const TraceEvent& event);
@@ -85,6 +135,39 @@ class Trace {
   static void ExitSpan();
 
   static std::atomic<bool> enabled_;
+};
+
+/// Lower-case hex rendering of a trace id, the wire/export format shared
+/// by the protocol's "trace" member, the Chrome JSON args, and the
+/// xplain_trace --trace-id filter ("1f" for 31).
+std::string TraceIdToHex(uint64_t id);
+
+/// Parses a 1..16 lower/upper-case hex digit trace id; false on anything
+/// else (empty, overlong, non-hex). Accepts 0 (callers treat it as
+/// "server assigns").
+bool ParseTraceIdHex(const std::string& text, uint64_t* id);
+
+/// RAII installation of a request's TraceContext on the calling thread:
+/// every span opened (and every RecordManual issued) inside the scope is
+/// tagged with the context's trace id — or suppressed when the context is
+/// unsampled. Scopes nest; destruction restores the previous context. The
+/// service installs one scope on the transport thread for the synchronous
+/// part of a request and another on the pool worker for execution, which
+/// is how one request's spans stay connected across threads.
+///
+/// Thread-safety: each scope is used by one thread (the context is
+/// thread-local state).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext context)
+      : saved_(Trace::ExchangeContext(context)) {}
+  ~TraceContextScope() { Trace::ExchangeContext(saved_); }
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
 };
 
 /// RAII span covering [construction, destruction). Spans nest naturally —
@@ -99,7 +182,7 @@ class Trace {
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) {
-    if (Trace::enabled()) {
+    if (Trace::enabled() && Trace::BeginSpanContext(&trace_id_)) {
       name_ = name;
       depth_ = Trace::EnterSpan();
       start_us_ = Trace::NowMicros();
@@ -135,6 +218,7 @@ class TraceSpan {
   uint32_t depth_ = 0;
   int64_t start_us_ = 0;
   int64_t arg_ = 0;
+  uint64_t trace_id_ = 0;  // context id captured at open (0 = global)
   bool has_arg_ = false;
 };
 

@@ -25,8 +25,16 @@ std::string Trace::ToChromeJson() {
     out << "{\"name\":\"" << event.name << "\",\"cat\":\"xplain\","
         << "\"ph\":\"X\",\"ts\":" << event.start_us
         << ",\"dur\":" << event.dur_us << ",\"pid\":1,\"tid\":" << event.tid;
-    if (event.has_arg) {
-      out << ",\"args\":{\"value\":" << event.arg << "}";
+    if (event.has_arg || event.trace_id != 0) {
+      out << ",\"args\":{";
+      if (event.has_arg) out << "\"value\":" << event.arg;
+      if (event.trace_id != 0) {
+        if (event.has_arg) out << ",";
+        // Hex-string, not a JSON number: client-supplied 64-bit ids can
+        // exceed the 2^53 double-exact range.
+        out << "\"trace_id\":\"" << TraceIdToHex(event.trace_id) << "\"";
+      }
+      out << "}";
     }
     out << "}";
   }

@@ -200,6 +200,126 @@ TEST(MetricsConcurrencyTest, HistogramMomentsConsistentUnderWriters) {
   EXPECT_DOUBLE_EQ(hist->max(), 2.0);
 }
 
+TEST(HistogramPercentileTest, EmptyHistogramIsZero) {
+  Histogram hist;
+  EXPECT_EQ(HistogramPercentile(hist, 50.0), 0.0);
+  EXPECT_EQ(HistogramPercentile(hist, 99.0), 0.0);
+}
+
+TEST(HistogramPercentileTest, SingleValueClampsToMax) {
+  Histogram hist;
+  hist.Record(100.0);
+  // One sample in bucket [64, 128): the upper bound is clamped to the
+  // observed max, so every percentile lands at or below 100.
+  EXPECT_LE(HistogramPercentile(hist, 50.0), 100.0);
+  EXPECT_LE(HistogramPercentile(hist, 99.0), 100.0);
+  EXPECT_GE(HistogramPercentile(hist, 99.0), 64.0);
+}
+
+TEST(HistogramPercentileTest, MedianSitsInTheMiddleBucket) {
+  Histogram hist;
+  for (int i = 0; i < 100; ++i) hist.Record(10.0);   // bucket [8, 16)
+  for (int i = 0; i < 100; ++i) hist.Record(1000.0); // bucket [512, 1024)
+  const double p50 = HistogramPercentile(hist, 50.0);
+  EXPECT_GE(p50, 8.0);
+  EXPECT_LE(p50, 16.0);
+  const double p99 = HistogramPercentile(hist, 99.0);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1000.0);  // clamped to observed max
+}
+
+TEST(HistogramPercentileTest, PercentileIsMonotoneInP) {
+  Histogram hist;
+  for (int i = 1; i <= 64; ++i) hist.Record(static_cast<double>(i));
+  double previous = -1.0;
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+    const double value = HistogramPercentile(hist, p);
+    EXPECT_GE(value, previous) << "p=" << p;
+    previous = value;
+  }
+}
+
+// --- Prometheus text exposition ---------------------------------------------
+
+TEST(PrometheusTextTest, CounterAndGaugeSamples) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.prom.requests")->Increment(7);
+  registry.GetGauge("test.prom.depth")->Set(2.5);
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE xplain_test_prom_requests counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\nxplain_test_prom_requests 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE xplain_test_prom_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("\nxplain_test_prom_depth 2.5\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, HistogramLadderIsCumulative) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Histogram* hist = registry.GetHistogram("test.prom.lat_us");
+  hist->Reset();
+  hist->Record(0.5);    // bucket 0: < 1
+  hist->Record(3.0);    // bucket 2: [2, 4)
+  hist->Record(300.0);  // bucket 9: [256, 512)
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE xplain_test_prom_lat_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xplain_test_prom_lat_us_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xplain_test_prom_lat_us_bucket{le=\"4\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xplain_test_prom_lat_us_bucket{le=\"512\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xplain_test_prom_lat_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xplain_test_prom_lat_us_sum 303.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("xplain_test_prom_lat_us_count 3\n"),
+            std::string::npos);
+}
+
+// Scans every _bucket sample in the whole exposition and asserts the
+// cumulative counts never decrease within a family, and that each family's
+// +Inf bucket equals its _count (the registry is quiesced here).
+TEST(PrometheusTextTest, AllBucketLaddersMonotoneAndConsistent) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Histogram* hist = registry.GetHistogram("test.prom.monotone_us");
+  hist->Reset();
+  for (int i = 0; i < 50; ++i) hist->Record(static_cast<double>(i * 17));
+  const std::string text = registry.PrometheusText();
+
+  std::string family;       // name up to "_bucket{"
+  double previous = -1.0;   // last cumulative count in the family
+  double inf_value = -1.0;  // the family's +Inf count
+  size_t families = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const size_t bucket = line.find("_bucket{le=\"");
+    if (bucket != std::string::npos) {
+      const std::string name = line.substr(0, bucket);
+      if (name != family) {
+        family = name;
+        previous = -1.0;
+        ++families;
+      }
+      const double value = std::stod(line.substr(line.find("} ") + 2));
+      EXPECT_GE(value, previous) << line;
+      previous = value;
+      if (line.find("le=\"+Inf\"") != std::string::npos) inf_value = value;
+      continue;
+    }
+    const size_t count = line.find("_count ");
+    if (count != std::string::npos && line.substr(0, count) == family) {
+      EXPECT_EQ(std::stod(line.substr(count + 7)), inf_value) << line;
+    }
+  }
+  EXPECT_GE(families, 1u);
+}
+
 // XPLAIN_LOG kWarning/kError statements count into log.warnings /
 // log.errors even when the threshold silences the output.
 TEST(LogMetricsTest, WarningsAndErrorsRouteToCounters) {

@@ -14,6 +14,8 @@
 
 #include "core/engine.h"
 #include "datagen/random_db.h"
+#include "server/flight_recorder.h"
+#include "server/json.h"
 #include "server/loopback.h"
 #include "server/protocol.h"
 #include "server/service.h"
@@ -169,12 +171,15 @@ TEST(XplaindServiceTest, OverloadRejectsExactlyBeyondCapacity) {
   const XplaindService::Stats stats = service->GetStats();
   EXPECT_EQ(stats.served, 3);
   EXPECT_EQ(stats.rejected, kBurst - 3);
-  EXPECT_EQ(stats.in_flight, 0);
 
-  // A DRAIN request completes cleanly after the storm.
+  // A DRAIN request completes cleanly after the storm. Responses resolve
+  // before the worker's completion bookkeeping (the flight record needs
+  // the flush timing), so in_flight only reliably reads 0 after the
+  // drain's quiescence barrier, not right after the futures resolve.
   const std::string drain = service->HandleLine("{\"id\":99,\"op\":\"DRAIN\"}");
   EXPECT_NE(drain.find("\"ok\":true"), std::string::npos) << drain;
   EXPECT_TRUE(service->draining());
+  EXPECT_EQ(service->GetStats().in_flight, 0);
 }
 
 TEST(XplaindServiceTest, DrainStopsAdmissionButKeepsStats) {
@@ -261,6 +266,179 @@ TEST(XplaindServiceTest, ApplyDeltaInvalidatesCacheAndChangesAnswers) {
   // Serving the same line again now hits the fresh entry.
   EXPECT_EQ(transport.Call(line), third);
   EXPECT_EQ(service->GetStats().cache_hits, 2);
+}
+
+// --- request-scoped observability (DESIGN.md §12) ---------------------------
+
+TEST(XplaindServiceTest, StatsPayloadCarriesCacheCountersAndLatency) {
+  auto service = UnwrapOrDie(XplaindService::Create(MakeDb()));
+  const std::string line = MakeLine(1);
+  EXPECT_NE(service->HandleLine(line).find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(service->HandleLine(line).find("\"ok\":true"),
+            std::string::npos);  // cache hit
+  const std::string stats =
+      service->HandleLine("{\"id\":9,\"op\":\"STATS\"}");
+  auto root = JsonValue::Parse(stats);
+  ASSERT_TRUE(root.ok()) << root.status().ToString() << "\n" << stats;
+  const JsonValue* cache = root->Find("cache");
+  ASSERT_NE(cache, nullptr) << stats;
+  EXPECT_EQ(cache->GetNumber("hits", -1), 1.0);
+  // The maintenance counters are always present (zero on a fresh service).
+  EXPECT_EQ(cache->GetNumber("rekeyed", -1), 0.0);
+  EXPECT_EQ(cache->GetNumber("targeted_invalidations", -1), 0.0);
+  EXPECT_EQ(cache->GetNumber("full_invalidations", -1), 0.0);
+  const JsonValue* latency = root->Find("latency");
+  ASSERT_NE(latency, nullptr) << stats;
+  for (const char* op : {"explain", "topk", "delta"}) {
+    const JsonValue* entry = latency->Find(op);
+    ASSERT_NE(entry, nullptr) << stats;
+    // The histograms are process-global, so only lower bounds are exact.
+    EXPECT_GE(entry->GetNumber("count", -1), 0.0);
+    EXPECT_GE(entry->GetNumber("p50_us", -1), 0.0);
+    EXPECT_GE(entry->GetNumber("p99_us", -1), 0.0);
+    EXPECT_GE(entry->GetNumber("p99_us", 0.0),
+              entry->GetNumber("p50_us", 0.0));
+  }
+  // This service served one EXPLAIN-class request (the TOPK variant of
+  // MakeLine(1) counts into topk); some prior test may have added more.
+  EXPECT_GE(latency->Find("explain")->GetNumber("count", 0) +
+                latency->Find("topk")->GetNumber("count", 0),
+            1.0);
+}
+
+TEST(XplaindServiceTest, MetricsOpReturnsPrometheusExposition) {
+  auto service = UnwrapOrDie(XplaindService::Create(MakeDb(), ServiceOptions()));
+  EXPECT_NE(service->HandleLine(MakeLine(0)).find("\"ok\":true"),
+            std::string::npos);
+  // Drain so the request's latency/flight metrics have definitely been
+  // registered before the scrape (METRICS still answers while drained).
+  service->Drain();
+  const std::string response =
+      service->HandleLine("{\"id\":5,\"op\":\"METRICS\"}");
+  auto root = JsonValue::Parse(response);
+  ASSERT_TRUE(root.ok()) << root.status().ToString() << "\n" << response;
+  EXPECT_TRUE(root->GetBool("ok", false)) << response;
+  EXPECT_EQ(root->GetString("op", ""), "METRICS");
+  EXPECT_EQ(root->GetString("content_type", ""),
+            "text/plain; version=0.0.4");
+  const std::string exposition = root->GetString("exposition", "");
+  ASSERT_FALSE(exposition.empty()) << response;
+  // The per-op latency histogram the request just fed, as a full ladder.
+  EXPECT_NE(exposition.find("# TYPE xplain_server_op_explain_us histogram"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("xplain_server_op_explain_us_bucket{le=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(
+      exposition.find("xplain_server_op_explain_us_bucket{le=\"+Inf\"}"),
+      std::string::npos);
+  EXPECT_NE(exposition.find("xplain_server_op_explain_us_count"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("xplain_server_op_explain_us_sum"),
+            std::string::npos);
+  // Flight-recorder and gauge families from this request's lifecycle.
+  EXPECT_NE(exposition.find("# TYPE xplain_server_flight_recorded counter"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("# TYPE xplain_server_in_flight gauge"),
+            std::string::npos);
+}
+
+TEST(XplaindServiceTest, FlightOpDumpsPerRequestRecords) {
+  ServiceOptions options;
+  options.flight_capacity = 4;
+  auto service = UnwrapOrDie(XplaindService::Create(MakeDb(), options));
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NE(service->HandleLine(MakeLine(i)).find("\"ok\":true"),
+              std::string::npos);
+  }
+  // Meta ops must not pollute the ring: FLIGHT polling stays invisible.
+  EXPECT_NE(service->HandleLine("{\"id\":7,\"op\":\"STATS\"}")
+                .find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_NE(service->HandleLine("{\"id\":8,\"op\":\"METRICS\"}")
+                .find("\"ok\":true"),
+            std::string::npos);
+  // Drain before dumping: a drained service has appended the flight record
+  // of every admitted request (meta ops still answer while drained).
+  service->Drain();
+  const std::string response =
+      service->HandleLine("{\"id\":9,\"op\":\"FLIGHT\"}");
+  auto root = JsonValue::Parse(response);
+  ASSERT_TRUE(root.ok()) << root.status().ToString() << "\n" << response;
+  EXPECT_TRUE(root->GetBool("ok", false)) << response;
+  EXPECT_EQ(root->GetString("op", ""), "FLIGHT");
+  EXPECT_EQ(root->GetNumber("capacity", -1), 4.0);
+  EXPECT_EQ(root->GetNumber("total_recorded", -1), 6.0);
+  EXPECT_EQ(root->GetNumber("overwritten", -1), 2.0);
+  const JsonValue* records = root->Find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_EQ(records->array_items().size(), 4u);
+  for (const JsonValue& record : records->array_items()) {
+    EXPECT_EQ(record.GetString("code", ""), "OK") << response;
+    EXPECT_EQ(record.GetString("cache", ""), "miss") << response;
+    EXPECT_GT(record.GetNumber("bytes", 0), 0.0) << response;
+    const std::string op = record.GetString("op", "");
+    EXPECT_TRUE(op == "EXPLAIN" || op == "TOPK") << response;
+  }
+  // The newest 4 of the 6 requests survived, in seq order.
+  EXPECT_EQ(records->array_items()[0].GetNumber("seq", -1), 2.0);
+  EXPECT_EQ(records->array_items()[3].GetNumber("seq", -1), 5.0);
+}
+
+TEST(XplaindServiceTest, SlowQueryThresholdPinsOffenders) {
+  ServiceOptions options;
+  options.slow_query_us = 0;  // everything is "slow": deterministic pinning
+  auto service = UnwrapOrDie(XplaindService::Create(MakeDb(), options));
+  EXPECT_NE(service->HandleLine(MakeLine(2)).find("\"ok\":true"),
+            std::string::npos);
+  service->Drain();  // guarantees the record landed before the dump
+  const std::string response =
+      service->HandleLine("{\"id\":3,\"op\":\"FLIGHT\"}");
+  auto root = JsonValue::Parse(response);
+  ASSERT_TRUE(root.ok()) << root.status().ToString() << "\n" << response;
+  EXPECT_EQ(root->GetNumber("slow_query_us", -1), 0.0);
+  EXPECT_EQ(root->GetNumber("slow", -1), 1.0);
+  const JsonValue* pinned = root->Find("pinned");
+  ASSERT_NE(pinned, nullptr);
+  ASSERT_EQ(pinned->array_items().size(), 1u);
+  EXPECT_TRUE(pinned->array_items()[0].GetBool("pinned", false)) << response;
+}
+
+/// The response future resolves inside CompleteRequest's flush span, a
+/// hair before the flight record is appended on the worker; tests that
+/// depend on record *order* wait for the append explicitly.
+void WaitForFlightRecords(const XplaindService& service, uint64_t want) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (service.flight_recorder().Snapshot().total_recorded >= want) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ADD_FAILURE() << "timed out waiting for " << want << " flight records";
+}
+
+TEST(XplaindServiceTest, CacheHitAndDeltaOutcomesReachTheFlightRecorder) {
+  auto service = UnwrapOrDie(XplaindService::Create(MakeDb()));
+  const std::string line = MakeLine(0);
+  EXPECT_NE(service->HandleLine(line).find("\"ok\":true"),
+            std::string::npos);
+  WaitForFlightRecords(*service, 1);  // pin the miss record to seq 0
+  EXPECT_NE(service->HandleLine(line).find("\"ok\":true"),
+            std::string::npos);  // hit
+  EXPECT_NE(service
+                ->HandleLine("{\"id\":3,\"op\":\"DELTA\","
+                             "\"relation\":\"C\",\"rows\":[0]}")
+                .find("\"ok\":true"),
+            std::string::npos);
+  const FlightRecorder::Dump dump = service->flight_recorder().Snapshot();
+  ASSERT_EQ(dump.records.size(), 3u);
+  EXPECT_EQ(dump.records[0].cache, FlightRecord::CacheOutcome::kMiss);
+  EXPECT_EQ(dump.records[1].cache, FlightRecord::CacheOutcome::kHit);
+  EXPECT_EQ(dump.records[2].op, RequestOp::kDelta);
+  EXPECT_EQ(dump.records[2].cache, FlightRecord::CacheOutcome::kBypass);
+  // The DELTA record carries the post-delta database version.
+  EXPECT_EQ(dump.records[2].db_version, service->db_version());
+  EXPECT_GT(dump.records[2].db_version, dump.records[0].db_version);
 }
 
 }  // namespace

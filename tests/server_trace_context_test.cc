@@ -1,0 +1,220 @@
+// End-to-end request-scoped tracing tests (DESIGN.md §12): a real TCP
+// server with trace sampling enabled must produce a Chrome/Perfetto trace
+// where each sampled request's spans — reactor dispatch, queue wait,
+// cache probe, engine execution, response flush — share one request-scoped
+// trace id, and a client-supplied wire trace context must win over the
+// sampler. Assertions run on the exported JSON itself (parsed with the
+// server's own JSON reader), so the exporter's output is what is checked.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/random_db.h"
+#include "server/json.h"
+#include "server/service.h"
+#include "server/tcp_client.h"
+#include "server/tcp_server.h"
+#include "tests/test_util.h"
+#include "util/trace.h"
+
+namespace xplain {
+namespace server {
+namespace {
+
+using ::xplain::testing::UnwrapOrDie;
+
+Database MakeDb() {
+  datagen::RandomDbOptions options;
+  options.seed = 5;
+  options.schema = datagen::DbTemplate::kDblpLike;
+  options.size = 10;
+  return UnwrapOrDie(datagen::GenerateRandomDb(options));
+}
+
+/// A distinct EXPLAIN line per `id` (the where-clause varies, so repeated
+/// calls do not collapse into cache hits), optionally carrying a wire
+/// trace member.
+std::string ExplainLine(uint64_t id, const std::string& trace_member = "") {
+  std::string line = "{\"id\":" + std::to_string(id) +
+                     ",\"op\":\"EXPLAIN\",\"question\":{\"subqueries\":["
+                     "{\"name\":\"q1\",\"agg\":\"count(*)\","
+                     "\"where\":\"va >= " +
+                     std::to_string(id % 7) +
+                     "\"}],\"expr\":\"q1\",\"direction\":\"high\"},"
+                     "\"attrs\":[\"A.va\"]";
+  if (!trace_member.empty()) line += ",\"trace\":" + trace_member;
+  line += "}";
+  return line;
+}
+
+/// Spans finish on pool workers slightly after the response line reaches
+/// the client, so tests poll the snapshot for the expected number of
+/// rpc.flush spans before asserting on the export.
+void WaitForFlushSpans(size_t want) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    size_t flushes = 0;
+    for (const TraceEvent& event : Trace::Snapshot()) {
+      if (std::string(event.name) == "rpc.flush") ++flushes;
+    }
+    if (flushes >= want) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ADD_FAILURE() << "timed out waiting for " << want << " rpc.flush spans";
+}
+
+/// Parses the exported Chrome JSON and groups span names by their
+/// args.trace_id (hex string); untagged spans land under "".
+std::map<std::string, std::set<std::string>> GroupSpansByTraceId(
+    const std::string& json) {
+  std::map<std::string, std::set<std::string>> groups;
+  auto root = JsonValue::Parse(json);
+  EXPECT_TRUE(root.ok()) << root.status().ToString();
+  if (!root.ok()) return groups;
+  const JsonValue* events = root->Find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  if (events == nullptr || !events->is_array()) return groups;
+  for (const JsonValue& event : events->array_items()) {
+    EXPECT_EQ(event.GetString("ph", ""), "X");
+    EXPECT_GE(event.GetNumber("ts", -1.0), 0.0);
+    EXPECT_GE(event.GetNumber("dur", -1.0), 0.0);
+    std::string trace_id;
+    const JsonValue* args = event.Find("args");
+    if (args != nullptr) trace_id = args->GetString("trace_id", "");
+    groups[trace_id].insert(event.GetString("name", ""));
+  }
+  return groups;
+}
+
+class ServerTraceContextTest : public ::testing::Test {
+ protected:
+  void StartService(uint64_t sample_period) {
+    ServiceOptions options;
+    options.trace_sample_period = sample_period;
+    service_ = UnwrapOrDie(XplaindService::Create(MakeDb(), options));
+    server_ =
+        UnwrapOrDie(TcpServer::Start(service_.get(), TcpServerOptions{}));
+    ASSERT_GT(server_->port(), 0);
+    if (sample_period == 0) Trace::Enable();  // wire-trace-only tests
+    Trace::Clear();
+  }
+
+  void TearDown() override {
+    server_.reset();
+    service_.reset();
+    Trace::Disable();
+    Trace::Clear();
+    Trace::SetPerThreadEventCap(0);
+  }
+
+  std::unique_ptr<XplaindService> service_;
+  std::unique_ptr<TcpServer> server_;
+};
+
+// The acceptance scenario: a pipelined TCP run with 1-in-1 sampling. Every
+// request gets its own server-assigned trace id, and each id's span set is
+// a connected tree covering dispatch, queue wait, cache probe, engine
+// execution, and response flush.
+TEST_F(ServerTraceContextTest, SampledPipelinedRunYieldsConnectedSpanTrees) {
+  StartService(/*sample_period=*/1);
+  TcpClient client =
+      UnwrapOrDie(TcpClient::Connect("127.0.0.1", server_->port()));
+  constexpr uint64_t kRequests = 3;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(client.Send(ExplainLine(i + 1)).ok());
+  }
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    const std::string response = UnwrapOrDie(client.ReadResponse());
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+  }
+  WaitForFlushSpans(kRequests);
+
+  const auto groups = GroupSpansByTraceId(Trace::ToChromeJson());
+  size_t complete_trees = 0;
+  for (const auto& [trace_id, names] : groups) {
+    if (trace_id.empty()) continue;
+    EXPECT_TRUE(names.count("rpc.dispatch")) << "trace " << trace_id;
+    EXPECT_TRUE(names.count("rpc.flush")) << "trace " << trace_id;
+    const bool complete =
+        names.count("rpc.dispatch") && names.count("rpc.queue_wait") &&
+        names.count("rpc.cache_probe") && names.count("rpc.execute") &&
+        names.count("rpc.flush");
+    bool has_engine_span = false;
+    for (const std::string& name : names) {
+      if (name.rfind("engine.", 0) == 0) has_engine_span = true;
+    }
+    if (complete && has_engine_span) ++complete_trees;
+  }
+  // Distinct server-assigned ids: one complete tree per request.
+  EXPECT_EQ(complete_trees, kRequests);
+}
+
+TEST_F(ServerTraceContextTest, ClientSuppliedTraceIdTagsTheWholeTree) {
+  StartService(/*sample_period=*/0);
+  TcpClient client =
+      UnwrapOrDie(TcpClient::Connect("127.0.0.1", server_->port()));
+  const std::string response = UnwrapOrDie(
+      client.Call(ExplainLine(1, "{\"id\":\"abc123\",\"sampled\":true}")));
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+  WaitForFlushSpans(1);
+
+  const auto groups = GroupSpansByTraceId(Trace::ToChromeJson());
+  ASSERT_TRUE(groups.count("abc123")) << Trace::ToChromeJson();
+  const std::set<std::string>& names = groups.at("abc123");
+  EXPECT_TRUE(names.count("rpc.dispatch"));
+  EXPECT_TRUE(names.count("rpc.queue_wait"));
+  EXPECT_TRUE(names.count("rpc.execute"));
+  EXPECT_TRUE(names.count("rpc.flush"));
+}
+
+TEST_F(ServerTraceContextTest, UnsampledWireTraceSuppressesSpans) {
+  StartService(/*sample_period=*/0);
+  TcpClient client =
+      UnwrapOrDie(TcpClient::Connect("127.0.0.1", server_->port()));
+  const std::string response = UnwrapOrDie(
+      client.Call(ExplainLine(1, "{\"id\":\"dead\",\"sampled\":false}")));
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+  // The request executed but must not have recorded a single span.
+  const auto groups = GroupSpansByTraceId(Trace::ToChromeJson());
+  EXPECT_FALSE(groups.count("dead")) << Trace::ToChromeJson();
+}
+
+TEST_F(ServerTraceContextTest, CacheHitTreeSkipsTheWorkerSpans) {
+  StartService(/*sample_period=*/0);
+  TcpClient client =
+      UnwrapOrDie(TcpClient::Connect("127.0.0.1", server_->port()));
+  // First request computes (trace "aa"), the identical second one is a
+  // cache hit (trace "bb") — same canonical key, the trace member is not
+  // part of it.
+  ASSERT_TRUE(UnwrapOrDie(client.Call(ExplainLine(
+                              1, "{\"id\":\"aa\",\"sampled\":true}")))
+                  .find("\"ok\":true") != std::string::npos);
+  WaitForFlushSpans(1);
+  ASSERT_TRUE(UnwrapOrDie(client.Call(ExplainLine(
+                              1, "{\"id\":\"bb\",\"sampled\":true}")))
+                  .find("\"ok\":true") != std::string::npos);
+  WaitForFlushSpans(2);
+
+  const auto groups = GroupSpansByTraceId(Trace::ToChromeJson());
+  ASSERT_TRUE(groups.count("aa"));
+  ASSERT_TRUE(groups.count("bb"));
+  EXPECT_TRUE(groups.at("aa").count("rpc.execute"));
+  const std::set<std::string>& hit = groups.at("bb");
+  EXPECT_TRUE(hit.count("rpc.dispatch"));
+  EXPECT_TRUE(hit.count("rpc.cache_probe"));
+  EXPECT_TRUE(hit.count("rpc.flush"));
+  EXPECT_FALSE(hit.count("rpc.execute"));
+  EXPECT_FALSE(hit.count("rpc.queue_wait"));
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xplain

@@ -6,6 +6,8 @@
 
 #include "util/trace.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -174,6 +176,129 @@ TEST_F(TraceTest, WriteChromeJsonToBadPathFails) {
   Status status =
       Trace::WriteChromeJson("/nonexistent_dir_xplain/trace.json");
   EXPECT_FALSE(status.ok());
+}
+
+// --- request-scoped trace context (DESIGN.md §12) ---------------------------
+
+TEST_F(TraceTest, TraceIdHexRoundTrips) {
+  EXPECT_EQ(TraceIdToHex(0), "0");
+  EXPECT_EQ(TraceIdToHex(0x1a2f), "1a2f");
+  EXPECT_EQ(TraceIdToHex(UINT64_MAX), "ffffffffffffffff");
+  uint64_t id = 0;
+  EXPECT_TRUE(ParseTraceIdHex("1a2f", &id));
+  EXPECT_EQ(id, 0x1a2fu);
+  EXPECT_TRUE(ParseTraceIdHex("1A2F", &id));
+  EXPECT_EQ(id, 0x1a2fu);
+  EXPECT_TRUE(ParseTraceIdHex("ffffffffffffffff", &id));
+  EXPECT_EQ(id, UINT64_MAX);
+  EXPECT_FALSE(ParseTraceIdHex("", &id));
+  EXPECT_FALSE(ParseTraceIdHex("12345678901234567", &id));  // 17 digits
+  EXPECT_FALSE(ParseTraceIdHex("xyz", &id));
+  EXPECT_FALSE(ParseTraceIdHex("12 34", &id));
+}
+
+TEST_F(TraceTest, NextTraceIdIsUniqueAndNonZero) {
+  const uint64_t a = Trace::NextTraceId();
+  const uint64_t b = Trace::NextTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(TraceTest, ContextScopeInstallsAndRestores) {
+  EXPECT_EQ(Trace::CurrentContext().trace_id, 0u);
+  EXPECT_TRUE(Trace::CurrentContext().sampled);
+  {
+    TraceContextScope scope(TraceContext{7, true});
+    EXPECT_EQ(Trace::CurrentContext().trace_id, 7u);
+    {
+      TraceContextScope inner(TraceContext{9, false});
+      EXPECT_EQ(Trace::CurrentContext().trace_id, 9u);
+      EXPECT_FALSE(Trace::CurrentContext().sampled);
+    }
+    EXPECT_EQ(Trace::CurrentContext().trace_id, 7u);
+    EXPECT_TRUE(Trace::CurrentContext().sampled);
+  }
+  EXPECT_EQ(Trace::CurrentContext().trace_id, 0u);
+}
+
+TEST_F(TraceTest, UnsampledContextSuppressesSpans) {
+  Trace::Enable();
+  {
+    TraceContextScope scope(TraceContext{5, false});
+    XPLAIN_TRACE_SPAN("test.suppressed_span");
+    Trace::RecordManual("test.suppressed_manual", 1, 2);
+  }
+  Trace::Disable();
+  EXPECT_TRUE(Trace::Snapshot().empty());
+}
+
+TEST_F(TraceTest, SampledContextTagsSpansWithTraceId) {
+  Trace::Enable();
+  {
+    TraceContextScope scope(TraceContext{0x1a2f, true});
+    XPLAIN_TRACE_SPAN("test.tagged_span");
+  }
+  Trace::Disable();
+  std::vector<TraceEvent> events = Trace::Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 0x1a2fu);
+  const std::string json = Trace::ToChromeJson();
+  EXPECT_NE(json.find("\"args\":{\"trace_id\":\"1a2f\"}"), std::string::npos)
+      << json;
+}
+
+TEST_F(TraceTest, DefaultContextLeavesSpansUntagged) {
+  Trace::Enable();
+  { XPLAIN_TRACE_SPAN("test.untagged_span"); }
+  Trace::Disable();
+  std::vector<TraceEvent> events = Trace::Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 0u);
+  // No args member at all: the exporter only emits args for a set arg or
+  // a nonzero trace id.
+  EXPECT_EQ(Trace::ToChromeJson().find("\"args\""), std::string::npos);
+}
+
+TEST_F(TraceTest, RecordManualEmitsClampedInterval) {
+  Trace::Enable();
+  {
+    TraceContextScope scope(TraceContext{3, true});
+    Trace::RecordManual("test.manual_span", 100, 250);
+    Trace::RecordManual("test.manual_backwards", 500, 400);  // clamped
+  }
+  Trace::Disable();
+  std::vector<TraceEvent> events = Trace::Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "test.manual_span");
+  EXPECT_EQ(events[0].start_us, 100);
+  EXPECT_EQ(events[0].dur_us, 150);
+  EXPECT_EQ(events[0].trace_id, 3u);
+  EXPECT_EQ(events[1].dur_us, 0);  // negative durations clamp to zero
+}
+
+TEST_F(TraceTest, RecordManualIsNoOpWhenDisabled) {
+  Trace::RecordManual("test.manual_disabled", 1, 2);
+  EXPECT_TRUE(Trace::Snapshot().empty());
+}
+
+TEST_F(TraceTest, PerThreadEventCapKeepsNewestEvents) {
+  Trace::SetPerThreadEventCap(4);
+  Trace::Enable();
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("test.ring_span");
+    span.set_arg(i);
+  }
+  Trace::Disable();
+  std::vector<TraceEvent> events = Trace::Snapshot();
+  Trace::SetPerThreadEventCap(0);
+  ASSERT_EQ(events.size(), 4u);
+  // The survivors are the newest four spans. Same-microsecond spans sort
+  // in an unspecified relative order, so compare as a set.
+  std::vector<int64_t> args;
+  for (const TraceEvent& event : events) args.push_back(event.arg);
+  std::sort(args.begin(), args.end());
+  EXPECT_EQ(args, (std::vector<int64_t>{6, 7, 8, 9}));
 }
 
 }  // namespace

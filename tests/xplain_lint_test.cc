@@ -391,6 +391,64 @@ TEST_F(XplainLintTest, AcceptsValidTraceNamesIncludingConstructorForm) {
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+TEST_F(XplainLintTest, FlagsInvalidNameInRegistryAccessorCall) {
+  // The cached-pointer pattern (`static Histogram* h = GetHistogram(...)`)
+  // bypasses the macros but mints names into the same namespace, so the
+  // rule covers the registry accessors too.
+  WriteFile("src/util/cached.cc",
+            "void Work() {\n"
+            "  static Histogram* h =\n"
+            "      GetHistogram(\"Server Latency\");\n"
+            "  h->Record(1);\n"
+            "}\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("trace-name"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("Server Latency"), std::string::npos)
+      << run.output;
+}
+
+TEST_F(XplainLintTest, FlagsDuplicateNameAcrossMacroAndAccessor) {
+  // A macro call and an accessor call minting the same name in one TU is
+  // the same double-registration hazard as two macros.
+  WriteFile("src/util/dup.cc",
+            "void A() { XPLAIN_COUNTER_ADD(\"cube.cells\", 1); }\n"
+            "void B() { Counter* c = GetCounter(\"cube.cells\"); (void)c; }\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("trace-name"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("already used"), std::string::npos) << run.output;
+}
+
+TEST_F(XplainLintTest, AcceptsValidRegistryAccessorNames) {
+  WriteFile("src/util/cached.cc",
+            "void Work() {\n"
+            "  static Counter* c = GetCounter(\"server.flight.recorded\");\n"
+            "  static Gauge* g = GetGauge(\"server.in_flight\");\n"
+            "  static Histogram* h = GetHistogram(\"server.op.explain_us\");\n"
+            "  (void)c; (void)g; (void)h;\n"
+            "}\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(XplainLintTest, AccessorDeclarationsAndNonLiteralArgsAreSkipped) {
+  // Declarations (first token after '(' is a type, not a string literal)
+  // and calls forwarding a variable must not be findings.
+  WriteFile("src/util/registry.h",
+            "#ifndef XPLAIN_UTIL_REGISTRY_H_\n"
+            "#define XPLAIN_UTIL_REGISTRY_H_\n"
+            "namespace xplain {\n"
+            "/// Returns the counter registered under `name`.\n"
+            "Counter* GetCounter(const char* name);\n"
+            "}  // namespace xplain\n"
+            "#endif  // XPLAIN_UTIL_REGISTRY_H_\n");
+  WriteFile("src/util/forward.cc",
+            "Counter* Lookup(const char* name) { return GetCounter(name); }\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 // --- server-trace-prefix ----------------------------------------------------
 
 TEST_F(XplainLintTest, FlagsEngineNamespacedSpanInServerCode) {

@@ -10,19 +10,55 @@
 // once; responses still print in request order (the server's per-connection
 // ordering guarantee). With --fail-on-error, exits 1 if any response
 // carries "ok":false — CI smoke tests use this to assert a zero-error run.
+//
+// With --metrics the client acts as a Prometheus-style scraper instead:
+// it sends one METRICS request, unescapes the `exposition` string member
+// of the response, and prints the raw text exposition to stdout.
+//
+//   xplain_client --port 7411 --metrics | grep xplain_server_op_explain_us
 
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "server/json.h"
 #include "server/tcp_client.h"
 
 namespace {
 
 int Usage(std::ostream& os) {
   os << "usage: xplain_client --port P [--host H] [--file FILE]\n"
-     << "                     [--pipeline D] [--fail-on-error]\n";
+     << "                     [--pipeline D] [--fail-on-error]\n"
+     << "       xplain_client --port P --metrics\n";
   return 2;
+}
+
+// Sends one METRICS request and prints the decoded text exposition.
+int ScrapeMetrics(xplain::server::TcpClient& client) {
+  const xplain::Status sent = client.Send("{\"id\":1,\"op\":\"METRICS\"}");
+  if (!sent.ok()) {
+    std::cerr << "xplain_client: " << sent.ToString() << "\n";
+    return 1;
+  }
+  auto response = client.ReadResponse();
+  if (!response.ok()) {
+    std::cerr << "xplain_client: " << response.status().ToString() << "\n";
+    return 1;
+  }
+  auto root = xplain::server::JsonValue::Parse(*response);
+  if (!root.ok()) {
+    std::cerr << "xplain_client: bad METRICS response: "
+              << root.status().ToString() << "\n";
+    return 1;
+  }
+  const xplain::server::JsonValue* exposition = root->Find("exposition");
+  if (exposition == nullptr || !exposition->is_string()) {
+    std::cerr << "xplain_client: METRICS response has no exposition member: "
+              << *response << "\n";
+    return 1;
+  }
+  std::cout << exposition->string_value();
+  return 0;
 }
 
 }  // namespace
@@ -33,6 +69,7 @@ int main(int argc, char** argv) {
   std::string file;
   int pipeline = 1;
   bool fail_on_error = false;
+  bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--host" && i + 1 < argc) {
@@ -45,6 +82,8 @@ int main(int argc, char** argv) {
       pipeline = std::stoi(argv[++i]);
     } else if (arg == "--fail-on-error") {
       fail_on_error = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage(std::cout);
       return 0;
@@ -74,6 +113,7 @@ int main(int argc, char** argv) {
     std::cerr << "xplain_client: " << client.status().ToString() << "\n";
     return 1;
   }
+  if (metrics) return ScrapeMetrics(*client);
 
   int errors = 0;
   int outstanding = 0;

@@ -17,10 +17,12 @@
 //   [thread-safety-doc]    class/struct definitions in those headers state
 //                          their thread-safety in the /// block.
 //   [trace-name]           TraceSpan / XPLAIN_COUNTER_ADD / XPLAIN_GAUGE_SET
-//                          / XPLAIN_HISTOGRAM_RECORD literal names match
-//                          [a-z0-9_.]+ and are unique per translation unit
-//                          (a duplicate is almost always a copy-pasted span
-//                          that renders as one merged row in Perfetto).
+//                          / XPLAIN_HISTOGRAM_RECORD — and the registry
+//                          accessors GetCounter / GetGauge / GetHistogram —
+//                          with literal names match [a-z0-9_.]+ and are
+//                          unique per translation unit (a duplicate is
+//                          almost always a copy-pasted span that renders as
+//                          one merged row in Perfetto).
 //   [server-trace-prefix]  span/metric literals in src/server/ live in the
 //                          rpc. or server. namespace, so serving telemetry
 //                          never collides with engine-side names.
@@ -526,7 +528,11 @@ void CheckDocComments(const std::string& display, const FileText& text) {
 // Observability names (trace.h / metrics.h) form one flat dotted namespace;
 // the emitters never escape them, so the charset is restricted to
 // [a-z0-9_.]+. Uniqueness is per file: a TU reusing a span name almost
-// always means a copy-pasted instrumentation block.
+// always means a copy-pasted instrumentation block. Besides the macros,
+// the rule covers direct MetricsRegistry accessor calls (GetCounter /
+// GetGauge / GetHistogram with a literal first argument) — the cached-
+// pointer pattern used for hot-path histograms bypasses the macros but
+// mints names into the same exposition namespace.
 
 bool IsValidTraceName(const std::string& name) {
   if (name.empty()) return false;
@@ -570,7 +576,8 @@ size_t FindCallParen(const std::string& code, const std::string& token,
 void CheckTraceNames(const std::string& display, const FileText& text) {
   static const char* kNameTakingCalls[] = {
       "XPLAIN_TRACE_SPAN", "XPLAIN_COUNTER_ADD", "XPLAIN_GAUGE_SET",
-      "XPLAIN_HISTOGRAM_RECORD", "TraceSpan"};
+      "XPLAIN_HISTOGRAM_RECORD", "TraceSpan", "GetCounter", "GetGauge",
+      "GetHistogram"};
   std::vector<std::pair<std::string, size_t>> seen;  // name -> first line
   for (size_t i = 0; i < text.code.size(); ++i) {
     if (LineIsExempt(text.raw[i])) continue;

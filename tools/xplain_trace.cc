@@ -6,17 +6,29 @@
 //   xplain_trace [--workload natality|dblp] [--rows N] [--threads N]
 //                [--out PATH.trace.json]
 //
+// With --filter the tool post-processes a trace exported by xplaind
+// instead of running a workload: it keeps only the spans whose
+// args.trace_id matches --trace-id (one request's span tree), optionally
+// collapsing all thread tracks into one with --merge so the reactor-side
+// and worker-side spans of the request read as a single timeline:
+//
+//   xplain_trace --filter xplaind_trace.json --trace-id a1f
+//                [--merge] --out request.trace.json
+//
 // Open the output in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
 #include "datagen/dblp.h"
 #include "datagen/natality.h"
+#include "server/json.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -27,6 +39,9 @@ struct TraceToolOptions {
   size_t rows = 20000;
   int threads = 0;  // ExplainOptions meaning: 0 = hardware concurrency
   std::string out = "xplain.trace.json";
+  std::string filter;    // input trace JSON; empty = workload mode
+  std::string trace_id;  // hex id to keep in filter mode
+  bool merge = false;    // collapse tids in filter mode
 };
 
 int Fail(const std::string& message) {
@@ -53,6 +68,12 @@ bool ParseArgs(const std::vector<std::string>& args, TraceToolOptions* opts) {
       opts->threads = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
     } else if (arg == "--out") {
       if (!next(&opts->out)) return false;
+    } else if (arg == "--filter") {
+      if (!next(&opts->filter)) return false;
+    } else if (arg == "--trace-id") {
+      if (!next(&opts->trace_id)) return false;
+    } else if (arg == "--merge") {
+      opts->merge = true;
     } else {
       std::cerr << "xplain_trace: unknown flag " << arg << std::endl;
       return false;
@@ -87,6 +108,120 @@ int ValidateTrace(const std::vector<xplain::TraceEvent>& events,
   return 0;
 }
 
+/// Re-serializes a parsed JSON value (the exporter's own output, round-
+/// tripped through server/json). Objects come back in std::map order,
+/// which is fine — Perfetto does not care about member order.
+void SerializeJson(const xplain::server::JsonValue& value, std::string* out) {
+  using xplain::server::JsonValue;
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      out->append("null");
+      return;
+    case JsonValue::Kind::kBool:
+      out->append(value.bool_value() ? "true" : "false");
+      return;
+    case JsonValue::Kind::kNumber:
+      xplain::server::AppendJsonNumber(value.number_value(), out);
+      return;
+    case JsonValue::Kind::kString:
+      xplain::server::AppendJsonString(value.string_value(), out);
+      return;
+    case JsonValue::Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& item : value.array_items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        SerializeJson(item, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : value.object_items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        xplain::server::AppendJsonString(key, out);
+        out->push_back(':');
+        SerializeJson(member, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+/// Serializes one trace event, forcing tid to 0 when merging so every
+/// kept span lands on a single Perfetto track.
+void SerializeEvent(const xplain::server::JsonValue& event, bool merge,
+                    std::string* out) {
+  using xplain::server::JsonValue;
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [key, member] : event.object_items()) {
+    if (!first) out->push_back(',');
+    first = false;
+    xplain::server::AppendJsonString(key, out);
+    out->push_back(':');
+    if (merge && key == "tid") {
+      out->push_back('0');
+    } else {
+      SerializeJson(member, out);
+    }
+  }
+  out->push_back('}');
+}
+
+/// The --filter mode: keep one request's span tree from an exported trace.
+int FilterTrace(const TraceToolOptions& opts) {
+  uint64_t want = 0;
+  if (!xplain::ParseTraceIdHex(opts.trace_id, &want) || want == 0) {
+    return Fail("--trace-id must be 1..16 hex digits (got '" +
+                opts.trace_id + "')");
+  }
+  std::ifstream in(opts.filter);
+  if (!in) return Fail("cannot read " + opts.filter);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto root = xplain::server::JsonValue::Parse(buffer.str());
+  if (!root.ok()) {
+    return Fail("bad trace JSON: " + root.status().ToString());
+  }
+  const xplain::server::JsonValue* events = root->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Fail("trace JSON has no traceEvents array");
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  size_t kept = 0;
+  for (const xplain::server::JsonValue& event : events->array_items()) {
+    const xplain::server::JsonValue* args = event.Find("args");
+    if (args == nullptr) continue;
+    uint64_t got = 0;
+    if (!xplain::ParseTraceIdHex(args->GetString("trace_id", ""), &got) ||
+        got != want) {
+      continue;
+    }
+    if (kept > 0) out.push_back(',');
+    SerializeEvent(event, opts.merge, &out);
+    ++kept;
+  }
+  out.append("]}\n");
+  if (kept == 0) {
+    return Fail("no spans carry trace_id " + opts.trace_id);
+  }
+
+  std::ofstream out_stream(opts.out, std::ios::trunc);
+  if (!out_stream || !(out_stream << out)) {
+    return Fail("cannot write " + opts.out);
+  }
+  std::cout << "wrote " << opts.out << " (" << kept << " spans of trace "
+            << opts.trace_id << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,7 +231,15 @@ int main(int argc, char** argv) {
   if (!ParseArgs(std::vector<std::string>(argv + 1, argv + argc), &opts)) {
     return Fail(
         "usage: xplain_trace [--workload natality|dblp] [--rows N] "
-        "[--threads N] [--out PATH]");
+        "[--threads N] [--out PATH]\n"
+        "       xplain_trace --filter TRACE.json --trace-id HEX [--merge] "
+        "[--out PATH]");
+  }
+  if (!opts.filter.empty() || !opts.trace_id.empty()) {
+    if (opts.filter.empty() || opts.trace_id.empty()) {
+      return Fail("--filter and --trace-id must be passed together");
+    }
+    return FilterTrace(opts);
   }
 
   Database db;

@@ -22,6 +22,7 @@
 #include "server/service.h"
 #include "server/tcp_server.h"
 #include "util/result.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -32,7 +33,8 @@ void HandleSignal(int) { g_interrupted.store(true); }
 int Usage(std::ostream& os) {
   os << "usage: xplaind (--db DIR | --gen dblp) [--scale S] [--port P]\n"
      << "               [--workers N] [--queue N] [--reactors N] [--no-cache]\n"
-     << "               [--legacy-deltas]\n"
+     << "               [--legacy-deltas] [--trace-sample N] [--trace-out F]\n"
+     << "               [--flight N] [--slow_query_us N]\n"
      << "  --db DIR      serve a directory-stored database (schema.ddl+CSV)\n"
      << "  --gen dblp    serve the synthetic DBLP instance instead\n"
      << "  --scale S     generator scale factor (default 1.0)\n"
@@ -42,7 +44,14 @@ int Usage(std::ostream& os) {
      << "  --reactors N  epoll event-loop threads (default: hardware)\n"
      << "  --no-cache    disable the explanation cache\n"
      << "  --legacy-deltas  DELTA rebuilds the engine and wipes the cache\n"
-     << "                   instead of incremental maintenance (DESIGN.md §10)\n";
+     << "                   instead of incremental maintenance (DESIGN.md §10)\n"
+     << "  --trace-sample N  trace one of every N requests without a wire\n"
+     << "                    trace context (0 = off, 1 = all; DESIGN.md §12)\n"
+     << "  --trace-out F     write the Chrome trace JSON to F at drain time\n"
+     << "                    (default xplaind_trace.json when sampling is on)\n"
+     << "  --flight N        flight-recorder ring capacity (default 256)\n"
+     << "  --slow_query_us N log and pin requests whose queue+execute+flush\n"
+     << "                    time reaches N microseconds (default: disabled)\n";
   return 2;
 }
 
@@ -52,6 +61,7 @@ int main(int argc, char** argv) {
   std::string db_dir;
   std::string gen;
   double scale = 1.0;
+  std::string trace_out;
   xplain::server::TcpServerOptions tcp;
   xplain::server::ServiceOptions service_options;
   for (int i = 1; i < argc; ++i) {
@@ -75,6 +85,16 @@ int main(int argc, char** argv) {
       service_options.enable_cache = false;
     } else if (arg == "--legacy-deltas") {
       service_options.incremental_deltas = false;
+    } else if (arg == "--trace-sample" && i + 1 < argc) {
+      service_options.trace_sample_period =
+          static_cast<uint64_t>(std::stoull(argv[++i]));
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg == "--flight" && i + 1 < argc) {
+      service_options.flight_capacity =
+          static_cast<size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--slow_query_us" && i + 1 < argc) {
+      service_options.slow_query_us = std::stoll(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       Usage(std::cout);
       return 0;
@@ -129,6 +149,18 @@ int main(int argc, char** argv) {
   }
   (*server)->Stop();
   (*service)->Drain();
+  // With sampling on, export the collected span trees at drain time so a
+  // serving run leaves an openable Perfetto/chrome://tracing file behind.
+  if (service_options.trace_sample_period > 0) {
+    if (trace_out.empty()) trace_out = "xplaind_trace.json";
+    const xplain::Status written = xplain::Trace::WriteChromeJson(trace_out);
+    if (written.ok()) {
+      std::cout << "xplaind trace written to " << trace_out << std::endl;
+    } else {
+      std::cerr << "xplaind: trace export failed: " << written.ToString()
+                << "\n";
+    }
+  }
   std::cout << "xplaind drained, exiting" << std::endl;
   return 0;
 }
