@@ -1,0 +1,65 @@
+#include "cluster/partition.h"
+
+#include <utility>
+
+#include "relational/relation.h"
+#include "relational/universal.h"
+#include "util/trace.h"
+
+namespace xplain {
+namespace cluster {
+
+Result<std::vector<Database>> PartitionDatabase(const Database& db,
+                                                const ShardMap& map) {
+  XPLAIN_TRACE_SPAN("cluster.partition");
+  XPLAIN_ASSIGN_OR_RETURN(UniversalRelation universal,
+                          UniversalRelation::Build(db));
+  const size_t k = map.num_shards();
+  const int num_relations = db.num_relations();
+
+  // used[s][r][row] = 1 iff base row `row` of relation r belongs to shard s.
+  std::vector<std::vector<std::vector<uint8_t>>> used(k);
+  for (size_t s = 0; s < k; ++s) {
+    used[s].resize(static_cast<size_t>(num_relations));
+    for (int r = 0; r < num_relations; ++r) {
+      used[s][static_cast<size_t>(r)].assign(db.relation(r).NumRows(), 0);
+    }
+  }
+  for (size_t u = 0; u < universal.NumRows(); ++u) {
+    const size_t s = map.ShardOfUniversalRow(universal, u);
+    for (int r = 0; r < num_relations; ++r) {
+      used[s][static_cast<size_t>(r)][universal.BaseRow(u, r)] = 1;
+    }
+  }
+
+  // Materialize each shard: base rows in original order (placement is a
+  // row *filter*, never a reorder — per-shard results stay deterministic),
+  // full schema, all foreign keys. A universal row's base rows always land
+  // together, so referential integrity holds on every shard.
+  std::vector<Database> shards;
+  shards.reserve(k);
+  for (size_t s = 0; s < k; ++s) {
+    Database shard;
+    for (int r = 0; r < num_relations; ++r) {
+      const Relation& source = db.relation(r);
+      Relation out(source.schema());
+      size_t kept = 0;
+      for (uint8_t bit : used[s][static_cast<size_t>(r)]) kept += bit;
+      out.Reserve(kept);
+      for (size_t row = 0; row < source.NumRows(); ++row) {
+        if (used[s][static_cast<size_t>(r)][row]) {
+          out.AppendUnchecked(source.row(row));
+        }
+      }
+      XPLAIN_RETURN_IF_ERROR(shard.AddRelation(std::move(out)));
+    }
+    for (const ForeignKey& fk : db.foreign_keys()) {
+      XPLAIN_RETURN_IF_ERROR(shard.AddForeignKey(fk));
+    }
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+}  // namespace cluster
+}  // namespace xplain

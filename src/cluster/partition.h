@@ -1,0 +1,32 @@
+#ifndef XPLAIN_CLUSTER_PARTITION_H_
+#define XPLAIN_CLUSTER_PARTITION_H_
+
+#include <vector>
+
+#include "cluster/shard_map.h"
+#include "relational/database.h"
+#include "util/result.h"
+
+namespace xplain {
+namespace cluster {
+
+/// Splits `db` into `map.num_shards()` databases by hashing the partition
+/// attributes of every universal row (DESIGN.md §13): shard s keeps
+/// exactly the base rows that participate in some universal row hashing to
+/// s, in their original order, with the full schema and all foreign keys
+/// copied. The per-shard universal relations are therefore a disjoint
+/// partition of U(D) (minus rows dangling in D itself, which no shard
+/// keeps — they contribute to no query answer).
+///
+/// Because each universal row's base rows travel together, the partition
+/// co-locates every base row's join partners; whether it also co-locates a
+/// base row's *other* universal occurrences — the property that makes
+/// exact program-P rescoring decompose — depends on the chosen partition
+/// attributes (see DESIGN.md §13).
+[[nodiscard]] Result<std::vector<Database>> PartitionDatabase(
+    const Database& db, const ShardMap& map);
+
+}  // namespace cluster
+}  // namespace xplain
+
+#endif  // XPLAIN_CLUSTER_PARTITION_H_

@@ -1,0 +1,187 @@
+#include "cluster/shard_map.h"
+
+#include <cstring>
+
+namespace xplain {
+namespace cluster {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t FnvMix(uint64_t hash, const void* data, size_t len) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Result<std::vector<ShardEndpoint>> ParseShardList(const std::string& text) {
+  std::vector<ShardEndpoint> shards;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(start, comma - start);
+    if (item.empty()) {
+      return Status::InvalidArgument("empty shard endpoint in list '" + text +
+                                     "'");
+    }
+    const size_t colon = item.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == item.size()) {
+      return Status::InvalidArgument("shard endpoint '" + item +
+                                     "' is not host:port");
+    }
+    ShardEndpoint endpoint;
+    endpoint.host = item.substr(0, colon);
+    const std::string port_text = item.substr(colon + 1);
+    int port = 0;
+    for (char c : port_text) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("shard endpoint '" + item +
+                                       "' has a non-numeric port");
+      }
+      port = port * 10 + (c - '0');
+      if (port > 65535) break;
+    }
+    if (port < 1 || port > 65535) {
+      return Status::InvalidArgument("shard endpoint '" + item +
+                                     "' has an out-of-range port");
+    }
+    endpoint.port = port;
+    shards.push_back(std::move(endpoint));
+    if (comma == text.size()) break;
+    start = comma + 1;
+  }
+  if (shards.empty()) {
+    return Status::InvalidArgument("shard list is empty");
+  }
+  return shards;
+}
+
+uint64_t HashPartitionKey(const Tuple& key) {
+  uint64_t hash = kFnvOffset;
+  for (const Value& value : key) {
+    // One type-tag byte, then a fixed-width or length-prefixed payload:
+    // the encoding is injective across value types, so Int(1), Real(1.0)
+    // and Str("1") land on independent shards.
+    const unsigned char tag = static_cast<unsigned char>(value.type());
+    hash = FnvMix(hash, &tag, 1);
+    switch (value.type()) {
+      case DataType::kNull:
+        break;
+      case DataType::kBool: {
+        const unsigned char b = value.AsBool() ? 1 : 0;
+        hash = FnvMix(hash, &b, 1);
+        break;
+      }
+      case DataType::kInt64: {
+        unsigned char bytes[8];
+        const uint64_t v = static_cast<uint64_t>(value.AsInt());
+        for (int i = 0; i < 8; ++i) {
+          bytes[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+        }
+        hash = FnvMix(hash, bytes, sizeof(bytes));
+        break;
+      }
+      case DataType::kDouble: {
+        // Hash the bit pattern: deterministic, and distinguishes -0.0
+        // from 0.0 the same way everywhere.
+        uint64_t bits = 0;
+        const double d = value.AsDouble();
+        std::memcpy(&bits, &d, sizeof(bits));
+        unsigned char bytes[8];
+        for (int i = 0; i < 8; ++i) {
+          bytes[i] = static_cast<unsigned char>((bits >> (8 * i)) & 0xff);
+        }
+        hash = FnvMix(hash, bytes, sizeof(bytes));
+        break;
+      }
+      case DataType::kString: {
+        const std::string& s = value.AsString();
+        const uint64_t len = s.size();
+        unsigned char bytes[8];
+        for (int i = 0; i < 8; ++i) {
+          bytes[i] = static_cast<unsigned char>((len >> (8 * i)) & 0xff);
+        }
+        hash = FnvMix(hash, bytes, sizeof(bytes));
+        hash = FnvMix(hash, s.data(), s.size());
+        break;
+      }
+    }
+  }
+  return hash;
+}
+
+Result<ShardMap> ShardMap::Create(
+    const Database& db, const std::vector<std::string>& partition_attrs,
+    size_t num_shards) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("a shard map needs at least one shard");
+  }
+  if (partition_attrs.empty()) {
+    return Status::InvalidArgument(
+        "a shard map needs at least one partition attribute");
+  }
+  ShardMap map;
+  map.num_shards_ = num_shards;
+  for (const std::string& name : partition_attrs) {
+    XPLAIN_ASSIGN_OR_RETURN(ColumnRef ref, db.ResolveColumn(name));
+    map.attrs_.push_back(ref);
+    map.names_.push_back(db.ColumnName(ref));
+  }
+  return map;
+}
+
+size_t ShardMap::ShardOfUniversalRow(const UniversalRelation& universal,
+                                     size_t u) const {
+  Tuple key;
+  key.reserve(attrs_.size());
+  for (const ColumnRef& attr : attrs_) {
+    key.push_back(universal.ValueAt(u, attr));
+  }
+  return ShardOfKey(key);
+}
+
+Status ShardMap::CheckQueryEnvelope(const NumericalQuery& query) const {
+  for (int j = 0; j < query.num_subqueries(); ++j) {
+    const AggregateSpec& agg = query.subquery(j).agg;
+    switch (agg.kind) {
+      case AggregateKind::kCountStar:
+      case AggregateKind::kSum:
+        // Additive over any disjoint partition of the universal rows.
+        break;
+      case AggregateKind::kCountDistinct: {
+        // Sum-merging per-shard distinct counts is exact only when every
+        // distinct value of the counted column lives on exactly one
+        // shard, i.e. the partition key is exactly that column.
+        if (attrs_.size() != 1 || !(attrs_[0] == agg.column)) {
+          return Status::InvalidArgument(
+              "subquery '" + query.subquery(j).name +
+              "' counts distinct values of a column that is not the "
+              "partition key; per-shard distinct counts would double-count "
+              "values spanning shards (DESIGN.md §13)");
+        }
+        break;
+      }
+      case AggregateKind::kMin:
+      case AggregateKind::kMax:
+      case AggregateKind::kAvg:
+        return Status::InvalidArgument(
+            "subquery '" + query.subquery(j).name + "' uses " +
+            AggregateKindToString(agg.kind) +
+            ", which is outside the cluster's sum-merge envelope "
+            "(DESIGN.md §13)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cluster
+}  // namespace xplain

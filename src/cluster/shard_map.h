@@ -1,0 +1,88 @@
+#ifndef XPLAIN_CLUSTER_SHARD_MAP_H_
+#define XPLAIN_CLUSTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+#include "relational/query.h"
+#include "relational/universal.h"
+#include "util/result.h"
+
+namespace xplain {
+namespace cluster {
+
+/// One shard's network address ("host:port", host a dotted quad).
+/// Thread-safety: plain data, externally synchronized.
+struct ShardEndpoint {
+  std::string host;
+  int port = 0;
+
+  std::string ToString() const { return host + ":" + std::to_string(port); }
+};
+
+/// Parses "host:port,host:port,..." into endpoints (at least one required).
+[[nodiscard]] Result<std::vector<ShardEndpoint>> ParseShardList(
+    const std::string& text);
+
+/// FNV-1a 64 over the length-prefixed ToString renderings of the key's
+/// values (with a type tag per value, so Int(1) and Str("1") hash apart).
+/// Deterministic across processes and platforms — the partitioner and the
+/// coordinator must agree on row placement byte-for-byte.
+uint64_t HashPartitionKey(const Tuple& key);
+
+/// The cluster's static shard map (DESIGN.md §13): rows of the universal
+/// relation are assigned to one of `num_shards` workers by hashing the
+/// values of the *partition attributes*. Both the offline partitioner
+/// (tools/xplain_shard) and the coordinator derive placement from this
+/// class, so they can never disagree.
+///
+/// Thread-safety: immutable after Create; const access is safe.
+class ShardMap {
+ public:
+  /// Resolves `partition_attrs` ("Rel.attr" names) against `db` (a rows-free
+  /// catalog works — only the schema is consulted). `num_shards` >= 1.
+  [[nodiscard]] static Result<ShardMap> Create(
+      const Database& db, const std::vector<std::string>& partition_attrs,
+      size_t num_shards);
+
+  size_t num_shards() const { return num_shards_; }
+  const std::vector<ColumnRef>& partition_attrs() const { return attrs_; }
+  const std::vector<std::string>& partition_attr_names() const {
+    return names_;
+  }
+
+  /// Shard owning a partition key (one value per partition attribute).
+  size_t ShardOfKey(const Tuple& key) const {
+    return static_cast<size_t>(HashPartitionKey(key) % num_shards_);
+  }
+
+  /// Shard owning universal row `u` (hashes the row's partition-attribute
+  /// values).
+  size_t ShardOfUniversalRow(const UniversalRelation& universal,
+                             size_t u) const;
+
+  /// The distributed exactness envelope (DESIGN.md §13): verifies every
+  /// subquery of `query` merges exactly under this partition —
+  /// COUNT(*) and SUM are additive over any disjoint row partition;
+  /// COUNT(DISTINCT C) sum-merges exactly iff the partition attributes are
+  /// exactly [C] (each distinct value then lives on one shard);
+  /// MIN/MAX/AVG are outside the envelope. Returns kInvalidArgument with a
+  /// subquery-naming message otherwise.
+  [[nodiscard]] Status CheckQueryEnvelope(const NumericalQuery& query) const;
+
+  /// A default-constructed map is a single-shard identity map with no
+  /// partition attributes — a placeholder until Create() replaces it.
+  ShardMap() = default;
+
+ private:
+  size_t num_shards_ = 1;
+  std::vector<ColumnRef> attrs_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace cluster
+}  // namespace xplain
+
+#endif  // XPLAIN_CLUSTER_SHARD_MAP_H_

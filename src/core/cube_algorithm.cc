@@ -180,23 +180,53 @@ Result<TableM> ComputeTableM(const UniversalRelation& universal,
   cubes_span.End();
   table.build_stats.cube_build_ms = MsSince(step_start_us);
 
-  // Step 3: full outer join.
+  // Step 3: full outer join, then the shared assemble step (support
+  // pruning + degree columns) that the cluster coordinator reuses over
+  // merged shard cubes (DESIGN.md §13).
   step_start_us = Trace::NowMicros();
   TraceSpan merge_span("tablem.merge");
   std::vector<const DataCube*> cube_ptrs;
   for (const auto& c : cubes) cube_ptrs.push_back(c.get());
   XPLAIN_ASSIGN_OR_RETURN(CubeJoinResult joined,
                           FullOuterJoinCubes(cube_ptrs));
-  table.build_stats.rows_before_support = joined.NumRows();
+  merge_span.End();
+  table.build_stats.merge_ms = MsSince(step_start_us);
+  XPLAIN_RETURN_IF_ERROR(AssembleTableM(std::move(joined), query,
+                                        question.direction,
+                                        options.min_support,
+                                        options.cube.pool, &table));
+  return table;
+}
+
+Status AssembleTableM(CubeJoinResult joined, const NumericalQuery& query,
+                      Direction direction, double min_support,
+                      ThreadPool* pool, TableM* table) {
+  const int m = static_cast<int>(joined.values.size());
+  if (m == 0) {
+    return Status::InvalidArgument("joined cube table has no value columns");
+  }
+  if (m > 64) {
+    return Status::InvalidArgument(
+        "cube_mask covers at most 64 subqueries; got " + std::to_string(m));
+  }
+  if (static_cast<int>(query.num_subqueries()) != m) {
+    return Status::InvalidArgument(
+        "joined cube table has " + std::to_string(m) +
+        " value columns but the query has " +
+        std::to_string(query.num_subqueries()) + " subqueries");
+  }
+  int64_t step_start_us = Trace::NowMicros();
+  TraceSpan assemble_span("tablem.assemble");
+  table->build_stats.rows_before_support = joined.NumRows();
 
   // Optional support pruning.
   std::vector<size_t> kept;
   kept.reserve(joined.NumRows());
   for (size_t row = 0; row < joined.NumRows(); ++row) {
-    if (options.min_support > 0.0) {
+    if (min_support > 0.0) {
       bool supported = false;
       for (int j = 0; j < m; ++j) {
-        if (joined.values[j][row] >= options.min_support) {
+        if (joined.values[j][row] >= min_support) {
           supported = true;
           break;
         }
@@ -206,50 +236,55 @@ Result<TableM> ComputeTableM(const UniversalRelation& universal,
     kept.push_back(row);
   }
 
-  table.coords.reserve(kept.size());
-  table.subquery_values.assign(m, {});
-  for (int j = 0; j < m; ++j) table.subquery_values[j].reserve(kept.size());
+  table->coords.reserve(kept.size());
+  table->subquery_values.assign(m, {});
+  for (int j = 0; j < m; ++j) table->subquery_values[j].reserve(kept.size());
+  table->cube_mask.reserve(kept.size());
+  const bool have_present = !joined.present.empty();
   for (size_t row : kept) {
-    table.coords.push_back(std::move(joined.coords[row]));
+    table->coords.push_back(std::move(joined.coords[row]));
+    uint64_t mask = 0;
     for (int j = 0; j < m; ++j) {
-      table.subquery_values[j].push_back(joined.values[j][row]);
+      table->subquery_values[j].push_back(joined.values[j][row]);
+      if (have_present && joined.present[j][row]) mask |= uint64_t{1} << j;
     }
+    table->cube_mask.push_back(mask);
   }
-  merge_span.End();
-  table.build_stats.merge_ms = MsSince(step_start_us);
-  table.build_stats.rows = table.coords.size();
+  assemble_span.End();
+  table->build_stats.merge_ms += MsSince(step_start_us);
+  table->build_stats.rows = table->coords.size();
 
   // Steps 4-5: degree columns. Rows are independent, so shards write
   // disjoint ranges of the preallocated columns; each row's arithmetic is
   // identical to the sequential path, keeping the columns bit-identical
   // for every thread count.
-  const double interv_sign = InterventionSign(question.direction);
-  const double aggr_sign = AggravationSign(question.direction);
-  const size_t rows = table.coords.size();
-  table.mu_interv.assign(rows, 0.0);
-  table.mu_aggr.assign(rows, 0.0);
+  const double interv_sign = InterventionSign(direction);
+  const double aggr_sign = AggravationSign(direction);
+  const size_t rows = table->coords.size();
+  table->mu_interv.assign(rows, 0.0);
+  table->mu_aggr.assign(rows, 0.0);
   step_start_us = Trace::NowMicros();
   TraceSpan degrees_span("tablem.degrees");
   XPLAIN_RETURN_IF_ERROR(ParallelShards(
-      options.cube.pool, rows, [&](int, size_t begin, size_t end) {
+      pool, rows, [&](int, size_t begin, size_t end) {
         XPLAIN_TRACE_SPAN("tablem.degree_shard");
         std::vector<double> vars(m);
         for (size_t row = begin; row < end; ++row) {
           for (int j = 0; j < m; ++j) {
             vars[j] =
-                table.original_values[j] - table.subquery_values[j][row];
+                table->original_values[j] - table->subquery_values[j][row];
           }
-          table.mu_interv[row] = interv_sign * query.Combine(vars);
+          table->mu_interv[row] = interv_sign * query.Combine(vars);
           for (int j = 0; j < m; ++j) {
-            vars[j] = table.subquery_values[j][row];
+            vars[j] = table->subquery_values[j][row];
           }
-          table.mu_aggr[row] = aggr_sign * query.Combine(vars);
+          table->mu_aggr[row] = aggr_sign * query.Combine(vars);
         }
         return Status::OK();
       }));
   degrees_span.End();
-  table.build_stats.degree_ms = MsSince(step_start_us);
-  return table;
+  table->build_stats.degree_ms = MsSince(step_start_us);
+  return Status::OK();
 }
 
 }  // namespace xplain

@@ -52,6 +52,12 @@ struct TableM {
   std::vector<double> mu_interv;
   /// mu_aggr(phi) = aggr_sign * E(v_1, ..., v_m).
   std::vector<double> mu_aggr;
+  /// cube_mask[row] bit j is set iff cube C_j materialized a cell at
+  /// coords[row] (as opposed to the full outer join padding v_j with 0).
+  /// The cluster layer ships these masks so the coordinator can
+  /// reconstruct each shard's per-subquery cube support exactly
+  /// (DESIGN.md §13).
+  std::vector<uint64_t> cube_mask;
   /// How long each build step took (see TableMStats).
   TableMStats build_stats;
 
@@ -93,6 +99,20 @@ struct TableMOptions {
                              const UserQuestion& question,
                              const std::vector<ColumnRef>& attributes,
                              const TableMOptions& options = TableMOptions());
+
+/// Steps 3-5 of Algorithm 1, starting from an already-joined cube table:
+/// support pruning, then the mu_interv / mu_aggr degree columns. Fills
+/// coords, subquery_values, cube_mask, mu columns and the merge/degree
+/// build stats of `*table`; `table->attributes` and
+/// `table->original_values` must be set by the caller (u_j feeds the
+/// degree arithmetic). Shared by ComputeTableM and the cluster
+/// coordinator's merge path, so a coordinator-assembled table is
+/// bit-identical to a single-node one over the same joined cells
+/// (DESIGN.md §13).
+[[nodiscard]] Status AssembleTableM(CubeJoinResult joined,
+                                    const NumericalQuery& query,
+                                    Direction direction, double min_support,
+                                    ThreadPool* pool, TableM* table);
 
 }  // namespace xplain
 

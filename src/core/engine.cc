@@ -165,6 +165,70 @@ Result<ExplainReport> ExplainEngine::Explain(
   return ExplainResolved(question, attrs, options);
 }
 
+Result<PartialExplainReport> ExplainEngine::ExplainPartialResolved(
+    const UserQuestion& question, const std::vector<ColumnRef>& attributes,
+    const ExplainOptions& options) const {
+  XPLAIN_TRACE_SPAN("engine.explain_partial");
+  if (!options.use_cube) {
+    return Status::InvalidArgument(
+        "partial EXPLAIN requires the cube path (the naive table carries no "
+        "per-cube supports to merge)");
+  }
+  PartialExplainReport report;
+  report.additivity = CheckQueryAdditivity(*universal_, question.query);
+  report.cell_additivity = CheckCellAdditivity(*universal_, question.query);
+  const int num_threads = options.num_threads == 0
+                              ? ThreadPool::DefaultNumThreads()
+                              : options.num_threads;
+  std::unique_ptr<ThreadPool> workers;
+  if (num_threads > 1) workers = std::make_unique<ThreadPool>(num_threads);
+  TableMOptions table_options;
+  table_options.cube = options.cube;
+  table_options.cube.pool = workers.get();
+  // Never prune locally: a cell below min_support on this shard can clear
+  // it once merged with its siblings. The coordinator prunes the merged
+  // values.
+  table_options.min_support = 0.0;
+  table_options.workspace = workspace_.get();
+  XPLAIN_ASSIGN_OR_RETURN(
+      report.table,
+      ComputeTableM(*universal_, question, attributes, table_options));
+  return report;
+}
+
+Result<std::vector<std::vector<double>>> ExplainEngine::RescoreCells(
+    const UserQuestion& question, const std::vector<ColumnRef>& attributes,
+    const std::vector<Tuple>& cells, int num_threads) const {
+  XPLAIN_TRACE_SPAN("engine.rescore_cells");
+  for (const Tuple& cell : cells) {
+    if (cell.size() != attributes.size()) {
+      return Status::InvalidArgument(
+          "rescore cell has " + std::to_string(cell.size()) +
+          " coordinates but " + std::to_string(attributes.size()) +
+          " attributes were given");
+    }
+  }
+  const int threads = num_threads == 0 ? ThreadPool::DefaultNumThreads()
+                                       : num_threads;
+  std::unique_ptr<ThreadPool> workers;
+  if (threads > 1) workers = std::make_unique<ThreadPool>(threads);
+  std::vector<std::vector<double>> values(cells.size());
+  XPLAIN_RETURN_IF_ERROR(ParallelShards(
+      workers.get(), cells.size(), [&](int, size_t begin, size_t end) {
+        XPLAIN_TRACE_SPAN("engine.rescore_cells_shard");
+        for (size_t i = begin; i < end; ++i) {
+          Explanation e = Explanation::FromCell(attributes, cells[i]);
+          XPLAIN_ASSIGN_OR_RETURN(InterventionResult result,
+                                  intervention_->Compute(e.predicate()));
+          RowSet live = intervention_->LiveUniversalRows(result.delta);
+          values[i] =
+              question.query.EvaluateSubqueries(*universal_, &live);
+        }
+        return Status::OK();
+      }));
+  return values;
+}
+
 Result<ExplainReport> ExplainEngine::ExplainResolved(
     const UserQuestion& question, const std::vector<ColumnRef>& attributes,
     const ExplainOptions& options) const {

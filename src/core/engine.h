@@ -119,6 +119,21 @@ struct ExplainReport {
   std::string ToString(const Database& db) const;
 };
 
+/// The shard-side fragment of one EXPLAIN under the cluster's scatter-
+/// gather protocol (DESIGN.md §13): the *unpruned* table M over this
+/// node's database partition (min_support is applied by the coordinator
+/// after the cluster-wide merge) plus the local additivity verdicts. The
+/// table's original_values carry the per-shard u_j = q_j(D_s) and
+/// cube_mask carries the per-subquery cube supports, which together let
+/// the coordinator reconstruct each shard's cubes exactly and re-run the
+/// shared assemble step bit-identically to a single node.
+/// Thread-safety: plain data, externally synchronized.
+struct PartialExplainReport {
+  TableM table;
+  AdditivityReport additivity;
+  AdditivityReport cell_additivity;
+};
+
 /// The precomputed full effect of one delta on an ExplainEngine and its
 /// database: the base-relation compaction plan, the universal-row remap,
 /// the cube-workspace patch, and the post-delta unique-core signature.
@@ -178,6 +193,27 @@ class ExplainEngine {
   [[nodiscard]] Result<ExplainReport> ExplainResolved(
       const UserQuestion& question, const std::vector<ColumnRef>& attributes,
       const ExplainOptions& options = ExplainOptions()) const;
+
+  /// Shard-side half of a scatter-gather EXPLAIN (DESIGN.md §13): builds
+  /// the unpruned table M (options.min_support is ignored — the
+  /// coordinator prunes after merging all shards) and the local
+  /// additivity verdicts, but does no ranking. Requires the cube path
+  /// (options.use_cube == false is kInvalidArgument: the naive table
+  /// carries no per-cube supports to merge).
+  [[nodiscard]] Result<PartialExplainReport> ExplainPartialResolved(
+      const UserQuestion& question, const std::vector<ColumnRef>& attributes,
+      const ExplainOptions& options = ExplainOptions()) const;
+
+  /// Shard-side half of a scatter-gather exact rescore: for each candidate
+  /// cell, runs program P locally and returns the residual subquery values
+  /// q_j(D_s - Delta^phi_s) (one inner vector per cell, indexed like the
+  /// question's subqueries). The coordinator sums these across shards and
+  /// applies sign * E(...) — exact whenever the partition co-locates every
+  /// base row's universal occurrences (DESIGN.md §13). `num_threads`
+  /// follows the ExplainOptions convention (0 = per-core, 1 = sequential).
+  [[nodiscard]] Result<std::vector<std::vector<double>>> RescoreCells(
+      const UserQuestion& question, const std::vector<ColumnRef>& attributes,
+      const std::vector<Tuple>& cells, int num_threads = 0) const;
 
   /// Computes the full incremental effect of `delta` without mutating
   /// anything: closes the delta, derives the U(D) remap and the workspace

@@ -410,13 +410,22 @@ Result<CubeJoinResult> FullOuterJoinCubes(
     const std::vector<const DataCube*>& cubes) {
   TraceSpan span("cube.full_outer_join");
   if (cubes.empty()) {
-    return Status::InvalidArgument("no cubes to join");
+    return Status::InvalidArgument(
+        "FullOuterJoinCubes needs at least one cube operand");
   }
-  for (const DataCube* cube : cubes) {
-    if (cube == nullptr) return Status::InvalidArgument("null cube");
+  for (size_t j = 0; j < cubes.size(); ++j) {
+    const DataCube* cube = cubes[j];
+    if (cube == nullptr) {
+      return Status::InvalidArgument("cube operand " + std::to_string(j) +
+                                     " is null");
+    }
     if (!(cube->attributes() == cubes[0]->attributes())) {
       return Status::InvalidArgument(
-          "cubes must share the same attribute list to be joined");
+          "cube operand " + std::to_string(j) + " groups by " +
+          std::to_string(cube->attributes().size()) +
+          " attribute(s) that differ from operand 0's " +
+          std::to_string(cubes[0]->attributes().size()) +
+          "; cubes must share one attribute list to be joined");
     }
   }
   CubeJoinResult out;
@@ -444,9 +453,13 @@ Result<CubeJoinResult> FullOuterJoinCubes(
     row_of[out.coords[row]] = row;
   }
   out.values.assign(cubes.size(), std::vector<double>(out.coords.size(), 0.0));
+  out.present.assign(cubes.size(),
+                     std::vector<uint8_t>(out.coords.size(), 0));
   for (size_t j = 0; j < cubes.size(); ++j) {
     for (const auto& [coords, value] : cubes[j]->cells()) {
-      out.values[j][row_of[coords]] = value;
+      const size_t row = row_of[coords];
+      out.values[j][row] = value;
+      out.present[j][row] = 1;
     }
   }
   span.set_arg(static_cast<int64_t>(out.coords.size()));

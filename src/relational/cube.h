@@ -108,11 +108,20 @@ struct CubeJoinResult {
   std::vector<Tuple> coords;
   /// values[j][row] = value of cube j at coords[row].
   std::vector<std::vector<double>> values;
+  /// present[j][row] = 1 iff cube j materialized a cell at coords[row].
+  /// Distinguishes a genuine 0-valued cell (e.g. SUM of zeros) from a cell
+  /// the cube never produced — the distinction the cluster merge needs to
+  /// reconstruct per-shard cube supports exactly (DESIGN.md §13).
+  std::vector<std::vector<uint8_t>> present;
 
   size_t NumRows() const { return coords.size(); }
 };
 
 /// Joins `cubes` (all non-null, same attribute list) into one table.
+/// m == 1 is a pass-through: the single cube's cells in canonical order.
+/// An empty operand list or mismatched attribute lists are
+/// kInvalidArgument — the coordinator surfaces these as structured errors
+/// rather than merging garbage.
 [[nodiscard]] Result<CubeJoinResult> FullOuterJoinCubes(
     const std::vector<const DataCube*>& cubes);
 

@@ -1,0 +1,32 @@
+#ifndef XPLAIN_SERVER_LINE_SERVICE_H_
+#define XPLAIN_SERVER_LINE_SERVICE_H_
+
+#include <functional>
+#include <string>
+
+namespace xplain {
+namespace server {
+
+/// What a transport needs from a request handler: one NDJSON line in, one
+/// response line out (callback form, so non-blocking transports never
+/// stall an event loop). Implemented by XplaindService (single node) and
+/// cluster::Coordinator (scatter-gather merge; DESIGN.md §13) — the TCP
+/// server and reactors are transport shells over this interface only.
+///
+/// Thread-safety: implementations must accept concurrent SubmitLineWith
+/// calls from any number of transport threads; `done` is invoked exactly
+/// once per call, on the caller or on an internal worker, and must not
+/// block.
+class LineService {
+ public:
+  virtual ~LineService() = default;
+
+  /// Handles one request line; `done` receives the full response line.
+  virtual void SubmitLineWith(const std::string& line,
+                              std::function<void(std::string)> done) = 0;
+};
+
+}  // namespace server
+}  // namespace xplain
+
+#endif  // XPLAIN_SERVER_LINE_SERVICE_H_

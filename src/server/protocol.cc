@@ -1,6 +1,8 @@
 #include "server/protocol.h"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 
 #include "relational/parser.h"
 #include "server/json.h"
@@ -117,6 +119,38 @@ Status ParseOptions(const JsonValue& object, ExplainOptions* options) {
   return Status::OK();
 }
 
+/// Parses a non-negative uint64 from a JSON number or decimal string
+/// member (numbers above 2^53 must travel as strings to survive
+/// double-typed JSON parsers).
+Result<uint64_t> ParseUint64Member(const JsonValue& member,
+                                   const char* what) {
+  if (member.is_number()) {
+    const double v = member.number_value();
+    if (v < 0 || v != std::floor(v)) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " must be a non-negative integer");
+    }
+    return static_cast<uint64_t>(v);
+  }
+  if (member.is_string() && !member.string_value().empty()) {
+    uint64_t out = 0;
+    for (char c : member.string_value()) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument(std::string(what) +
+                                       " must be a decimal string");
+      }
+      const uint64_t digit = static_cast<uint64_t>(c - '0');
+      if (out > (UINT64_MAX - digit) / 10) {
+        return Status::InvalidArgument(std::string(what) + " overflows");
+      }
+      out = out * 10 + digit;
+    }
+    return out;
+  }
+  return Status::InvalidArgument(std::string(what) +
+                                 " must be a number or decimal string");
+}
+
 /// Injective field framing for cache keys: "<length>:<text>;".
 void AppendKeyField(const std::string& text, std::string* out) {
   *out += std::to_string(text.size());
@@ -187,6 +221,23 @@ Result<Request> ParseRequest(const std::string& line) {
   }
   XPLAIN_ASSIGN_OR_RETURN(request.op, ParseOp(op->string_value()));
   XPLAIN_RETURN_IF_ERROR(ParseTraceMember(root, &request));
+  const JsonValue* expect = root.Find("expect_version");
+  if (expect != nullptr) {
+    XPLAIN_ASSIGN_OR_RETURN(
+        request.expect_version,
+        ParseUint64Member(*expect, "expect_version"));
+    request.has_expect_version = true;
+  }
+  if (request.op == RequestOp::kStats) {
+    const JsonValue* schema = root.Find("schema");
+    if (schema != nullptr) {
+      if (!schema->is_bool()) {
+        return Status::InvalidArgument("schema must be a boolean");
+      }
+      request.want_schema = schema->bool_value();
+    }
+    return request;
+  }
   // Serving default: one engine thread per request; cross-request
   // parallelism comes from the service pool (DESIGN.md §8).
   request.options.num_threads = 1;
@@ -276,7 +327,102 @@ Result<Request> ParseRequest(const std::string& line) {
     }
     XPLAIN_RETURN_IF_ERROR(ParseOptions(*options, &request.options));
   }
+
+  const JsonValue* partial = root.Find("partial");
+  if (partial != nullptr) {
+    if (!partial->is_bool()) {
+      return Status::InvalidArgument("partial must be a boolean");
+    }
+    request.partial = partial->bool_value();
+  }
+  const JsonValue* rescore = root.Find("rescore_cells");
+  if (rescore != nullptr) {
+    if (request.op != RequestOp::kExplain) {
+      return Status::InvalidArgument(
+          "rescore_cells is only valid on EXPLAIN");
+    }
+    if (request.partial) {
+      return Status::InvalidArgument(
+          "partial and rescore_cells are mutually exclusive");
+    }
+    if (!rescore->is_array() || rescore->array_items().empty()) {
+      return Status::InvalidArgument(
+          "rescore_cells must be a non-empty array of cells");
+    }
+    for (const JsonValue& cell : rescore->array_items()) {
+      if (!cell.is_array() ||
+          cell.array_items().size() != request.attrs.size()) {
+        return Status::InvalidArgument(
+            "each rescore cell must be an array of one value per attr");
+      }
+      Tuple tuple;
+      tuple.reserve(cell.array_items().size());
+      for (const JsonValue& coord : cell.array_items()) {
+        XPLAIN_ASSIGN_OR_RETURN(Value value, ParseWireValue(coord));
+        tuple.push_back(std::move(value));
+      }
+      request.rescore_cells.push_back(std::move(tuple));
+    }
+  }
   return request;
+}
+
+void AppendWireValue(const Value& value, std::string* out) {
+  switch (value.type()) {
+    case DataType::kNull:
+      *out += "null";
+      return;
+    case DataType::kBool:
+      *out += value.AsBool() ? "true" : "false";
+      return;
+    case DataType::kInt64:
+      *out += "{\"i\":\"";
+      *out += std::to_string(value.AsInt());
+      *out += "\"}";
+      return;
+    case DataType::kDouble:
+      *out += "{\"d\":";
+      AppendJsonNumber(value.AsDouble(), out);
+      out->push_back('}');
+      return;
+    case DataType::kString:
+      AppendJsonString(value.AsString(), out);
+      return;
+  }
+}
+
+Result<Value> ParseWireValue(const JsonValue& json) {
+  if (json.is_null()) return Value::Null();
+  if (json.is_bool()) return Value::Bool(json.bool_value());
+  if (json.is_string()) return Value::Str(json.string_value());
+  if (json.is_object()) {
+    const JsonValue* i = json.Find("i");
+    if (i != nullptr) {
+      if (!i->is_string()) {
+        return Status::InvalidArgument("wire int64 \"i\" must be a string");
+      }
+      const std::string& text = i->string_value();
+      errno = 0;
+      char* end = nullptr;
+      const long long parsed = std::strtoll(text.c_str(), &end, 10);
+      if (text.empty() || end != text.c_str() + text.size() || errno != 0) {
+        return Status::InvalidArgument("bad wire int64 '" + text + "'");
+      }
+      return Value::Int(static_cast<int64_t>(parsed));
+    }
+    const JsonValue* d = json.Find("d");
+    if (d != nullptr) {
+      if (!d->is_number()) {
+        return Status::InvalidArgument("wire double \"d\" must be a number");
+      }
+      return Value::Real(d->number_value());
+    }
+    return Status::InvalidArgument(
+        "wire value object needs an \"i\" or \"d\" member");
+  }
+  return Status::InvalidArgument(
+      "wire value must be null, bool, string, or a tagged {\"i\"}/{\"d\"} "
+      "object");
 }
 
 uint64_t ExtractRequestId(const std::string& line) {
@@ -345,6 +491,177 @@ Result<DeltaSet> BuildDelta(const Database& db, const Request& request) {
   return delta;
 }
 
+std::string SerializeRequest(const Request& request) {
+  std::string out = "{\"id\":";
+  out += std::to_string(request.id);
+  out += ",\"op\":\"";
+  out += RequestOpToString(request.op);
+  out += "\"";
+  if (request.has_trace) {
+    out += ",\"trace\":{\"id\":";
+    AppendJsonString(TraceIdToHex(request.trace_id), &out);
+    out += ",\"sampled\":";
+    out += request.trace_sampled ? "true" : "false";
+    out += "}";
+  }
+  if (request.has_expect_version) {
+    // A string, so versions above 2^53 survive double-typed JSON parsers.
+    out += ",\"expect_version\":\"";
+    out += std::to_string(request.expect_version);
+    out += "\"";
+  }
+  switch (request.op) {
+    case RequestOp::kStats:
+      if (request.want_schema) out += ",\"schema\":true";
+      break;
+    case RequestOp::kDrain:
+    case RequestOp::kMetrics:
+    case RequestOp::kFlight:
+      break;
+    case RequestOp::kDelta: {
+      out += ",\"relation\":";
+      AppendJsonString(request.delta_relation, &out);
+      if (!request.delta_rows.empty()) {
+        out += ",\"rows\":[";
+        for (size_t i = 0; i < request.delta_rows.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          out += std::to_string(request.delta_rows[i]);
+        }
+        out.push_back(']');
+      }
+      if (!request.delta_where.empty()) {
+        out += ",\"where\":";
+        AppendJsonString(request.delta_where, &out);
+      }
+      break;
+    }
+    case RequestOp::kExplain:
+    case RequestOp::kTopK: {
+      out += ",\"question\":{\"subqueries\":[";
+      for (size_t i = 0; i < request.subqueries.size(); ++i) {
+        const SubquerySpec& spec = request.subqueries[i];
+        if (i > 0) out.push_back(',');
+        out += "{\"name\":";
+        AppendJsonString(spec.name, &out);
+        out += ",\"agg\":";
+        AppendJsonString(spec.agg, &out);
+        if (!spec.where.empty()) {
+          out += ",\"where\":";
+          AppendJsonString(spec.where, &out);
+        }
+        out.push_back('}');
+      }
+      out += "],\"expr\":";
+      AppendJsonString(request.expr, &out);
+      out += ",\"direction\":";
+      AppendJsonString(request.direction, &out);
+      out += "},\"attrs\":[";
+      for (size_t i = 0; i < request.attrs.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        AppendJsonString(request.attrs[i], &out);
+      }
+      out.push_back(']');
+      const ExplainOptions& o = request.options;
+      out += ",\"options\":{\"top_k\":";
+      out += std::to_string(o.top_k);
+      out += ",\"degree\":\"";
+      out += DegreeKindToString(o.degree);
+      out += "\",\"minimality\":\"";
+      out += o.minimality == MinimalityStrategy::kNone
+                 ? "none"
+                 : (o.minimality == MinimalityStrategy::kSelfJoin
+                        ? "selfjoin"
+                        : "append");
+      out += "\",\"min_support\":";
+      AppendJsonNumber(o.min_support, &out);
+      out += ",\"use_cube\":";
+      out += o.use_cube ? "true" : "false";
+      out += ",\"exact_rescore\":";
+      out += o.exact_rescore_when_not_additive ? "true" : "false";
+      out += ",\"exact_rescore_pool\":";
+      out += std::to_string(o.exact_rescore_pool);
+      out += ",\"num_threads\":";
+      out += std::to_string(o.num_threads);
+      out.push_back('}');
+      if (request.partial) out += ",\"partial\":true";
+      if (!request.rescore_cells.empty()) {
+        out += ",\"rescore_cells\":[";
+        for (size_t i = 0; i < request.rescore_cells.size(); ++i) {
+          if (i > 0) out.push_back(',');
+          out.push_back('[');
+          const Tuple& cell = request.rescore_cells[i];
+          for (size_t j = 0; j < cell.size(); ++j) {
+            if (j > 0) out.push_back(',');
+            AppendWireValue(cell[j], &out);
+          }
+          out.push_back(']');
+        }
+        out.push_back(']');
+      }
+      break;
+    }
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string PartialReportPayload(const PartialExplainReport& report,
+                                 uint64_t db_version) {
+  const TableM& table = report.table;
+  std::string out = "\"ok\":true,\"op\":\"EXPLAIN\",\"partial\":true";
+  out += ",\"db_version\":";
+  out += std::to_string(db_version);
+  out += ",\"additive\":";
+  out += report.additivity.additive ? "true" : "false";
+  out += ",\"cell_additive\":";
+  out += report.cell_additivity.additive ? "true" : "false";
+  out += ",\"u\":[";
+  for (size_t j = 0; j < table.original_values.size(); ++j) {
+    if (j > 0) out.push_back(',');
+    AppendJsonNumber(table.original_values[j], &out);
+  }
+  out += "],\"cells\":[";
+  const size_t m = table.subquery_values.size();
+  for (size_t row = 0; row < table.NumRows(); ++row) {
+    if (row > 0) out.push_back(',');
+    out += "{\"c\":[";
+    const Tuple& coords = table.coords[row];
+    for (size_t a = 0; a < coords.size(); ++a) {
+      if (a > 0) out.push_back(',');
+      AppendWireValue(coords[a], &out);
+    }
+    out += "],\"m\":\"";
+    out += std::to_string(row < table.cube_mask.size() ? table.cube_mask[row]
+                                                       : 0);
+    out += "\",\"v\":[";
+    for (size_t j = 0; j < m; ++j) {
+      if (j > 0) out.push_back(',');
+      AppendJsonNumber(table.subquery_values[j][row], &out);
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string RescorePayload(const std::vector<std::vector<double>>& values,
+                           uint64_t db_version) {
+  std::string out = "\"ok\":true,\"op\":\"EXPLAIN\",\"db_version\":";
+  out += std::to_string(db_version);
+  out += ",\"rescored\":[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.push_back('[');
+    for (size_t j = 0; j < values[i].size(); ++j) {
+      if (j > 0) out.push_back(',');
+      AppendJsonNumber(values[i][j], &out);
+    }
+    out.push_back(']');
+  }
+  out += "]";
+  return out;
+}
+
 std::string ReportPayload(const Database& db, const ExplainReport& report,
                           RequestOp op) {
   std::string out = "\"ok\":true,\"op\":\"";
@@ -402,6 +719,11 @@ std::string CanonicalRequestKey(const Request& request) {
     AppendKeyField(attr, &key);
   }
   AppendKeyField(CanonicalOptionsKey(request.options), &key);
+  // Partial (shard-fragment) answers have a different payload shape than
+  // ranked answers, so the flag participates. Rescore requests never reach
+  // the cache (the service bypasses probe and insert), so rescore_cells
+  // deliberately do not.
+  AppendKeyField(request.partial ? "partial" : "full", &key);
   return key;
 }
 

@@ -8,6 +8,7 @@
 #include "core/engine.h"
 #include "relational/database.h"
 #include "relational/query.h"
+#include "server/json.h"
 #include "util/result.h"
 
 namespace xplain {
@@ -109,6 +110,18 @@ struct Request {
   bool has_trace = false;
   uint64_t trace_id = 0;
   bool trace_sampled = true;
+  /// Cluster members (DESIGN.md §13). `partial` asks an EXPLAIN/TOPK for
+  /// the shard-side fragment (unpruned table M + verdicts) instead of a
+  /// ranked answer. `rescore_cells` (EXPLAIN only, mutually exclusive with
+  /// `partial`) asks for per-cell residual subquery values — never cached.
+  /// `expect_version` fences the request: kFailedPrecondition unless the
+  /// serving database version matches. `want_schema` asks STATS to attach
+  /// the schema DDL so a coordinator can bootstrap a rows-free catalog.
+  bool partial = false;
+  std::vector<Tuple> rescore_cells;
+  bool has_expect_version = false;
+  uint64_t expect_version = 0;
+  bool want_schema = false;
 };
 
 /// Parses one request line. Structural errors (bad JSON, unknown op,
@@ -134,6 +147,37 @@ uint64_t ExtractRequestId(const std::string& line);
 /// selected row. Closure over dangling rows happens later, in ApplyDelta.
 [[nodiscard]] Result<DeltaSet> BuildDelta(const Database& db,
                                           const Request& request);
+
+/// Serializes `request` back into one wire line (no trailing newline) that
+/// ParseRequest round-trips field-for-field — the coordinator's fan-out
+/// encoder. Deterministic byte-for-byte for equal requests.
+std::string SerializeRequest(const Request& request);
+
+/// Appends the type-tagged wire encoding of one Value to `out`:
+/// null, true/false, {"i":"<decimal>"} for int64 (a string, so 64-bit
+/// values survive double-typed JSON parsers), {"d":<number>} for double,
+/// and a JSON string for strings. Injective across types.
+void AppendWireValue(const Value& value, std::string* out);
+
+/// Parses a value encoded by AppendWireValue.
+[[nodiscard]] Result<Value> ParseWireValue(const JsonValue& json);
+
+/// Serializes a shard-side partial EXPLAIN (DESIGN.md §13):
+///   "ok":true,"op":"EXPLAIN","partial":true,"db_version":V,
+///   "additive":b,"cell_additive":b,"u":[u_1,...],
+///   "cells":[{"c":[<wire values>],"m":"<cube_mask decimal>",
+///             "v":[v_1,...]},...]
+/// Cells appear in the table's canonical coordinate order; doubles use the
+/// shortest-round-trip rendering, so the coordinator reconstructs each
+/// shard's cubes bit-exactly.
+std::string PartialReportPayload(const PartialExplainReport& report,
+                                 uint64_t db_version);
+
+/// Serializes a shard-side rescore answer: one inner array of residual
+/// subquery values per requested cell, in request order:
+///   "ok":true,"op":"EXPLAIN","db_version":V,"rescored":[[...],...]
+std::string RescorePayload(const std::vector<std::vector<double>>& values,
+                           uint64_t db_version);
 
 /// Serializes an ExplainReport as the response payload for `op`: TOPK
 /// carries only the ranked explanations; EXPLAIN adds original_value,

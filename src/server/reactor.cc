@@ -69,7 +69,7 @@ struct Reactor::Task {
   std::string line;      // kResponse
 };
 
-Result<std::shared_ptr<Reactor>> Reactor::Start(XplaindService* service,
+Result<std::shared_ptr<Reactor>> Reactor::Start(LineService* service,
                                                 const ReactorOptions& options) {
   if (service == nullptr) {
     return Status::InvalidArgument("null service");
@@ -98,7 +98,7 @@ Result<std::shared_ptr<Reactor>> Reactor::Start(XplaindService* service,
   return reactor;
 }
 
-Reactor::Reactor(XplaindService* service, const ReactorOptions& options)
+Reactor::Reactor(LineService* service, const ReactorOptions& options)
     : service_(service), options_(options) {}
 
 Reactor::~Reactor() {

@@ -10,7 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "server/service.h"
+#include "server/line_service.h"
 #include "util/mutex.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
@@ -42,14 +42,14 @@ struct ReactorOptions {
 /// One epoll event-loop thread of the multi-reactor TCP transport
 /// (DESIGN.md §8). A reactor owns a set of connections exclusively: it
 /// performs all reads, NDJSON framing (LineDecoder), request dispatch into
-/// the XplaindService, response ordering (ResponseSequencer), and all
+/// the LineService, response ordering (ResponseSequencer), and all
 /// writes for them. Cross-thread work arrives through a mutex-guarded task
 /// queue plus an eventfd wakeup: the acceptor hands over new connection
 /// fds, and service workers hand back completed responses, which the
 /// owning reactor writes in per-connection request order.
 ///
-/// Reactors never block on the engine: a request line is dispatched with
-/// XplaindService::SubmitLineWith and the reactor moves on; synchronous
+/// Reactors never block on the handler: a request line is dispatched with
+/// LineService::SubmitLineWith and the reactor moves on; synchronous
 /// completions (cache hits, protocol errors, STATS) are detected by thread
 /// identity and delivered inline without a queue round-trip.
 ///
@@ -67,7 +67,7 @@ class Reactor {
   /// Spawns the event-loop thread. Does not take ownership of `service`,
   /// which must outlive every callback (i.e. until the service drains).
   [[nodiscard]] static Result<std::shared_ptr<Reactor>> Start(
-      XplaindService* service, const ReactorOptions& options);
+      LineService* service, const ReactorOptions& options);
 
   ~Reactor();
 
@@ -94,7 +94,7 @@ class Reactor {
   void Join();
 
  private:
-  Reactor(XplaindService* service, const ReactorOptions& options);
+  Reactor(LineService* service, const ReactorOptions& options);
 
   struct Task;
 
@@ -121,7 +121,7 @@ class Reactor {
   bool FullyFlushed() const;
   static void PublishActiveConnections(int64_t count);
 
-  XplaindService* service_;
+  LineService* service_;
   ReactorOptions options_;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "relational/ddl.h"
 #include "server/json.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -153,7 +154,7 @@ void XplaindService::SubmitLineWith(const std::string& line,
 
   if (request.op == RequestOp::kStats) {
     XPLAIN_TRACE_SPAN("rpc.stats");
-    done(MakeResponse(request.id, StatsPayload()));
+    done(MakeResponse(request.id, StatsPayload(request.want_schema)));
     return;
   }
   if (request.op == RequestOp::kMetrics) {
@@ -187,6 +188,25 @@ void XplaindService::SubmitLineWith(const std::string& line,
     return;
   }
 
+  // Version fence (DESIGN.md §13): fail fast at dispatch when the client
+  // pinned a version this node no longer serves. ExecutePayload and
+  // DeltaPayload recheck under their locks — this early check only saves
+  // the queueing, it is not the authoritative one.
+  if (request.has_expect_version &&
+      db_version() != request.expect_version) {
+    {
+      MutexLock lock(&mu_);
+      ++errors_;
+    }
+    const Status stale = Status::FailedPrecondition(
+        "database version is " + std::to_string(db_version()) +
+        ", request expected " + std::to_string(request.expect_version));
+    record.code = stale.code();
+    CompleteRequest(std::move(record), done,
+                    MakeResponse(request.id, ErrorPayload(stale)));
+    return;
+  }
+
   if (request.op == RequestOp::kDelta) {
     // Synchronous on the transport thread, like DRAIN: a delta is a
     // serialized mutation, not pool work.
@@ -201,11 +221,20 @@ void XplaindService::SubmitLineWith(const std::string& line,
 
   // Cache lookup happens before admission: hits cost no worker slot. The
   // database version is part of the key, so a stale entry can never match.
+  // A version-fenced request keys on its *expected* version: a hit is then
+  // version-correct by construction even if a delta lands between this
+  // probe and the fence recheck. Rescore requests bypass the cache both
+  // ways — their answers are per-cell program-P runs the coordinator never
+  // repeats against the same version.
   std::string cache_key;
-  if (cache_ != nullptr) {
+  const bool cacheable = request.rescore_cells.empty();
+  if (cache_ != nullptr && cacheable) {
     TraceSpan probe_span("rpc.cache_probe");
     record.cache = FlightRecord::CacheOutcome::kMiss;
-    cache_key = "v=" + std::to_string(db_version()) + ";" +
+    const uint64_t key_version = request.has_expect_version
+                                     ? request.expect_version
+                                     : db_version();
+    cache_key = "v=" + std::to_string(key_version) + ";" +
                 CanonicalRequestKey(request);
     std::optional<std::string> hit = cache_->Lookup(cache_key);
     if (hit.has_value()) {
@@ -243,7 +272,7 @@ void XplaindService::SubmitLineWith(const std::string& line,
         std::shared_ptr<const CacheReadSet> read_set;
         std::string payload =
             ExecutePayload(request, &ok, &record.code, &read_set);
-        if (ok && cache_ != nullptr) {
+        if (ok && cache_ != nullptr && !cache_key.empty()) {
           cache_->Insert(cache_key, payload, std::move(read_set));
         }
         {
@@ -330,10 +359,61 @@ std::string XplaindService::ExecutePayload(
   *code = StatusCode::kOk;
   ReaderMutexLock lock(&db_mu_);
   std::string payload;
-  Result<UserQuestion> question = BuildQuestion(db_, request);
+  // Authoritative version fence: under the reader lock no delta can commit
+  // until this request finishes, so a passing check holds for the whole
+  // computation (DESIGN.md §13).
+  Result<UserQuestion> question =
+      request.has_expect_version && db_.version() != request.expect_version
+          ? Result<UserQuestion>(Status::FailedPrecondition(
+                "database version is " + std::to_string(db_.version()) +
+                ", request expected " +
+                std::to_string(request.expect_version)))
+          : BuildQuestion(db_, request);
   if (!question.ok()) {
     *code = question.status().code();
     payload = ErrorPayload(question.status());
+  } else if (!request.rescore_cells.empty() || request.partial) {
+    // Cluster shard paths (DESIGN.md §13): a rescore runs program P per
+    // candidate cell; a partial builds the unpruned table-M fragment. Both
+    // serialize with this node's db_version so the coordinator can detect
+    // torn fan-outs.
+    payload = [&]() -> std::string {
+      Result<std::vector<ColumnRef>> attrs =
+          engine_->ResolveAttributes(request.attrs);
+      if (!attrs.ok()) {
+        *code = attrs.status().code();
+        return ErrorPayload(attrs.status());
+      }
+      if (!request.rescore_cells.empty()) {
+        Result<std::vector<std::vector<double>>> values =
+            engine_->RescoreCells(*question, *attrs, request.rescore_cells,
+                                  request.options.num_threads);
+        if (!values.ok()) {
+          *code = values.status().code();
+          return ErrorPayload(values.status());
+        }
+        *ok = true;
+        TraceSpan serialize_span("rpc.serialize_rescore");
+        return RescorePayload(*values, db_.version());
+      }
+      Result<PartialExplainReport> partial =
+          engine_->ExplainPartialResolved(*question, *attrs,
+                                          request.options);
+      if (!partial.ok()) {
+        *code = partial.status().code();
+        return ErrorPayload(partial.status());
+      }
+      *ok = true;
+      if (read_set != nullptr) {
+        // A partial ships *every* cube cell, so any deletion can change
+        // it: always conservative (never survives a delta).
+        auto rs = std::make_shared<CacheReadSet>();
+        rs->conservative = true;
+        *read_set = rs;
+      }
+      TraceSpan serialize_span("rpc.serialize_partial");
+      return PartialReportPayload(*partial, db_.version());
+    }();
   } else {
     Result<ExplainReport> report =
         engine_->Explain(*question, request.attrs, request.options);
@@ -443,10 +523,17 @@ XplaindService::Stats XplaindService::GetStats() const {
   return stats;
 }
 
-std::string XplaindService::StatsPayload() const {
+std::string XplaindService::StatsPayload(bool want_schema) const {
   const Stats stats = GetStats();
   std::string out = "\"ok\":true,\"op\":\"STATS\",";
   out += "\"db_version\":" + std::to_string(stats.db_version);
+  if (want_schema) {
+    // Schema DDL for coordinator bootstrap (DESIGN.md §13): round-trips
+    // through ParseSchema + CreateDatabase into a rows-free catalog.
+    out += ",\"schema\":";
+    ReaderMutexLock lock(&db_mu_);
+    AppendJsonString(SchemaToDdl(db_), &out);
+  }
   out += ",\"received\":" + std::to_string(stats.received);
   out += ",\"served\":" + std::to_string(stats.served);
   out += ",\"cache_hits\":" + std::to_string(stats.cache_hits);
@@ -610,6 +697,15 @@ std::string XplaindService::DeltaPayload(const Request& request,
   size_t rows_before = 0;
   Result<DeltaSet> delta = [&]() -> Result<DeltaSet> {
     ReaderMutexLock lock(&db_mu_);
+    // Authoritative DELTA version barrier: deltas serialize on delta_mu_,
+    // so a passing check pins the pre-delta version this mutation applies
+    // to (DESIGN.md §13).
+    if (request.has_expect_version &&
+        db_.version() != request.expect_version) {
+      return Status::FailedPrecondition(
+          "database version is " + std::to_string(db_.version()) +
+          ", request expected " + std::to_string(request.expect_version));
+    }
     for (int r = 0; r < db_.num_relations(); ++r) {
       rows_before += db_.relation(r).NumRows();
     }

@@ -12,6 +12,7 @@
 #include "relational/database.h"
 #include "server/explain_cache.h"
 #include "server/flight_recorder.h"
+#include "server/line_service.h"
 #include "server/protocol.h"
 #include "util/mutex.h"
 #include "util/result.h"
@@ -80,14 +81,14 @@ struct ServiceOptions {
 /// concurrently from any number of transport threads. ApplyDelta is the
 /// only mutator and serializes against in-flight requests via an internal
 /// reader/writer lock.
-class XplaindService {
+class XplaindService : public LineService {
  public:
   /// Takes ownership of `db`. Fails when the engine cannot be built
   /// (broken referential integrity, disconnected FK graph).
   [[nodiscard]] static Result<std::unique_ptr<XplaindService>> Create(
       Database db, const ServiceOptions& options = ServiceOptions());
 
-  ~XplaindService();
+  ~XplaindService() override;
 
   XplaindService(const XplaindService&) = delete;
   XplaindService& operator=(const XplaindService&) = delete;
@@ -109,7 +110,7 @@ class XplaindService {
   /// worker after execution. `done` must not block; a reactor callback
   /// only enqueues the response for the owning event loop.
   void SubmitLineWith(const std::string& line,
-                      std::function<void(std::string)> done);
+                      std::function<void(std::string)> done) override;
 
   /// Applies a tuple delta to the owned database (removing dangling rows
   /// like the paper's D - Delta semantics). On the default incremental
@@ -185,7 +186,8 @@ class XplaindService {
   /// returns the response payload. `*code` receives the outcome code.
   std::string DeltaPayload(const Request& request, StatusCode* code);
 
-  std::string StatsPayload() const;
+  /// `want_schema` attaches the schema DDL (STATS {"schema":true}).
+  std::string StatsPayload(bool want_schema = false) const;
   std::string MetricsPayload() const;
 
   /// Decides the request's trace identity: a wire-supplied context wins;

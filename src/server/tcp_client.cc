@@ -10,7 +10,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace xplain {
 namespace server {
@@ -117,7 +119,51 @@ Result<TcpClient> TcpClient::Connect(const std::string& host, int port,
       return Status::Internal("setsockopt(SO_RCVTIMEO): " + error);
     }
   }
-  return TcpClient(fd);
+  TcpClient client(fd);
+  client.host_ = host;
+  client.port_ = port;
+  client.options_ = options;
+  return client;
+}
+
+Result<TcpClient> TcpClient::ConnectWithRetry(const std::string& host,
+                                              int port,
+                                              const TcpClientOptions& options,
+                                              const RetryOptions& retry) {
+  const int attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  Result<TcpClient> last = Status::Unavailable("no connect attempt made");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      int64_t backoff = static_cast<int64_t>(retry.backoff_ms)
+                        << (attempt - 1);
+      if (backoff > retry.max_backoff_ms) backoff = retry.max_backoff_ms;
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+    }
+    last = Connect(host, port, options);
+    if (last.ok() || last.status().code() != StatusCode::kUnavailable) {
+      return last;
+    }
+  }
+  return Status::Unavailable(
+      "connect to " + host + ":" + std::to_string(port) + " failed after " +
+      std::to_string(attempts) + " attempts: " + last.status().message());
+}
+
+Status TcpClient::Reconnect(const RetryOptions& retry) {
+  if (host_.empty()) {
+    return Status::Internal("client has no endpoint to reconnect to");
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+  XPLAIN_ASSIGN_OR_RETURN(TcpClient fresh,
+                          ConnectWithRetry(host_, port_, options_, retry));
+  *this = std::move(fresh);
+  return Status::OK();
 }
 
 TcpClient::~TcpClient() {
@@ -164,7 +210,10 @@ Result<std::string> TcpClient::ReadResponse() {
                                  std::strerror(errno));
     }
     if (n == 0) {
-      return Status::Internal("recv: connection closed before a response");
+      // The peer went away (restart, kill, drain) — retryable, like a
+      // refused dial, so Reconnect/fan-out retry policies treat both alike.
+      return Status::Unavailable(
+          "recv: connection closed before a response");
     }
     buffer_.append(chunk, static_cast<size_t>(n));
   }

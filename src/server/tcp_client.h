@@ -20,6 +20,17 @@ struct TcpClientOptions {
   int recv_timeout_ms = 0;
 };
 
+/// Bounded reconnect policy for ConnectWithRetry / Reconnect: up to
+/// `max_attempts` dials, sleeping `backoff_ms << (attempt-1)` between them
+/// (exponential, capped at `max_backoff_ms`). Only kUnavailable failures
+/// retry — anything else (bad address, internal errors) fails immediately.
+/// Thread-safety: plain data, externally synchronized.
+struct RetryOptions {
+  int max_attempts = 3;
+  int backoff_ms = 50;
+  int max_backoff_ms = 2000;
+};
+
 /// A blocking newline-delimited-JSON client for xplaind's TCP transport.
 /// Call sends one request line and reads back one response line; the
 /// Send/ReadResponse split supports pipelining — many requests written
@@ -41,16 +52,42 @@ class TcpClient {
       const std::string& host, int port,
       const TcpClientOptions& options = TcpClientOptions());
 
+  /// Connect with the bounded backoff policy of `retry`: retries
+  /// kUnavailable dial failures (server not up yet, connect timeout) and
+  /// returns the last failure when attempts run out. Shared by
+  /// xplain_client --connect-retries and the cluster coordinator
+  /// (DESIGN.md §13).
+  [[nodiscard]] static Result<TcpClient> ConnectWithRetry(
+      const std::string& host, int port,
+      const TcpClientOptions& options = TcpClientOptions(),
+      const RetryOptions& retry = RetryOptions());
+
+  /// Drops the current socket (if any) and re-dials the endpoint this
+  /// client was connected to, with the same options and `retry` policy.
+  /// Any pipelined-but-unread responses are lost — callers resend their
+  /// in-flight requests after a successful Reconnect.
+  [[nodiscard]] Status Reconnect(const RetryOptions& retry = RetryOptions());
+
+  const std::string& host() const { return host_; }
+  int port() const { return port_; }
+
   ~TcpClient();
 
   TcpClient(TcpClient&& other) noexcept
-      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+      : fd_(other.fd_),
+        buffer_(std::move(other.buffer_)),
+        host_(std::move(other.host_)),
+        port_(other.port_),
+        options_(other.options_) {
     other.fd_ = -1;
     other.buffer_.clear();
   }
   TcpClient& operator=(TcpClient&& other) noexcept {
     std::swap(fd_, other.fd_);
     std::swap(buffer_, other.buffer_);
+    std::swap(host_, other.host_);
+    std::swap(port_, other.port_);
+    std::swap(options_, other.options_);
     return *this;
   }
   TcpClient(const TcpClient&) = delete;
@@ -74,6 +111,10 @@ class TcpClient {
 
   int fd_;
   std::string buffer_;  // bytes received past the last response line
+  // The dialed endpoint, remembered for Reconnect.
+  std::string host_;
+  int port_ = 0;
+  TcpClientOptions options_;
 };
 
 }  // namespace server

@@ -19,7 +19,7 @@ namespace xplain {
 namespace server {
 
 Result<std::unique_ptr<TcpServer>> TcpServer::Start(
-    XplaindService* service, const TcpServerOptions& options) {
+    LineService* service, const TcpServerOptions& options) {
   if (service == nullptr) {
     return Status::InvalidArgument("null service");
   }
@@ -82,7 +82,7 @@ Result<std::unique_ptr<TcpServer>> TcpServer::Start(
   return server;
 }
 
-TcpServer::TcpServer(XplaindService* service, int listen_fd, int port)
+TcpServer::TcpServer(LineService* service, int listen_fd, int port)
     : service_(service),
       listen_fd_(listen_fd),
       port_(port),

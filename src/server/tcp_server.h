@@ -7,7 +7,7 @@
 #include <thread>
 #include <vector>
 
-#include "server/service.h"
+#include "server/line_service.h"
 #include "util/mutex.h"
 #include "util/result.h"
 #include "util/thread_annotations.h"
@@ -42,7 +42,8 @@ struct TcpServerOptions {
 /// thread shards incoming connections round-robin across N epoll reactor
 /// threads (server/reactor.h), each running a per-connection read/write
 /// state machine that frames pipelined NDJSON requests, dispatches them to
-/// the XplaindService without ever blocking on the engine, and writes
+/// the LineService (an xplaind engine or a cluster coordinator) without
+/// ever blocking on the handler, and writes
 /// responses back in request order per connection (DESIGN.md §8).
 ///
 /// Lifecycle: Start binds, listens, and spawns the acceptor + reactors;
@@ -57,7 +58,7 @@ class TcpServer {
   /// Binds 127.0.0.1:port, starts listening, and spawns the acceptor and
   /// reactor threads. Does not take ownership of `service`.
   [[nodiscard]] static Result<std::unique_ptr<TcpServer>> Start(
-      XplaindService* service, const TcpServerOptions& options);
+      LineService* service, const TcpServerOptions& options);
 
   ~TcpServer();
 
@@ -82,11 +83,11 @@ class TcpServer {
   void Stop();
 
  private:
-  TcpServer(XplaindService* service, int listen_fd, int port);
+  TcpServer(LineService* service, int listen_fd, int port);
 
   void AcceptLoop();
 
-  XplaindService* service_;
+  LineService* service_;
   int listen_fd_;
   int port_;
 

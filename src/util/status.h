@@ -21,6 +21,7 @@ enum class StatusCode : int {
   kIoError = 9,
   kResourceExhausted = 10,
   kUnavailable = 11,
+  kFailedPrecondition = 12,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -82,6 +83,9 @@ class [[nodiscard]] Status {
   }
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
   }
 
   [[nodiscard]] bool ok() const { return state_ == nullptr; }

@@ -119,6 +119,94 @@ TEST_F(CubeTest, FullOuterJoinValidatesInputs) {
   EXPECT_FALSE(FullOuterJoinCubes({&c1, nullptr}).ok());
 }
 
+TEST_F(CubeTest, FullOuterJoinEmptyOperandListIsInvalidArgument) {
+  const auto joined = FullOuterJoinCubes({});
+  ASSERT_FALSE(joined.ok());
+  EXPECT_EQ(joined.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(joined.status().message().find("at least one cube operand"),
+            std::string::npos);
+}
+
+TEST_F(CubeTest, FullOuterJoinNullOperandNamesItsIndex) {
+  DataCube c1 = UnwrapOrDie(DataCube::Compute(
+      *universal_, {name_}, AggregateSpec::CountStar(), nullptr));
+  const auto joined = FullOuterJoinCubes({&c1, nullptr});
+  ASSERT_FALSE(joined.ok());
+  EXPECT_EQ(joined.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(joined.status().message().find("operand 1"), std::string::npos);
+}
+
+TEST_F(CubeTest, FullOuterJoinMismatchedAttributesNamesOffender) {
+  DataCube c1 = UnwrapOrDie(DataCube::Compute(
+      *universal_, {name_}, AggregateSpec::CountStar(), nullptr));
+  DataCube c2 = UnwrapOrDie(DataCube::Compute(
+      *universal_, {name_, year_}, AggregateSpec::CountStar(), nullptr));
+  const auto joined = FullOuterJoinCubes({&c1, &c2});
+  ASSERT_FALSE(joined.ok());
+  EXPECT_EQ(joined.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(joined.status().message().find("operand 1"), std::string::npos);
+  EXPECT_NE(joined.status().message().find("share one attribute list"),
+            std::string::npos);
+}
+
+TEST_F(CubeTest, FullOuterJoinSingleCubeIsPassThrough) {
+  // m = 1: the joined table is the cube's own cells in canonical order,
+  // every one present.
+  DataCube cube = UnwrapOrDie(DataCube::Compute(
+      *universal_, {name_}, AggregateSpec::CountStar(), nullptr));
+  CubeJoinResult joined = UnwrapOrDie(FullOuterJoinCubes({&cube}));
+  ASSERT_EQ(joined.NumRows(), cube.NumCells());
+  ASSERT_EQ(joined.values.size(), 1u);
+  ASSERT_EQ(joined.present.size(), 1u);
+  for (size_t row = 0; row < joined.NumRows(); ++row) {
+    EXPECT_DOUBLE_EQ(joined.values[0][row],
+                     cube.CellValue(joined.coords[row]));
+    EXPECT_EQ(joined.present[0][row], 1);
+  }
+}
+
+TEST_F(CubeTest, FullOuterJoinWithEmptyCubeOperand) {
+  // An empty cube (no cells at all) joins fine: it contributes no
+  // coordinates, is absent (and 0) everywhere, and the union is the other
+  // operand's cells.
+  DataCube c1 = UnwrapOrDie(DataCube::Compute(
+      *universal_, {name_}, AggregateSpec::CountStar(), nullptr));
+  DataCube empty = DataCube::FromCells({name_}, {});
+  CubeJoinResult joined = UnwrapOrDie(FullOuterJoinCubes({&c1, &empty}));
+  ASSERT_EQ(joined.NumRows(), c1.NumCells());
+  for (size_t row = 0; row < joined.NumRows(); ++row) {
+    EXPECT_EQ(joined.present[0][row], 1);
+    EXPECT_EQ(joined.present[1][row], 0);
+    EXPECT_DOUBLE_EQ(joined.values[1][row], 0.0);
+  }
+}
+
+TEST_F(CubeTest, FullOuterJoinPresentBitsDistinguishMissingFromZero) {
+  // A cell materialized with value 0 must stay distinguishable from a cell
+  // the cube never produced — the cluster merge reconstructs per-shard
+  // supports from exactly this bit (DESIGN.md §13).
+  DataCube::CellMap zero_cells;
+  Tuple jg(1);
+  jg[0] = Value::Str("JG");
+  zero_cells[jg] = 0.0;
+  DataCube zero = DataCube::FromCells({name_}, std::move(zero_cells));
+  DataCube::CellMap other_cells;
+  Tuple rr(1);
+  rr[0] = Value::Str("RR");
+  other_cells[rr] = 3.0;
+  DataCube other = DataCube::FromCells({name_}, std::move(other_cells));
+  CubeJoinResult joined = UnwrapOrDie(FullOuterJoinCubes({&zero, &other}));
+  ASSERT_EQ(joined.NumRows(), 2u);
+  for (size_t row = 0; row < joined.NumRows(); ++row) {
+    const bool is_jg = joined.coords[row] == jg;
+    // Both rows carry a 0 in one cube; only JG's is a real cell there.
+    EXPECT_EQ(joined.present[0][row], is_jg ? 1 : 0);
+    EXPECT_EQ(joined.present[1][row], is_jg ? 0 : 1);
+    EXPECT_DOUBLE_EQ(joined.values[0][row], 0.0);
+    EXPECT_DOUBLE_EQ(joined.values[1][row], is_jg ? 0.0 : 3.0);
+  }
+}
+
 TEST_F(CubeTest, ToStringIsDeterministic) {
   DataCube cube = UnwrapOrDie(DataCube::Compute(
       *universal_, {name_}, AggregateSpec::CountStar(), nullptr));

@@ -195,7 +195,10 @@ TEST(FlightRecorderConcurrencyTest, RecordAndDumpStress) {
   }
   for (int reader = 0; reader < 2; ++reader) {
     threads.emplace_back([&recorder, &stop, &consistent_snapshots] {
-      while (!stop.load(std::memory_order_relaxed)) {
+      // do-while: every reader takes at least one snapshot even if the
+      // writers finish before this thread is first scheduled (single-core
+      // machines under load), so consistent_snapshots > 0 is deterministic.
+      do {
         const FlightRecorder::Dump dump = recorder.Snapshot();
         ASSERT_LE(dump.records.size(), kCapacity);
         for (size_t i = 1; i < dump.records.size(); ++i) {
@@ -204,7 +207,7 @@ TEST(FlightRecorderConcurrencyTest, RecordAndDumpStress) {
         ASSERT_EQ(dump.overwritten + dump.records.size(),
                   dump.total_recorded);
         consistent_snapshots.fetch_add(1, std::memory_order_relaxed);
-      }
+      } while (!stop.load(std::memory_order_relaxed));
     });
   }
   for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();

@@ -187,6 +187,99 @@ TEST(ProtocolTest, CanonicalKeyIsInjectiveAcrossFieldBoundaries) {
   EXPECT_NE(CanonicalRequestKey(b), CanonicalRequestKey(c));
 }
 
+TEST(ProtocolTest, ParsesClusterMembers) {
+  Request request = UnwrapOrDie(ParseRequest(
+      R"x({"id":1,"op":"EXPLAIN","partial":true,"expect_version":42,)x"
+      R"x("question":{"subqueries":[{"name":"q1","agg":"count(*)",)x"
+      R"x("where":""}],"expr":"q1","direction":"high"},)x"
+      R"x("attrs":["Author.name"]})x"));
+  EXPECT_TRUE(request.partial);
+  EXPECT_TRUE(request.has_expect_version);
+  EXPECT_EQ(request.expect_version, 42u);
+
+  // partial and rescore_cells are mutually exclusive.
+  EXPECT_FALSE(
+      ParseRequest(
+          R"x({"id":1,"op":"EXPLAIN","partial":true,)x"
+          R"x("rescore_cells":[[null]],)x"
+          R"x("question":{"subqueries":[{"name":"q1","agg":"count(*)",)x"
+          R"x("where":""}],"expr":"q1","direction":"high"},)x"
+          R"x("attrs":["Author.name"]})x")
+          .ok());
+
+  Request stats = UnwrapOrDie(
+      ParseRequest(R"x({"id":2,"op":"STATS","schema":true})x"));
+  EXPECT_TRUE(stats.want_schema);
+}
+
+TEST(ProtocolTest, SerializeRequestRoundTripsFieldForField) {
+  Request request = UnwrapOrDie(ParseRequest(kExplainLine));
+  request.partial = true;
+  request.has_expect_version = true;
+  request.expect_version = 7;
+  request.has_trace = true;
+  request.trace_id = 0x1234;
+  request.trace_sampled = true;
+  Tuple cell(2);
+  cell[0] = Value::Str("JG");
+  cell[1] = Value::Null();
+  request.partial = false;  // rescore_cells excludes partial
+  request.rescore_cells = {cell};
+
+  const std::string line = SerializeRequest(request);
+  Request round = UnwrapOrDie(ParseRequest(line));
+  EXPECT_EQ(round.id, request.id);
+  EXPECT_EQ(round.op, request.op);
+  EXPECT_EQ(round.expr, request.expr);
+  EXPECT_EQ(round.direction, request.direction);
+  EXPECT_EQ(round.attrs, request.attrs);
+  ASSERT_EQ(round.subqueries.size(), request.subqueries.size());
+  for (size_t i = 0; i < round.subqueries.size(); ++i) {
+    EXPECT_EQ(round.subqueries[i].name, request.subqueries[i].name);
+    EXPECT_EQ(round.subqueries[i].agg, request.subqueries[i].agg);
+    EXPECT_EQ(round.subqueries[i].where, request.subqueries[i].where);
+  }
+  EXPECT_EQ(round.partial, request.partial);
+  EXPECT_EQ(round.has_expect_version, request.has_expect_version);
+  EXPECT_EQ(round.expect_version, request.expect_version);
+  EXPECT_EQ(round.has_trace, request.has_trace);
+  EXPECT_EQ(round.trace_id, request.trace_id);
+  EXPECT_EQ(round.trace_sampled, request.trace_sampled);
+  ASSERT_EQ(round.rescore_cells.size(), 1u);
+  EXPECT_EQ(round.rescore_cells[0], cell);
+  // Serialization is deterministic (and covers the options block): a second
+  // round trip is byte-identical.
+  EXPECT_EQ(SerializeRequest(round), line);
+}
+
+TEST(ProtocolTest, WireValuesRoundTripEveryTypeInjectively) {
+  const std::vector<Value> values = {
+      Value::Null(),        Value::Bool(true),      Value::Bool(false),
+      Value::Int(0),        Value::Int(-7),         Value::Int(1),
+      Value::Real(1.0),     Value::Real(-0.25),     Value::Str(""),
+      Value::Str("1"),      Value::Str("P1"),       Value::Str("a\"b\n")};
+  for (const Value& value : values) {
+    std::string out;
+    AppendWireValue(value, &out);
+    JsonValue json = UnwrapOrDie(JsonValue::Parse(out));
+    const Value round = UnwrapOrDie(ParseWireValue(json));
+    EXPECT_TRUE(round.Equals(value)) << out;
+    EXPECT_EQ(round.type(), value.type()) << out;
+  }
+  // Int64 1 and double 1.0 must not collide on the wire (the type tag).
+  std::string as_int, as_dbl;
+  AppendWireValue(Value::Int(1), &as_int);
+  AppendWireValue(Value::Real(1.0), &as_dbl);
+  EXPECT_NE(as_int, as_dbl);
+}
+
+TEST(ProtocolTest, CanonicalKeySeparatesPartialFromFull) {
+  Request a = UnwrapOrDie(ParseRequest(kExplainLine));
+  Request b = a;
+  b.partial = true;
+  EXPECT_NE(CanonicalRequestKey(a), CanonicalRequestKey(b));
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace xplain

@@ -27,9 +27,10 @@ TEST(StatusCodeToStringTest, CoversEveryCode) {
       {StatusCode::kIoError, "IoError"},
       {StatusCode::kResourceExhausted, "ResourceExhausted"},
       {StatusCode::kUnavailable, "Unavailable"},
+      {StatusCode::kFailedPrecondition, "FailedPrecondition"},
   };
   // If a new StatusCode is added this count (and the table) must grow.
-  EXPECT_EQ(expected.size(), 12u);
+  EXPECT_EQ(expected.size(), 13u);
   for (const auto& [code, name] : expected) {
     EXPECT_EQ(StatusCodeToString(code), name)
         << "code=" << static_cast<int>(code);
@@ -56,6 +57,8 @@ TEST(StatusTest, FactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
 }
 
 Status FailIf(bool fail) {

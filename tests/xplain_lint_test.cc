@@ -494,6 +494,31 @@ TEST_F(XplainLintTest, EngineSpansOutsideServerDirAreNotPrefixChecked) {
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+// --- cluster-trace-prefix ---------------------------------------------------
+
+TEST_F(XplainLintTest, FlagsUnprefixedSpanInClusterCode) {
+  WriteFile("src/cluster/coord.cc",
+            "void Fanout() {\n"
+            "  XPLAIN_TRACE_SPAN(\"server.fanout\");\n"
+            "}\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("cluster-trace-prefix"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("server.fanout"), std::string::npos)
+      << run.output;
+}
+
+TEST_F(XplainLintTest, AcceptsClusterPrefixInClusterCode) {
+  WriteFile("src/cluster/coord.cc",
+            "void Fanout() {\n"
+            "  XPLAIN_TRACE_SPAN(\"cluster.fanout\");\n"
+            "  XPLAIN_COUNTER_ADD(\"cluster.shard_errors\", 1);\n"
+            "}\n");
+  const LintRun run = RunLint(root_);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST_F(XplainLintTest, MacroDefinitionSitesAreNotTraceNameFindings) {
   // The macro definitions pass an identifier, not a literal, as the first
   // argument; the rule must skip them.

@@ -29,7 +29,11 @@ namespace {
 int Usage(std::ostream& os) {
   os << "usage: xplain_client --port P [--host H] [--file FILE]\n"
      << "                     [--pipeline D] [--fail-on-error]\n"
-     << "       xplain_client --port P --metrics\n";
+     << "                     [--connect-retries N]\n"
+     << "       xplain_client --port P --metrics\n"
+     << "  --connect-retries N  bounded dial attempts with exponential\n"
+     << "                       backoff (default 3) — rides out a server\n"
+     << "                       that is still binding its port\n";
   return 2;
 }
 
@@ -70,6 +74,7 @@ int main(int argc, char** argv) {
   int pipeline = 1;
   bool fail_on_error = false;
   bool metrics = false;
+  xplain::server::RetryOptions retry;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--host" && i + 1 < argc) {
@@ -84,6 +89,8 @@ int main(int argc, char** argv) {
       fail_on_error = true;
     } else if (arg == "--metrics") {
       metrics = true;
+    } else if (arg == "--connect-retries" && i + 1 < argc) {
+      retry.max_attempts = std::stoi(argv[++i]);
     } else if (arg == "--help" || arg == "-h") {
       Usage(std::cout);
       return 0;
@@ -108,7 +115,8 @@ int main(int argc, char** argv) {
   }
   std::istream& in = file.empty() ? std::cin : file_stream;
 
-  auto client = xplain::server::TcpClient::Connect(host, port);
+  auto client = xplain::server::TcpClient::ConnectWithRetry(
+      host, port, xplain::server::TcpClientOptions(), retry);
   if (!client.ok()) {
     std::cerr << "xplain_client: " << client.status().ToString() << "\n";
     return 1;

@@ -26,6 +26,9 @@
 //   [server-trace-prefix]  span/metric literals in src/server/ live in the
 //                          rpc. or server. namespace, so serving telemetry
 //                          never collides with engine-side names.
+//   [cluster-trace-prefix] span/metric literals in src/cluster/ live in the
+//                          cluster. namespace, so coordinator telemetry
+//                          never collides with shard-side serving names.
 //   [raw-mutex]            std::mutex / std::lock_guard / std::unique_lock
 //                          and friends are banned in src/ outside
 //                          util/mutex.{h,cc}; use the annotated capability
@@ -631,6 +634,13 @@ void CheckTraceNames(const std::string& display, const FileText& text) {
                      "namespace");
           continue;
         }
+        if (HasPrefix(display, "src/cluster/") &&
+            !HasPrefix(name, "cluster.")) {
+          Report(display, line_no, "cluster-trace-prefix",
+                 "span/metric name \"" + name +
+                     "\" in src/cluster/ must use the cluster. namespace");
+          continue;
+        }
         bool duplicate = false;
         for (const auto& [prev_name, prev_line] : seen) {
           if (prev_name == name) {
@@ -753,7 +763,7 @@ int main(int argc, char** argv) {
       "valueordie-unchecked", "no-stdout",         "header-guard",
       "include-cc",           "banned-fn",         "doc-comment",
       "thread-safety-doc",    "trace-name",        "server-trace-prefix",
-      "raw-mutex",            "guarded-by"};
+      "cluster-trace-prefix", "raw-mutex",         "guarded-by"};
 
   fs::path root = ".";
   std::vector<std::string> only_rules;
